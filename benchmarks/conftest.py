@@ -1,0 +1,42 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every module regenerates one table or figure of the paper.  Artifacts
+(SVGs, HTML tables) are written to ``benchmarks/artifacts/``; rows are
+printed with the paper's reference values next to our measurements so the
+*shape* (who wins, by roughly what factor) can be compared directly.
+
+Set ``REPRO_PAPER_SIZES=1`` to run the BERT benchmark at the full
+BERT-large sizes instead of the scaled-down defaults (slow on small
+machines).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> Path:
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+@pytest.fixture(scope="session")
+def paper_sizes_enabled() -> bool:
+    return os.environ.get("REPRO_PAPER_SIZES", "0") == "1"
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print a benchmark table in the same layout as the paper's."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))

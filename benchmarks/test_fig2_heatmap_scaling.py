@@ -1,0 +1,102 @@
+"""Fig. 2: the three heatmap scaling methods and their use cases.
+
+The paper's figure shows one value distribution (a cluster plus one
+outlier) colored three ways:
+
+- **mean-centered** — influenced by the outlier: the bulk compresses into
+  the green end while the outlier saturates red (bottleneck detection);
+- **histogram** — every distinct observation gets its own color, fully
+  exposing the distribution regardless of gaps;
+- **median-centered** — in between: outlier-resistant but less distorted,
+  grouping similar magnitudes.
+
+This module regenerates the series (color positions per value per method),
+asserts the characterizations, writes a comparison artifact and benchmarks
+the fit+assign path.
+"""
+
+from repro.viz import GREEN_YELLOW_RED, Heatmap
+
+from conftest import print_table
+
+#: The kind of distribution the figure illustrates: a cluster + outlier.
+DISTRIBUTION = [10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 500.0]
+
+
+def _positions(method: str) -> list[float]:
+    hm = Heatmap(dict(enumerate(DISTRIBUTION)), method=method)
+    return [hm.position(i) for i in range(len(DISTRIBUTION))]
+
+
+def test_fig2_scaling_methods(benchmark, artifacts_dir):
+    def fit_all():
+        return {m: _positions(m) for m in ("mean", "histogram", "median")}
+
+    series = benchmark(fit_all)
+    mean_pos, hist_pos, median_pos = (
+        series["mean"], series["histogram"], series["median"],
+    )
+
+    rows = [
+        [f"{v:g}", f"{m:.3f}", f"{h:.3f}", f"{d:.3f}"]
+        for v, m, h, d in zip(DISTRIBUTION, mean_pos, hist_pos, median_pos)
+    ]
+    print_table(
+        "Fig. 2: scale position per value (0=green, 1=red)",
+        ["value", "mean", "histogram", "median"],
+        rows,
+    )
+
+    # Mean-centered: outlier visually distinct — bulk compressed low, the
+    # outlier clamps to the red end with a large gap.
+    assert mean_pos[-1] == 1.0
+    assert max(mean_pos[:-1]) < 0.15
+    assert mean_pos[-1] - max(mean_pos[:-1]) > 0.8
+
+    # Histogram: equidistant positions by rank, independent of gaps.
+    expected = [i / (len(DISTRIBUTION) - 1) for i in range(len(DISTRIBUTION))]
+    assert hist_pos == expected
+
+    # Median-centered: the bulk spreads wider than under the mean scale
+    # (less compression) but the outlier still saturates.
+    assert max(median_pos[:-1]) > max(mean_pos[:-1])
+    assert median_pos[-1] == 1.0
+    bulk_spread_median = max(median_pos[:-1]) - min(median_pos[:-1])
+    bulk_spread_mean = max(mean_pos[:-1]) - min(mean_pos[:-1])
+    assert bulk_spread_median > bulk_spread_mean
+
+    # Artifact: side-by-side color strips.
+    _write_strips(artifacts_dir, series)
+
+
+def _write_strips(artifacts_dir, series) -> None:
+    from repro.viz.svg import SVGDocument
+
+    cell, gap, row_h = 40.0, 4.0, 30.0
+    width = len(DISTRIBUTION) * (cell + gap) + 120
+    doc = SVGDocument(width, 3 * row_h + 20)
+    for row, (method, positions) in enumerate(series.items()):
+        y = 10 + row * row_h
+        doc.text(8, y + 14, method, font_size=11, anchor="start")
+        for i, pos in enumerate(positions):
+            color = GREEN_YELLOW_RED.sample(pos)
+            doc.rect(
+                110 + i * (cell + gap), y, cell, 20,
+                fill=color.to_hex(), title=f"{DISTRIBUTION[i]:g}",
+            )
+    (artifacts_dir / "fig2_heatmap_scaling.svg").write_text(doc.to_string())
+
+
+def test_fig2_distinct_color_counts(benchmark):
+    """Histogram separates at least as many colors as the other methods."""
+
+    def distinct_counts():
+        return {
+            m: Heatmap(dict(enumerate(DISTRIBUTION)), method=m).distinct_colors()
+            for m in ("mean", "histogram", "median")
+        }
+
+    counts = benchmark(distinct_counts)
+    assert counts["histogram"] >= counts["median"] >= 1
+    assert counts["histogram"] >= counts["mean"]
+    assert counts["histogram"] == len(DISTRIBUTION)

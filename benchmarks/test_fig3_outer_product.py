@@ -1,0 +1,70 @@
+"""Fig. 3: the parameterized outer product ``C = A ⊗ B``.
+
+``A ∈ R³``, ``B ∈ R⁴``, ``C ∈ R^{3×4}``; every container is expanded to
+individual element tiles, each loop parameter gets a slider, and setting
+``i=1, j=2`` highlights A[1], B[2] and C[1,2] green — exactly the
+screenshot's content.  Benchmarks the parameterize-and-highlight loop (the
+interactive slider path).
+"""
+
+import xml.etree.ElementTree as ET
+
+from repro.apps import linalg
+from repro.tool import Session
+
+SIZES = {"M": 3, "N": 4}
+
+
+def test_fig3_slider_highlights(benchmark, artifacts_dir):
+    session = Session(linalg.build_outer_product())
+    lv = session.local_view(SIZES)
+
+    def move_sliders():
+        sliders = lv.sliders()
+        sliders.set("i", 1)
+        sliders.set("j", 2)
+        return sliders.highlighted_elements()
+
+    highlights = benchmark(move_sliders)
+    assert highlights == {"A": {(1,)}, "B": {(2,)}, "C": {(1, 2)}}
+
+    # Render the three parameterized containers with the highlights.
+    for name in ("A", "B", "C"):
+        svg = lv.render_container(name, highlights=highlights.get(name, ()))
+        ET.fromstring(svg)
+        (artifacts_dir / f"fig3_{name}.svg").write_text(svg)
+
+
+def test_fig3_slider_bounds(benchmark):
+    """Sliders expose the loop bounds i ∈ [0,2], j ∈ [0,3]."""
+    session = Session(linalg.build_outer_product())
+    lv = session.local_view(SIZES)
+
+    def read_bounds():
+        sliders = lv.sliders()
+        return sliders.bounds("i"), sliders.bounds("j")
+
+    bounds = benchmark(read_bounds)
+    assert bounds == ((0, 2), (0, 3))
+
+
+def test_fig3_full_iteration_sweep(benchmark):
+    """Sweeping both sliders over the whole space touches every element."""
+    session = Session(linalg.build_outer_product())
+    lv = session.local_view(SIZES)
+
+    def sweep():
+        sliders = lv.sliders()
+        touched: set[tuple[str, tuple[int, ...]]] = set()
+        for i in range(3):
+            for j in range(4):
+                sliders.set("i", i)
+                sliders.set("j", j)
+                for name, elements in sliders.highlighted_elements().items():
+                    touched.update((name, e) for e in elements)
+        return touched
+
+    touched = benchmark(sweep)
+    assert len([t for t in touched if t[0] == "C"]) == 12
+    assert len([t for t in touched if t[0] == "A"]) == 3
+    assert len([t for t in touched if t[0] == "B"]) == 4

@@ -1,0 +1,86 @@
+"""Fig. 4: multi-dimensional containers and access-pattern visualizations.
+
+- **4a** — the 4-D convolution weight tensor rendered as a hierarchical
+  grid: the two innermost dims (K_y × K_x) form 2-D blocks, C_in runs
+  horizontally, C_out vertically.
+- **4b** — flattened access counts of a convolution mapping 3-channel 9×9
+  inputs to 2-channel 6×6 outputs: interior elements are accessed by all
+  overlapping windows, borders by fewer.
+- **4c** — related accesses: selecting C[3,0], C[3,1], C[3,2] in the
+  outer product stacks the counts of A[3] (3 related accesses) and each
+  B[j] (1 each).
+"""
+
+import xml.etree.ElementTree as ET
+
+from repro.apps import conv, linalg
+from repro.simulation import simulate_state
+from repro.tool import Session
+from repro.viz.containerview import ContainerGrid, render_container
+
+from conftest import print_table
+
+
+def test_fig4a_weight_tensor_grid(benchmark, artifacts_dir):
+    shape = (2, 3, 4, 4)  # C_out, C_in, K_y, K_x
+
+    grid = benchmark(ContainerGrid, shape)
+    assert len(grid) == 96
+    origin = grid.cell_origin((0, 0, 0, 0))
+    # C_in advances horizontally, C_out vertically (alternating nesting).
+    assert grid.cell_origin((0, 1, 0, 0))[0] > origin[0]
+    assert grid.cell_origin((0, 1, 0, 0))[1] == origin[1]
+    assert grid.cell_origin((1, 0, 0, 0))[1] > origin[1]
+    assert grid.cell_origin((1, 0, 0, 0))[0] == origin[0]
+
+    svg = render_container("w", shape)
+    ET.fromstring(svg)
+    (artifacts_dir / "fig4a_weights.svg").write_text(svg)
+
+
+def test_fig4b_conv_access_distribution(benchmark, artifacts_dir):
+    sdfg = conv.build_conv()
+
+    result = benchmark(simulate_state, sdfg, conv.FIG4_SIZES)
+    counts = result.access_counts("inp")
+
+    cout = conv.FIG4_SIZES["Cout"]
+    corner = counts[(0, 0, 0)]
+    interior = counts[(0, 4, 4)]
+    assert corner == cout  # one window per output channel
+    assert interior == 16 * cout  # 4x4 windows overlap fully
+
+    # The distribution is symmetric and saturates in the interior.
+    assert counts[(0, 0, 8)] == corner
+    assert counts[(0, 8, 8)] == corner
+    assert counts[(1, 4, 4)] == interior
+
+    rows = [["corner (0,0)", corner], ["edge (0,4)", counts[(0, 0, 4)]],
+            ["interior (4,4)", interior]]
+    print_table("Fig. 4b: input accesses by position", ["position", "count"], rows)
+
+    svg = render_container("inp", result.shape("inp"), values=dict(counts))
+    ET.fromstring(svg)
+    (artifacts_dir / "fig4b_conv_accesses.svg").write_text(svg)
+
+
+def test_fig4c_related_accesses(benchmark, artifacts_dir):
+    session = Session(linalg.build_outer_product())
+    lv = session.local_view({"M": 4, "N": 4})
+    selections = [("C", (3, 0)), ("C", (3, 1)), ("C", (3, 2))]
+
+    counts = benchmark(lv.related, selections)
+
+    # A[3] participates in all three selected computations; each B[j] once.
+    assert counts[("A", (3,))] == 3
+    assert counts[("B", (0,))] == 1
+    assert counts[("B", (1,))] == 1
+    assert counts[("B", (2,))] == 1
+    assert ("B", (3,)) not in counts
+    assert ("A", (0,)) not in counts
+
+    a_counts = {k[1]: v for k, v in counts.items() if k[0] == "A"}
+    svg = render_container("A", (4,), values=a_counts,
+                           value_label="related accesses")
+    ET.fromstring(svg)
+    (artifacts_dir / "fig4c_related.svg").write_text(svg)

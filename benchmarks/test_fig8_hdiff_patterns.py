@@ -1,0 +1,139 @@
+"""Fig. 8: hdiff access patterns during the individual tuning steps.
+
+- **8a** — one loop iteration's accesses on ``in_field`` spread across
+  many cache lines in the baseline layout; the K-major reshape brings
+  them close together (fewer distinct lines per iteration).
+- **8b** — after the reshape, stepping the *innermost* loop jumps across
+  non-contiguous memory; reordering k outermost makes consecutive
+  innermost iterations touch adjacent addresses.
+- **8c** — rows wrap across cache-line boundaries; padding the row stride
+  to the line size makes every row start line-aligned and stops lines
+  from straddling rows.
+"""
+
+from repro.apps import hdiff
+from repro.tool import Session
+
+from conftest import print_table
+
+ENV = hdiff.LOCAL_VIEW_SIZES
+LINE = 64
+
+
+def _iteration_lines(sdfg, point: dict[str, int]) -> int:
+    """Distinct in_field cache lines touched by one loop iteration."""
+    lv = Session(sdfg).local_view(ENV, line_size=LINE)
+    sliders = lv.sliders()
+    for name, value in point.items():
+        sliders.set(name, value)
+    touched = sliders.highlighted_elements()["in_field"]
+    memory = lv.memory
+    return len({memory.line_of("in_field", idx) for idx in touched})
+
+
+def test_fig8a_reshape_improves_iteration_spread(benchmark, artifacts_dir):
+    point = {"i": 2, "j": 2, "k": 1}
+    base = hdiff.build_sdfg()
+    reshaped = hdiff.build_sdfg()
+    hdiff.apply_reshape(reshaped)
+
+    lines_before = benchmark(_iteration_lines, base, point)
+    lines_after = _iteration_lines(reshaped, point)
+    print_table(
+        "Fig. 8a: cache lines touched by one iteration on in_field",
+        ["layout", "distinct lines"],
+        [["[I+4, J+4, K]", lines_before], ["[K, I+4, J+4]", lines_after]],
+    )
+    assert lines_after < lines_before
+
+    # Artifact: the highlighted access footprint before/after.
+    for label, sdfg in (("before", base), ("after", reshaped)):
+        lv = Session(sdfg).local_view(ENV, line_size=LINE)
+        sliders = lv.sliders()
+        for name, value in point.items():
+            sliders.set(name, value)
+        marks = sliders.highlighted_elements()["in_field"]
+        svg = lv.render_container("in_field", highlights=marks)
+        (artifacts_dir / f"fig8a_{label}.svg").write_text(svg)
+
+
+def test_fig8b_reorder_fixes_innermost_stride(benchmark):
+    """Innermost-loop address deltas before/after the loop reorder."""
+    reshaped = hdiff.build_sdfg()
+    hdiff.apply_reshape(reshaped)
+    reordered = hdiff.build_sdfg()
+    hdiff.apply_reshape(reordered)
+    hdiff.apply_reorder(reordered)
+
+    def innermost_delta(sdfg) -> int:
+        """Byte distance of the center access between two consecutive
+        innermost-loop iterations."""
+        lv = Session(sdfg).local_view(ENV, line_size=LINE)
+        entry = sdfg.start_state.map_entries()[0]
+        innermost = entry.map.params[-1]
+        sliders = lv.sliders()
+        memory = lv.memory
+
+        def center_address() -> int:
+            values = sliders.values()
+            # The stencil center in_field[i+2, j+2, k] in the K-major
+            # layout is in_field[k, i+2, j+2].
+            i, j, k = values["i"], values["j"], values["k"]
+            return memory.address_of("in_field", (k, i + 2, j + 2))
+
+        sliders.set(innermost, 0)
+        first = center_address()
+        sliders.set(innermost, 1)
+        second = center_address()
+        return abs(second - first)
+
+    delta_before = benchmark(innermost_delta, reshaped)
+    delta_after = innermost_delta(reordered)
+    plane_bytes = (ENV["I"] + 4) * (ENV["J"] + 4) * 8
+    print_table(
+        "Fig. 8b: innermost-loop center stride on in_field",
+        ["order", "stride [bytes]"],
+        [["i, j, k (k innermost)", delta_before], ["k, i, j (j innermost)", delta_after]],
+    )
+    # Before: k innermost jumps a whole (I+4)x(J+4) plane per step.
+    assert delta_before == plane_bytes
+    # After: j innermost steps one element (8 bytes) — same cache line.
+    assert delta_after == 8
+
+
+def test_fig8c_padding_aligns_rows(benchmark):
+    """Row starts become line-aligned; no line straddles two rows."""
+    reordered = hdiff.build_sdfg()
+    hdiff.apply_reshape(reordered)
+    hdiff.apply_reorder(reordered)
+    padded = hdiff.build_sdfg()
+    hdiff.apply_reshape(padded)
+    hdiff.apply_reorder(padded)
+    hdiff.apply_padding(padded, line_bytes=LINE)
+
+    def straddling_lines(sdfg) -> int:
+        lv = Session(sdfg).local_view(ENV, line_size=LINE)
+        layout = lv.memory.layout("in_field")
+        lines_per_row: dict[int, set[tuple[int, int]]] = {}
+        for idx in layout.iter_elements():
+            line = layout.cache_line_of(idx, LINE)
+            lines_per_row.setdefault(line, set()).add((idx[0], idx[1]))
+        # A straddling line holds elements of more than one (k, i) row.
+        return sum(1 for rows in lines_per_row.values() if len(rows) > 1)
+
+    before = benchmark(straddling_lines, reordered)
+    after = straddling_lines(padded)
+    print_table(
+        "Fig. 8c: in_field cache lines straddling rows",
+        ["layout", "straddling lines"],
+        [["unpadded", before], ["padded", after]],
+    )
+    assert before > 0
+    assert after == 0
+
+    # And every row start is line-aligned after padding.
+    lv = Session(padded).local_view(ENV, line_size=LINE)
+    layout = lv.memory.layout("in_field")
+    for k in range(ENV["K"]):
+        for i in range(ENV["I"] + 4):
+            assert layout.element_address((k, i, 0)) % LINE == 0

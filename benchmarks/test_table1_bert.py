@@ -1,0 +1,87 @@
+"""Table I (BERT encoder): baseline vs. two rounds of loop fusion.
+
+Paper reference (median of 100 runs):
+
+=====================  ==========  ============  ==========
+stage                  Piz Daint   Workstation   Consumer
+=====================  ==========  ============  ==========
+Baseline               8254 ms     13671 ms      8960 ms
+1st set of fusions     2273 (3.6x) 2443 (5.6x)   1427 (6.3x)
+2nd set of fusions     1163 (7.1x)  453 (30.2x)   337 (26.6x)
+=====================  ==========  ============  ==========
+
+Substitution: the paper benchmarks DaCe-compiled C on three HPC systems;
+we benchmark the equivalent NumPy implementations of each stage on this
+container (one column).  The *shape* — each fusion round is faster, stage
+2 by a large factor — is asserted.  Default sizes are scaled down from
+BERT-large; set ``REPRO_PAPER_SIZES=1`` for the paper's sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import bert
+
+from conftest import print_table
+
+PAPER_REFERENCE = {
+    "Baseline": 1.0,
+    "1st set of loop fusions": 3.6,  # worst-case paper speedup
+    "2nd set of loop fusions": 7.1,
+}
+
+_RESULTS: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def weights(paper_sizes_enabled):
+    sizes = bert.PAPER_SIZES if paper_sizes_enabled else bert.ANALYSIS_SIZES
+    return bert.initialize(sizes)
+
+
+@pytest.fixture(scope="module")
+def reference_output(weights):
+    return bert.encoder_baseline(weights)
+
+
+VARIANTS = [
+    ("Baseline", bert.encoder_baseline),
+    ("1st set of loop fusions", bert.encoder_fused_stage1),
+    ("2nd set of loop fusions", bert.encoder_fused_stage2),
+]
+
+
+@pytest.mark.parametrize("name,fn", VARIANTS, ids=[n for n, _ in VARIANTS])
+def test_table1_bert_stage(benchmark, name, fn, weights, reference_output):
+    result = benchmark(fn, weights)
+    np.testing.assert_allclose(result, reference_output, rtol=1e-8)
+    _RESULTS[name] = benchmark.stats.stats.median
+    if len(_RESULTS) == len(VARIANTS):
+        # The last stage asserts the whole table's shape.
+        _assert_table_shape()
+
+
+def _assert_table_shape():
+    base = _RESULTS["Baseline"]
+    rows = []
+    for name, _ in VARIANTS:
+        measured = _RESULTS[name]
+        rows.append(
+            [
+                name,
+                f"{measured * 1e3:.2f} ms",
+                f"{base / measured:.1f}x",
+                f"{PAPER_REFERENCE[name]:.1f}x (paper, worst system)",
+            ]
+        )
+    print_table(
+        "Table I / BERT encoder (our substrate)",
+        ["stage", "time", "speedup", "paper speedup"],
+        rows,
+    )
+    s1 = _RESULTS["1st set of loop fusions"]
+    s2 = _RESULTS["2nd set of loop fusions"]
+    # Shape assertions: each round improves; round 2 is the big one.
+    assert s1 <= base * 1.05
+    assert s2 < s1
+    assert base / s2 >= 2.0

@@ -1,0 +1,95 @@
+"""Table I (horizontal diffusion): baseline vs. NPBench-best vs. hand-tuned.
+
+Paper reference (I=J=256, K=160; median of 100 runs):
+
+==========================  ==========  ============  ==========
+variant                     Piz Daint   Workstation   Consumer
+==========================  ==========  ============  ==========
+Baseline                    667.5 ms    449.6 ms      358.4 ms
+Best NPBench CPU result      31.7 (21x)  18.4 (24x)    41.3 (8.7x)
+Hand-tuned using our tool     4.4 (151x)  3.3 (138x)    7.0 (51x)
+==========================  ==========  ============  ==========
+
+Substitution: the paper's optimized variants are DaCe-compiled C; ours are
+NumPy realizations of the same optimization stages (preallocated in-place
+proxy; K-major + k-outer + padded hand-tuned kernel).  The asserted shape:
+hand-tuned < NPBench-best proxy < baseline.  Absolute factors are smaller
+because the baseline here is already vectorized NumPy, not interpreted
+loops compiled away by DaCe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import hdiff
+
+from conftest import print_table
+
+PAPER_REFERENCE = {
+    "Baseline": 1.0,
+    "Best NPBench CPU result": 8.7,  # worst-case paper speedup
+    "Hand-tuned using our tool": 51.2,
+}
+
+_RESULTS: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def data():
+    sizes = hdiff.PAPER_SIZES
+    in_field, out_field, coeff = hdiff.initialize(**sizes)
+    reference = out_field.copy()
+    hdiff.hdiff_numpy_baseline(in_field, reference, coeff)
+    return in_field, out_field, coeff, reference
+
+
+def test_table1_hdiff_baseline(benchmark, data):
+    in_field, out_field, coeff, reference = data
+    out = out_field.copy()
+    benchmark(hdiff.hdiff_numpy_baseline, in_field, out, coeff)
+    np.testing.assert_allclose(out, reference)
+    _RESULTS["Baseline"] = benchmark.stats.stats.median
+
+
+def test_table1_hdiff_npbench_best(benchmark, data):
+    in_field, out_field, coeff, reference = data
+    out = out_field.copy()
+    benchmark(hdiff.hdiff_npbench_best, in_field, out, coeff)
+    np.testing.assert_allclose(out, reference)
+    _RESULTS["Best NPBench CPU result"] = benchmark.stats.stats.median
+
+
+def test_table1_hdiff_hand_tuned(benchmark, data):
+    in_field, out_field, coeff, reference = data
+    # The tuned program stores its fields K-major (part of the program).
+    in_km = hdiff.to_kmajor(in_field)
+    coeff_km = hdiff.to_kmajor(coeff)
+    out_km = hdiff.to_kmajor(out_field.copy())
+    benchmark(hdiff.hdiff_hand_tuned, in_km, out_km, coeff_km)
+    np.testing.assert_allclose(hdiff.from_kmajor(out_km), reference)
+    _RESULTS["Hand-tuned using our tool"] = benchmark.stats.stats.median
+    # This variant runs last: assert the whole table's shape.
+    _assert_table_shape()
+
+
+def _assert_table_shape():
+    assert len(_RESULTS) == 3, "variant benchmarks must run in file order"
+    base = _RESULTS["Baseline"]
+    rows = [
+        [
+            name,
+            f"{t * 1e3:.2f} ms",
+            f"{base / t:.1f}x",
+            f"{PAPER_REFERENCE[name]:.1f}x (paper, worst system)",
+        ]
+        for name, t in _RESULTS.items()
+    ]
+    print_table(
+        "Table I / horizontal diffusion (our substrate)",
+        ["variant", "time", "speedup", "paper speedup"],
+        rows,
+    )
+    best = _RESULTS["Best NPBench CPU result"]
+    tuned = _RESULTS["Hand-tuned using our tool"]
+    assert best < base
+    assert tuned < best

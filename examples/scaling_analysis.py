@@ -1,0 +1,44 @@
+"""Parametric scaling analysis (paper Section IV-D).
+
+Uses the symbolic global-view metrics to answer "which input parameter
+dominates performance?" without running the program: sweep each parameter
+of a matrix multiplication and of the BERT encoder, and rank them by how
+strongly the logical data movement responds.
+
+Run with::
+
+    python examples/scaling_analysis.py
+"""
+
+from repro.apps import bert, linalg
+from repro.tool import Session
+
+
+def sweep_matmul() -> None:
+    session = Session(linalg.build_matmul())
+    gv = session.global_view()
+    base = {"I": 256, "J": 256, "K": 256}
+    print("matmul: logical movement under parameter sweeps")
+    for param in ("I", "J", "K"):
+        result = gv.scaling_sweep(param, [256, 512, 1024], base)
+        series = ", ".join(f"{p}: {v / 1e6:.1f} MB" for p, v in result)
+        print(f"  sweep {param}: {series} (growth {result.growth_factors()})")
+    print("  ranking:", gv.rank_parameters(base))
+
+
+def sweep_bert() -> None:
+    session = Session(bert.build_sdfg())
+    gv = session.global_view()
+    base = dict(bert.PAPER_SIZES)
+    print("\nBERT encoder: which parameter doubles movement fastest?")
+    for name, growth in gv.rank_parameters(base):
+        print(f"  2x {name:<4} -> {growth:.2f}x movement")
+    sweep = gv.scaling_sweep("SM", [128, 256, 512, 1024], base)
+    print("  sequence-length sweep:",
+          ", ".join(f"SM={p}: {v / 1e9:.2f} GB" for p, v in sweep))
+    print("  (superlinear growth: attention's [B, H, SM, SM] intermediates)")
+
+
+if __name__ == "__main__":
+    sweep_matmul()
+    sweep_bert()

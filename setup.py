@@ -1,0 +1,10 @@
+"""Compatibility shim.
+
+Allows ``python setup.py develop`` on environments whose pip/setuptools
+cannot build PEP 660 editable wheels (e.g. offline images without the
+``wheel`` package).  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

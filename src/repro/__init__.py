@@ -1,0 +1,57 @@
+"""repro — data-movement performance analysis and visualization.
+
+Reproduction of "Boosting Performance Optimization with Interactive Data
+Movement Visualization" (Schaad, Ben-Nun, Hoefler; SC 2022) as a pure-Python
+library: an SDFG-like dataflow IR, static data-movement / arithmetic-
+intensity analyses (the paper's *global view*), a parameterized access-
+pattern simulation engine with cache-locality estimation (the *local view*),
+and SVG/HTML renderers for every visual encoding the paper describes.
+
+Quickstart
+----------
+>>> import repro
+>>> @repro.program
+... def outer(A: repro.float64[3], B: repro.float64[4], C: repro.float64[3, 4]):
+...     for i, j in repro.pmap(3, 4):
+...         C[i, j] = A[i] * B[j]
+>>> sdfg = outer.to_sdfg()
+>>> session = repro.Session(sdfg)
+>>> report = session.global_view().movement_heatmap()
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports keep `import repro` light and avoid import cycles.
+    from importlib import import_module
+
+    lazy = {
+        # symbolic
+        "Symbol": ("repro.symbolic", "Symbol"),
+        "symbols": ("repro.symbolic", "symbols"),
+        "parse_expr": ("repro.symbolic", "parse_expr"),
+        "Range": ("repro.symbolic", "Range"),
+        "Subset": ("repro.symbolic", "Subset"),
+        # sdfg
+        "SDFG": ("repro.sdfg", "SDFG"),
+        "Memlet": ("repro.sdfg", "Memlet"),
+        "Array": ("repro.sdfg", "Array"),
+        "Scalar": ("repro.sdfg", "Scalar"),
+        "dtypes": ("repro.sdfg", "dtypes"),
+        "float32": ("repro.sdfg.dtypes", "float32"),
+        "float64": ("repro.sdfg.dtypes", "float64"),
+        "int32": ("repro.sdfg.dtypes", "int32"),
+        "int64": ("repro.sdfg.dtypes", "int64"),
+        # frontend
+        "program": ("repro.frontend", "program"),
+        "pmap": ("repro.frontend", "pmap"),
+        # tool
+        "Session": ("repro.tool", "Session"),
+    }
+    if name in lazy:
+        module, attr = lazy[name]
+        return getattr(import_module(module), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

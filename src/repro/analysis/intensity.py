@@ -1,0 +1,82 @@
+"""Arithmetic-intensity analysis: operations per moved byte.
+
+The global view colors computation nodes by their arithmetic intensity —
+"the number of arithmetic operations performed per transferred data byte"
+(paper Section IV-B).  Low-intensity map scopes are fusion candidates: the
+BERT case study's second optimization round finds them exactly this way.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.movement import _memlet_bytes
+from repro.analysis.opcount import scope_ops
+from repro.sdfg.nodes import MapEntry, Node, Tasklet
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+from repro.symbolic.expr import Expr, Integer, add, div
+
+__all__ = ["scope_movement_bytes", "scope_intensities", "program_intensity"]
+
+
+def scope_movement_bytes(sdfg: SDFG, state: SDFGState) -> dict[Node, Expr]:
+    """Bytes crossing each scope boundary (map entry in + exit out).
+
+    For a map entry, this sums the propagated memlets on its outer-facing
+    edges and those of the matching exit — the data volume the scope
+    exchanges with the rest of the program.  Tasklets sum their own edges
+    scaled by enclosing iterations via the memlet volumes (inner memlets
+    are per-iteration, so they are multiplied by the scope iteration count).
+    """
+    from repro.analysis.opcount import _scope_iterations
+
+    result: dict[Node, Expr] = {}
+    for node in state.nodes():
+        if isinstance(node, MapEntry):
+            total: Expr = Integer(0)
+            for edge in state.in_edges(node):
+                if edge.data.memlet is not None:
+                    total = add(total, _memlet_bytes(sdfg, edge.data.memlet))
+            exit_node = node.exit_node
+            if exit_node is not None:
+                for edge in state.out_edges(exit_node):
+                    if edge.data.memlet is not None:
+                        total = add(total, _memlet_bytes(sdfg, edge.data.memlet))
+            result[node] = total
+        elif isinstance(node, Tasklet):
+            per_iter: Expr = Integer(0)
+            for edge in state.in_edges(node) + state.out_edges(node):
+                if edge.data.memlet is not None:
+                    per_iter = add(per_iter, _memlet_bytes(sdfg, edge.data.memlet))
+            result[node] = per_iter * _scope_iterations(state, node)
+    return result
+
+
+def scope_intensities(
+    sdfg: SDFG,
+    state: SDFGState,
+    call_weights: Mapping[str, int] | None = None,
+) -> dict[Node, Expr]:
+    """Arithmetic intensity (ops/byte, symbolic) per tasklet and map scope."""
+    ops = scope_ops(state, call_weights)
+    movement = scope_movement_bytes(sdfg, state)
+    out: dict[Node, Expr] = {}
+    for node, op_count in ops.items():
+        moved = movement.get(node)
+        if moved is None or moved == Integer(0):
+            continue
+        out[node] = div(op_count, moved)
+    return out
+
+
+def program_intensity(
+    sdfg: SDFG, call_weights: Mapping[str, int] | None = None
+) -> Expr:
+    """Whole-program arithmetic intensity (ops per logically moved byte)."""
+    from repro.analysis.movement import total_movement_bytes
+    from repro.analysis.opcount import program_ops
+
+    moved = total_movement_bytes(sdfg)
+    ops = program_ops(sdfg, call_weights)
+    return div(ops, moved)

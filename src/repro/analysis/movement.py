@@ -1,0 +1,125 @@
+"""Logical data-movement volume analysis.
+
+"The amount of data being accessed by or moved between individual
+operations in the program is statically determined when SDFGs are
+generated" (paper Section IV-B).  Every dataflow edge carries a memlet with
+a symbolic subset; its volume (in elements or bytes) is the metric behind
+the global view's data-movement heatmap.
+
+Per-edge values color individual edges.  Program totals must not double
+count the same movement at several scope levels, so aggregations only sum
+*container-adjacent* edges — edges that leave or enter an access node,
+i.e. the points where data actually crosses a container boundary.
+"""
+
+from __future__ import annotations
+
+from repro.graph import Edge
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import AccessNode
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import Connection, SDFGState
+from repro.symbolic.expr import Expr, Integer, add, mul
+
+__all__ = [
+    "edge_movement_volumes",
+    "edge_movement_bytes",
+    "container_movement_bytes",
+    "total_movement_bytes",
+]
+
+StateEdge = Edge["object", Connection]
+
+
+def edge_movement_volumes(state: SDFGState) -> dict[StateEdge, Expr]:
+    """Moved volume in *elements* for every memlet-carrying edge."""
+    return {edge: memlet.volume() for edge, memlet in state.all_memlets()}
+
+
+def edge_movement_bytes(
+    sdfg: SDFG, state: SDFGState | None = None, unique: bool = False
+) -> dict[StateEdge, Expr]:
+    """Moved volume in *bytes* for every memlet-carrying edge.
+
+    With *state* ``None``, all states of *sdfg* are analyzed.
+
+    ``unique=True`` counts each edge's *subset size* (distinct elements
+    crossing the edge) instead of the access count.  This is the metric
+    behind the global view's movement heatmap: what matters for spotting
+    fusible high-volume chains is how much distinct data the program
+    materializes and re-reads between operations — repeated reads of the
+    same element within a scope are a cache concern the *local* view
+    quantifies.
+    """
+    states = [state] if state is not None else sdfg.states()
+    out: dict[StateEdge, Expr] = {}
+    for st in states:
+        for edge, memlet in st.all_memlets():
+            out[edge] = _memlet_bytes(sdfg, memlet, unique=unique)
+    return out
+
+
+def _memlet_bytes(sdfg: SDFG, memlet: Memlet, unique: bool = False) -> Expr:
+    desc = sdfg.arrays.get(memlet.data)
+    itemsize = desc.dtype.itemsize if desc is not None else 1
+    volume = memlet.subset.num_elements() if unique else memlet.volume()
+    return mul(volume, Integer(itemsize))
+
+
+def _container_adjacent_memlets(state: SDFGState):
+    """(container, memlet, is_write) for every edge touching an access node.
+
+    An edge out of an access node is a read of that container; an edge into
+    one is a write.  Edges between two access nodes (copies) count once as
+    a read of the source and once as a write of the destination.  Transient
+    scalars are excluded: per-iteration scalars live in registers and move
+    no memory traffic.
+    """
+    from repro.sdfg.data import Scalar
+
+    def register_resident(data: str) -> bool:
+        desc = state.sdfg.arrays.get(data) if state.sdfg is not None else None
+        return isinstance(desc, Scalar) and desc.transient
+
+    for edge, memlet in state.all_memlets():
+        if isinstance(edge.src, AccessNode) and not register_resident(edge.src.data):
+            yield edge.src.data, memlet, False
+        if isinstance(edge.dst, AccessNode) and not register_resident(edge.dst.data):
+            yield edge.dst.data, memlet, True
+
+
+def container_movement_bytes(
+    sdfg: SDFG, split_reads_writes: bool = False, unique: bool = False
+) -> dict[str, Expr] | dict[str, tuple[Expr, Expr]]:
+    """Total bytes moved to/from each container across all states.
+
+    With ``split_reads_writes=True``, the result maps each container to a
+    ``(read_bytes, written_bytes)`` pair instead of their sum.  With
+    ``unique=True``, per-edge subset sizes are counted instead of access
+    counts (see :func:`edge_movement_bytes`).
+    """
+    reads: dict[str, Expr] = {}
+    writes: dict[str, Expr] = {}
+    for state in sdfg.states():
+        for container, memlet, is_write in _container_adjacent_memlets(state):
+            bucket = writes if is_write else reads
+            current = bucket.get(container, Integer(0))
+            bucket[container] = add(current, _memlet_bytes(sdfg, memlet, unique=unique))
+    if split_reads_writes:
+        all_names = sorted(set(reads) | set(writes))
+        return {
+            name: (reads.get(name, Integer(0)), writes.get(name, Integer(0)))
+            for name in all_names
+        }
+    totals: dict[str, Expr] = {}
+    for name in set(reads) | set(writes):
+        totals[name] = add(reads.get(name, Integer(0)), writes.get(name, Integer(0)))
+    return totals
+
+
+def total_movement_bytes(sdfg: SDFG, unique: bool = False) -> Expr:
+    """Total logical data movement of the whole program, in bytes."""
+    total: Expr = Integer(0)
+    for volume in container_movement_bytes(sdfg, unique=unique).values():
+        total = add(total, volume)
+    return total

@@ -1,0 +1,151 @@
+"""Arithmetic-operation counting.
+
+"We extract information on arithmetic or operational intensity separately
+by parsing the abstract syntax tree of individual computations, counting
+the number of arithmetic operations" (paper Section IV-B).
+
+Counting is weight-based: every arithmetic AST construct contributes a
+configurable weight (default 1; transcendental intrinsics default higher,
+reflecting their polynomial-approximation cost).  Whole-program counts
+multiply per-tasklet counts by the iteration counts of all enclosing map
+scopes, yielding symbolic totals that the parametric analysis re-evaluates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+from repro.errors import AnalysisError
+from repro.sdfg.nodes import MapEntry, Node, Tasklet
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+from repro.symbolic.expr import Expr, Integer, add, mul
+
+__all__ = [
+    "DEFAULT_CALL_WEIGHTS",
+    "count_expression_ops",
+    "tasklet_ops",
+    "scope_ops",
+    "program_ops",
+]
+
+#: Default operation weights for intrinsic calls.
+DEFAULT_CALL_WEIGHTS: dict[str, int] = {
+    "abs": 1,
+    "min": 1,
+    "max": 1,
+    "floor": 1,
+    "ceil": 1,
+    "sqrt": 1,
+    "exp": 1,
+    "log": 1,
+    "sin": 1,
+    "cos": 1,
+    "tanh": 1,
+    "erf": 1,
+}
+
+
+class _OpCounter(ast.NodeVisitor):
+    def __init__(self, call_weights: Mapping[str, int]):
+        self.count = 0
+        self.call_weights = call_weights
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        self.count += 1
+        self.generic_visit(node)
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> None:
+        if isinstance(node.op, (ast.USub, ast.Invert)):
+            self.count += 1
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        self.count += len(node.ops)
+        self.generic_visit(node)
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        self.count += len(node.values) - 1
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = node.func.id if isinstance(node.func, ast.Name) else None
+        self.count += self.call_weights.get(name, 1) if name else 1
+        for arg in node.args:
+            self.visit(arg)
+
+
+def count_expression_ops(
+    code: str, call_weights: Mapping[str, int] | None = None
+) -> int:
+    """Arithmetic operations in a tasklet code string."""
+    try:
+        tree = ast.parse(code)
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse tasklet code {code!r}: {exc}") from exc
+    counter = _OpCounter(call_weights or DEFAULT_CALL_WEIGHTS)
+    counter.visit(tree)
+    return counter.count
+
+
+def tasklet_ops(
+    tasklet: Tasklet, call_weights: Mapping[str, int] | None = None
+) -> int:
+    """Arithmetic operations of one tasklet execution."""
+    return count_expression_ops(tasklet.code, call_weights)
+
+
+def _scope_iterations(state: SDFGState, node: Node) -> Expr:
+    """Product of iteration counts of all map scopes enclosing *node*."""
+    sdict = state.scope_dict()
+    total: Expr = Integer(1)
+    scope = sdict.get(node)
+    while scope is not None:
+        total = mul(total, scope.map.num_iterations())
+        scope = sdict.get(scope)
+    return total
+
+
+def scope_ops(
+    state: SDFGState,
+    call_weights: Mapping[str, int] | None = None,
+) -> dict[Node, Expr]:
+    """Total (symbolic) operation count attributed to each node.
+
+    Tasklets get ``per-execution ops × enclosing iterations``; map entries
+    aggregate everything inside their scope (so the global view can color
+    collapsed scopes); other nodes get zero and are omitted.
+    """
+    sdict = state.scope_dict()
+    result: dict[Node, Expr] = {}
+    for tasklet in state.tasklets():
+        base = tasklet_ops(tasklet, call_weights)
+        # A write-conflict-resolved output performs one extra reduction
+        # operation per execution (the accumulate).
+        base += sum(
+            1
+            for e in state.out_edges(tasklet)
+            if e.data.memlet is not None and e.data.memlet.wcr is not None
+        )
+        ops = mul(Integer(base), _scope_iterations(state, tasklet))
+        result[tasklet] = ops
+        # Attribute to every enclosing map entry as well.
+        scope = sdict.get(tasklet)
+        while scope is not None:
+            result[scope] = add(result.get(scope, Integer(0)), ops)
+            scope = sdict.get(scope)
+    return result
+
+
+def program_ops(
+    sdfg: SDFG, call_weights: Mapping[str, int] | None = None
+) -> Expr:
+    """Total symbolic operation count of the whole program."""
+    total: Expr = Integer(0)
+    for state in sdfg.states():
+        for node, ops in scope_ops(state, call_weights).items():
+            if isinstance(node, MapEntry):
+                continue  # already counted via the tasklets inside
+            total = add(total, ops)
+    return total

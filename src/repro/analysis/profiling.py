@@ -1,0 +1,131 @@
+"""Measured-metric overlays from instrumented executions.
+
+"The proposed visualization is not directly tied to static analysis.
+Profiling data could orthogonally be used as metrics, which would be
+crucial for bottleneck analysis of data-dependent programs." (paper
+Section IV-B; the Discussion's limitation item echoes this.)
+
+This module gathers *measured* metrics by executing a program through the
+reference interpreter with an instrumentation hook: per-tasklet execution
+counts, per-edge access counts and per-tasklet wall time.  The resulting
+:class:`ProfileReport` produces heatmap-ready value maps, so the exact
+same overlays (movement, op counts) can be driven by measurements instead
+of static expressions — the workflow for programs whose behaviour the
+static analysis cannot capture.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+import numpy as np
+
+from repro.analysis.opcount import tasklet_ops
+from repro.sdfg.nodes import Node, Tasklet
+from repro.sdfg.sdfg import SDFG
+
+__all__ = ["ProfileReport", "profile_execution"]
+
+
+class ProfileReport:
+    """Measured metrics from one instrumented execution."""
+
+    def __init__(self, sdfg: SDFG):
+        self.sdfg = sdfg
+        #: Executions per tasklet.
+        self.tasklet_executions: dict[Tasklet, int] = {}
+        #: Wall time attributed to each tasklet (seconds, cumulative).
+        self.tasklet_seconds: dict[Tasklet, float] = {}
+
+    # -- heatmap-ready views -----------------------------------------------------
+    def execution_counts(self) -> dict[Node, float]:
+        """Per-tasklet execution counts (node heatmap values)."""
+        return {t: float(n) for t, n in self.tasklet_executions.items()}
+
+    def measured_ops(self) -> dict[Node, float]:
+        """Measured operation counts: executions × per-execution ops.
+
+        The measured analogue of the static op-count overlay — identical
+        for regular programs, but correct for data-dependent ones too.
+        """
+        return {
+            t: float(n * tasklet_ops(t)) for t, n in self.tasklet_executions.items()
+        }
+
+    def measured_edge_accesses(self, state) -> dict[object, float]:
+        """Per-edge measured access volumes (edge heatmap values).
+
+        Each tasklet-adjacent edge moved its memlet's per-execution volume
+        once per recorded execution.
+        """
+        out: dict[object, float] = {}
+        for edge, memlet in state.all_memlets():
+            tasklet = None
+            if isinstance(edge.dst, Tasklet):
+                tasklet = edge.dst
+            elif isinstance(edge.src, Tasklet):
+                tasklet = edge.src
+            if tasklet is None or tasklet not in self.tasklet_executions:
+                continue
+            per_execution = memlet.subset.num_elements()
+            try:
+                volume = float(per_execution.evaluate({}))
+            except Exception:
+                continue  # symbolic per-execution subsets need env context
+            out[edge] = volume * self.tasklet_executions[tasklet]
+        return out
+
+    def time_heatmap(self) -> dict[Node, float]:
+        """Per-tasklet measured wall time (the classic profiler overlay)."""
+        return dict(self.tasklet_seconds)
+
+    def total_executions(self) -> int:
+        return sum(self.tasklet_executions.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileReport({len(self.tasklet_executions)} tasklets, "
+            f"{self.total_executions()} executions)"
+        )
+
+
+def profile_execution(
+    sdfg: SDFG,
+    arrays: Mapping[str, np.ndarray],
+    symbols: Mapping[str, int] | None = None,
+) -> ProfileReport:
+    """Run *sdfg* through the instrumented interpreter, collecting metrics.
+
+    The arrays are modified in place exactly as by
+    :func:`repro.codegen.interpret_sdfg`; the report carries the gathered
+    per-tasklet counts and timings.
+    """
+    from repro.codegen.interpreter import interpret_sdfg
+
+    report = ProfileReport(sdfg)
+    last: dict[str, object] = {"tasklet": None, "start": None}
+
+    def hook(state, tasklet, env):
+        now = time.perf_counter()
+        prev = last["tasklet"]
+        if prev is not None:
+            report.tasklet_seconds[prev] = report.tasklet_seconds.get(prev, 0.0) + (
+                now - last["start"]  # type: ignore[operator]
+            )
+        report.tasklet_executions[tasklet] = (
+            report.tasklet_executions.get(tasklet, 0) + 1
+        )
+        last["tasklet"] = tasklet
+        last["start"] = now
+
+    start = time.perf_counter()
+    interpret_sdfg(sdfg, arrays, symbols, on_tasklet=hook)
+    end = time.perf_counter()
+    prev = last["tasklet"]
+    if prev is not None:
+        report.tasklet_seconds[prev] = report.tasklet_seconds.get(prev, 0.0) + (
+            end - last["start"]  # type: ignore[operator]
+        )
+    del start
+    return report

@@ -1,0 +1,18 @@
+"""Case-study workloads (paper Section VI) and figure kernels.
+
+- :mod:`repro.apps.bert` — the BERT encoder layer: NumPy implementations
+  of the baseline and the two loop-fusion optimization stages, plus the
+  SDFG used by the global-view analysis (Table I, Fig. 6).
+- :mod:`repro.apps.hdiff` — horizontal diffusion: the NPBench NumPy
+  baseline, the vectorized "best NPBench CPU" proxy, the hand-tuned
+  variant, and the single-map SDFG the local view analyzes through its
+  reshape → reorder → pad tuning steps (Table I, Figs. 7 & 8).
+- :mod:`repro.apps.conv` — 2-D/3-D convolution kernels for the
+  access-pattern and cache-miss figures (Figs. 4 & 5c).
+- :mod:`repro.apps.linalg` — outer product and matrix multiplication
+  (Figs. 3, 4c, 5a, 5b).
+"""
+
+from repro.apps import bert, conv, hdiff, linalg
+
+__all__ = ["bert", "conv", "hdiff", "linalg"]

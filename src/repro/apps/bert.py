@@ -1,0 +1,416 @@
+"""BERT encoder layer — the global-view case study (Section VI-A).
+
+The paper analyzes a NumPy implementation of the BERT-large encoder layer
+(B=8, H=16, embedding 1024, sequence 512, intermediate 4096, head size 64)
+and applies two rounds of loop fusion:
+
+1. the **logical data-movement heatmap with mean-centered scaling** flags
+   two chains of red (high-volume) edges — elementwise operations
+   materializing large intermediates — which are fused away;
+2. the **arithmetic-intensity overlay with median-centered scaling** then
+   flags the remaining low-intensity parallel loops, which are fused in a
+   second round.
+
+This module provides
+
+- :func:`build_sdfg` — the encoder as an SDFG of one map per operation
+  (the shape the analysis sees; symbolic sizes),
+- :func:`fusion_candidates_by_movement` / :func:`apply_fusion_stage1` /
+  :func:`apply_fusion_stage2` — the two optimization rounds, selected with
+  the same heatmap logic the paper describes, and
+- three executable NumPy variants for Table I: :func:`encoder_baseline`
+  (one temporary per operation), :func:`encoder_fused_stage1` (elementwise
+  chains fused) and :func:`encoder_fused_stage2` (fused chains plus a
+  combined QKV projection and buffer reuse).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend import pmap, program, transient
+from repro.sdfg.dtypes import float64
+from repro.sdfg.sdfg import SDFG
+from repro.symbolic import symbols
+from repro.transforms.map_fusion import MapFusion
+from repro.viz.heatmap import Heatmap
+
+__all__ = [
+    "PAPER_SIZES",
+    "ANALYSIS_SIZES",
+    "build_sdfg",
+    "fusion_candidates_by_movement",
+    "apply_fusion_stage1",
+    "apply_fusion_stage2",
+    "initialize",
+    "encoder_baseline",
+    "encoder_fused_stage1",
+    "encoder_fused_stage2",
+]
+
+B, H, SM, EMB, FF, P = symbols("B H SM EMB FF P")
+
+#: BERT-large parameters used in the paper (Section VI-A).
+PAPER_SIZES = {"B": 8, "H": 16, "SM": 512, "EMB": 1024, "FF": 4096, "P": 64}
+#: Scaled-down sizes for interactive analysis and CI-sized benchmarks.
+ANALYSIS_SIZES = {"B": 2, "H": 4, "SM": 64, "EMB": 128, "FF": 512, "P": 32}
+
+_GELU_C = 0.7978845608028654  # sqrt(2/pi)
+
+
+@program
+def encoder_program(
+    x: float64[B, SM, EMB],
+    wq: float64[H, P, EMB],
+    wk: float64[H, P, EMB],
+    wv: float64[H, P, EMB],
+    bq: float64[H, P],
+    bk: float64[H, P],
+    bv: float64[H, P],
+    wo: float64[H, P, EMB],
+    bo: float64[EMB],
+    w1: float64[FF, EMB],
+    b1: float64[FF],
+    w2: float64[EMB, FF],
+    b2: float64[EMB],
+    gamma1: float64[EMB],
+    beta1: float64[EMB],
+    gamma2: float64[EMB],
+    beta2: float64[EMB],
+    q: transient(float64[B, H, SM, P]),
+    k: transient(float64[B, H, SM, P]),
+    v: transient(float64[B, H, SM, P]),
+    qb: transient(float64[B, H, SM, P]),
+    kb: transient(float64[B, H, SM, P]),
+    vb: transient(float64[B, H, SM, P]),
+    scores: transient(float64[B, H, SM, SM]),
+    scaled: transient(float64[B, H, SM, SM]),
+    expd: transient(float64[B, H, SM, SM]),
+    denom: transient(float64[B, H, SM]),
+    attn: transient(float64[B, H, SM, SM]),
+    ctx: transient(float64[B, H, SM, P]),
+    proj: transient(float64[B, SM, EMB]),
+    projb: transient(float64[B, SM, EMB]),
+    res1: transient(float64[B, SM, EMB]),
+    mean1: transient(float64[B, SM]),
+    var1: transient(float64[B, SM]),
+    ln1: transient(float64[B, SM, EMB]),
+    h1: transient(float64[B, SM, FF]),
+    h1b: transient(float64[B, SM, FF]),
+    cube: transient(float64[B, SM, FF]),
+    inner: transient(float64[B, SM, FF]),
+    act: transient(float64[B, SM, FF]),
+    h2: transient(float64[B, SM, EMB]),
+    h2b: transient(float64[B, SM, EMB]),
+    res2: transient(float64[B, SM, EMB]),
+    mean2: transient(float64[B, SM]),
+    var2: transient(float64[B, SM]),
+    out: float64[B, SM, EMB],
+):
+    """The encoder layer, one parallel loop per operation (baseline shape).
+
+    Reductions use write-conflict-resolved accumulation; softmax uses the
+    exponential-sum formulation (inputs are bounded in this setting).
+    """
+    # -- Q/K/V projections (per-head factored weights) ---------------------
+    for b, h, s, p, e in pmap(B, H, SM, P, EMB):
+        q[b, h, s, p] += x[b, s, e] * wq[h, p, e]
+    for b, h, s, p, e in pmap(B, H, SM, P, EMB):
+        k[b, h, s, p] += x[b, s, e] * wk[h, p, e]
+    for b, h, s, p, e in pmap(B, H, SM, P, EMB):
+        v[b, h, s, p] += x[b, s, e] * wv[h, p, e]
+    for b, h, s, p in pmap(B, H, SM, P):
+        qb[b, h, s, p] = q[b, h, s, p] + bq[h, p]
+    for b, h, s, p in pmap(B, H, SM, P):
+        kb[b, h, s, p] = k[b, h, s, p] + bk[h, p]
+    for b, h, s, p in pmap(B, H, SM, P):
+        vb[b, h, s, p] = v[b, h, s, p] + bv[h, p]
+
+    # -- scaled dot-product attention --------------------------------------
+    for b, h, s, t, p in pmap(B, H, SM, SM, P):
+        scores[b, h, s, t] += qb[b, h, s, p] * kb[b, h, t, p]
+    for b, h, s, t in pmap(B, H, SM, SM):
+        scaled[b, h, s, t] = scores[b, h, s, t] / sqrt(P)  # noqa: F821
+    for b, h, s, t in pmap(B, H, SM, SM):
+        expd[b, h, s, t] = exp(scaled[b, h, s, t])  # noqa: F821
+    for b, h, s, t in pmap(B, H, SM, SM):
+        denom[b, h, s] += expd[b, h, s, t]
+    for b, h, s, t in pmap(B, H, SM, SM):
+        attn[b, h, s, t] = expd[b, h, s, t] / denom[b, h, s]
+    for b, h, s, p, t in pmap(B, H, SM, P, SM):
+        ctx[b, h, s, p] += attn[b, h, s, t] * vb[b, h, t, p]
+
+    # -- output projection + residual + layer norm --------------------------
+    for b, s, e, h, p in pmap(B, SM, EMB, H, P):
+        proj[b, s, e] += ctx[b, h, s, p] * wo[h, p, e]
+    for b, s, e in pmap(B, SM, EMB):
+        projb[b, s, e] = proj[b, s, e] + bo[e]
+    for b, s, e in pmap(B, SM, EMB):
+        res1[b, s, e] = projb[b, s, e] + x[b, s, e]
+    for b, s, e in pmap(B, SM, EMB):
+        mean1[b, s] += res1[b, s, e] / EMB
+    for b, s, e in pmap(B, SM, EMB):
+        var1[b, s] += (res1[b, s, e] - mean1[b, s]) ** 2 / EMB
+    for b, s, e in pmap(B, SM, EMB):
+        ln1[b, s, e] = (
+            (res1[b, s, e] - mean1[b, s]) / sqrt(var1[b, s] + 1e-05)  # noqa: F821
+        ) * gamma1[e] + beta1[e]
+
+    # -- feed-forward network (GELU, tanh approximation) --------------------
+    for b, s, f, e in pmap(B, SM, FF, EMB):
+        h1[b, s, f] += ln1[b, s, e] * w1[f, e]
+    for b, s, f in pmap(B, SM, FF):
+        h1b[b, s, f] = h1[b, s, f] + b1[f]
+    for b, s, f in pmap(B, SM, FF):
+        cube[b, s, f] = h1b[b, s, f] * h1b[b, s, f] * h1b[b, s, f]
+    for b, s, f in pmap(B, SM, FF):
+        inner[b, s, f] = tanh(0.7978845608028654 * (h1b[b, s, f] + 0.044715 * cube[b, s, f]))  # noqa: F821,E501
+    for b, s, f in pmap(B, SM, FF):
+        act[b, s, f] = 0.5 * h1b[b, s, f] * (1.0 + inner[b, s, f])
+    for b, s, e, f in pmap(B, SM, EMB, FF):
+        h2[b, s, e] += act[b, s, f] * w2[e, f]
+    for b, s, e in pmap(B, SM, EMB):
+        h2b[b, s, e] = h2[b, s, e] + b2[e]
+    for b, s, e in pmap(B, SM, EMB):
+        res2[b, s, e] = h2b[b, s, e] + ln1[b, s, e]
+    for b, s, e in pmap(B, SM, EMB):
+        mean2[b, s] += res2[b, s, e] / EMB
+    for b, s, e in pmap(B, SM, EMB):
+        var2[b, s] += (res2[b, s, e] - mean2[b, s]) ** 2 / EMB
+    for b, s, e in pmap(B, SM, EMB):
+        out[b, s, e] = (
+            (res2[b, s, e] - mean2[b, s]) / sqrt(var2[b, s] + 1e-05)  # noqa: F821
+        ) * gamma2[e] + beta2[e]
+
+
+def build_sdfg() -> SDFG:
+    """A fresh encoder SDFG (one map per operation, symbolic sizes)."""
+    return encoder_program.to_sdfg()
+
+
+# ---------------------------------------------------------------------------
+# The two fusion rounds, driven by the paper's heatmap logic
+# ---------------------------------------------------------------------------
+
+
+def fusion_candidates_by_movement(
+    sdfg: SDFG, env: dict[str, int], hot_threshold: float = 0.75
+) -> list[MapFusion]:
+    """Fusion sites whose intermediate shows up *red* on the movement
+    heatmap with mean-centered scaling (the stage-1 selection rule).
+
+    The heatmap is fitted over all edge movement volumes; a candidate
+    qualifies when the volume of its intermediate's edges normalizes above
+    *hot_threshold* on the [0, 1] color scale.
+    """
+    from repro.analysis import edge_movement_bytes
+    from repro.analysis.parametric import evaluate_metrics
+
+    state = sdfg.start_state
+    volumes = evaluate_metrics(edge_movement_bytes(sdfg, state, unique=True), env)
+    heatmap = Heatmap(volumes, method="mean")
+    hot: list[MapFusion] = []
+    for match in MapFusion.find_matches(sdfg, state):
+        node = match.intermediate
+        edges = state.in_edges(node) + state.out_edges(node)
+        positions = [heatmap.position(e) for e in edges if e in heatmap.values]
+        if positions and max(positions) >= hot_threshold:
+            hot.append(match)
+    return hot
+
+
+def apply_fusion_stage1(sdfg: SDFG, env: dict[str, int] | None = None) -> int:
+    """First fusion round: fuse every movement-heatmap-hot candidate.
+
+    Returns the number of fusions applied.  Candidates are re-discovered
+    after every application (fusing one chain link exposes the next).
+    """
+    env = dict(env or PAPER_SIZES)
+    applied = 0
+    while True:
+        hot = fusion_candidates_by_movement(sdfg, env)
+        if not hot:
+            return applied
+        hot[0].apply()
+        applied += 1
+
+
+def apply_fusion_stage2(sdfg: SDFG) -> int:
+    """Second fusion round: fuse the remaining (low-intensity) candidates."""
+    from repro.transforms import fuse_all_maps
+
+    return fuse_all_maps(sdfg)
+
+
+# ---------------------------------------------------------------------------
+# Executable NumPy variants (Table I)
+# ---------------------------------------------------------------------------
+
+
+class EncoderWeights:
+    """Randomly initialized encoder parameters (head-factored layout)."""
+
+    def __init__(self, sizes: dict[str, int], seed: int = 7):
+        rng = np.random.default_rng(seed)
+        b, h, sm = sizes["B"], sizes["H"], sizes["SM"]
+        emb, ff, p = sizes["EMB"], sizes["FF"], sizes["P"]
+        scale = 1.0 / np.sqrt(emb)
+        self.sizes = dict(sizes)
+        self.x = rng.standard_normal((b, sm, emb)) * 0.1
+        self.wq = rng.standard_normal((h, p, emb)) * scale
+        self.wk = rng.standard_normal((h, p, emb)) * scale
+        self.wv = rng.standard_normal((h, p, emb)) * scale
+        self.bq = rng.standard_normal((h, p)) * 0.01
+        self.bk = rng.standard_normal((h, p)) * 0.01
+        self.bv = rng.standard_normal((h, p)) * 0.01
+        self.wo = rng.standard_normal((h, p, emb)) * scale
+        self.bo = rng.standard_normal(emb) * 0.01
+        self.w1 = rng.standard_normal((ff, emb)) * scale
+        self.b1 = rng.standard_normal(ff) * 0.01
+        self.w2 = rng.standard_normal((emb, ff)) * (1.0 / np.sqrt(ff))
+        self.b2 = rng.standard_normal(emb) * 0.01
+        self.gamma1 = np.ones(emb)
+        self.beta1 = np.zeros(emb)
+        self.gamma2 = np.ones(emb)
+        self.beta2 = np.zeros(emb)
+
+
+def initialize(sizes: dict[str, int] | None = None, seed: int = 7) -> EncoderWeights:
+    """Random inputs/weights for the encoder (defaults to analysis sizes)."""
+    return EncoderWeights(dict(sizes or ANALYSIS_SIZES), seed)
+
+
+def _layernorm_unfused(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray) -> np.ndarray:
+    mean = np.mean(x, axis=-1, keepdims=True)
+    centered = x - mean
+    var = np.mean(centered * centered, axis=-1, keepdims=True)
+    std = np.sqrt(var + 1e-5)
+    normalized = centered / std
+    scaled = normalized * gamma
+    return scaled + beta
+
+
+def encoder_baseline(w: EncoderWeights) -> np.ndarray:
+    """One temporary per operation — the unfused NumPy baseline.
+
+    Every elementwise step materializes a fresh full-size array, exactly
+    mirroring the one-map-per-operation SDFG (the red chains of Fig. 6).
+    """
+    x = w.x
+    q = np.einsum("bse,hpe->bhsp", x, w.wq)
+    k = np.einsum("bse,hpe->bhsp", x, w.wk)
+    v = np.einsum("bse,hpe->bhsp", x, w.wv)
+    qb = q + w.bq[None, :, None, :]
+    kb = k + w.bk[None, :, None, :]
+    vb = v + w.bv[None, :, None, :]
+
+    scores = np.einsum("bhsp,bhtp->bhst", qb, kb)
+    scaled = scores / np.sqrt(w.sizes["P"])
+    expd = np.exp(scaled)
+    denom = np.sum(expd, axis=-1)
+    attn = expd / denom[..., None]
+    ctx = np.einsum("bhst,bhtp->bhsp", attn, vb)
+
+    proj = np.einsum("bhsp,hpe->bse", ctx, w.wo)
+    projb = proj + w.bo
+    res1 = projb + x
+    ln1 = _layernorm_unfused(res1, w.gamma1, w.beta1)
+
+    h1 = np.einsum("bse,fe->bsf", ln1, w.w1)
+    h1b = h1 + w.b1
+    cube = h1b * h1b * h1b
+    inner = np.tanh(_GELU_C * (h1b + 0.044715 * cube))
+    act = 0.5 * h1b * (1.0 + inner)
+    h2 = np.einsum("bsf,ef->bse", act, w.w2)
+    h2b = h2 + w.b2
+    res2 = h2b + ln1
+    return _layernorm_unfused(res2, w.gamma2, w.beta2)
+
+
+def encoder_fused_stage1(w: EncoderWeights) -> np.ndarray:
+    """First fusion round: elementwise chains collapse into single passes.
+
+    The bias adds, softmax scale/exp, GELU chain and residual adds no
+    longer materialize separate intermediates.
+    """
+    x = w.x
+    qb = np.einsum("bse,hpe->bhsp", x, w.wq) + w.bq[None, :, None, :]
+    kb = np.einsum("bse,hpe->bhsp", x, w.wk) + w.bk[None, :, None, :]
+    vb = np.einsum("bse,hpe->bhsp", x, w.wv) + w.bv[None, :, None, :]
+
+    expd = np.exp(np.einsum("bhsp,bhtp->bhst", qb, kb) / np.sqrt(w.sizes["P"]))
+    attn = expd / np.sum(expd, axis=-1, keepdims=True)
+    ctx = np.einsum("bhst,bhtp->bhsp", attn, vb)
+
+    res1 = np.einsum("bhsp,hpe->bse", ctx, w.wo) + w.bo + x
+    mean = np.mean(res1, axis=-1, keepdims=True)
+    var = np.var(res1, axis=-1, keepdims=True)
+    ln1 = (res1 - mean) / np.sqrt(var + 1e-5) * w.gamma1 + w.beta1
+
+    h1b = np.einsum("bse,fe->bsf", ln1, w.w1) + w.b1
+    act = 0.5 * h1b * (1.0 + np.tanh(_GELU_C * (h1b + 0.044715 * h1b * h1b * h1b)))
+    res2 = np.einsum("bsf,ef->bse", act, w.w2) + w.b2 + ln1
+    mean = np.mean(res2, axis=-1, keepdims=True)
+    var = np.var(res2, axis=-1, keepdims=True)
+    return (res2 - mean) / np.sqrt(var + 1e-5) * w.gamma2 + w.beta2
+
+
+def encoder_fused_stage2(w: EncoderWeights) -> np.ndarray:
+    """Second fusion round: combined QKV projection and in-place passes.
+
+    The three Q/K/V projections become one matrix product over stacked
+    weights; softmax and GELU update their operands in place, eliminating
+    the remaining low-intensity passes over [B, SM, SM] and [B, SM, FF].
+    """
+    sizes = w.sizes
+    b, h, sm = sizes["B"], sizes["H"], sizes["SM"]
+    emb, p = sizes["EMB"], sizes["P"]
+    x = w.x
+
+    wqkv = np.concatenate(
+        [w.wq.reshape(h * p, emb), w.wk.reshape(h * p, emb), w.wv.reshape(h * p, emb)],
+        axis=0,
+    )
+    bqkv = np.concatenate(
+        [w.bq.reshape(h * p), w.bk.reshape(h * p), w.bv.reshape(h * p)]
+    )
+    qkv = x.reshape(b * sm, emb) @ wqkv.T
+    qkv += bqkv
+    qkv = qkv.reshape(b, sm, 3, h, p).transpose(2, 0, 3, 1, 4)
+    qb, kb, vb = qkv[0], qkv[1], qkv[2]
+
+    attn = np.matmul(qb, kb.transpose(0, 1, 3, 2))
+    attn *= 1.0 / np.sqrt(p)
+    np.exp(attn, out=attn)
+    attn /= np.sum(attn, axis=-1, keepdims=True)
+    ctx = np.matmul(attn, vb)  # [b, h, sm, p]
+
+    res1 = ctx.transpose(0, 2, 1, 3).reshape(b * sm, h * p) @ w.wo.reshape(h * p, emb)
+    res1 += w.bo
+    res1 = res1.reshape(b, sm, emb)
+    res1 += x
+    mean = np.mean(res1, axis=-1, keepdims=True)
+    res1 -= mean
+    var = np.mean(res1 * res1, axis=-1, keepdims=True)
+    res1 /= np.sqrt(var + 1e-5)
+    ln1 = res1
+    ln1 *= w.gamma1
+    ln1 += w.beta1
+
+    h1b = ln1.reshape(b * sm, emb) @ w.w1.T
+    h1b += w.b1
+    inner = _GELU_C * (h1b + 0.044715 * h1b * h1b * h1b)
+    np.tanh(inner, out=inner)
+    inner += 1.0
+    inner *= 0.5 * h1b
+    res2 = inner @ w.w2.T
+    res2 += w.b2
+    res2 = res2.reshape(b, sm, emb)
+    res2 += ln1
+    mean = np.mean(res2, axis=-1, keepdims=True)
+    res2 -= mean
+    var = np.mean(res2 * res2, axis=-1, keepdims=True)
+    res2 /= np.sqrt(var + 1e-5)
+    res2 *= w.gamma2
+    res2 += w.beta2
+    return res2

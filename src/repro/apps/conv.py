@@ -1,0 +1,62 @@
+"""Convolution kernels for the access-pattern figures.
+
+Fig. 4a shows the 4-D weight tensor ``w ∈ R^{C_out × C_in × K_y × K_x}``
+of a "3D convolution" (2-D spatial + channels); Fig. 4b shows the access
+distribution when mapping 3-channel 9×9 inputs to 2-channel 6×6 outputs
+(kernel 4×4, no padding); Fig. 5c estimates cache misses and physical
+movement on the input and weight tensors with 8-byte values and 64-byte
+lines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend import pmap, program
+from repro.sdfg.dtypes import float64
+from repro.sdfg.sdfg import SDFG
+from repro.symbolic import symbols
+
+__all__ = [
+    "FIG4_SIZES",
+    "conv_program",
+    "build_conv",
+    "reference_conv",
+]
+
+Cout, Cin, H, W, KY, KX = symbols("Cout Cin H W KY KX")
+
+#: Fig. 4b configuration: 3-channel 9×9 inputs → 2-channel 6×6 outputs.
+FIG4_SIZES = {"Cout": 2, "Cin": 3, "H": 9, "W": 9, "KY": 4, "KX": 4}
+
+
+@program
+def conv_program(
+    inp: float64[Cin, H, W],
+    w: float64[Cout, Cin, KY, KX],
+    out: float64[Cout, H - KY + 1, W - KX + 1],
+):
+    """Channel-summed 2-D convolution, no padding, unit stride."""
+    for co, y, x, ci, ky, kx in pmap(
+        Cout, H - KY + 1, W - KX + 1, Cin, KY, KX
+    ):
+        out[co, y, x] += inp[ci, y + ky, x + kx] * w[co, ci, ky, kx]
+
+
+def build_conv() -> SDFG:
+    """Fresh convolution SDFG (symbolic sizes)."""
+    return conv_program.to_sdfg()
+
+
+def reference_conv(inp: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """NumPy oracle: direct convolution via sliding windows."""
+    cout, cin, ky, kx = w.shape
+    _, h, wd = inp.shape
+    oh, ow = h - ky + 1, wd - kx + 1
+    out = np.zeros((cout, oh, ow))
+    for co in range(cout):
+        for dy in range(ky):
+            for dx in range(kx):
+                for ci in range(cin):
+                    out[co] += w[co, ci, dy, dx] * inp[ci, dy : dy + oh, dx : dx + ow]
+    return out

@@ -1,0 +1,340 @@
+"""Horizontal diffusion (*hdiff*) — the local-view case study (Section VI-B).
+
+hdiff is a stencil composition from weather/climate models.  The paper
+takes the NumPy implementation from NPBench as the baseline, analyzes a
+1/32-scale parameterization (I=J=8, K=5) in the local view, and applies
+three optimizations informed by the visualization:
+
+1. **reshape** — relayout ``in_field`` from ``[I+4, J+4, K]`` to
+   ``[K, I+4, J+4]`` so one loop iteration's accesses are close in memory
+   (Fig. 8a);
+2. **reorder** — make ``k`` the outermost loop so the innermost loop walks
+   the contiguous dimension (Fig. 8b);
+3. **pad** — round row strides up to the cache-line size so rows are
+   line-aligned (Fig. 8c).
+
+This module provides the SDFG (one fused 3-D map, matching the paper's
+"one 3-dimensional loop" representation), functions applying each tuning
+step to it, and three executable NumPy variants for Table I:
+:func:`hdiff_numpy_baseline` (NPBench's default NumPy),
+:func:`hdiff_npbench_best` (our proxy for NPBench's best CPU framework
+result — the same algorithm with the K-major layout and no redundant
+temporaries) and :func:`hdiff_hand_tuned` (all three optimizations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend import pmap, program
+from repro.sdfg.dtypes import float64
+from repro.sdfg.sdfg import SDFG
+from repro.symbolic import symbols
+from repro.transforms import pad_strides_to_multiple, permute_array_layout, reorder_map
+
+__all__ = [
+    "PAPER_SIZES",
+    "LOCAL_VIEW_SIZES",
+    "hdiff_program",
+    "build_sdfg",
+    "apply_reshape",
+    "apply_reorder",
+    "apply_padding",
+    "initialize",
+    "hdiff_numpy_baseline",
+    "hdiff_npbench_best",
+    "hdiff_hand_tuned",
+    "to_kmajor",
+    "from_kmajor",
+]
+
+I, J, K = symbols("I J K")
+
+#: The evaluation sizes of the paper (NPBench "paper" preset).
+PAPER_SIZES = {"I": 256, "J": 256, "K": 160}
+#: The 1/32-scale local-view parameterization used in Section VI-B.
+LOCAL_VIEW_SIZES = {"I": 8, "J": 8, "K": 5}
+
+#: Cache model for the Fig. 7 miss estimates: 64-byte lines, and a
+#: capacity threshold scaled down along with the 1/32-scale simulation
+#: sizes (Section V-F explicitly lets the user adjust the threshold "to
+#: adjust for the fact that the simulated data sizes are not equal to the
+#: expected data sizes in the target environment").
+FIG7_CACHE = {"line_size": 64, "capacity_lines": 4}
+
+
+@program
+def hdiff_program(
+    in_field: float64[I + 4, J + 4, K],
+    coeff: float64[I, J, K],
+    out_field: float64[I, J, K],
+):
+    """hdiff as a single fused 3-D parallel loop (the paper's local view).
+
+    ``lap(a, b)`` denotes the Laplacian field value whose center sits at
+    ``in_field[a+1, b+1, k]``; one output point needs it at five positions.
+    """
+    for i, j, k in pmap(I, J, K):
+        lap_ij = 4.0 * in_field[i + 1, j + 2, k] - (
+            in_field[i + 2, j + 2, k] + in_field[i, j + 2, k]
+            + in_field[i + 1, j + 3, k] + in_field[i + 1, j + 1, k]
+        )
+        lap_ipj = 4.0 * in_field[i + 2, j + 1, k] - (
+            in_field[i + 3, j + 1, k] + in_field[i + 1, j + 1, k]
+            + in_field[i + 2, j + 2, k] + in_field[i + 2, j, k]
+        )
+        lap_ipjp = 4.0 * in_field[i + 2, j + 2, k] - (
+            in_field[i + 3, j + 2, k] + in_field[i + 1, j + 2, k]
+            + in_field[i + 2, j + 3, k] + in_field[i + 2, j + 1, k]
+        )
+        lap_ipjpp = 4.0 * in_field[i + 2, j + 3, k] - (
+            in_field[i + 3, j + 3, k] + in_field[i + 1, j + 3, k]
+            + in_field[i + 2, j + 4, k] + in_field[i + 2, j + 2, k]
+        )
+        lap_ippjp = 4.0 * in_field[i + 3, j + 2, k] - (
+            in_field[i + 4, j + 2, k] + in_field[i + 2, j + 2, k]
+            + in_field[i + 3, j + 3, k] + in_field[i + 3, j + 1, k]
+        )
+
+        res_flx_ij = lap_ipjp - lap_ij
+        # -- flux limiters (np.where in the vectorized reference) --
+        flx_ij = (
+            0.0
+            if res_flx_ij * (in_field[i + 2, j + 2, k] - in_field[i + 1, j + 2, k]) > 0.0
+            else res_flx_ij
+        )
+        res_flx_ipj = lap_ippjp - lap_ipjp
+        flx_ipj = (
+            0.0
+            if res_flx_ipj * (in_field[i + 3, j + 2, k] - in_field[i + 2, j + 2, k]) > 0.0
+            else res_flx_ipj
+        )
+        res_fly_ij = lap_ipjp - lap_ipj
+        fly_ij = (
+            0.0
+            if res_fly_ij * (in_field[i + 2, j + 2, k] - in_field[i + 2, j + 1, k]) > 0.0
+            else res_fly_ij
+        )
+        res_fly_ijp = lap_ipjpp - lap_ipjp
+        fly_ijp = (
+            0.0
+            if res_fly_ijp * (in_field[i + 2, j + 3, k] - in_field[i + 2, j + 2, k]) > 0.0
+            else res_fly_ijp
+        )
+        out_field[i, j, k] = in_field[i + 2, j + 2, k] - coeff[i, j, k] * (
+            flx_ipj - flx_ij + fly_ijp - fly_ij
+        )
+
+
+def build_sdfg() -> SDFG:
+    """A fresh hdiff SDFG in its original [I+4, J+4, K] layout."""
+    return hdiff_program.to_sdfg()
+
+
+# -- the three tuning steps (applied to the SDFG for Figs. 7 & 8) -----------
+
+
+def apply_reshape(sdfg: SDFG) -> None:
+    """Step 1: relayout ``in_field`` (and ``coeff``/``out_field``) K-major."""
+    permute_array_layout(sdfg, "in_field", [2, 0, 1])
+    permute_array_layout(sdfg, "coeff", [2, 0, 1])
+    permute_array_layout(sdfg, "out_field", [2, 0, 1])
+
+
+def apply_reorder(sdfg: SDFG) -> None:
+    """Step 2: make ``k`` the outermost loop parameter."""
+    for state in sdfg.states():
+        for entry in state.map_entries():
+            if "k" in entry.map.params:
+                order = ["k"] + [p for p in entry.map.params if p != "k"]
+                reorder_map(entry, order)
+
+
+def apply_padding(sdfg: SDFG, line_bytes: int = 64) -> None:
+    """Step 3: pad row strides to the cache-line size."""
+    for name in ("in_field", "coeff", "out_field"):
+        itemsize = sdfg.arrays[name].dtype.itemsize
+        pad_strides_to_multiple(sdfg, name, line_bytes // itemsize)
+
+
+# -- executable NumPy variants (Table I) -------------------------------------
+
+
+def initialize(I: int, J: int, K: int, seed: int = 42):
+    """Inputs exactly as NPBench initializes hdiff."""
+    rng = np.random.default_rng(seed)
+    in_field = rng.random((I + 4, J + 4, K))
+    out_field = rng.random((I, J, K))
+    coeff = rng.random((I, J, K))
+    return in_field, out_field, coeff
+
+
+def hdiff_numpy_baseline(in_field: np.ndarray, out_field: np.ndarray, coeff: np.ndarray) -> None:
+    """The NPBench default NumPy implementation (verbatim algorithm).
+
+    Allocates full-size temporaries for the Laplacian and both flux
+    fields and works in the original [I+4, J+4, K] layout — the Table I
+    baseline.
+    """
+    I = out_field.shape[0]  # noqa: E741
+    J = out_field.shape[1]
+    lap_field = 4.0 * in_field[1 : I + 3, 1 : J + 3, :] - (
+        in_field[2 : I + 4, 1 : J + 3, :]
+        + in_field[0 : I + 2, 1 : J + 3, :]
+        + in_field[1 : I + 3, 2 : J + 4, :]
+        + in_field[1 : I + 3, 0 : J + 2, :]
+    )
+
+    res = lap_field[1:, 1 : J + 1, :] - lap_field[:-1, 1 : J + 1, :]
+    flx_field = np.where(
+        (res * (in_field[2 : I + 3, 2 : J + 2, :] - in_field[1 : I + 2, 2 : J + 2, :])) > 0,
+        0.0,
+        res,
+    )
+
+    res = lap_field[1 : I + 1, 1:, :] - lap_field[1 : I + 1, :-1, :]
+    fly_field = np.where(
+        (res * (in_field[2 : I + 2, 2 : J + 3, :] - in_field[2 : I + 2, 1 : J + 2, :])) > 0,
+        0.0,
+        res,
+    )
+
+    out_field[:, :, :] = in_field[2 : I + 2, 2 : J + 2, :] - coeff * (
+        flx_field[1:, :, :]
+        - flx_field[:-1, :, :]
+        + fly_field[:, 1:, :]
+        - fly_field[:, :-1, :]
+    )
+
+
+class _ProxyWorkspace:
+    """Preallocated full-size scratch buffers (K-minor layout)."""
+
+    def __init__(self, I: int, J: int, K: int):  # noqa: E741
+        self.lap = np.zeros((I + 2, J + 2, K))
+        self.flx = np.zeros((I + 1, J, K))
+        self.fly = np.zeros((I, J + 1, K))
+
+
+_PROXY_WORKSPACES: dict[tuple[int, int, int], _ProxyWorkspace] = {}
+
+
+def hdiff_npbench_best(in_field: np.ndarray, out_field: np.ndarray, coeff: np.ndarray) -> None:
+    """Proxy for the best NPBench CPU result.
+
+    NPBench's best CPU numbers come from compiling frameworks (DaCe CPU);
+    the equivalent NumPy-level rewrite keeps the baseline's layout and
+    algorithm but eliminates per-call temporary allocations: preallocated
+    scratch buffers, in-place arithmetic and masked flux limiting instead
+    of ``np.where``.
+    """
+    I = out_field.shape[0]  # noqa: E741
+    J = out_field.shape[1]
+    K = out_field.shape[2]
+    ws = _PROXY_WORKSPACES.get((I, J, K))
+    if ws is None:
+        ws = _ProxyWorkspace(I, J, K)
+        _PROXY_WORKSPACES[(I, J, K)] = ws
+    lap, flx, fly = ws.lap, ws.flx, ws.fly
+
+    np.multiply(in_field[1 : I + 3, 1 : J + 3, :], 4.0, out=lap)
+    lap -= in_field[2 : I + 4, 1 : J + 3, :]
+    lap -= in_field[0 : I + 2, 1 : J + 3, :]
+    lap -= in_field[1 : I + 3, 2 : J + 4, :]
+    lap -= in_field[1 : I + 3, 0 : J + 2, :]
+
+    np.subtract(lap[1:, 1 : J + 1, :], lap[:-1, 1 : J + 1, :], out=flx)
+    flx[
+        (flx * (in_field[2 : I + 3, 2 : J + 2, :] - in_field[1 : I + 2, 2 : J + 2, :]))
+        > 0
+    ] = 0.0
+    np.subtract(lap[1 : I + 1, 1:, :], lap[1 : I + 1, :-1, :], out=fly)
+    fly[
+        (fly * (in_field[2 : I + 2, 2 : J + 3, :] - in_field[2 : I + 2, 1 : J + 2, :]))
+        > 0
+    ] = 0.0
+
+    np.subtract(flx[1:, :, :], flx[:-1, :, :], out=out_field)
+    out_field += fly[:, 1:, :]
+    out_field -= fly[:, :-1, :]
+    out_field *= -coeff
+    out_field += in_field[2 : I + 2, 2 : J + 2, :]
+
+
+def to_kmajor(array: np.ndarray) -> np.ndarray:
+    """Relayout a ``[..., K]`` field into contiguous K-major storage.
+
+    The hand-tuned program stores its fields K-major (the paper's reshape
+    optimization changes the program's data layout globally); use this to
+    prepare inputs for :func:`hdiff_hand_tuned`.
+    """
+    return np.ascontiguousarray(array.transpose(2, 0, 1))
+
+
+def from_kmajor(array: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_kmajor` (returns a [..., K] contiguous copy)."""
+    return np.ascontiguousarray(array.transpose(1, 2, 0))
+
+
+class _HandTunedWorkspace:
+    """Preallocated cache-line-padded 2-D plane buffers (reused per size)."""
+
+    def __init__(self, I: int, J: int, line_elems: int = 8):  # noqa: E741
+        def padded(rows: int, cols: int):
+            stride = -(-cols // line_elems) * line_elems
+            return np.zeros((rows, stride))[:, :cols]
+
+        self.lap = padded(I + 2, J + 2)
+        self.flx = padded(I + 1, J)
+        self.fly = padded(I, J + 1)
+        self.gate_x = padded(I + 1, J)
+        self.gate_y = padded(I, J + 1)
+
+
+_WORKSPACES: dict[tuple[int, int], _HandTunedWorkspace] = {}
+
+
+def hdiff_hand_tuned(
+    in_field_km: np.ndarray, out_field_km: np.ndarray, coeff_km: np.ndarray
+) -> None:
+    """All three tuning steps: K-major layout, k-outer order, padded rows.
+
+    Operates on **K-major** fields (``[K, I+4, J+4]`` / ``[K, I, J]``, see
+    :func:`to_kmajor`): k is the outermost loop, every 2-D stencil update
+    streams contiguous rows, and the scratch planes are cache-line padded
+    and small enough to stay cache-resident across the k loop.
+    """
+    K = out_field_km.shape[0]
+    I = out_field_km.shape[1]  # noqa: E741
+    J = out_field_km.shape[2]
+    ws = _WORKSPACES.get((I, J))
+    if ws is None:
+        ws = _HandTunedWorkspace(I, J)
+        _WORKSPACES[(I, J)] = ws
+    lap, flx, fly = ws.lap, ws.flx, ws.fly
+    gate_x, gate_y = ws.gate_x, ws.gate_y
+
+    for k in range(K):
+        ink = in_field_km[k]
+        np.multiply(ink[1 : I + 3, 1 : J + 3], 4.0, out=lap)
+        lap -= ink[2 : I + 4, 1 : J + 3]
+        lap -= ink[0 : I + 2, 1 : J + 3]
+        lap -= ink[1 : I + 3, 2 : J + 4]
+        lap -= ink[1 : I + 3, 0 : J + 2]
+
+        np.subtract(lap[1:, 1 : J + 1], lap[:-1, 1 : J + 1], out=flx)
+        np.subtract(ink[2 : I + 3, 2 : J + 2], ink[1 : I + 2, 2 : J + 2], out=gate_x)
+        gate_x *= flx
+        flx *= gate_x <= 0
+
+        np.subtract(lap[1 : I + 1, 1:], lap[1 : I + 1, :-1], out=fly)
+        np.subtract(ink[2 : I + 2, 2 : J + 3], ink[2 : I + 2, 1 : J + 2], out=gate_y)
+        gate_y *= fly
+        fly *= gate_y <= 0
+
+        outk = out_field_km[k]
+        np.subtract(flx[1:, :], flx[:-1, :], out=outk)
+        outk += fly[:, 1:]
+        outk -= fly[:, :-1]
+        outk *= -coeff_km[k]
+        outk += ink[2 : I + 2, 2 : J + 2]

@@ -1,0 +1,86 @@
+"""Linear-algebra kernels used by the paper's figures.
+
+- Outer product ``C = A ⊗ B`` (Fig. 3's parameterized view, Fig. 4c's
+  related accesses).
+- Matrix multiplication (Fig. 5a's cache-line overlay with a column-major
+  ``B``, Fig. 5b's reuse-distance heatmap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend import pmap, program
+from repro.sdfg.data import Array
+from repro.sdfg.dtypes import float32, float64
+from repro.sdfg.sdfg import SDFG
+from repro.symbolic import symbols
+
+__all__ = [
+    "outer_product_program",
+    "matmul_program",
+    "build_outer_product",
+    "build_matmul",
+    "build_fig5_matmul",
+]
+
+I, J, K = symbols("I J K")
+M, N = symbols("M N")
+
+
+@program
+def outer_product_program(A: float64[M], B: float64[N], C: float64[M, N]):
+    """C[i, j] = A[i] * B[j] — the paper's running example (Fig. 3)."""
+    for i, j in pmap(M, N):
+        C[i, j] = A[i] * B[j]
+
+
+@program
+def matmul_program(A: float32[I, K], B: float32[K, J], C: float32[I, J]):
+    """Classic i-j-k matrix multiplication with sum accumulation."""
+    for i, j, k in pmap(I, J, K):
+        C[i, j] += A[i, k] * B[k, j]
+
+
+def build_outer_product() -> SDFG:
+    """Fresh outer-product SDFG (symbolic sizes M, N)."""
+    return outer_product_program.to_sdfg()
+
+
+def build_matmul() -> SDFG:
+    """Fresh matmul SDFG (symbolic sizes I, J, K; float32 elements)."""
+    return matmul_program.to_sdfg()
+
+
+def build_fig5_matmul() -> SDFG:
+    """The exact Fig. 5a configuration.
+
+    ``A ∈ R^{9×10}`` and ``C ∈ R^{9×15}`` row-major, ``B ∈ R^{10×15}``
+    **column-major**, 4-byte values — selecting elements with a 64-byte
+    cache-line overlay reveals the differing layouts.
+    """
+    sdfg = build_matmul()
+    b = sdfg.arrays["B"]
+    assert isinstance(b, Array)
+    sdfg.replace_descriptor(
+        "B",
+        Array(b.dtype, b.shape, strides=Array.f_strides(b.shape), alignment=64),
+    )
+    # Line-align every container so the overlay shows each layout cleanly.
+    for name in ("A", "C"):
+        desc = sdfg.arrays[name]
+        assert isinstance(desc, Array)
+        sdfg.replace_descriptor(
+            name, Array(desc.dtype, desc.shape, strides=desc.strides, alignment=64)
+        )
+    return sdfg
+
+
+def reference_outer(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """NumPy oracle for the outer product."""
+    return np.outer(a, b)
+
+
+def reference_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """NumPy oracle for matmul."""
+    return a @ b

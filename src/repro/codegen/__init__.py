@@ -1,0 +1,25 @@
+"""Execution backends for SDFGs.
+
+The paper compiles SDFGs to C through DaCe and GCC; this library's
+substitute is NumPy:
+
+- :mod:`repro.codegen.interpreter` — a straightforward element-wise
+  reference interpreter (the semantics oracle; slow).
+- :mod:`repro.codegen.numpy_gen` — a code generator emitting vectorized
+  NumPy source for map scopes (falling back to explicit loop nests where
+  vectorization rules don't apply), compiled with ``exec`` and cached.
+
+Both execute the same IR, so optimization stages (fusion, layout changes)
+can be run and benchmarked end-to-end.
+"""
+
+from repro.codegen.interpreter import interpret_sdfg
+from repro.codegen.numpy_gen import CompiledSDFG, call_sdfg, compile_sdfg, generate_source
+
+__all__ = [
+    "interpret_sdfg",
+    "compile_sdfg",
+    "call_sdfg",
+    "generate_source",
+    "CompiledSDFG",
+]

@@ -1,0 +1,293 @@
+"""Element-wise reference interpreter for SDFGs.
+
+Executes the IR exactly as written — every map iteration runs its tasklets
+one element at a time.  Slow by design; it is the semantics oracle that
+the vectorizing code generator is property-tested against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import CodegenError
+from repro.sdfg.data import Array, Scalar
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import AccessNode, MapEntry, NestedSDFG, Tasklet
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+from repro.simulation.iterspace import iteration_points
+
+__all__ = ["interpret_sdfg"]
+
+#: Intrinsics available inside tasklet code.
+_TASKLET_GLOBALS = {
+    "__builtins__": {},
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tanh": math.tanh,
+    "erf": math.erf,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "Min": min,
+    "Max": max,
+}
+
+_WCR_FOLD = {
+    "sum": lambda old, new: old + new,
+    "product": lambda old, new: old * new,
+    "min": min,
+    "max": max,
+}
+
+
+def interpret_sdfg(
+    sdfg: SDFG,
+    arrays: Mapping[str, np.ndarray],
+    symbols: Mapping[str, int] | None = None,
+    on_tasklet=None,
+) -> None:
+    """Execute *sdfg* in place on the provided NumPy *arrays*.
+
+    Non-transient containers must all be present in *arrays* (outputs are
+    written in place); *symbols* provides every free size symbol.
+
+    *on_tasklet*, when given, is invoked as ``on_tasklet(state, tasklet,
+    env)`` before every tasklet execution — the hook the profiling overlay
+    uses to gather *measured* metrics from real executions.
+    """
+    env = {k: int(v) for k, v in (symbols or {}).items()}
+    storage: dict[str, object] = {}
+    for name, desc in sdfg.arrays.items():
+        if not desc.transient:
+            if name not in arrays:
+                raise CodegenError(f"missing argument for container {name!r}")
+            storage[name] = arrays[name]
+        elif isinstance(desc, Array):
+            shape = tuple(int(s.evaluate(env)) for s in desc.shape)
+            storage[name] = np.zeros(shape, dtype=desc.dtype.as_numpy)
+        else:
+            storage[name] = 0.0
+
+    _run_with_storage(sdfg, storage, env, on_tasklet)
+
+
+def _run_with_storage(sdfg: SDFG, storage: dict, env: dict[str, int], on_tasklet=None) -> None:
+    for state in sdfg.all_states_topological():
+        _run_state(sdfg, state, storage, env, on_tasklet)
+
+
+def _run_state(
+    sdfg: SDFG, state: SDFGState, storage: dict, env: dict[str, int], on_tasklet=None
+) -> None:
+    children = state.scope_children()
+    sdict = state.scope_dict()
+    local_env = dict(env)
+    for node in state.topological_nodes():
+        if sdict[node] is not None:
+            continue
+        if isinstance(node, MapEntry):
+            _run_scope(sdfg, state, node, children, storage, local_env, on_tasklet)
+        elif isinstance(node, Tasklet):
+            _run_tasklet(sdfg, state, node, storage, local_env, on_tasklet)
+        elif isinstance(node, NestedSDFG):
+            _run_nested(sdfg, state, node, storage, local_env, on_tasklet)
+        elif isinstance(node, AccessNode):
+            _run_copies(sdfg, state, node, storage, local_env)
+
+
+def _run_scope(
+    sdfg: SDFG,
+    state: SDFGState,
+    entry: MapEntry,
+    children: dict,
+    storage: dict,
+    env: dict[str, int],
+    on_tasklet=None,
+) -> None:
+    scope_nodes = children.get(entry, [])
+    order = [n for n in state.topological_nodes() if n in scope_nodes]
+    tasklets = [n for n in order if isinstance(n, Tasklet)]
+    nested = [n for n in order if isinstance(n, MapEntry)]
+    nested_sdfgs = [n for n in order if isinstance(n, NestedSDFG)]
+    params = entry.map.params
+    for point in iteration_points(entry.map, env):
+        for name, value in zip(params, point):
+            env[name] = value
+        for tasklet in tasklets:
+            _run_tasklet(sdfg, state, tasklet, storage, env, on_tasklet)
+        for nested_node in nested_sdfgs:
+            _run_nested(sdfg, state, nested_node, storage, env, on_tasklet)
+        for inner in nested:
+            _run_scope(sdfg, state, inner, children, storage, env, on_tasklet)
+    for name in params:
+        env.pop(name, None)
+
+
+def _read(sdfg: SDFG, memlet: Memlet, storage: dict, env: dict[str, int]):
+    value = storage[memlet.data]
+    desc = sdfg.arrays[memlet.data]
+    if isinstance(desc, Scalar):
+        arr = value
+        if isinstance(arr, np.ndarray):
+            return arr.item() if arr.ndim == 0 else arr[0]
+        return arr
+    indices = tuple(
+        int(r.begin.evaluate(env)) for r in memlet.subset.ranges
+    )
+    return value[indices]
+
+
+def _write(
+    sdfg: SDFG, memlet: Memlet, storage: dict, env: dict[str, int], result
+) -> None:
+    desc = sdfg.arrays[memlet.data]
+    if isinstance(desc, Scalar):
+        if memlet.wcr is not None:
+            storage[memlet.data] = _WCR_FOLD[memlet.wcr](storage[memlet.data], result)
+        else:
+            storage[memlet.data] = result
+        return
+    target = storage[memlet.data]
+    indices = tuple(int(r.begin.evaluate(env)) for r in memlet.subset.ranges)
+    if memlet.wcr is not None:
+        target[indices] = _WCR_FOLD[memlet.wcr](target[indices], result)
+    else:
+        target[indices] = result
+
+
+def _run_tasklet(
+    sdfg: SDFG, state: SDFGState, tasklet: Tasklet, storage: dict, env: dict[str, int],
+    on_tasklet=None,
+) -> None:
+    if on_tasklet is not None:
+        on_tasklet(state, tasklet, env)
+    namespace: dict[str, object] = dict(env)
+    for edge in state.in_edges(tasklet):
+        memlet = edge.data.memlet
+        if memlet is None or edge.data.dst_conn is None:
+            continue
+        namespace[edge.data.dst_conn] = _read(sdfg, memlet, storage, env)
+    try:
+        exec(tasklet.code, _TASKLET_GLOBALS, namespace)  # noqa: S102
+    except Exception as exc:
+        raise CodegenError(
+            f"tasklet {tasklet.name!r} failed: {exc} (code: {tasklet.code!r})"
+        ) from exc
+    for edge in state.out_edges(tasklet):
+        memlet = edge.data.memlet
+        if memlet is None or edge.data.src_conn is None:
+            continue
+        if edge.data.src_conn not in namespace:
+            raise CodegenError(
+                f"tasklet {tasklet.name!r} did not produce output "
+                f"{edge.data.src_conn!r}"
+            )
+        _write(sdfg, memlet, storage, env, namespace[edge.data.src_conn])
+
+
+def _run_copies(
+    sdfg: SDFG, state: SDFGState, node: AccessNode, storage: dict, env: dict[str, int]
+) -> None:
+    for edge in state.out_edges(node):
+        if not isinstance(edge.dst, AccessNode) or edge.data.memlet is None:
+            continue
+        memlet = edge.data.memlet
+        src = storage[memlet.data]
+        dst = storage[edge.dst.data]
+        slices = tuple(
+            slice(int(r.begin.evaluate(env)), int(r.end.evaluate(env)) + 1,
+                  int(r.step.evaluate(env)))
+            for r in memlet.subset.ranges
+        )
+        if isinstance(dst, np.ndarray) and isinstance(src, np.ndarray):
+            dst[slices] = src[slices]
+        else:
+            storage[edge.dst.data] = src
+
+
+def _subset_view(array: np.ndarray, memlet: Memlet, env: dict[str, int]) -> np.ndarray:
+    """A NumPy view of the outer array restricted to the memlet subset."""
+    slices = tuple(
+        slice(
+            int(r.begin.evaluate(env)),
+            int(r.end.evaluate(env)) + 1,
+            int(r.step.evaluate(env)),
+        )
+        for r in memlet.subset.ranges
+    )
+    return array[slices]
+
+
+def _run_nested(
+    sdfg: SDFG,
+    state: SDFGState,
+    node,
+    storage: dict,
+    env: dict[str, int],
+    on_tasklet=None,
+) -> None:
+    """Execute a NestedSDFG node.
+
+    Each connector binds an inner container name to a view of the outer
+    container's memlet subset, so inner writes land in the outer arrays
+    directly.  Inner symbols come from the node's symbol mapping
+    (evaluated in the outer environment) plus same-name pass-through.
+    """
+    from repro.symbolic.expr import sympify
+
+    inner = node.sdfg
+    inner_env: dict[str, int] = {}
+    for name, value in node.symbol_mapping.items():
+        inner_env[name] = int(sympify(value).evaluate(env))
+    for symbol in inner.free_symbols():
+        if symbol not in inner_env and symbol in env:
+            inner_env[symbol] = env[symbol]
+
+    inner_storage: dict[str, object] = {}
+
+    def bind(conn: str, memlet: Memlet) -> None:
+        desc = inner.arrays.get(conn)
+        if not isinstance(desc, Array):
+            raise CodegenError(
+                f"nested SDFG connector {conn!r} must bind an inner array"
+            )
+        outer = storage[memlet.data]
+        if not isinstance(outer, np.ndarray):
+            raise CodegenError(
+                f"nested SDFG connector {conn!r} binds a non-array container"
+            )
+        view = _subset_view(outer, memlet, env)
+        expected = tuple(int(s.evaluate(inner_env)) for s in desc.shape)
+        inner_storage[conn] = view.reshape(expected)
+
+    for edge in state.in_edges(node):
+        if edge.data.memlet is not None and edge.data.dst_conn is not None:
+            bind(edge.data.dst_conn, edge.data.memlet)
+    for edge in state.out_edges(node):
+        if edge.data.memlet is not None and edge.data.src_conn is not None:
+            if edge.data.src_conn not in inner_storage:
+                bind(edge.data.src_conn, edge.data.memlet)
+
+    for name, desc in inner.arrays.items():
+        if name in inner_storage:
+            continue
+        if not desc.transient:
+            raise CodegenError(
+                f"nested SDFG input {name!r} has no connector binding"
+            )
+        if isinstance(desc, Array):
+            shape = tuple(int(s.evaluate(inner_env)) for s in desc.shape)
+            inner_storage[name] = np.zeros(shape, dtype=desc.dtype.as_numpy)
+        else:
+            inner_storage[name] = 0.0
+
+    _run_with_storage(inner, inner_storage, inner_env, on_tasklet)

@@ -1,0 +1,564 @@
+"""Vectorizing NumPy code generator for SDFGs.
+
+Generates a Python module with one ``run(...)`` function per SDFG: every
+map scope whose accesses fit the vectorization rules (unit-coefficient
+affine indices, each parameter addressing at most one axis per access)
+becomes a single broadcast NumPy statement; anything else falls back to an
+explicit loop nest.  This substitutes for DaCe's C code generation in the
+benchmarks: the *relative* effect of data-movement optimizations (fusion
+removes whole intermediate arrays; fewer passes over memory) is preserved.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import CodegenError
+from repro.sdfg.data import Array, Scalar
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import AccessNode, MapEntry, Tasklet
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+from repro.symbolic.expr import Expr, Integer, Symbol, add, sub
+
+__all__ = ["generate_source", "compile_sdfg", "call_sdfg", "CompiledSDFG"]
+
+_NUMPY_FUNCS = {
+    "sqrt": "np.sqrt",
+    "exp": "np.exp",
+    "log": "np.log",
+    "sin": "np.sin",
+    "cos": "np.cos",
+    "tanh": "np.tanh",
+    "erf": "_np_erf",
+    "abs": "np.abs",
+    "floor": "np.floor",
+    "ceil": "np.ceil",
+    "min": "np.minimum",
+    "max": "np.maximum",
+}
+
+_PRELUDE = '''\
+import math
+import numpy as np
+
+def _np_erf(x):
+    if isinstance(x, np.ndarray):
+        # Vectorized erf via the complementary error function identity on
+        # tanh-based approximation is inaccurate; use math.erf elementwise
+        # only for small arrays, else the vectorized rational approximation.
+        return _erf_vec(x)
+    return math.erf(x)
+
+def _erf_vec(x):
+    # Abramowitz & Stegun 7.1.26 rational approximation (vectorized).
+    sign = np.sign(x)
+    x = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * x)
+    y = 1.0 - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t
+                - 0.284496736) * t + 0.254829592) * t * np.exp(-x * x)
+    return sign * y
+
+def Min(*args):
+    return min(*args)
+
+def Max(*args):
+    return max(*args)
+'''
+
+
+class _Unvectorizable(Exception):
+    """Internal: scope cannot be vectorized, fall back to loops."""
+
+
+def _py(expr: Expr) -> str:
+    """Python source form of a symbolic expression."""
+    return str(expr)
+
+
+# ---------------------------------------------------------------------------
+# Access classification
+# ---------------------------------------------------------------------------
+
+
+class _AccessPlan:
+    """How one array access vectorizes: slices plus axis alignment."""
+
+    def __init__(self, data: str, slices: list[str], dim_params: list[str | None]):
+        self.data = data
+        self.slices = slices  # per-dimension python index source
+        self.dim_params = dim_params  # param addressing each dim (or None)
+
+    def used_params(self) -> list[str]:
+        return [p for p in self.dim_params if p is not None]
+
+    def aligned_source(self, params: list[str]) -> str:
+        """Source of the access aligned to the canonical param axes."""
+        base = f"{self.data}[{', '.join(self.slices)}]"
+        present = self.used_params()
+        if not present:
+            return base  # scalar value broadcasts everywhere
+        # Transpose the sliced axes into canonical order if needed.
+        canonical = [p for p in params if p in present]
+        if present != canonical:
+            perm = [present.index(p) for p in canonical]
+            base = f"np.transpose({base}, {tuple(perm)})"
+        # Expand to one axis per canonical param.
+        index = ", ".join(":" if p in present else "None" for p in params)
+        return f"{base}[{index}]"
+
+
+def _classify_access(
+    memlet: Memlet, entry: MapEntry, sdfg: SDFG
+) -> _AccessPlan:
+    """Build the vectorization plan of one point access, or raise."""
+    params = entry.map.params
+    ranges = {p: r for p, r in zip(params, entry.map.ranges)}
+    if not memlet.subset.is_point:
+        raise _Unvectorizable(f"non-point subset {memlet.subset}")
+    slices: list[str] = []
+    dim_params: list[str | None] = []
+    seen: set[str] = set()
+    for index in memlet.subset.indices():
+        used = [p for p in params if p in index.free_symbols()]
+        if len(used) > 1:
+            raise _Unvectorizable(f"index {index} uses several parameters")
+        if not used:
+            slices.append(_py(index))
+            dim_params.append(None)
+            continue
+        (param,) = used
+        if param in seen:
+            raise _Unvectorizable(f"parameter {param} addresses two dimensions")
+        seen.add(param)
+        offset = index.subs({param: 0})
+        # Unit coefficient check: index must equal param + offset.
+        if index != add(Symbol(param), offset):
+            raise _Unvectorizable(f"non-unit coefficient in index {index}")
+        rng = ranges[param]
+        if rng.step != Integer(1):
+            raise _Unvectorizable(f"strided map range for {param}")
+        lo = add(rng.begin, offset)
+        hi = add(add(rng.end, offset), 1)
+        slices.append(f"{_py(lo)}:{_py(hi)}")
+        dim_params.append(param)
+    return _AccessPlan(memlet.data, slices, dim_params)
+
+
+# ---------------------------------------------------------------------------
+# Tasklet code rewriting
+# ---------------------------------------------------------------------------
+
+
+class _CodeRewriter(ast.NodeTransformer):
+    """Substitute connector names and intrinsics in tasklet code."""
+
+    def __init__(self, replacements: Mapping[str, str], vectorized: bool):
+        self.replacements = dict(replacements)
+        self.vectorized = vectorized
+
+    def visit_Name(self, node: ast.Name) -> ast.AST:
+        if node.id in self.replacements:
+            return ast.parse(self.replacements[node.id], mode="eval").body
+        return node
+
+    def visit_Call(self, node: ast.Call) -> ast.AST:
+        node.args = [self.visit(a) for a in node.args]
+        if self.vectorized and isinstance(node.func, ast.Name):
+            mapped = _NUMPY_FUNCS.get(node.func.id)
+            if mapped:
+                node.func = ast.parse(mapped, mode="eval").body
+        return node
+
+    def visit_IfExp(self, node: ast.IfExp) -> ast.AST:
+        # Conditional expressions over arrays are ill-defined; translate to
+        # np.where in the vectorized backend.
+        node.test = self.visit(node.test)
+        node.body = self.visit(node.body)
+        node.orelse = self.visit(node.orelse)
+        if not self.vectorized:
+            return node
+        return ast.copy_location(
+            ast.Call(
+                func=ast.parse("np.where", mode="eval").body,
+                args=[node.test, node.body, node.orelse],
+                keywords=[],
+            ),
+            node,
+        )
+
+
+def _rewrite_code(code: str, replacements: Mapping[str, str], vectorized: bool) -> str:
+    tree = ast.parse(code)
+    tree = _CodeRewriter(replacements, vectorized).visit(tree)
+    ast.fix_missing_locations(tree)
+    return ast.unparse(tree)
+
+
+def _tasklet_rhs(code: str) -> tuple[str, str]:
+    """Split single-assignment tasklet code into (output name, rhs source)."""
+    tree = ast.parse(code)
+    if len(tree.body) != 1 or not isinstance(tree.body[0], ast.Assign):
+        raise _Unvectorizable(f"tasklet code is not a single assignment: {code!r}")
+    assign = tree.body[0]
+    if len(assign.targets) != 1 or not isinstance(assign.targets[0], ast.Name):
+        raise _Unvectorizable(f"unsupported tasklet target in {code!r}")
+    return assign.targets[0].id, ast.unparse(assign.value)
+
+
+# ---------------------------------------------------------------------------
+# Scope code generation
+# ---------------------------------------------------------------------------
+
+
+def _scope_tasklets(state: SDFGState, entry: MapEntry) -> list[Tasklet]:
+    children = state.scope_children()
+    members = children.get(entry, [])
+    if any(isinstance(n, MapEntry) for n in members):
+        raise _Unvectorizable("nested map scope")
+    order = [n for n in state.topological_nodes() if n in members]
+    return [n for n in order if isinstance(n, Tasklet)]
+
+
+def _vectorize_scope(
+    sdfg: SDFG, state: SDFGState, entry: MapEntry, temp_prefix: str
+) -> list[str]:
+    """Emit vectorized statements for one map scope (or raise)."""
+    params = entry.map.params
+    tasklets = _scope_tasklets(state, entry)
+    if not tasklets:
+        raise _Unvectorizable("empty scope")
+    lines: list[str] = [f"# scope {entry.label} (vectorized)"]
+    local_vars: dict[str, str] = {}  # scalar-transient container -> temp var
+
+    for t_index, tasklet in enumerate(tasklets):
+        if any(p in _code_names(tasklet.code) for p in params):
+            raise _Unvectorizable("tasklet uses loop parameters as values")
+        replacements: dict[str, str] = {}
+        for edge in state.in_edges(tasklet):
+            memlet = edge.data.memlet
+            conn = edge.data.dst_conn
+            if memlet is None or conn is None:
+                continue
+            desc = sdfg.arrays[memlet.data]
+            if isinstance(desc, Scalar):
+                if desc.transient:
+                    replacements[conn] = local_vars[memlet.data]
+                else:
+                    replacements[conn] = memlet.data
+                continue
+            plan = _classify_access(memlet, entry, sdfg)
+            replacements[conn] = plan.aligned_source(params)
+
+        out_name, rhs = _tasklet_rhs(tasklet.code)
+        rhs = _rewrite_code(rhs, replacements, vectorized=True)
+
+        out_edges = [
+            e for e in state.out_edges(tasklet)
+            if e.data.memlet is not None and e.data.src_conn == out_name
+        ]
+        if not out_edges:
+            raise _Unvectorizable("tasklet without a memlet-bearing output")
+        for edge in out_edges:
+            memlet = edge.data.memlet
+            desc = sdfg.arrays[memlet.data]
+            if isinstance(desc, Scalar) and desc.transient:
+                var = f"{temp_prefix}_{t_index}"
+                local_vars[memlet.data] = var
+                lines.append(f"{var} = {rhs}")
+                continue
+            if isinstance(desc, Scalar):
+                raise _Unvectorizable("vectorized write to a non-transient scalar")
+            plan = _classify_access(memlet, entry, sdfg)
+            present = plan.used_params()
+            missing = [p for p in params if p not in present]
+            target = f"{memlet.data}[{', '.join(plan.slices)}]"
+            # The rhs is aligned to all params; writes must reduce away
+            # axes the output does not index.
+            value = rhs
+            if missing:
+                axes = tuple(params.index(p) for p in missing)
+                if memlet.wcr == "sum":
+                    value = f"np.sum(np.broadcast_to({rhs}, ({_shape_tuple(entry)})), axis={axes})"
+                elif memlet.wcr == "product":
+                    value = f"np.prod(np.broadcast_to({rhs}, ({_shape_tuple(entry)})), axis={axes})"
+                else:
+                    raise _Unvectorizable(
+                        "output misses parameters without a reduction"
+                    )
+            # Align the (reduced) value's axes to the target slice axes.
+            canonical_present = [p for p in params if p in present]
+            if present != canonical_present:
+                perm = [canonical_present.index(p) for p in present]
+                value = f"np.transpose({value}, {tuple(perm)})"
+            if memlet.wcr == "sum":
+                lines.append(f"{target} += {value}")
+            elif memlet.wcr == "product":
+                lines.append(f"{target} *= {value}")
+            elif memlet.wcr is None:
+                lines.append(f"{target} = {value}")
+            else:
+                raise _Unvectorizable(f"unsupported WCR {memlet.wcr}")
+    return lines
+
+
+def _shape_tuple(entry: MapEntry) -> str:
+    sizes = [_py(r.num_elements()) for r in entry.map.ranges]
+    return ", ".join(sizes) + ("," if len(sizes) == 1 else "")
+
+
+def _code_names(code: str) -> set[str]:
+    return {
+        node.id for node in ast.walk(ast.parse(code)) if isinstance(node, ast.Name)
+    }
+
+
+def _loop_scope(
+    sdfg: SDFG, state: SDFGState, entry: MapEntry, indent: str = ""
+) -> list[str]:
+    """Fallback: explicit loop nest, one line per tasklet statement."""
+    lines = [f"# scope {entry.label} (loop nest)"]
+    children = state.scope_children()
+    members = children.get(entry, [])
+    order = [n for n in state.topological_nodes() if n in members]
+    params = entry.map.params
+
+    depth = 0
+    for param, rng in zip(params, entry.map.ranges):
+        begin, end, step = _py(rng.begin), _py(add(rng.end, 1)), _py(rng.step)
+        lines.append(
+            "    " * depth + f"for {param} in range({begin}, {end}, {step}):"
+        )
+        depth += 1
+
+    body: list[str] = []
+    for node in order:
+        if isinstance(node, MapEntry):
+            inner = _loop_scope(sdfg, state, node)
+            body.extend(inner)
+        elif isinstance(node, Tasklet):
+            body.extend(_loop_tasklet(sdfg, state, node))
+    if not body:
+        body = ["pass"]
+    lines.extend("    " * depth + line for line in body)
+    return lines
+
+
+def _loop_tasklet(sdfg: SDFG, state: SDFGState, tasklet: Tasklet) -> list[str]:
+    replacements: dict[str, str] = {}
+    for edge in state.in_edges(tasklet):
+        memlet = edge.data.memlet
+        conn = edge.data.dst_conn
+        if memlet is None or conn is None:
+            continue
+        replacements[conn] = _element_ref(sdfg, memlet)
+    out_name, rhs = _tasklet_rhs_or_exec(tasklet.code)
+    rhs = _rewrite_code(rhs, replacements, vectorized=False)
+    lines: list[str] = []
+    for edge in state.out_edges(tasklet):
+        memlet = edge.data.memlet
+        if memlet is None or edge.data.src_conn != out_name:
+            continue
+        target = _element_ref(sdfg, memlet)
+        if memlet.wcr == "sum":
+            lines.append(f"{target} += {rhs}")
+        elif memlet.wcr == "product":
+            lines.append(f"{target} *= {rhs}")
+        elif memlet.wcr == "min":
+            lines.append(f"{target} = min({target}, {rhs})")
+        elif memlet.wcr == "max":
+            lines.append(f"{target} = max({target}, {rhs})")
+        else:
+            lines.append(f"{target} = {rhs}")
+    if not lines:
+        raise CodegenError(f"tasklet {tasklet.name!r} has no outputs to emit")
+    return lines
+
+
+def _tasklet_rhs_or_exec(code: str) -> tuple[str, str]:
+    try:
+        return _tasklet_rhs(code)
+    except _Unvectorizable as exc:
+        raise CodegenError(f"cannot generate code for tasklet: {exc}") from exc
+
+
+def _element_ref(sdfg: SDFG, memlet: Memlet) -> str:
+    desc = sdfg.arrays[memlet.data]
+    if isinstance(desc, Scalar):
+        return memlet.data if not desc.transient else f"_loc_{memlet.data}"
+    indices = ", ".join(_py(i) for i in memlet.subset.indices())
+    return f"{memlet.data}[{indices}]"
+
+
+# ---------------------------------------------------------------------------
+# Whole-program generation
+# ---------------------------------------------------------------------------
+
+
+def generate_source(sdfg: SDFG, function_name: str = "run") -> str:
+    """Generate the Python module source executing *sdfg*."""
+    args = [n for n, d in sdfg.arrays.items() if not d.transient]
+    symbols = sorted(sdfg.free_symbols())
+    sig = ", ".join(args + [f"{s}" for s in symbols])
+    lines: list[str] = [_PRELUDE, f"def {function_name}({sig}):"]
+
+    body: list[str] = []
+    for name, desc in sdfg.arrays.items():
+        if not desc.transient:
+            continue
+        if isinstance(desc, Array):
+            shape = ", ".join(_py(s) for s in desc.shape)
+            body.append(
+                f"{name} = np.zeros(({shape},), dtype=np.{desc.dtype.as_numpy.name})"
+            )
+        else:
+            body.append(f"_loc_{name} = 0.0")
+
+    temp_counter = 0
+    for state in sdfg.all_states_topological():
+        sdict = state.scope_dict()
+        for node in state.topological_nodes():
+            if sdict[node] is not None:
+                continue
+            if isinstance(node, MapEntry):
+                try:
+                    body.extend(
+                        _vectorize_scope(sdfg, state, node, f"_tmp{temp_counter}")
+                    )
+                except _Unvectorizable:
+                    body.extend(_loop_scope(sdfg, state, node))
+                temp_counter += 1
+            elif isinstance(node, Tasklet):
+                body.extend(_loop_tasklet(sdfg, state, node))
+            elif isinstance(node, AccessNode):
+                body.extend(_copy_lines(sdfg, state, node))
+    if not body:
+        body = ["pass"]
+    lines.extend("    " + line for line in body)
+    lines.append("    return None")
+    return "\n".join(lines) + "\n"
+
+
+def _copy_lines(sdfg: SDFG, state: SDFGState, node: AccessNode) -> list[str]:
+    lines = []
+    for edge in state.out_edges(node):
+        if not isinstance(edge.dst, AccessNode) or edge.data.memlet is None:
+            continue
+        memlet = edge.data.memlet
+        slices = ", ".join(
+            f"{_py(r.begin)}:{_py(add(r.end, 1))}:{_py(r.step)}"
+            for r in memlet.subset.ranges
+        )
+        lines.append(f"{edge.dst.data}[{slices}] = {memlet.data}[{slices}]")
+    return lines
+
+
+class CompiledSDFG:
+    """A compiled, callable SDFG."""
+
+    def __init__(self, sdfg: SDFG):
+        self.sdfg = sdfg
+        self.source = generate_source(sdfg)
+        namespace: dict[str, object] = {}
+        exec(compile(self.source, f"<sdfg:{sdfg.name}>", "exec"), namespace)  # noqa: S102
+        self._func = namespace["run"]
+        self.arg_names = [n for n, d in sdfg.arrays.items() if not d.transient]
+        self.symbol_names = sorted(sdfg.free_symbols())
+
+    def __call__(self, *args: np.ndarray, **kwargs) -> None:
+        """Execute on NumPy arrays; size symbols are inferred when possible.
+
+        Positional arguments bind to the SDFG's non-transient containers in
+        declaration order; keyword arguments bind containers or symbols by
+        name.
+        """
+        bound: dict[str, object] = {}
+        if len(args) > len(self.arg_names):
+            raise CodegenError(
+                f"too many positional arguments ({len(args)} > "
+                f"{len(self.arg_names)})"
+            )
+        for name, value in zip(self.arg_names, args):
+            bound[name] = value
+        for key, value in kwargs.items():
+            if key in bound:
+                raise CodegenError(f"duplicate argument {key!r}")
+            if key not in self.arg_names and key not in self.symbol_names:
+                raise CodegenError(f"unknown argument {key!r}")
+            bound[key] = value
+        missing = [n for n in self.arg_names if n not in bound]
+        if missing:
+            raise CodegenError(f"missing container arguments: {missing}")
+        env = self._infer_symbols(bound)
+        return self._func(*[bound[n] for n in self.arg_names],
+                          *[env[s] for s in self.symbol_names])
+
+    def _infer_symbols(self, bound: Mapping[str, object]) -> dict[str, int]:
+        env: dict[str, int] = {
+            k: int(v)  # type: ignore[arg-type]
+            for k, v in bound.items()
+            if k in self.symbol_names
+        }
+        for name in self.arg_names:
+            desc = self.sdfg.arrays[name]
+            if not isinstance(desc, Array):
+                continue
+            value = bound[name]
+            if not isinstance(value, np.ndarray):
+                raise CodegenError(f"argument {name!r} must be a NumPy array")
+            for dim, extent in zip(desc.shape, value.shape):
+                if isinstance(dim, Symbol):
+                    prev = env.get(dim.name)
+                    if prev is not None and prev != extent:
+                        raise CodegenError(
+                            f"inconsistent value for symbol {dim.name}: "
+                            f"{prev} vs {extent}"
+                        )
+                    env[dim.name] = int(extent)
+        unresolved = [s for s in self.symbol_names if s not in env]
+        if unresolved:
+            # Last resort: solve simple "shape dim == symbol + const" forms.
+            for name in self.arg_names:
+                desc = self.sdfg.arrays[name]
+                if not isinstance(desc, Array):
+                    continue
+                value = bound[name]
+                for dim, extent in zip(desc.shape, value.shape):
+                    free = dim.free_symbols()
+                    if len(free) == 1:
+                        (sym,) = free
+                        if sym in env or sym not in unresolved:
+                            continue
+                        # dim = sym + c  =>  sym = extent - c
+                        const = dim.subs({sym: 0})
+                        candidate = sub(Integer(int(extent)), const)
+                        if dim.subs({sym: candidate}) == Integer(int(extent)):
+                            env[sym] = int(candidate.evaluate())
+            unresolved = [s for s in self.symbol_names if s not in env]
+        if unresolved:
+            raise CodegenError(
+                f"cannot infer symbols {unresolved}; pass them as keyword "
+                "arguments"
+            )
+        return env
+
+
+_COMPILED_CACHE: dict[int, CompiledSDFG] = {}
+
+
+def compile_sdfg(sdfg: SDFG, symbols: Mapping[str, int] | None = None) -> CompiledSDFG:
+    """Compile *sdfg* (cached per SDFG object identity)."""
+    key = id(sdfg)
+    compiled = _COMPILED_CACHE.get(key)
+    if compiled is None or compiled.sdfg is not sdfg:
+        compiled = CompiledSDFG(sdfg)
+        _COMPILED_CACHE[key] = compiled
+    return compiled
+
+
+def call_sdfg(sdfg: SDFG, *args: np.ndarray, **kwargs) -> None:
+    """Compile (cached) and execute *sdfg* in one call."""
+    return compile_sdfg(sdfg)(*args, **kwargs)

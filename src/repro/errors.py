@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of the library with a single handler while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SymbolicError",
+    "ParseError",
+    "EvaluationError",
+    "GraphError",
+    "InvalidSDFGError",
+    "FrontendError",
+    "AnalysisError",
+    "SimulationError",
+    "TransformError",
+    "CodegenError",
+    "VisualizationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class SymbolicError(ReproError):
+    """Errors from the symbolic expression engine."""
+
+
+class ParseError(SymbolicError):
+    """An expression or program string could not be parsed."""
+
+
+class EvaluationError(SymbolicError):
+    """An expression could not be evaluated (e.g. free symbols remain)."""
+
+
+class GraphError(ReproError):
+    """Errors from the graph substrate (missing nodes, invalid edges...)."""
+
+
+class InvalidSDFGError(ReproError):
+    """The SDFG failed validation.
+
+    Attributes
+    ----------
+    element:
+        The offending IR element (node, edge, state, ...) if known.
+    """
+
+    def __init__(self, message: str, element: object | None = None):
+        super().__init__(message)
+        self.element = element
+
+
+class FrontendError(ReproError):
+    """The Python frontend could not translate a program."""
+
+
+class AnalysisError(ReproError):
+    """A static analysis failed."""
+
+
+class SimulationError(ReproError):
+    """The access-pattern simulation failed."""
+
+
+class TransformError(ReproError):
+    """A transformation could not be matched or applied."""
+
+
+class CodegenError(ReproError):
+    """Code generation failed."""
+
+
+class VisualizationError(ReproError):
+    """A renderer or visualization component failed."""

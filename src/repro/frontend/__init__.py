@@ -1,0 +1,27 @@
+"""Python frontend: translate restricted Python functions into SDFGs.
+
+The paper relies on the DaCe frontends to lift Python/C programs into the
+SDFG IR.  This subpackage implements the equivalent for the program class
+the paper's analyses target — *affine array programs*: parallel loops
+(``pmap``) whose bodies assign array elements indexed by affine expressions
+of the loop parameters.
+
+Usage::
+
+    import repro
+    from repro.sdfg.dtypes import float64
+    from repro.symbolic import symbols
+
+    I, J = symbols("I J")
+
+    @repro.program
+    def outer(A: float64[I], B: float64[J], C: float64[I, J]):
+        for i, j in repro.pmap(I, J):
+            C[i, j] = A[i] * B[j]
+
+    sdfg = outer.to_sdfg()
+"""
+
+from repro.frontend.program import Program, pmap, program, transient
+
+__all__ = ["program", "pmap", "Program", "transient"]

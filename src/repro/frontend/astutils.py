@@ -1,0 +1,76 @@
+"""AST helpers shared by the frontend parser and the op-count analysis."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.errors import FrontendError
+from repro.symbolic.expr import Expr
+from repro.symbolic.parser import parse_expr
+
+__all__ = [
+    "ALLOWED_CALLS",
+    "index_expressions",
+    "subscript_data_name",
+    "unparse",
+]
+
+#: Intrinsic functions allowed inside tasklet code.  They map 1:1 to NumPy
+#: ufuncs in the code generator and are counted as arithmetic operations by
+#: the op-count analysis.
+ALLOWED_CALLS = frozenset(
+    {
+        "abs",
+        "min",
+        "max",
+        "sqrt",
+        "exp",
+        "log",
+        "sin",
+        "cos",
+        "tanh",
+        "erf",
+        "floor",
+        "ceil",
+    }
+)
+
+
+def unparse(node: ast.AST) -> str:
+    """Source form of an AST node."""
+    return ast.unparse(node)
+
+
+def subscript_data_name(node: ast.Subscript) -> str:
+    """The container name of ``A[...]``; rejects computed bases."""
+    if not isinstance(node.value, ast.Name):
+        raise FrontendError(
+            f"only direct array subscripts are supported, got {unparse(node)!r}"
+        )
+    return node.value.id
+
+
+def index_expressions(node: ast.Subscript) -> tuple[Expr, ...]:
+    """Per-dimension symbolic index expressions of ``A[i, 2*j+1, 0]``.
+
+    The indices must be affine expressions over loop parameters and size
+    symbols; slices are not allowed inside tasklet expressions (element-wise
+    access only).
+    """
+    index = node.slice
+    dims = index.elts if isinstance(index, ast.Tuple) else [index]
+    out = []
+    for dim in dims:
+        if isinstance(dim, ast.Slice):
+            raise FrontendError(
+                f"slice indices are not supported in tasklet expressions: "
+                f"{unparse(node)!r}"
+            )
+        try:
+            out.append(parse_expr(unparse(dim)))
+        except Exception as exc:
+            raise FrontendError(
+                f"index {unparse(dim)!r} in {unparse(node)!r} is not an "
+                f"affine expression: {exc}"
+            ) from exc
+    return tuple(out)

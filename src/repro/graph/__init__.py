@@ -1,0 +1,29 @@
+"""Ordered graph substrate used by the dataflow IR.
+
+The IR needs a multi-digraph with deterministic iteration order (so that
+layouts, serializations and analyses are reproducible run-to-run) and
+first-class edge objects carrying memlet payloads.  :mod:`networkx` does not
+guarantee edge-object identity semantics we want for memlets, so this small
+substrate implements exactly what the IR uses.
+"""
+
+from repro.graph.multigraph import Edge, OrderedMultiDiGraph
+from repro.graph.traversal import (
+    bfs_layers,
+    dfs_postorder,
+    dfs_preorder,
+    has_cycle,
+    topological_sort,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "Edge",
+    "OrderedMultiDiGraph",
+    "topological_sort",
+    "dfs_preorder",
+    "dfs_postorder",
+    "bfs_layers",
+    "has_cycle",
+    "weakly_connected_components",
+]

@@ -1,0 +1,152 @@
+"""Graph traversal algorithms over :class:`OrderedMultiDiGraph`.
+
+All traversals are deterministic: ties are broken by node insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, TypeVar
+
+from repro.errors import GraphError
+from repro.graph.multigraph import OrderedMultiDiGraph
+
+__all__ = [
+    "topological_sort",
+    "dfs_preorder",
+    "dfs_postorder",
+    "bfs_layers",
+    "has_cycle",
+    "weakly_connected_components",
+]
+
+NodeT = TypeVar("NodeT", bound=Hashable)
+
+
+def topological_sort(graph: OrderedMultiDiGraph[NodeT, object]) -> list[NodeT]:
+    """Kahn's algorithm; raises :class:`GraphError` if the graph has a cycle.
+
+    Deterministic: among ready nodes, the one added to the graph first comes
+    first.
+    """
+    in_deg = {n: graph.in_degree(n) for n in graph.nodes()}
+    order_index = {n: i for i, n in enumerate(graph.nodes())}
+    ready = sorted((n for n, d in in_deg.items() if d == 0), key=order_index.__getitem__)
+    out: list[NodeT] = []
+    while ready:
+        node = ready.pop(0)
+        out.append(node)
+        newly_ready: list[NodeT] = []
+        for edge in graph.out_edges(node):
+            in_deg[edge.dst] -= 1
+            if in_deg[edge.dst] == 0:
+                newly_ready.append(edge.dst)
+        if newly_ready:
+            ready.extend(sorted(set(newly_ready), key=order_index.__getitem__))
+            ready.sort(key=order_index.__getitem__)
+    if len(out) != graph.number_of_nodes:
+        raise GraphError("graph contains a cycle; topological sort impossible")
+    return out
+
+
+def has_cycle(graph: OrderedMultiDiGraph[NodeT, object]) -> bool:
+    """True when the graph contains a directed cycle."""
+    try:
+        topological_sort(graph)
+    except GraphError:
+        return True
+    return False
+
+
+def dfs_preorder(
+    graph: OrderedMultiDiGraph[NodeT, object],
+    sources: Iterable[NodeT] | None = None,
+) -> Iterator[NodeT]:
+    """Depth-first preorder from *sources* (default: all source nodes)."""
+    if sources is None:
+        sources = graph.source_nodes() or graph.nodes()[:1]
+    visited: set[NodeT] = set()
+    for source in sources:
+        if source in visited:
+            continue
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            yield node
+            succ = [s for s in graph.successors(node) if s not in visited]
+            stack.extend(reversed(succ))
+
+
+def dfs_postorder(
+    graph: OrderedMultiDiGraph[NodeT, object],
+    sources: Iterable[NodeT] | None = None,
+) -> Iterator[NodeT]:
+    """Depth-first postorder (children before parents)."""
+    if sources is None:
+        sources = graph.source_nodes() or graph.nodes()[:1]
+    visited: set[NodeT] = set()
+    for source in sources:
+        if source in visited:
+            continue
+        # Iterative postorder with an explicit expansion marker.
+        stack: list[tuple[NodeT, bool]] = [(source, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+                continue
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.append((node, True))
+            succ = [s for s in graph.successors(node) if s not in visited]
+            stack.extend((s, False) for s in reversed(succ))
+
+
+def bfs_layers(
+    graph: OrderedMultiDiGraph[NodeT, object],
+    sources: Iterable[NodeT] | None = None,
+) -> list[list[NodeT]]:
+    """Breadth-first layers: layer 0 are the sources, layer k their frontier."""
+    if sources is None:
+        sources = graph.source_nodes() or graph.nodes()[:1]
+    frontier = list(dict.fromkeys(sources))
+    visited = set(frontier)
+    layers: list[list[NodeT]] = []
+    while frontier:
+        layers.append(frontier)
+        nxt: list[NodeT] = []
+        for node in frontier:
+            for succ in graph.successors(node):
+                if succ not in visited:
+                    visited.add(succ)
+                    nxt.append(succ)
+        frontier = nxt
+    return layers
+
+
+def weakly_connected_components(
+    graph: OrderedMultiDiGraph[NodeT, object],
+) -> list[list[NodeT]]:
+    """Connected components ignoring edge direction, in discovery order."""
+    visited: set[NodeT] = set()
+    components: list[list[NodeT]] = []
+    for start in graph.nodes():
+        if start in visited:
+            continue
+        component: list[NodeT] = []
+        stack = [start]
+        visited.add(start)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            neighbors = [e.dst for e in graph.out_edges(node)]
+            neighbors += [e.src for e in graph.in_edges(node)]
+            for n in neighbors:
+                if n not in visited:
+                    visited.add(n)
+                    stack.append(n)
+        components.append(component)
+    return components

@@ -1,0 +1,37 @@
+"""The dataflow intermediate representation (SDFG-like).
+
+This subpackage implements the IR the paper's tool operates on: a *stateful
+dataflow multigraph*.  A :class:`~repro.sdfg.sdfg.SDFG` is a state machine
+whose states are acyclic dataflow graphs.  Dataflow nodes are data accesses
+(:class:`~repro.sdfg.nodes.AccessNode`), fine-grained computations
+(:class:`~repro.sdfg.nodes.Tasklet`) and parametric parallel scopes
+(:class:`~repro.sdfg.nodes.MapEntry` / :class:`~repro.sdfg.nodes.MapExit`);
+edges carry :class:`~repro.sdfg.memlet.Memlet` annotations that describe
+*exactly which data subset* moves along the edge — the information the
+paper's analyses consume.
+"""
+
+from repro.sdfg import dtypes
+from repro.sdfg.data import Array, Scalar
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import AccessNode, Map, MapEntry, MapExit, NestedSDFG, Node, Tasklet
+from repro.sdfg.sdfg import SDFG, InterstateEdge
+from repro.sdfg.state import Connection, SDFGState
+
+__all__ = [
+    "SDFG",
+    "SDFGState",
+    "InterstateEdge",
+    "Connection",
+    "Memlet",
+    "Array",
+    "Scalar",
+    "dtypes",
+    "Node",
+    "AccessNode",
+    "Tasklet",
+    "Map",
+    "MapEntry",
+    "MapExit",
+    "NestedSDFG",
+]

@@ -1,0 +1,129 @@
+"""Element data types for IR data descriptors.
+
+A :class:`Dtype` knows its size in bytes (what the cache-line layout
+analysis needs), its NumPy counterpart (what the code generator needs) and
+its C-like name (what serialization uses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Dtype",
+    "by_name",
+    "from_numpy",
+    "bool_",
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "uint8",
+    "uint16",
+    "uint32",
+    "uint64",
+    "float32",
+    "float64",
+    "complex64",
+    "complex128",
+]
+
+
+class Dtype:
+    """An element type with a fixed byte size."""
+
+    __slots__ = ("name", "itemsize", "_numpy_name", "kind")
+
+    def __init__(self, name: str, itemsize: int, numpy_name: str, kind: str):
+        self.name = name
+        self.itemsize = itemsize
+        self._numpy_name = numpy_name
+        #: One of "b" (boolean), "i" (signed), "u" (unsigned), "f" (float),
+        #: "c" (complex) — mirrors NumPy kind codes.
+        self.kind = kind
+
+    @property
+    def as_numpy(self) -> np.dtype:
+        """The equivalent NumPy dtype."""
+        return np.dtype(self._numpy_name)
+
+    @property
+    def is_floating(self) -> bool:
+        return self.kind in ("f", "c")
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in ("i", "u")
+
+    def __getitem__(self, shape) -> tuple["Dtype", tuple]:
+        """Support annotation syntax ``float64[I, J]`` in the frontend.
+
+        Returns a (dtype, shape) pair the ``@program`` parser understands.
+        """
+        if not isinstance(shape, tuple):
+            shape = (shape,)
+        return (self, shape)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dtype):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((Dtype, self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+bool_ = Dtype("bool", 1, "bool_", "b")
+int8 = Dtype("int8", 1, "int8", "i")
+int16 = Dtype("int16", 2, "int16", "i")
+int32 = Dtype("int32", 4, "int32", "i")
+int64 = Dtype("int64", 8, "int64", "i")
+uint8 = Dtype("uint8", 1, "uint8", "u")
+uint16 = Dtype("uint16", 2, "uint16", "u")
+uint32 = Dtype("uint32", 4, "uint32", "u")
+uint64 = Dtype("uint64", 8, "uint64", "u")
+float32 = Dtype("float32", 4, "float32", "f")
+float64 = Dtype("float64", 8, "float64", "f")
+complex64 = Dtype("complex64", 8, "complex64", "c")
+complex128 = Dtype("complex128", 16, "complex128", "c")
+
+_ALL = {
+    t.name: t
+    for t in (
+        bool_,
+        int8,
+        int16,
+        int32,
+        int64,
+        uint8,
+        uint16,
+        uint32,
+        uint64,
+        float32,
+        float64,
+        complex64,
+        complex128,
+    )
+}
+
+
+def by_name(name: str) -> Dtype:
+    """Look up a dtype by its canonical name (e.g. ``"float64"``)."""
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise ReproError(f"unknown dtype {name!r}") from None
+
+
+def from_numpy(np_dtype) -> Dtype:
+    """Convert a NumPy dtype (or anything accepted by ``np.dtype``)."""
+    np_dtype = np.dtype(np_dtype)
+    for t in _ALL.values():
+        if t.as_numpy == np_dtype:
+            return t
+    raise ReproError(f"no IR dtype equivalent for NumPy dtype {np_dtype}")

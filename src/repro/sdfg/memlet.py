@@ -1,0 +1,127 @@
+"""Memlets: data-movement annotations on dataflow edges.
+
+A memlet records *which subset* of *which container* moves along an edge —
+"an annotation of exactly what data subsets are being accessed by each
+computation in the form of a symbolic expression" (paper Section V-C).  The
+global view's logical data-movement heatmap colors edges by the memlet
+volume; the local view evaluates memlet subsets under concrete map
+parameters to derive exact access patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ReproError
+from repro.sdfg.data import Data
+from repro.symbolic.expr import Expr, ExprLike, Integer, mul, sympify
+from repro.symbolic.ranges import Subset
+
+__all__ = ["Memlet"]
+
+#: Recognized write-conflict-resolution operators (reductions).
+_WCR_OPS = {"sum", "product", "min", "max"}
+
+
+class Memlet:
+    """Movement of ``subset`` of container ``data`` along an edge.
+
+    Parameters
+    ----------
+    data:
+        Name of the container being accessed.
+    subset:
+        The accessed subset; a :class:`~repro.symbolic.ranges.Subset`, a
+        subset string (``"0:N, i"``) or ``None`` for a scalar access.
+    wcr:
+        Optional write-conflict resolution (reduction) operator applied on
+        conflicting writes: one of ``"sum"``, ``"product"``, ``"min"``,
+        ``"max"``.
+    volume_hint:
+        Optional symbolic override of the movement volume in elements.
+        When absent, the volume is the subset's element count.  Propagated
+        (outer-scope) memlets use this to carry ``inner volume × map
+        iterations`` even when the union subset over-approximates.
+    """
+
+    __slots__ = ("data", "subset", "wcr", "volume_hint")
+
+    def __init__(
+        self,
+        data: str,
+        subset: Subset | str | None = None,
+        wcr: str | None = None,
+        volume_hint: ExprLike | None = None,
+    ):
+        if not isinstance(data, str) or not data:
+            raise ReproError(f"memlet requires a container name, got {data!r}")
+        self.data = data
+        if isinstance(subset, str):
+            subset = Subset.from_string(subset)
+        if subset is None:
+            subset = Subset(())  # scalar
+        if not isinstance(subset, Subset):
+            raise ReproError(f"invalid memlet subset {subset!r}")
+        self.subset = subset
+        if wcr is not None and wcr not in _WCR_OPS:
+            raise ReproError(f"unknown write-conflict resolution {wcr!r}")
+        self.wcr = wcr
+        self.volume_hint = None if volume_hint is None else sympify(volume_hint)
+
+    # -- convenience constructors -----------------------------------------
+    @classmethod
+    def simple(cls, data: str, subset_str: str, wcr: str | None = None) -> "Memlet":
+        """Build from a container name and subset string."""
+        return cls(data, Subset.from_string(subset_str), wcr=wcr)
+
+    @classmethod
+    def full(cls, data: str, descriptor: Data) -> "Memlet":
+        """A memlet covering the whole container described by *descriptor*."""
+        shape = descriptor.shape
+        if not shape:
+            return cls(data, Subset(()))
+        return cls(data, Subset.full(shape))
+
+    # -- analysis -----------------------------------------------------------
+    def volume(self) -> Expr:
+        """Moved volume in elements (symbolic)."""
+        if self.volume_hint is not None:
+            return self.volume_hint
+        return self.subset.num_elements()
+
+    def bytes_moved(self, descriptor: Data) -> Expr:
+        """Moved volume in bytes, given the container's descriptor."""
+        return mul(self.volume(), Integer(descriptor.dtype.itemsize))
+
+    def free_symbols(self) -> frozenset[str]:
+        out = self.subset.free_symbols()
+        if self.volume_hint is not None:
+            out |= self.volume_hint.free_symbols()
+        return out
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> "Memlet":
+        """Substitute symbols in the subset (and volume hint)."""
+        return Memlet(
+            self.data,
+            self.subset.subs(mapping),
+            wcr=self.wcr,
+            volume_hint=None if self.volume_hint is None else self.volume_hint.subs(mapping),
+        )
+
+    # -- identity -----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Memlet):
+            return NotImplemented
+        return (
+            self.data == other.data
+            and self.subset == other.subset
+            and self.wcr == other.wcr
+            and self.volume_hint == other.volume_hint
+        )
+
+    def __hash__(self) -> int:
+        return hash((Memlet, self.data, self.subset, self.wcr))
+
+    def __repr__(self) -> str:
+        wcr = f", wcr={self.wcr}" if self.wcr else ""
+        return f"Memlet({self.data}[{self.subset}]{wcr})"

@@ -1,0 +1,262 @@
+"""The top-level SDFG: a state machine over dataflow states."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.graph import Edge, OrderedMultiDiGraph
+from repro.sdfg import dtypes
+from repro.sdfg.data import Array, Data, Scalar
+from repro.sdfg.state import SDFGState
+from repro.symbolic.expr import ExprLike
+
+__all__ = ["SDFG", "InterstateEdge"]
+
+
+class InterstateEdge:
+    """Transition between states: optional condition plus symbol assignments.
+
+    Conditions and assignment values are stored as expression strings so
+    they stay symbolic; the analyses here only need the assignments for
+    symbol tracking.
+    """
+
+    __slots__ = ("condition", "assignments")
+
+    def __init__(
+        self,
+        condition: str | None = None,
+        assignments: Mapping[str, str] | None = None,
+    ):
+        self.condition = condition
+        self.assignments: dict[str, str] = dict(assignments or {})
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.condition:
+            parts.append(f"if {self.condition}")
+        if self.assignments:
+            parts.append(", ".join(f"{k}={v}" for k, v in self.assignments.items()))
+        return f"InterstateEdge({'; '.join(parts)})"
+
+
+class SDFG:
+    """A stateful dataflow multigraph.
+
+    Holds the program's data descriptors (:attr:`arrays`), free symbols
+    (:attr:`symbols`) and a state machine of dataflow states.  Most
+    programs in this library are single-state; the state machine exists for
+    completeness and sequential compositions (e.g. multi-kernel programs).
+    """
+
+    def __init__(self, name: str):
+        if not name or not name.isidentifier():
+            raise ReproError(f"invalid SDFG name {name!r}")
+        self.name = name
+        #: Data descriptors by container name.
+        self.arrays: dict[str, Data] = {}
+        #: Free symbols (size parameters) by name.
+        self.symbols: set[str] = set()
+        self._states: OrderedMultiDiGraph[SDFGState, InterstateEdge] = OrderedMultiDiGraph()
+        self._start_state: SDFGState | None = None
+
+    # -- data descriptors ------------------------------------------------------
+    def add_array(
+        self,
+        name: str,
+        shape: Sequence[ExprLike],
+        dtype: dtypes.Dtype,
+        strides: Sequence[ExprLike] | None = None,
+        start_offset: ExprLike = 0,
+        alignment: int = 0,
+        transient: bool = False,
+    ) -> Array:
+        """Register an array container and return its descriptor."""
+        self._check_name(name)
+        desc = Array(
+            dtype,
+            shape,
+            strides=strides,
+            start_offset=start_offset,
+            alignment=alignment,
+            transient=transient,
+        )
+        self.arrays[name] = desc
+        for sym in desc.free_symbols():
+            self.symbols.add(sym)
+        return desc
+
+    def add_transient(
+        self,
+        name: str,
+        shape: Sequence[ExprLike],
+        dtype: dtypes.Dtype,
+        strides: Sequence[ExprLike] | None = None,
+    ) -> Array:
+        """Register a transient (program-managed intermediate) array."""
+        return self.add_array(name, shape, dtype, strides=strides, transient=True)
+
+    def add_scalar(
+        self, name: str, dtype: dtypes.Dtype, transient: bool = False
+    ) -> Scalar:
+        """Register a scalar container."""
+        self._check_name(name)
+        desc = Scalar(dtype, transient=transient)
+        self.arrays[name] = desc
+        return desc
+
+    def add_symbol(self, name: str) -> str:
+        """Register a free symbol (size parameter)."""
+        if not name.isidentifier():
+            raise ReproError(f"invalid symbol name {name!r}")
+        self.symbols.add(name)
+        return name
+
+    def replace_descriptor(self, name: str, desc: Data) -> None:
+        """Swap the descriptor of an existing container (layout transforms)."""
+        if name not in self.arrays:
+            raise ReproError(f"container {name!r} is not defined")
+        self.arrays[name] = desc
+        for sym in desc.free_symbols():
+            self.symbols.add(sym)
+
+    def remove_data(self, name: str) -> None:
+        """Remove a container descriptor (caller removes its access nodes)."""
+        if name not in self.arrays:
+            raise ReproError(f"container {name!r} is not defined")
+        del self.arrays[name]
+
+    def _check_name(self, name: str) -> None:
+        if not name or not name.isidentifier():
+            raise ReproError(f"invalid container name {name!r}")
+        if name in self.arrays:
+            raise ReproError(f"container {name!r} already defined in {self.name!r}")
+
+    # -- states -----------------------------------------------------------------
+    def add_state(self, name: str | None = None, is_start: bool = False) -> SDFGState:
+        """Create and register a new dataflow state."""
+        if name is None:
+            name = f"state_{self._states.number_of_nodes}"
+        if any(s.name == name for s in self._states.nodes()):
+            raise ReproError(f"state {name!r} already exists in {self.name!r}")
+        state = SDFGState(name, sdfg=self)
+        self._states.add_node(state)
+        if is_start or self._start_state is None:
+            self._start_state = state
+        return state
+
+    def add_state_after(
+        self, predecessor: SDFGState, name: str | None = None
+    ) -> SDFGState:
+        """Create a state and connect it sequentially after *predecessor*."""
+        state = self.add_state(name)
+        self.add_interstate_edge(predecessor, state)
+        return state
+
+    def add_interstate_edge(
+        self,
+        src: SDFGState,
+        dst: SDFGState,
+        condition: str | None = None,
+        assignments: Mapping[str, str] | None = None,
+    ) -> Edge[SDFGState, InterstateEdge]:
+        return self._states.add_edge(src, dst, InterstateEdge(condition, assignments))
+
+    @property
+    def start_state(self) -> SDFGState:
+        if self._start_state is None:
+            raise ReproError(f"SDFG {self.name!r} has no states")
+        return self._start_state
+
+    def states(self) -> list[SDFGState]:
+        return self._states.nodes()
+
+    def interstate_edges(self) -> list[Edge[SDFGState, InterstateEdge]]:
+        return self._states.edges()
+
+    def state_graph(self) -> OrderedMultiDiGraph[SDFGState, InterstateEdge]:
+        return self._states
+
+    # -- queries -----------------------------------------------------------------
+    def all_states_topological(self) -> list[SDFGState]:
+        """States in execution-compatible order (start state first)."""
+        from repro.graph import topological_sort
+
+        order = topological_sort(self._states)
+        if self._start_state in order:
+            order.remove(self._start_state)
+            order.insert(0, self._start_state)
+        return order
+
+    def input_containers(self) -> list[str]:
+        """Non-transient containers that are read before being written."""
+        written: set[str] = set()
+        inputs: list[str] = []
+        for state in self.all_states_topological():
+            for node in state.topological_nodes():
+                from repro.sdfg.nodes import AccessNode
+
+                if not isinstance(node, AccessNode):
+                    continue
+                desc = self.arrays.get(node.data)
+                if desc is None or desc.transient:
+                    continue
+                has_reads = bool(state.out_edges(node))
+                has_writes = bool(state.in_edges(node))
+                if has_reads and node.data not in written and node.data not in inputs:
+                    inputs.append(node.data)
+                if has_writes:
+                    written.add(node.data)
+        return inputs
+
+    def output_containers(self) -> list[str]:
+        """Non-transient containers that are written anywhere."""
+        outputs: list[str] = []
+        for state in self.all_states_topological():
+            for node in state.data_nodes():
+                desc = self.arrays.get(node.data)
+                if desc is None or desc.transient:
+                    continue
+                if state.in_edges(node) and node.data not in outputs:
+                    outputs.append(node.data)
+        return outputs
+
+    def free_symbols(self) -> frozenset[str]:
+        """All symbols the SDFG's descriptors and memlets depend on."""
+        out: set[str] = set(self.symbols)
+        for desc in self.arrays.values():
+            out |= desc.free_symbols()
+        for state in self.states():
+            for _, memlet in state.all_memlets():
+                out |= memlet.free_symbols()
+            # Exclude map parameters: they are bound within scopes.
+            for entry in state.map_entries():
+                out -= set(entry.map.params)
+                for r in entry.map.ranges:
+                    out |= r.free_symbols()
+        for state in self.states():
+            for entry in state.map_entries():
+                out -= set(entry.map.params)
+        return frozenset(out)
+
+    def validate(self) -> None:
+        """Run structural validation; raises on the first violation."""
+        from repro.sdfg.validation import validate_sdfg
+
+        validate_sdfg(self)
+
+    def copy(self) -> "SDFG":
+        """An independent deep copy (via the JSON serialization round-trip)."""
+        from repro.sdfg.serialize import from_json, to_json
+
+        return from_json(to_json(self))
+
+    def __iter__(self) -> Iterator[SDFGState]:
+        return iter(self._states.nodes())
+
+    def __repr__(self) -> str:
+        return (
+            f"SDFG({self.name!r}, states={self._states.number_of_nodes}, "
+            f"arrays={len(self.arrays)})"
+        )

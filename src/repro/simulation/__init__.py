@@ -1,0 +1,73 @@
+"""Parameterized access-pattern simulation (the local view backend).
+
+This subpackage implements the paper's Section V: given a program region
+parameterized with small concrete sizes, it
+
+1. enumerates the iteration spaces of the region's map scopes
+   (:mod:`~repro.simulation.iterspace`),
+2. evaluates every memlet's symbolic subset at every iteration to obtain
+   the *exact access pattern* per data container
+   (:mod:`~repro.simulation.simulator`, producing
+   :mod:`~repro.simulation.trace` events),
+3. maps logical elements to physical bytes and cache lines from the data
+   descriptors' strides/alignment (:mod:`~repro.simulation.layout`),
+4. computes stack (reuse) distances at cache-line granularity
+   (:mod:`~repro.simulation.stackdist`),
+5. classifies cold and capacity misses under a fully-associative LRU model
+   (:mod:`~repro.simulation.cache`), and
+6. estimates the resulting *physical* data movement
+   (:mod:`~repro.simulation.movement`).
+
+Related-access derivation (which elements are touched by the same
+computations, Section V-C) lives in :mod:`~repro.simulation.related`.
+"""
+
+from repro.simulation.cache import (
+    CacheModel,
+    MissKind,
+    classify_accesses,
+    classify_three_way,
+    count_misses,
+    count_three_way,
+    simulate_lru,
+    simulate_set_associative,
+)
+from repro.simulation.iterspace import iteration_points
+from repro.simulation.layout import MemoryModel, PhysicalLayout
+from repro.simulation.movement import (
+    container_physical_movement,
+    edge_physical_movement,
+)
+from repro.simulation.related import related_access_counts
+from repro.simulation.simulator import AccessPatternSimulator, SimulationResult, simulate_state
+from repro.simulation.stackdist import (
+    element_stack_distances,
+    stack_distances,
+    stack_distances_bruteforce,
+)
+from repro.simulation.trace import AccessEvent, AccessKind
+
+__all__ = [
+    "AccessEvent",
+    "AccessKind",
+    "AccessPatternSimulator",
+    "SimulationResult",
+    "simulate_state",
+    "iteration_points",
+    "PhysicalLayout",
+    "MemoryModel",
+    "stack_distances",
+    "stack_distances_bruteforce",
+    "element_stack_distances",
+    "CacheModel",
+    "MissKind",
+    "classify_accesses",
+    "classify_three_way",
+    "count_misses",
+    "count_three_way",
+    "simulate_lru",
+    "simulate_set_associative",
+    "container_physical_movement",
+    "edge_physical_movement",
+    "related_access_counts",
+]

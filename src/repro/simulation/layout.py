@@ -1,0 +1,200 @@
+"""Physical data layout: elements → byte addresses → cache lines.
+
+"The remaining information, like individual element sizes, alignment,
+offset, and padding, can all be extracted from the program's intermediate
+representation" (paper Section V-D).  A :class:`PhysicalLayout` concretizes
+one container's descriptor under the simulation parameters; a
+:class:`MemoryModel` places several containers in one address space so
+cache lines are shared and disambiguated exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.sdfg.data import Array, Data, Scalar
+from repro.sdfg.sdfg import SDFG
+
+__all__ = ["PhysicalLayout", "MemoryModel"]
+
+
+def _align_up(value: int, alignment: int) -> int:
+    if alignment <= 1:
+        return value
+    return (value + alignment - 1) // alignment * alignment
+
+
+class PhysicalLayout:
+    """Concrete physical layout of one container.
+
+    Parameters
+    ----------
+    desc:
+        The data descriptor (shape/strides/offset evaluated under *env*).
+    env:
+        Symbol values used to concretize the symbolic layout.
+    base_address:
+        Byte address of the allocation base.
+    """
+
+    def __init__(
+        self,
+        desc: Data,
+        env: Mapping[str, int] | None = None,
+        base_address: int = 0,
+    ):
+        self.desc = desc
+        self.env = dict(env or {})
+        self.base_address = int(base_address)
+        self.itemsize = desc.dtype.itemsize
+        if isinstance(desc, Scalar):
+            self.shape: tuple[int, ...] = ()
+            self.strides: tuple[int, ...] = ()
+            self.start_offset = 0
+        elif isinstance(desc, Array):
+            try:
+                self.shape = tuple(int(s.evaluate(self.env)) for s in desc.shape)
+                self.strides = tuple(int(s.evaluate(self.env)) for s in desc.strides)
+                self.start_offset = int(desc.start_offset.evaluate(self.env))
+            except Exception as exc:
+                raise SimulationError(
+                    f"cannot concretize layout: {exc}"
+                ) from exc
+        else:  # pragma: no cover - descriptors are Scalar or Array
+            raise SimulationError(f"unsupported descriptor {desc!r}")
+
+    # -- addressing ------------------------------------------------------------
+    def element_address(self, indices: Sequence[int]) -> int:
+        """Byte address of an element."""
+        if len(indices) != len(self.shape):
+            raise SimulationError(
+                f"expected {len(self.shape)} indices, got {len(indices)}"
+            )
+        offset = self.start_offset
+        for i, stride in zip(indices, self.strides):
+            offset += i * stride
+        return self.base_address + offset * self.itemsize
+
+    def cache_line_of(self, indices: Sequence[int], line_size: int) -> int:
+        """Cache-line id (global, address // line size) of an element."""
+        return self.element_address(indices) // line_size
+
+    def size_bytes(self) -> int:
+        """Allocated extent in bytes (including stride padding)."""
+        if not self.shape:
+            return self.itemsize
+        extent = 1
+        for size, stride in zip(self.shape, self.strides):
+            extent += (size - 1) * stride
+        return (self.start_offset + extent) * self.itemsize
+
+    def end_address(self) -> int:
+        return self.base_address + self.size_bytes()
+
+    # -- reverse mapping -----------------------------------------------------------
+    def iter_elements(self) -> Iterator[tuple[int, ...]]:
+        """All element indices in row-major order."""
+        if not self.shape:
+            yield ()
+            return
+        pos = [0] * len(self.shape)
+        while True:
+            yield tuple(pos)
+            axis = len(self.shape) - 1
+            while axis >= 0:
+                pos[axis] += 1
+                if pos[axis] < self.shape[axis]:
+                    break
+                pos[axis] = 0
+                axis -= 1
+            if axis < 0:
+                return
+
+    def elements_on_line(
+        self, line: int, line_size: int
+    ) -> list[tuple[int, ...]]:
+        """Elements of *this container* that live on cache line *line*.
+
+        This is the spatial-locality overlay of Fig. 5a: selecting an
+        element highlights everything pulled into the cache with it.
+        """
+        return [
+            idx
+            for idx in self.iter_elements()
+            if self.cache_line_of(idx, line_size) == line
+        ]
+
+    def neighbors_in_line(
+        self, indices: Sequence[int], line_size: int
+    ) -> list[tuple[int, ...]]:
+        """Elements sharing the cache line of ``indices`` (including it)."""
+        return self.elements_on_line(self.cache_line_of(indices, line_size), line_size)
+
+
+class MemoryModel:
+    """Lays out a program's containers in one linear address space.
+
+    Containers are placed in registration order, each aligned to its
+    descriptor's requested alignment (default: the element size).  The
+    model answers element→line queries across containers, so false sharing
+    between adjacent containers and row wrap-around (Fig. 8c) are modeled.
+    """
+
+    def __init__(
+        self,
+        sdfg: SDFG,
+        env: Mapping[str, int] | None = None,
+        line_size: int = 64,
+        include: Sequence[str] | None = None,
+        base_address: int = 0,
+    ):
+        if line_size <= 0:
+            raise SimulationError("line size must be positive")
+        self.sdfg = sdfg
+        self.env = dict(env or {})
+        self.line_size = int(line_size)
+        self.layouts: dict[str, PhysicalLayout] = {}
+        cursor = int(base_address)
+        names = list(include) if include is not None else list(sdfg.arrays)
+        for name in names:
+            desc = sdfg.arrays[name]
+            alignment = getattr(desc, "alignment", 0) or desc.dtype.itemsize
+            cursor = _align_up(cursor, alignment)
+            layout = PhysicalLayout(desc, self.env, base_address=cursor)
+            self.layouts[name] = layout
+            cursor = layout.end_address()
+
+    def layout(self, data: str) -> PhysicalLayout:
+        try:
+            return self.layouts[data]
+        except KeyError:
+            raise SimulationError(f"container {data!r} is not in the memory model") from None
+
+    def address_of(self, data: str, indices: Sequence[int]) -> int:
+        return self.layout(data).element_address(indices)
+
+    def line_of(self, data: str, indices: Sequence[int]) -> int:
+        return self.address_of(data, indices) // self.line_size
+
+    def elements_on_line(self, line: int) -> dict[str, list[tuple[int, ...]]]:
+        """All elements (of any container) on a cache line."""
+        out: dict[str, list[tuple[int, ...]]] = {}
+        for name, layout in self.layouts.items():
+            start_line = layout.base_address // self.line_size
+            end_line = (layout.end_address() - 1) // self.line_size
+            if not (start_line <= line <= end_line):
+                continue
+            elements = layout.elements_on_line(line, self.line_size)
+            if elements:
+                out[name] = elements
+        return out
+
+    def total_lines(self) -> int:
+        """Number of distinct cache lines spanned by all containers."""
+        lines: set[int] = set()
+        for layout in self.layouts.values():
+            first = layout.base_address // self.line_size
+            last = (layout.end_address() - 1) // self.line_size
+            lines.update(range(first, last + 1))
+        return len(lines)

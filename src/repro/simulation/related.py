@@ -1,0 +1,57 @@
+"""Related-access derivation (Section V-C, Fig. 4c).
+
+"The same information can be used to derive and visualize data accesses
+related to other accesses, based on whether they occur in the same
+computations."  Two accesses are *related* when they belong to the same
+tasklet execution.  Selecting one or more memory locations stacks the
+related-access counts of all executions touching them into a heatmap that
+exposes replication and tiling opportunities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.simulation.simulator import SimulationResult
+from repro.simulation.trace import AccessEvent
+
+__all__ = ["related_access_counts", "related_events"]
+
+Selection = tuple[str, tuple[int, ...]]
+
+
+def related_events(
+    result: SimulationResult, selections: Iterable[Selection]
+) -> list[AccessEvent]:
+    """All events related to any selected ``(container, indices)`` element.
+
+    An event is related when its execution also accesses a selected
+    element.  The selected elements' own accesses are included (they are
+    trivially related to themselves), matching the tool's behaviour of
+    highlighting the selection.
+    """
+    wanted = set(selections)
+    out: list[AccessEvent] = []
+    for _, events in result.executions():
+        if any((e.data, e.indices) in wanted for e in events):
+            out.extend(events)
+    return out
+
+
+def related_access_counts(
+    result: SimulationResult,
+    selections: Sequence[Selection],
+    data: str | None = None,
+) -> dict[Selection, int]:
+    """Stacked related-access counts per element.
+
+    Multiple selections stack (Fig. 4c selects C[3,0], C[3,1] and C[3,2]
+    simultaneously); restrict the result to one container with *data*.
+    """
+    counts: dict[Selection, int] = {}
+    for event in related_events(result, selections):
+        if data is not None and event.data != data:
+            continue
+        key = (event.data, event.indices)
+        counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,85 @@
+"""Access traces: the raw output of the pattern simulation."""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+__all__ = ["AccessKind", "AccessEvent"]
+
+
+class AccessKind(enum.Enum):
+    """Whether an access reads or writes its element."""
+
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class AccessEvent:
+    """One element access observed during simulation.
+
+    Attributes
+    ----------
+    data:
+        Container name.
+    indices:
+        Concrete element indices.
+    kind:
+        Read or write.
+    step:
+        Global ordinal of the *timestep* (map iteration) this access
+        belongs to; the playback animation advances one step at a time and
+        highlights all events sharing it.
+    execution:
+        Ordinal of the tasklet execution producing the access; related-
+        access analysis groups events by this.
+    tasklet:
+        Name of the executing tasklet.
+    point:
+        The map iteration point (parameter values) of the execution.
+    """
+
+    __slots__ = ("data", "indices", "kind", "step", "execution", "tasklet", "point")
+
+    def __init__(
+        self,
+        data: str,
+        indices: tuple[int, ...],
+        kind: AccessKind,
+        step: int,
+        execution: int,
+        tasklet: str,
+        point: tuple[int, ...],
+    ):
+        self.data = data
+        self.indices = indices
+        self.kind = kind
+        self.step = step
+        self.execution = execution
+        self.tasklet = tasklet
+        self.point = point
+
+    def __repr__(self) -> str:
+        idx = ", ".join(str(i) for i in self.indices)
+        return (
+            f"AccessEvent({self.kind.value} {self.data}[{idx}] @step {self.step})"
+        )
+
+
+def filter_events(
+    events: Iterable[AccessEvent],
+    data: str | None = None,
+    kind: AccessKind | None = None,
+) -> list[AccessEvent]:
+    """Events restricted to one container and/or access kind."""
+    out = []
+    for e in events:
+        if data is not None and e.data != data:
+            continue
+        if kind is not None and e.kind != kind:
+            continue
+        out.append(e)
+    return out

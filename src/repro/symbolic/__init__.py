@@ -1,0 +1,82 @@
+"""Symbolic expression engine.
+
+The IR annotates memlets, map ranges and data descriptors with *symbolic*
+integer expressions (e.g. data-movement volumes such as ``B*H*SM*SM``), which
+the global view re-evaluates on the fly when the user changes parameter
+values (the paper's "parametric scaling analysis", Section IV-D).
+
+This subpackage implements that engine from scratch:
+
+- :mod:`repro.symbolic.expr` — immutable expression trees with eager
+  canonicalizing constructors (:class:`Symbol`, :class:`Integer`, ``Add``,
+  ``Mul``, ``Pow``, ``FloorDiv``, ``Mod``, ``Min``, ``Max``...);
+  simplification and evaluation live in the constructors and node methods.
+- :mod:`repro.symbolic.parser` — parse strings like ``"(I+4)*(J+4)*K"`` into
+  expression trees (round-trips with ``str()``).
+- :mod:`repro.symbolic.ranges` — inclusive integer ranges and
+  multi-dimensional subsets with symbolic bounds, the building block of
+  memlet subsets and map iteration spaces.
+"""
+
+from repro.symbolic.expr import (
+    Add,
+    Div,
+    Expr,
+    FloorDiv,
+    Integer,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Number,
+    Pow,
+    Symbol,
+    add,
+    ceiling_div,
+    div,
+    floor_div,
+    mod,
+    mul,
+    neg,
+    pow_,
+    smax,
+    smin,
+    sub,
+    symbols,
+    sympify,
+    evaluate_int,
+)
+from repro.symbolic.parser import parse_expr
+from repro.symbolic.ranges import Range, Subset
+
+__all__ = [
+    "Expr",
+    "Number",
+    "Integer",
+    "Symbol",
+    "Add",
+    "Mul",
+    "Pow",
+    "Div",
+    "FloorDiv",
+    "Mod",
+    "Min",
+    "Max",
+    "add",
+    "sub",
+    "mul",
+    "neg",
+    "div",
+    "floor_div",
+    "ceiling_div",
+    "mod",
+    "pow_",
+    "smin",
+    "smax",
+    "symbols",
+    "sympify",
+    "evaluate_int",
+    "parse_expr",
+    "Range",
+    "Subset",
+]

@@ -1,0 +1,1034 @@
+"""Immutable symbolic expression trees with canonicalizing constructors.
+
+The engine supports exactly the operations the IR and analyses need:
+integer/float constants, named symbols, n-ary addition and multiplication,
+integer power, true division (for arithmetic-intensity ratios), floor
+division and modulo (for index arithmetic), and n-ary ``Min``/``Max``.
+
+Expressions are immutable and hashable; structural equality is value
+equality.  Construction goes through the *smart constructors* (:func:`add`,
+:func:`mul`, :func:`pow_`, ...) which eagerly apply cheap, always-correct
+simplifications: constant folding, flattening of associative operations,
+identity/absorbing-element elimination and a canonical term order.  Python
+operators on :class:`Expr` delegate to the smart constructors, so
+``Symbol("I") * 2 + 3`` builds a canonical tree directly.
+
+Design notes
+------------
+- All simplification here is *sound for integers and reals alike* except
+  ``FloorDiv``/``Mod`` folding, which is only applied to integer constants.
+- Expressions over symbols known to be nonnegative (the common case for
+  sizes) can be compared with :func:`Expr.is_nonnegative` heuristics used by
+  the range algebra.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+from repro.errors import EvaluationError, SymbolicError
+
+__all__ = [
+    "Expr",
+    "Number",
+    "Integer",
+    "Symbol",
+    "Add",
+    "Mul",
+    "Pow",
+    "Div",
+    "FloorDiv",
+    "Mod",
+    "Min",
+    "Max",
+    "sympify",
+    "add",
+    "sub",
+    "mul",
+    "neg",
+    "div",
+    "floor_div",
+    "ceiling_div",
+    "mod",
+    "pow_",
+    "smin",
+    "smax",
+]
+
+#: Anything convertible to an expression.
+ExprLike = Union["Expr", int, float, str]
+
+
+def sympify(value: ExprLike) -> "Expr":
+    """Convert *value* into an :class:`Expr`.
+
+    Accepts existing expressions (returned unchanged), Python ints/floats
+    (wrapped in :class:`Integer`/:class:`Number`), and strings (parsed with
+    :func:`repro.symbolic.parser.parse_expr`).
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise SymbolicError("booleans are not valid symbolic values")
+    if isinstance(value, int):
+        return Integer(value)
+    if isinstance(value, float):
+        if value.is_integer():
+            return Integer(int(value))
+        return Number(value)
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return Integer(value.numerator)
+        return Number(float(value))
+    if isinstance(value, str):
+        # Imported lazily to avoid a circular import at module load time.
+        from repro.symbolic.parser import parse_expr
+
+        return parse_expr(value)
+    raise SymbolicError(f"cannot convert {value!r} of type {type(value).__name__} to Expr")
+
+
+class Expr:
+    """Base class of all symbolic expression nodes.
+
+    Subclasses must set ``_sort_class`` (canonical ordering rank) and
+    implement :meth:`_key`, :meth:`free_symbols`, :meth:`evaluate` and
+    :meth:`subs`.
+    """
+
+    __slots__ = ("_hash",)
+
+    #: Rank used for canonical ordering between node classes.
+    _sort_class: int = 99
+
+    # -- identity ---------------------------------------------------------
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def sort_key(self) -> tuple:
+        """Total-order key used to canonically sort commutative operands."""
+        return (self._sort_class,) + self._key()
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Expr):
+            if isinstance(other, (int, float)):
+                try:
+                    other = sympify(other)
+                except SymbolicError:
+                    return NotImplemented
+            else:
+                return NotImplemented
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        h = getattr(self, "_hash", None)
+        if h is None:
+            h = hash((type(self).__name__,) + self._key())
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    # -- core protocol ----------------------------------------------------
+    def free_symbols(self) -> frozenset[str]:
+        """Names of all symbols occurring in the expression."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, int | float] | None = None) -> int | float:
+        """Numerically evaluate under the symbol assignment *env*.
+
+        Raises :class:`~repro.errors.EvaluationError` if a free symbol has
+        no value in *env*.
+        """
+        raise NotImplementedError
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> "Expr":
+        """Substitute symbols by name, re-simplifying the result."""
+        raise NotImplementedError
+
+    def atoms(self) -> frozenset["Expr"]:
+        """All leaf nodes (symbols and constants) in the tree."""
+        leaves: set[Expr] = set()
+        stack: list[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            children = node.children()
+            if not children:
+                leaves.add(node)
+            else:
+                stack.extend(children)
+        return frozenset(leaves)
+
+    def children(self) -> tuple["Expr", ...]:
+        """Direct sub-expressions (empty for leaves)."""
+        return ()
+
+    # -- convenience ------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        """True when the expression contains no free symbols."""
+        return not self.free_symbols()
+
+    def is_nonnegative(self) -> bool | None:
+        """Best-effort sign analysis: True / False / None (unknown).
+
+        Symbols are *assumed nonnegative* — in this library symbols denote
+        data sizes and loop parameters, which are nonnegative by convention
+        (the same assumption DaCe makes for its size symbols).
+        """
+        return None
+
+    # -- operators --------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return add(self, sympify(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return add(sympify(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return sub(self, sympify(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return sub(sympify(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return mul(self, sympify(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return mul(sympify(other), self)
+
+    def __truediv__(self, other: ExprLike) -> "Expr":
+        return div(self, sympify(other))
+
+    def __rtruediv__(self, other: ExprLike) -> "Expr":
+        return div(sympify(other), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return floor_div(self, sympify(other))
+
+    def __rfloordiv__(self, other: ExprLike) -> "Expr":
+        return floor_div(sympify(other), self)
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return mod(self, sympify(other))
+
+    def __rmod__(self, other: ExprLike) -> "Expr":
+        return mod(sympify(other), self)
+
+    def __pow__(self, other: ExprLike) -> "Expr":
+        return pow_(self, sympify(other))
+
+    def __rpow__(self, other: ExprLike) -> "Expr":
+        return pow_(sympify(other), self)
+
+    def __neg__(self) -> "Expr":
+        return neg(self)
+
+    def __pos__(self) -> "Expr":
+        return self
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self!s})"
+
+
+class Number(Expr):
+    """A floating-point constant.
+
+    Integer-valued constants are represented by the :class:`Integer`
+    subclass; :func:`sympify` normalizes automatically.
+    """
+
+    __slots__ = ("value",)
+    _sort_class = 0
+
+    def __init__(self, value: float):
+        object.__setattr__(self, "value", float(value))
+
+    def __setattr__(self, name, value):  # immutability
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+    def free_symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, env: Mapping[str, int | float] | None = None) -> int | float:
+        return self.value
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return self
+
+    def is_nonnegative(self) -> bool | None:
+        return self.value >= 0
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+    def __repr__(self) -> str:
+        return f"Number({self.value!r})"
+
+
+class Integer(Number):
+    """An integer constant."""
+
+    __slots__ = ()
+
+    def __init__(self, value: int):
+        object.__setattr__(self, "value", int(value))
+
+    def evaluate(self, env: Mapping[str, int | float] | None = None) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Integer({self.value})"
+
+
+#: Shared constants.
+ZERO = Integer(0)
+ONE = Integer(1)
+NEG_ONE = Integer(-1)
+
+
+class Symbol(Expr):
+    """A named free symbol (size parameter, loop variable, ...)."""
+
+    __slots__ = ("name",)
+    _sort_class = 1
+
+    def __init__(self, name: str):
+        if not name or not name.isidentifier():
+            raise SymbolicError(f"invalid symbol name {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Symbol is immutable")
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+    def free_symbols(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def evaluate(self, env: Mapping[str, int | float] | None = None) -> int | float:
+        if env is None or self.name not in env:
+            raise EvaluationError(f"no value provided for symbol {self.name!r}")
+        return env[self.name]
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        if self.name in mapping:
+            return sympify(mapping[self.name])
+        return self
+
+    def is_nonnegative(self) -> bool | None:
+        # Symbols denote sizes / loop indices: assumed nonnegative.
+        return True
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name!r})"
+
+
+class _NaryOp(Expr):
+    """Shared machinery for commutative n-ary operations (Add/Mul/Min/Max)."""
+
+    __slots__ = ("args",)
+    _symbol = "?"
+
+    def __init__(self, args: tuple[Expr, ...]):
+        object.__setattr__(self, "args", tuple(args))
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def _key(self) -> tuple:
+        return tuple(a.sort_key() for a in self.args)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def free_symbols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.free_symbols()
+        return out
+
+
+class Add(_NaryOp):
+    """Canonical n-ary sum.  Built via :func:`add`."""
+
+    __slots__ = ()
+    _sort_class = 4
+    _symbol = "+"
+
+    def evaluate(self, env: Mapping[str, int | float] | None = None) -> int | float:
+        return sum(a.evaluate(env) for a in self.args)
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return add(*(a.subs(mapping) for a in self.args))
+
+    def is_nonnegative(self) -> bool | None:
+        signs = [a.is_nonnegative() for a in self.args]
+        if all(s is True for s in signs):
+            return True
+        return None
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for i, a in enumerate(self.args):
+            s = str(a)
+            if i > 0:
+                if s.startswith("-"):
+                    parts.append(" - ")
+                    s = s[1:]
+                else:
+                    parts.append(" + ")
+            parts.append(s)
+        return "".join(parts)
+
+
+class Mul(_NaryOp):
+    """Canonical n-ary product.  Built via :func:`mul`."""
+
+    __slots__ = ()
+    _sort_class = 3
+    _symbol = "*"
+
+    def evaluate(self, env: Mapping[str, int | float] | None = None) -> int | float:
+        out: int | float = 1
+        for a in self.args:
+            out *= a.evaluate(env)
+        return out
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return mul(*(a.subs(mapping) for a in self.args))
+
+    def is_nonnegative(self) -> bool | None:
+        neg_count = 0
+        for a in self.args:
+            s = a.is_nonnegative()
+            if s is None:
+                return None
+            if s is False:
+                neg_count += 1
+        return neg_count % 2 == 0
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        args = self.args
+        # Render a leading -1 coefficient as a unary minus.
+        prefix = ""
+        if isinstance(args[0], Integer) and args[0].value == -1 and len(args) > 1:
+            prefix = "-"
+            args = args[1:]
+        for a in args:
+            s = str(a)
+            # Add binds looser than *, and Div/FloorDiv/Mod share * precedence
+            # left-associatively, so all need parentheses as factors.
+            if isinstance(a, (Add, Div, FloorDiv, Mod)) or (
+                isinstance(a, (Integer, Number)) and a.value < 0
+            ):
+                s = f"({s})"
+            parts.append(s)
+        return prefix + "*".join(parts)
+
+
+class _BinOp(Expr):
+    """Shared machinery for non-commutative binary operations."""
+
+    __slots__ = ("left", "right")
+    _symbol = "?"
+
+    def __init__(self, left: Expr, right: Expr):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def _key(self) -> tuple:
+        return (self.left.sort_key(), self.right.sort_key())
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def free_symbols(self) -> frozenset[str]:
+        return self.left.free_symbols() | self.right.free_symbols()
+
+    def _operand_str(self, e: Expr) -> str:
+        s = str(e)
+        if isinstance(e, (Add, Mul, Div, FloorDiv, Mod, Pow)) or s.startswith("-"):
+            return f"({s})"
+        return s
+
+    def __str__(self) -> str:
+        return f"{self._operand_str(self.left)} {self._symbol} {self._operand_str(self.right)}"
+
+
+class Pow(_BinOp):
+    """Power ``left ** right``.  Built via :func:`pow_`."""
+
+    __slots__ = ()
+    _sort_class = 2
+    _symbol = "**"
+
+    def evaluate(self, env: Mapping[str, int | float] | None = None) -> int | float:
+        return self.left.evaluate(env) ** self.right.evaluate(env)
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return pow_(self.left.subs(mapping), self.right.subs(mapping))
+
+    def is_nonnegative(self) -> bool | None:
+        if self.left.is_nonnegative() is True:
+            return True
+        return None
+
+    def __str__(self) -> str:
+        return f"{self._operand_str(self.left)}**{self._operand_str(self.right)}"
+
+
+class Div(_BinOp):
+    """True division ``left / right`` (used for intensity ratios)."""
+
+    __slots__ = ()
+    _sort_class = 5
+    _symbol = "/"
+
+    def evaluate(self, env: Mapping[str, int | float] | None = None) -> int | float:
+        denom = self.right.evaluate(env)
+        if denom == 0:
+            raise EvaluationError(f"division by zero in {self}")
+        return self.left.evaluate(env) / denom
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return div(self.left.subs(mapping), self.right.subs(mapping))
+
+    def is_nonnegative(self) -> bool | None:
+        ls, rs = self.left.is_nonnegative(), self.right.is_nonnegative()
+        if ls is None or rs is None:
+            return None
+        return ls == rs
+
+
+class FloorDiv(_BinOp):
+    """Floor division ``left // right`` (index arithmetic)."""
+
+    __slots__ = ()
+    _sort_class = 6
+    _symbol = "//"
+
+    def evaluate(self, env: Mapping[str, int | float] | None = None) -> int | float:
+        denom = self.right.evaluate(env)
+        if denom == 0:
+            raise EvaluationError(f"floor division by zero in {self}")
+        return self.left.evaluate(env) // denom
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return floor_div(self.left.subs(mapping), self.right.subs(mapping))
+
+    def is_nonnegative(self) -> bool | None:
+        ls, rs = self.left.is_nonnegative(), self.right.is_nonnegative()
+        if ls is True and rs is True:
+            return True
+        return None
+
+
+class Mod(_BinOp):
+    """Modulo ``left % right`` (index arithmetic, Python semantics)."""
+
+    __slots__ = ()
+    _sort_class = 7
+    _symbol = "%"
+
+    def evaluate(self, env: Mapping[str, int | float] | None = None) -> int | float:
+        denom = self.right.evaluate(env)
+        if denom == 0:
+            raise EvaluationError(f"modulo by zero in {self}")
+        return self.left.evaluate(env) % denom
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return mod(self.left.subs(mapping), self.right.subs(mapping))
+
+    def is_nonnegative(self) -> bool | None:
+        if self.right.is_nonnegative() is True:
+            return True  # Python % sign follows the divisor
+        return None
+
+
+class Min(_NaryOp):
+    """N-ary minimum.  Built via :func:`smin`."""
+
+    __slots__ = ()
+    _sort_class = 8
+
+    def evaluate(self, env: Mapping[str, int | float] | None = None) -> int | float:
+        return min(a.evaluate(env) for a in self.args)
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return smin(*(a.subs(mapping) for a in self.args))
+
+    def is_nonnegative(self) -> bool | None:
+        signs = [a.is_nonnegative() for a in self.args]
+        if all(s is True for s in signs):
+            return True
+        if any(s is False for s in signs):
+            return False
+        return None
+
+    def __str__(self) -> str:
+        return "Min(" + ", ".join(str(a) for a in self.args) + ")"
+
+
+class Max(_NaryOp):
+    """N-ary maximum.  Built via :func:`smax`."""
+
+    __slots__ = ()
+    _sort_class = 9
+
+    def evaluate(self, env: Mapping[str, int | float] | None = None) -> int | float:
+        return max(a.evaluate(env) for a in self.args)
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return smax(*(a.subs(mapping) for a in self.args))
+
+    def is_nonnegative(self) -> bool | None:
+        signs = [a.is_nonnegative() for a in self.args]
+        if any(s is True for s in signs):
+            return True
+        if all(s is False for s in signs):
+            return False
+        return None
+
+    def __str__(self) -> str:
+        return "Max(" + ", ".join(str(a) for a in self.args) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def _const(value: int | float) -> Number:
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    if isinstance(value, int):
+        return Integer(value)
+    return Number(value)
+
+
+def add(*terms: ExprLike) -> Expr:
+    """Canonical sum of *terms*.
+
+    Flattens nested sums, folds constants, drops zeros, collects like terms
+    (``x + x`` → ``2*x``) and sorts the operands canonically.
+    """
+    flat: list[Expr] = []
+    const: int | float = 0
+    stack = [sympify(t) for t in terms]
+    stack.reverse()
+    while stack:
+        t = stack.pop()
+        if isinstance(t, Add):
+            stack.extend(reversed(t.args))
+            continue
+        # Distribute a numeric coefficient over a sum at collection time so
+        # differences like I - (I - 1) cancel: c*(a + b) -> c*a + c*b.
+        # (Doing this here rather than in mul() keeps canonicalization
+        # confluent: standalone products never auto-expand.)
+        if (
+            isinstance(t, Mul)
+            and len(t.args) == 2
+            and isinstance(t.args[0], Number)
+            and isinstance(t.args[1], Add)
+        ):
+            coeff = t.args[0]
+            stack.extend(mul(coeff, child) for child in reversed(t.args[1].args))
+            continue
+        flat.append(t)
+
+    # Collect like terms keyed by their non-constant factor.
+    coeffs: dict[Expr, int | float] = {}
+    order: list[Expr] = []
+    for t in flat:
+        if isinstance(t, Number):
+            const += t.value
+            continue
+        coeff: int | float = 1
+        base: Expr = t
+        if isinstance(t, Mul) and isinstance(t.args[0], Number):
+            coeff = t.args[0].value
+            rest = t.args[1:]
+            base = rest[0] if len(rest) == 1 else Mul(rest)
+        if base not in coeffs:
+            coeffs[base] = 0
+            order.append(base)
+        coeffs[base] += coeff
+
+    out: list[Expr] = []
+    for base in order:
+        c = coeffs[base]
+        if c == 0:
+            continue
+        if c == 1:
+            out.append(base)
+        else:
+            out.append(mul(_const(c), base))
+    if const != 0 or not out:
+        out.append(_const(const))
+    if len(out) == 1:
+        return out[0]
+    out.sort(key=Expr.sort_key)
+    return Add(tuple(out))
+
+
+def sub(a: ExprLike, b: ExprLike) -> Expr:
+    """``a - b``."""
+    return add(sympify(a), neg(sympify(b)))
+
+
+def neg(a: ExprLike) -> Expr:
+    """``-a``."""
+    return mul(NEG_ONE, sympify(a))
+
+
+def mul(*factors: ExprLike) -> Expr:
+    """Canonical product of *factors*.
+
+    Flattens nested products, folds constants, short-circuits on zero,
+    merges equal bases into powers and sorts operands canonically.
+    """
+    flat: list[Expr] = []
+    const: int | float = 1
+    for f in (sympify(f) for f in factors):
+        if isinstance(f, Mul):
+            flat.extend(f.args)
+        else:
+            flat.append(f)
+
+    powers: dict[Expr, Expr] = {}
+    order: list[Expr] = []
+    for f in flat:
+        if isinstance(f, Number):
+            const *= f.value
+            continue
+        base, exp = (f.left, f.right) if isinstance(f, Pow) else (f, ONE)
+        if base not in powers:
+            powers[base] = ZERO
+            order.append(base)
+        powers[base] = add(powers[base], exp)
+
+    if const == 0:
+        return ZERO
+
+    out: list[Expr] = []
+    for base in order:
+        exp = powers[base]
+        p = pow_(base, exp)
+        if isinstance(p, Number):
+            const *= p.value
+        elif not (isinstance(p, Integer) and p.value == 1):
+            out.append(p)
+    if const == 0:
+        return ZERO
+    if not out:
+        return _const(const)
+    out.sort(key=Expr.sort_key)
+    if const != 1:
+        out.insert(0, _const(const))
+    if len(out) == 1:
+        return out[0]
+    return Mul(tuple(out))
+
+
+def pow_(base: ExprLike, exp: ExprLike) -> Expr:
+    """``base ** exp`` with constant folding and power laws."""
+    base = sympify(base)
+    exp = sympify(exp)
+    if isinstance(exp, Integer):
+        if exp.value == 0:
+            return ONE
+        if exp.value == 1:
+            return base
+    if isinstance(base, Integer) and base.value == 1:
+        return ONE
+    if isinstance(base, Number) and isinstance(exp, Number):
+        try:
+            result = base.value ** exp.value
+        except (OverflowError, ZeroDivisionError) as exc:
+            raise SymbolicError(f"cannot fold {base}**{exp}: {exc}") from exc
+        if isinstance(result, complex):
+            raise SymbolicError(f"{base}**{exp} is not real")
+        return _const(result)
+    if isinstance(base, Pow) and isinstance(exp, Integer) and isinstance(base.right, Integer):
+        return pow_(base.left, Integer(base.right.value * exp.value))
+    return Pow(base, exp)
+
+
+def div(a: ExprLike, b: ExprLike) -> Expr:
+    """True division ``a / b`` with cancellation of exact constants."""
+    a, b = sympify(a), sympify(b)
+    if isinstance(b, Integer) and b.value == 1:
+        return a
+    if isinstance(b, Integer) and b.value == 0:
+        raise SymbolicError(f"symbolic division by zero: {a} / 0")
+    if isinstance(a, Integer) and a.value == 0:
+        return ZERO
+    if isinstance(a, Number) and isinstance(b, Number):
+        if isinstance(a, Integer) and isinstance(b, Integer) and a.value % b.value == 0:
+            return Integer(a.value // b.value)
+        return _const(a.value / b.value)
+    if a == b:
+        return ONE
+    return Div(a, b)
+
+
+def floor_div(a: ExprLike, b: ExprLike) -> Expr:
+    """Floor division ``a // b`` with integer constant folding."""
+    a, b = sympify(a), sympify(b)
+    if isinstance(b, Integer) and b.value == 1:
+        return a
+    if isinstance(b, Integer) and b.value == 0:
+        raise SymbolicError(f"symbolic floor division by zero: {a} // 0")
+    if isinstance(a, Integer) and a.value == 0:
+        return ZERO
+    if isinstance(a, Integer) and isinstance(b, Integer):
+        return Integer(a.value // b.value)
+    if a == b:
+        return ONE
+    return FloorDiv(a, b)
+
+
+def ceiling_div(a: ExprLike, b: ExprLike) -> Expr:
+    """Ceiling division ``ceil(a / b)`` expressed as ``(a + b - 1) // b``.
+
+    Assumes a positive divisor, the universal case for tile/line sizes.
+    """
+    a, b = sympify(a), sympify(b)
+    return floor_div(add(a, b, NEG_ONE), b)
+
+
+def mod(a: ExprLike, b: ExprLike) -> Expr:
+    """Modulo ``a % b`` (Python semantics) with integer constant folding."""
+    a, b = sympify(a), sympify(b)
+    if isinstance(b, Integer) and b.value == 0:
+        raise SymbolicError(f"symbolic modulo by zero: {a} % 0")
+    if isinstance(b, Integer) and b.value == 1:
+        return ZERO
+    if isinstance(a, Integer) and a.value == 0:
+        return ZERO
+    if isinstance(a, Integer) and isinstance(b, Integer):
+        return Integer(a.value % b.value)
+    if a == b:
+        return ZERO
+    return Mod(a, b)
+
+
+def int_lower_bound(expr: Expr) -> int | float | None:
+    """Conservative lower bound of *expr* under the size-symbol assumption.
+
+    Symbols in this library denote data sizes and loop extents, which are
+    assumed to be **positive integers (>= 1)** — the same convention DaCe
+    applies to its size symbols.  Returns ``None`` when no bound can be
+    established.
+    """
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, Symbol):
+        return 1
+    if isinstance(expr, Add):
+        total: int | float = 0
+        for a in expr.args:
+            lb = int_lower_bound(a)
+            if lb is None:
+                return None
+            total += lb
+        return total
+    if isinstance(expr, Mul):
+        # Positive-constant times bounded rest, or all-nonnegative product.
+        first = expr.args[0]
+        if isinstance(first, Number) and first.value < 0:
+            rest = mul(*expr.args[1:])
+            ub = int_upper_bound(rest)
+            if ub is None:
+                return None
+            return first.value * ub
+        bounds = [int_lower_bound(a) for a in expr.args]
+        if any(b is None or b < 0 for b in bounds):
+            return None
+        out: int | float = 1
+        for b in bounds:
+            out *= b  # type: ignore[operand-type]
+        return out
+    if isinstance(expr, Pow):
+        base_lb = int_lower_bound(expr.left)
+        if base_lb is not None and base_lb >= 0 and isinstance(expr.right, Integer):
+            if expr.right.value >= 0:
+                return base_lb ** expr.right.value
+        return None
+    if isinstance(expr, Min):
+        bounds = [int_lower_bound(a) for a in expr.args]
+        if any(b is None for b in bounds):
+            return None
+        return min(bounds)  # type: ignore[arg-type]
+    if isinstance(expr, Max):
+        known = [b for b in (int_lower_bound(a) for a in expr.args) if b is not None]
+        return max(known) if known else None
+    if isinstance(expr, Mod):
+        if expr.right.is_nonnegative() is True:
+            return 0
+        return None
+    if isinstance(expr, (FloorDiv, Div)):
+        num_lb = int_lower_bound(expr.left)
+        den_lb = int_lower_bound(expr.right)
+        if num_lb is not None and num_lb >= 0 and den_lb is not None and den_lb >= 1:
+            return 0
+        return None
+    return None
+
+
+def int_upper_bound(expr: Expr) -> int | float | None:
+    """Conservative upper bound of *expr* (``None`` when unbounded/unknown).
+
+    Symbols are unbounded above, so any expression growing with a symbol
+    has no finite upper bound.
+    """
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, Symbol):
+        return None
+    if isinstance(expr, Add):
+        total: int | float = 0
+        for a in expr.args:
+            ub = int_upper_bound(a)
+            if ub is None:
+                return None
+            total += ub
+        return total
+    if isinstance(expr, Mul):
+        first = expr.args[0]
+        if isinstance(first, Number) and first.value < 0:
+            rest = mul(*expr.args[1:])
+            lb = int_lower_bound(rest)
+            if lb is None:
+                return None
+            return first.value * lb
+        bounds = [int_upper_bound(a) for a in expr.args]
+        lowers = [int_lower_bound(a) for a in expr.args]
+        if any(b is None for b in bounds) or any(l is None or l < 0 for l in lowers):
+            return None
+        out: int | float = 1
+        for b in bounds:
+            out *= b  # type: ignore[operand-type]
+        return out
+    if isinstance(expr, Min):
+        known = [b for b in (int_upper_bound(a) for a in expr.args) if b is not None]
+        return min(known) if known else None
+    if isinstance(expr, Max):
+        bounds = [int_upper_bound(a) for a in expr.args]
+        if any(b is None for b in bounds):
+            return None
+        return max(bounds)  # type: ignore[arg-type]
+    return None
+
+
+def proves_le(a: Expr, b: Expr) -> bool:
+    """True when ``a <= b`` can be proven under the size-symbol assumption."""
+    diff = sub(b, a)
+    lb = int_lower_bound(diff)
+    return lb is not None and lb >= 0
+
+
+def _minmax(cls: type, fold, args: Iterable[ExprLike]) -> Expr:
+    flat: list[Expr] = []
+    for a in (sympify(x) for x in args):
+        if isinstance(a, cls):
+            flat.extend(a.args)  # type: ignore[attr-defined]
+        else:
+            flat.append(a)
+    if not flat:
+        raise SymbolicError(f"{cls.__name__} requires at least one argument")
+    consts = [a for a in flat if isinstance(a, Number)]
+    symbolic: list[Expr] = []
+    for a in flat:
+        if not isinstance(a, Number) and a not in symbolic:
+            symbolic.append(a)
+    out = list(symbolic)
+    if consts:
+        out.append(_const(fold(c.value for c in consts)))
+    # Prune arguments provably dominated by another argument: for Min drop
+    # any a with some b <= a; for Max drop any a with some b >= a.  This is
+    # what lets propagated bounds like Min(0, I-1) fold to 0 under the
+    # positive-size-symbol assumption.
+    if len(out) > 1:
+        keep: list[Expr] = []
+        for i, a in enumerate(out):
+            dominated = False
+            for j, b in enumerate(out):
+                if i == j:
+                    continue
+                if cls is Min:
+                    better = proves_le(b, a)
+                else:
+                    better = proves_le(a, b)
+                if better:
+                    # Tie-break equal arguments by index to keep exactly one.
+                    if (cls is Min and proves_le(a, b)) or (
+                        cls is Max and proves_le(b, a)
+                    ):
+                        if j < i:
+                            dominated = True
+                            break
+                    else:
+                        dominated = True
+                        break
+            if not dominated:
+                keep.append(a)
+        out = keep
+    if len(out) == 1:
+        return out[0]
+    out.sort(key=Expr.sort_key)
+    return cls(tuple(out))
+
+
+def smin(*args: ExprLike) -> Expr:
+    """N-ary symbolic minimum with constant folding and deduplication."""
+    return _minmax(Min, min, args)
+
+
+def smax(*args: ExprLike) -> Expr:
+    """N-ary symbolic maximum with constant folding and deduplication."""
+    return _minmax(Max, max, args)
+
+
+def symbols(names: str) -> tuple[Symbol, ...]:
+    """Create several symbols at once: ``I, J, K = symbols("I J K")``."""
+    return tuple(Symbol(n) for n in names.replace(",", " ").split())
+
+
+def evaluate_int(expr: ExprLike, env: Mapping[str, int | float] | None = None) -> int:
+    """Evaluate *expr* and require an integral result.
+
+    Raises :class:`~repro.errors.EvaluationError` when the result is not an
+    integer (within floating-point tolerance for float intermediates).
+    """
+    value = sympify(expr).evaluate(env)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        rounded = round(value)
+        if math.isclose(value, rounded, rel_tol=0, abs_tol=1e-9):
+            return int(rounded)
+    raise EvaluationError(f"expected an integer result from {expr}, got {value!r}")

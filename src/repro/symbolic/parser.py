@@ -1,0 +1,85 @@
+"""Parse strings into symbolic expressions.
+
+The grammar is the arithmetic subset of Python expressions: integer and
+float literals, identifiers (symbols), ``+ - * / // % **``, unary ``+ -``,
+parentheses, and the function calls ``Min(...)``, ``Max(...)``,
+``min(...)``, ``max(...)``, ``ceil_div(a, b)``.
+
+``str(parse_expr(s))`` round-trips: parsing the printed form yields an
+equal expression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.errors import ParseError
+from repro.symbolic import expr as E
+
+__all__ = ["parse_expr"]
+
+
+_BINOPS = {
+    ast.Add: lambda a, b: E.add(a, b),
+    ast.Sub: E.sub,
+    ast.Mult: lambda a, b: E.mul(a, b),
+    ast.Div: E.div,
+    ast.FloorDiv: E.floor_div,
+    ast.Mod: E.mod,
+    ast.Pow: E.pow_,
+}
+
+_FUNCS = {
+    "min": E.smin,
+    "max": E.smax,
+    "Min": E.smin,
+    "Max": E.smax,
+    "ceil_div": E.ceiling_div,
+}
+
+
+def parse_expr(text: str) -> E.Expr:
+    """Parse *text* into a canonical :class:`~repro.symbolic.expr.Expr`.
+
+    Raises :class:`~repro.errors.ParseError` on syntax errors or
+    unsupported constructs.
+    """
+    if not isinstance(text, str):
+        raise ParseError(f"expected a string, got {type(text).__name__}")
+    try:
+        tree = ast.parse(text.strip(), mode="eval")
+    except SyntaxError as exc:
+        raise ParseError(f"cannot parse expression {text!r}: {exc.msg}") from exc
+    return _convert(tree.body, text)
+
+
+def _convert(node: ast.expr, source: str) -> E.Expr:
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(node.value, (int, float)):
+            raise ParseError(f"unsupported literal {node.value!r} in {source!r}")
+        return E.sympify(node.value)
+    if isinstance(node, ast.Name):
+        return E.Symbol(node.id)
+    if isinstance(node, ast.BinOp):
+        op = type(node.op)
+        if op not in _BINOPS:
+            raise ParseError(f"unsupported operator {op.__name__} in {source!r}")
+        return _BINOPS[op](_convert(node.left, source), _convert(node.right, source))
+    if isinstance(node, ast.UnaryOp):
+        if isinstance(node.op, ast.USub):
+            return E.neg(_convert(node.operand, source))
+        if isinstance(node.op, ast.UAdd):
+            return _convert(node.operand, source)
+        raise ParseError(f"unsupported unary operator in {source!r}")
+    if isinstance(node, ast.Call):
+        if not isinstance(node.func, ast.Name) or node.func.id not in _FUNCS:
+            func = getattr(node.func, "id", ast.dump(node.func))
+            raise ParseError(f"unsupported function {func!r} in {source!r}")
+        if node.keywords:
+            raise ParseError(f"keyword arguments are not supported in {source!r}")
+        args = [_convert(a, source) for a in node.args]
+        try:
+            return _FUNCS[node.func.id](*args)
+        except TypeError as exc:
+            raise ParseError(f"bad arguments to {node.func.id} in {source!r}: {exc}") from exc
+    raise ParseError(f"unsupported syntax {type(node).__name__} in {source!r}")

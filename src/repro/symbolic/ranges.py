@@ -1,0 +1,285 @@
+"""Integer ranges and multi-dimensional subsets with symbolic bounds.
+
+These are the building blocks of memlet subsets (what part of an array an
+edge moves) and map iteration spaces (which index combinations a parallel
+loop executes).
+
+Conventions
+-----------
+- A :class:`Range` stores ``(begin, end, step)`` with an **inclusive** end,
+  mirroring the DaCe convention: ``Range(0, N-1)`` covers ``0..N-1``.
+- The *string* form uses Python-style half-open slices for familiarity:
+  ``"0:N"`` parses to ``Range(0, N-1)``; a bare expression ``"i"`` parses to
+  the point ``Range(i, i)``; ``"0:N:2"`` parses to ``Range(0, N-1, 2)``.
+  Printing inverts this mapping, so parse/print round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import EvaluationError, ParseError, SymbolicError
+from repro.symbolic.expr import (
+    Expr,
+    ExprLike,
+    Integer,
+    add,
+    evaluate_int,
+    floor_div,
+    mul,
+    sub,
+    sympify,
+)
+
+__all__ = ["Range", "Subset"]
+
+
+class Range:
+    """A one-dimensional symbolic range ``begin:end:step`` (end inclusive)."""
+
+    __slots__ = ("begin", "end", "step")
+
+    def __init__(self, begin: ExprLike, end: ExprLike, step: ExprLike = 1):
+        self.begin = sympify(begin)
+        self.end = sympify(end)
+        self.step = sympify(step)
+        if isinstance(self.step, Integer) and self.step.value == 0:
+            raise SymbolicError("range step cannot be zero")
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def point(cls, index: ExprLike) -> "Range":
+        """The single-element range covering exactly *index*."""
+        index = sympify(index)
+        return cls(index, index)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Range":
+        """Parse a Python-slice-style string (see module docstring)."""
+        parts = _split_top_level(text, ":")
+        if len(parts) == 1:
+            return cls.point(sympify(parts[0].strip()))
+        if len(parts) == 2:
+            begin, end_excl = (sympify(p.strip()) for p in parts)
+            return cls(begin, sub(end_excl, 1))
+        if len(parts) == 3:
+            begin = sympify(parts[0].strip())
+            end_excl = sympify(parts[1].strip())
+            step = sympify(parts[2].strip())
+            return cls(begin, sub(end_excl, 1), step)
+        raise ParseError(f"invalid range string {text!r}")
+
+    # -- properties -------------------------------------------------------
+    @property
+    def is_point(self) -> bool:
+        """True when the range statically covers exactly one index."""
+        return self.begin == self.end
+
+    def num_elements(self) -> Expr:
+        """Number of covered indices: ``(end - begin) // step + 1``."""
+        if self.is_point:
+            return Integer(1)
+        span = sub(self.end, self.begin)
+        if self.step == Integer(1):
+            return add(span, 1)
+        return add(floor_div(span, self.step), 1)
+
+    def free_symbols(self) -> frozenset[str]:
+        return self.begin.free_symbols() | self.end.free_symbols() | self.step.free_symbols()
+
+    # -- transformation ---------------------------------------------------
+    def subs(self, mapping: Mapping[str, ExprLike]) -> "Range":
+        return Range(self.begin.subs(mapping), self.end.subs(mapping), self.step.subs(mapping))
+
+    def offset_by(self, delta: ExprLike) -> "Range":
+        """Shift both bounds by *delta* (step unchanged)."""
+        delta = sympify(delta)
+        return Range(add(self.begin, delta), add(self.end, delta), self.step)
+
+    def scaled_by(self, factor: ExprLike) -> "Range":
+        """Multiply bounds and step by *factor*."""
+        factor = sympify(factor)
+        return Range(mul(self.begin, factor), mul(self.end, factor), mul(self.step, factor))
+
+    # -- concretization ---------------------------------------------------
+    def concretize(self, env: Mapping[str, int | float] | None = None) -> range:
+        """Evaluate to a Python :class:`range` (end exclusive, as usual)."""
+        begin = evaluate_int(self.begin, env)
+        end = evaluate_int(self.end, env)
+        step = evaluate_int(self.step, env)
+        if step == 0:
+            raise EvaluationError("range step evaluated to zero")
+        if step > 0:
+            return range(begin, end + 1, step)
+        return range(begin, end - 1, step)
+
+    def iter_indices(self, env: Mapping[str, int | float] | None = None) -> Iterator[int]:
+        """Iterate the concrete indices covered by this range."""
+        return iter(self.concretize(env))
+
+    def size(self, env: Mapping[str, int | float] | None = None) -> int:
+        """Concrete number of covered indices."""
+        return len(self.concretize(env))
+
+    # -- identity ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Range):
+            return NotImplemented
+        return (self.begin, self.end, self.step) == (other.begin, other.end, other.step)
+
+    def __hash__(self) -> int:
+        return hash((Range, self.begin, self.end, self.step))
+
+    def __str__(self) -> str:
+        if self.is_point:
+            return str(self.begin)
+        end_excl = add(self.end, 1)
+        if self.step == Integer(1):
+            return f"{self.begin}:{end_excl}"
+        return f"{self.begin}:{end_excl}:{self.step}"
+
+    def __repr__(self) -> str:
+        return f"Range({self.begin!s}, {self.end!s}, {self.step!s})"
+
+
+class Subset:
+    """A multi-dimensional subset: one :class:`Range` per dimension."""
+
+    __slots__ = ("ranges",)
+
+    def __init__(self, ranges: Iterable[Range]):
+        self.ranges = tuple(ranges)
+        if not all(isinstance(r, Range) for r in self.ranges):
+            raise SymbolicError("Subset requires Range elements")
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_string(cls, text: str) -> "Subset":
+        """Parse ``"0:N, i, 2*j:2*j+2"`` into a subset (see module doc)."""
+        dims = _split_top_level(text, ",")
+        if dims == [""]:
+            raise ParseError("empty subset string")
+        return cls(Range.from_string(d) for d in dims)
+
+    @classmethod
+    def from_indices(cls, indices: Sequence[ExprLike]) -> "Subset":
+        """A point subset from per-dimension index expressions."""
+        return cls(Range.point(i) for i in indices)
+
+    @classmethod
+    def full(cls, shape: Sequence[ExprLike]) -> "Subset":
+        """The subset covering an entire array of the given *shape*."""
+        return cls(Range(0, sub(sympify(s), 1)) for s in shape)
+
+    # -- properties -------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def is_point(self) -> bool:
+        return all(r.is_point for r in self.ranges)
+
+    def indices(self) -> tuple[Expr, ...]:
+        """For a point subset, the per-dimension index expressions."""
+        if not self.is_point:
+            raise SymbolicError(f"subset {self} is not a single point")
+        return tuple(r.begin for r in self.ranges)
+
+    def num_elements(self) -> Expr:
+        """Total number of covered elements (product over dimensions)."""
+        if not self.ranges:
+            return Integer(1)
+        return mul(*(r.num_elements() for r in self.ranges))
+
+    def free_symbols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for r in self.ranges:
+            out |= r.free_symbols()
+        return out
+
+    # -- transformation ---------------------------------------------------
+    def subs(self, mapping: Mapping[str, ExprLike]) -> "Subset":
+        return Subset(r.subs(mapping) for r in self.ranges)
+
+    def permuted(self, order: Sequence[int]) -> "Subset":
+        """Reorder dimensions: new dim *k* is old dim ``order[k]``."""
+        if sorted(order) != list(range(self.dims)):
+            raise SymbolicError(f"invalid permutation {order!r} for {self.dims} dims")
+        return Subset(self.ranges[i] for i in order)
+
+    # -- concretization ---------------------------------------------------
+    def concretize(self, env: Mapping[str, int | float] | None = None) -> tuple[range, ...]:
+        """Evaluate each dimension to a Python :class:`range`."""
+        return tuple(r.concretize(env) for r in self.ranges)
+
+    def iter_points(
+        self, env: Mapping[str, int | float] | None = None
+    ) -> Iterator[tuple[int, ...]]:
+        """Iterate all concrete index tuples in row-major (last dim fastest)."""
+        concrete = self.concretize(env)
+        if not concrete:
+            yield ()
+            return
+        # Manual odometer: avoids itertools.product materializing iterators
+        # anew and keeps deterministic row-major order.
+        iters = [list(c) for c in concrete]
+        if any(not it for it in iters):
+            return
+        pos = [0] * len(iters)
+        while True:
+            yield tuple(it[p] for it, p in zip(iters, pos))
+            dim = len(iters) - 1
+            while dim >= 0:
+                pos[dim] += 1
+                if pos[dim] < len(iters[dim]):
+                    break
+                pos[dim] = 0
+                dim -= 1
+            if dim < 0:
+                return
+
+    def size(self, env: Mapping[str, int | float] | None = None) -> int:
+        """Concrete total number of covered elements."""
+        total = 1
+        for c in self.concretize(env):
+            total *= len(c)
+        return total
+
+    # -- identity ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subset):
+            return NotImplemented
+        return self.ranges == other.ranges
+
+    def __hash__(self) -> int:
+        return hash((Subset, self.ranges))
+
+    def __str__(self) -> str:
+        return ", ".join(str(r) for r in self.ranges)
+
+    def __repr__(self) -> str:
+        return f"Subset[{self!s}]"
+
+
+def _split_top_level(text: str, sep: str) -> list[str]:
+    """Split *text* on *sep* outside parentheses/brackets."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced parentheses in {text!r}")
+        if ch == sep and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise ParseError(f"unbalanced parentheses in {text!r}")
+    parts.append("".join(current).strip())
+    return parts

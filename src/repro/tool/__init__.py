@@ -1,0 +1,19 @@
+"""The interactive analysis tool facade.
+
+The paper packages its analyses as a VS Code extension; here the same
+workflow is a scriptable :class:`Session`:
+
+>>> session = Session(my_program)            # or an SDFG
+>>> gv = session.global_view()               # Section IV
+>>> hm = gv.movement_heatmap({"I": 256}, method="mean")
+>>> svg = gv.render(edge_overlay="movement", env={"I": 256})
+>>> lv = session.local_view({"I": 8, "J": 8, "K": 5})   # Section V
+>>> lv.access_heatmap("in_field")
+>>> lv.miss_counts("in_field")
+
+plus an HTML report writer and a small CLI (``repro-view``).
+"""
+
+from repro.tool.session import GlobalView, LocalView, Session
+
+__all__ = ["Session", "GlobalView", "LocalView"]

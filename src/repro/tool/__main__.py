@@ -1,0 +1,7 @@
+"""``python -m repro.tool`` — the report-generator CLI."""
+
+import sys
+
+from repro.tool.cli import main
+
+sys.exit(main())

@@ -1,0 +1,161 @@
+"""``repro-view``: generate an HTML analysis report from the command line.
+
+Usage::
+
+    repro-view path/to/module.py --function myprog \\
+        --params I=256,J=256,K=160 --local I=8,J=8,K=5 \\
+        --line-size 64 --capacity 512 -o report.html
+
+The module is imported, the named ``@repro.program`` function (or the only
+one, when unambiguous) is analyzed, and a report containing the global
+view, per-container access heatmaps and physical-movement estimates is
+written.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.frontend.program import Program
+from repro.tool.session import Session
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-view",
+        description="Data-movement analysis report generator",
+    )
+    parser.add_argument("module", help="Python file containing @repro.program functions")
+    parser.add_argument("--function", help="program name (default: the only one)")
+    parser.add_argument(
+        "--params",
+        default="",
+        help="comma-separated SYMBOL=VALUE pairs for the global view",
+    )
+    parser.add_argument(
+        "--local",
+        default="",
+        help="comma-separated SYMBOL=VALUE pairs enabling the local view",
+    )
+    parser.add_argument("--line-size", type=int, default=64, help="cache line bytes")
+    parser.add_argument(
+        "--capacity", type=int, default=512, help="modeled cache capacity in lines"
+    )
+    parser.add_argument("-o", "--output", default="report.html", help="output HTML path")
+    return parser
+
+
+def _parse_env(text: str) -> dict[str, int]:
+    env: dict[str, int] = {}
+    if not text:
+        return env
+    for pair in text.split(","):
+        if "=" not in pair:
+            raise ReproError(f"invalid parameter assignment {pair!r} (use NAME=VALUE)")
+        name, value = pair.split("=", 1)
+        env[name.strip()] = int(value)
+    return env
+
+
+def _load_program(path: str, function: str | None) -> Program:
+    file = Path(path)
+    if not file.exists():
+        raise ReproError(f"no such file: {path}")
+    spec = importlib.util.spec_from_file_location(file.stem, file)
+    if spec is None or spec.loader is None:
+        raise ReproError(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    programs = {
+        name: obj for name, obj in vars(module).items() if isinstance(obj, Program)
+    }
+    if not programs:
+        raise ReproError(f"{path} defines no @repro.program functions")
+    if function is not None:
+        if function not in programs:
+            raise ReproError(
+                f"{path} has no program {function!r}; found {sorted(programs)}"
+            )
+        return programs[function]
+    if len(programs) > 1:
+        raise ReproError(
+            f"{path} defines several programs ({sorted(programs)}); "
+            "pick one with --function"
+        )
+    return next(iter(programs.values()))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        program = _load_program(args.module, args.function)
+        env = _parse_env(args.params)
+        local_env = _parse_env(args.local)
+
+        session = Session(program)
+        report = session.report(f"Analysis of {program.name}")
+
+        gv = session.global_view()
+        report.add_heading("Global view")
+        if env:
+            report.add_svg(
+                gv.render(env=env, edge_overlay="movement"),
+                caption=f"logical data movement at {env}",
+            )
+            report.add_table(
+                ["metric", "value"],
+                [
+                    ["total logical movement [bytes]", f"{gv.total_movement(env):.3g}"],
+                    ["total arithmetic operations", f"{gv.total_ops(env):.3g}"],
+                ],
+            )
+        else:
+            report.add_svg(gv.render(), caption="program dataflow")
+            report.add_paragraph(
+                "Pass --params to evaluate the symbolic metrics and color "
+                "the movement heatmap."
+            )
+
+        if local_env:
+            lv = session.local_view(
+                local_env,
+                line_size=args.line_size,
+                capacity_lines=args.capacity,
+            )
+            report.add_heading(f"Local view (parameterized at {local_env})")
+            for data in lv.result.containers():
+                counts = lv.access_heatmap(data)
+                report.add_svg(
+                    lv.render_container(data, values=dict(counts)),
+                    caption=f"access counts on {data}",
+                )
+            moved = lv.physical_movement()
+            misses = lv.miss_counts()
+            report.add_table(
+                ["container", "cold misses", "capacity misses", "est. moved bytes"],
+                [
+                    [name, misses[name].cold, misses[name].capacity, moved[name]]
+                    for name in sorted(moved)
+                ],
+                caption=(
+                    f"cache model: {args.line_size}-byte lines, "
+                    f"{args.capacity}-line capacity"
+                ),
+            )
+
+        report.save(args.output)
+        print(f"report written to {args.output}")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,450 @@
+"""Session: the top-level object tying analyses and views together."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis import (
+    ParameterSweep,
+    edge_movement_bytes,
+    program_ops,
+    scope_intensities,
+    scope_ops,
+    total_movement_bytes,
+)
+from repro.analysis.parametric import evaluate_metrics
+from repro.errors import ReproError
+from repro.frontend.program import Program
+from repro.sdfg.nodes import MapEntry
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+from repro.simulation import (
+    CacheModel,
+    MemoryModel,
+    related_access_counts,
+    simulate_state,
+)
+from repro.simulation.movement import (
+    container_physical_movement,
+    edge_physical_movement,
+    per_container_misses,
+    per_element_misses,
+)
+from repro.simulation.simulator import SimulationResult
+from repro.simulation.stackdist import element_stack_distances
+from repro.viz.graphview import render_state
+from repro.viz.heatmap import Heatmap
+from repro.viz.interaction import ParameterSliders
+from repro.viz.lod import FoldState
+from repro.viz.overview import build_outline
+from repro.viz.report import ReportBuilder
+from repro.viz.containerview import render_container
+from repro.viz.histogramview import render_histogram
+
+__all__ = ["Session", "GlobalView", "LocalView"]
+
+
+class Session:
+    """One analysis session over a program.
+
+    Accepts either a :class:`~repro.frontend.program.Program` (translated
+    on construction) or a ready SDFG.
+    """
+
+    def __init__(self, program_or_sdfg: Program | SDFG):
+        if isinstance(program_or_sdfg, Program):
+            self.sdfg = program_or_sdfg.to_sdfg()
+        elif isinstance(program_or_sdfg, SDFG):
+            self.sdfg = program_or_sdfg
+        else:
+            raise ReproError(
+                f"Session expects a Program or SDFG, got {type(program_or_sdfg).__name__}"
+            )
+
+    def global_view(self, state: SDFGState | None = None) -> "GlobalView":
+        """Open the global (whole-program) analysis view."""
+        return GlobalView(self.sdfg, state or self.sdfg.start_state)
+
+    def local_view(
+        self,
+        symbols: Mapping[str, int],
+        state: SDFGState | None = None,
+        line_size: int = 64,
+        capacity_lines: int = 512,
+        include_transients: bool = False,
+    ) -> "LocalView":
+        """Open the local (parameterized close-up) view.
+
+        *symbols* are the small simulation sizes; *line_size* and
+        *capacity_lines* parameterize the cache model (both adjustable
+        later via :attr:`LocalView.cache`).
+        """
+        return LocalView(
+            self.sdfg,
+            symbols,
+            state or self.sdfg.start_state,
+            line_size=line_size,
+            capacity_lines=capacity_lines,
+            include_transients=include_transients,
+        )
+
+    def report(self, title: str | None = None) -> ReportBuilder:
+        """A fresh HTML report builder for this session."""
+        return ReportBuilder(title or f"Analysis of {self.sdfg.name}")
+
+
+class GlobalView:
+    """The global view (Section IV): whole-program metrics and overlays."""
+
+    def __init__(self, sdfg: SDFG, state: SDFGState):
+        self.sdfg = sdfg
+        self.state = state
+        self.folds = FoldState(state)
+
+    # -- metrics ---------------------------------------------------------------
+    def movement_heatmap(
+        self,
+        env: Mapping[str, int],
+        method: str = "mean",
+        unique: bool = True,
+    ) -> Heatmap:
+        """Edge heatmap of logical data-movement volumes."""
+        volumes = evaluate_metrics(
+            edge_movement_bytes(self.sdfg, self.state, unique=unique), env
+        )
+        return Heatmap(volumes, method=method)
+
+    def opcount_heatmap(self, env: Mapping[str, int], method: str = "median") -> Heatmap:
+        """Node heatmap of arithmetic-operation counts."""
+        ops = evaluate_metrics(scope_ops(self.state), env)
+        return Heatmap(ops, method=method)
+
+    def intensity_heatmap(self, env: Mapping[str, int], method: str = "median") -> Heatmap:
+        """Node heatmap of arithmetic intensity (ops per byte)."""
+        intensity = evaluate_metrics(scope_intensities(self.sdfg, self.state), env)
+        return Heatmap(intensity, method=method)
+
+    def total_movement(self, env: Mapping[str, int] | None = None, unique: bool = True):
+        """Whole-program logical movement (symbolic, or evaluated)."""
+        expr = total_movement_bytes(self.sdfg, unique=unique)
+        return expr if env is None else float(expr.evaluate(env))
+
+    def total_ops(self, env: Mapping[str, int] | None = None):
+        expr = program_ops(self.sdfg)
+        return expr if env is None else float(expr.evaluate(env))
+
+    def scaling_sweep(
+        self,
+        parameter: str,
+        points: Iterable[int],
+        base_env: Mapping[str, int],
+        metric: str = "movement",
+    ):
+        """Parametric scaling analysis of a global metric (Section IV-D)."""
+        metrics = {
+            "movement": total_movement_bytes(self.sdfg, unique=True),
+            "accesses": total_movement_bytes(self.sdfg, unique=False),
+            "ops": program_ops(self.sdfg),
+        }
+        if metric not in metrics:
+            raise ReproError(f"unknown metric {metric!r}; choose from {sorted(metrics)}")
+        return ParameterSweep(base_env).run(parameter, points, metrics[metric])
+
+    def rank_parameters(self, base_env: Mapping[str, int], metric: str = "movement"):
+        """Which parameters dominate the chosen metric when scaled."""
+        expr = (
+            total_movement_bytes(self.sdfg, unique=True)
+            if metric == "movement"
+            else program_ops(self.sdfg)
+        )
+        return ParameterSweep(base_env).rank_parameters(expr)
+
+    # -- navigation -----------------------------------------------------------
+    def outline(self):
+        """The hierarchical outline overview."""
+        return build_outline(self.sdfg)
+
+    def search(self, query: str):
+        """Find graph elements by (case-insensitive) label substring.
+
+        "As with traditional source code, the graphical representation can
+        be searched to find specific elements" (Section IV-A).  Returns
+        matching outline entries in document order.
+        """
+        needle = query.lower()
+        return [
+            entry
+            for entry in build_outline(self.sdfg).walk()
+            if needle in entry.label.lower()
+        ]
+
+    def filter_nodes(self, hide_kinds: Iterable[str]):
+        """Nodes remaining visible after hiding element kinds.
+
+        *hide_kinds* uses class names (``"AccessNode"``, ``"Tasklet"``,
+        ``"MapEntry"``, ...) — the Section IV-A "filtered out and hidden
+        from view" behaviour as an explicit model.
+        """
+        hidden = set(hide_kinds)
+        return [
+            node for node in self.state.nodes() if type(node).__name__ not in hidden
+        ]
+
+    # -- rendering --------------------------------------------------------------
+    def render(
+        self,
+        env: Mapping[str, int] | None = None,
+        edge_overlay: str | None = None,
+        node_overlay: str | None = None,
+        method: str = "mean",
+        show_minimap: bool = True,
+        zoom: float = 1.0,
+    ) -> str:
+        """Render the state as SVG with the requested overlays.
+
+        *zoom* applies the level-of-detail rules; the view's fold state
+        (:attr:`folds`) collapses scopes — call ``folds.collapse(entry)``
+        or ``folds.collapse_all()`` before rendering.
+        """
+        edge_hm = node_hm = None
+        if edge_overlay == "movement":
+            if env is None:
+                raise ReproError("movement overlay needs parameter values")
+            edge_hm = self.movement_heatmap(env, method=method)
+        elif edge_overlay is not None:
+            raise ReproError(f"unknown edge overlay {edge_overlay!r}")
+        if node_overlay == "ops":
+            node_hm = self.opcount_heatmap(env or {})
+        elif node_overlay == "intensity":
+            node_hm = self.intensity_heatmap(env or {})
+        elif node_overlay is not None:
+            raise ReproError(f"unknown node overlay {node_overlay!r}")
+        return render_state(
+            self.state,
+            edge_heatmap=edge_hm,
+            node_heatmap=node_hm,
+            show_minimap=show_minimap,
+            folds=self.folds,
+            zoom=zoom,
+        )
+
+
+class LocalView:
+    """The local view (Section V): parameterized simulation and locality."""
+
+    def __init__(
+        self,
+        sdfg: SDFG,
+        symbols: Mapping[str, int],
+        state: SDFGState,
+        line_size: int = 64,
+        capacity_lines: int = 512,
+        include_transients: bool = False,
+    ):
+        self.sdfg = sdfg
+        self.state = state
+        self.symbols = {k: int(v) for k, v in symbols.items()}
+        self.cache = CacheModel(line_size=line_size, capacity_lines=capacity_lines)
+        self.include_transients = include_transients
+        self._result: SimulationResult | None = None
+        self._memory: MemoryModel | None = None
+
+    # -- simulation (cached) -----------------------------------------------------
+    @property
+    def result(self) -> SimulationResult:
+        if self._result is None:
+            self._result = simulate_state(
+                self.sdfg,
+                self.symbols,
+                state=self.state,
+                include_transients=self.include_transients,
+            )
+        return self._result
+
+    @property
+    def memory(self) -> MemoryModel:
+        if self._memory is None:
+            self._memory = MemoryModel(
+                self.sdfg, self.symbols, line_size=self.cache.line_size
+            )
+        return self._memory
+
+    def invalidate(self) -> None:
+        """Drop cached simulation state (after mutating the SDFG)."""
+        self._result = None
+        self._memory = None
+
+    # -- access patterns ----------------------------------------------------------
+    def access_heatmap(self, data: str) -> dict[tuple[int, ...], int]:
+        """Flattened access counts per element (Fig. 4b)."""
+        return self.result.access_counts(data)
+
+    def playback(self):
+        """Iterate animation frames (lists of events per timestep)."""
+        return self.result.steps()
+
+    def render_playback_frame(self, step: int, data: str | None = None) -> dict[str, str]:
+        """Render the containers with one timestep's accesses highlighted.
+
+        The static equivalent of the "variable speed animation" playback
+        (Section V-C): each frame highlights exactly the elements accessed
+        at that timestep.  Returns one SVG per container (restrict with
+        *data*).
+        """
+        events = self.result.events_at_step(step)
+        if not events:
+            raise ReproError(f"no accesses at timestep {step}")
+        per_container: dict[str, set[tuple[int, ...]]] = {}
+        for event in events:
+            per_container.setdefault(event.data, set()).add(event.indices)
+        names = [data] if data is not None else sorted(per_container)
+        out: dict[str, str] = {}
+        for name in names:
+            out[name] = self.render_container(
+                name, highlights=per_container.get(name, ())
+            )
+        return out
+
+    def related(self, selections: Sequence[tuple[str, tuple[int, ...]]], data=None):
+        """Stacked related-access counts for selected elements (Fig. 4c)."""
+        return related_access_counts(self.result, selections, data=data)
+
+    def sliders(self, entry: MapEntry | None = None) -> ParameterSliders:
+        """Parameter sliders over a map scope (defaults to the first)."""
+        if entry is None:
+            entries = self.state.map_entries()
+            if not entries:
+                raise ReproError("the state has no map scope to parameterize")
+            entry = entries[0]
+        return ParameterSliders(self.sdfg, self.state, entry, self.symbols)
+
+    # -- locality ----------------------------------------------------------------
+    def cache_line_neighbors(self, data: str, indices: tuple[int, ...]):
+        """Elements pulled into the cache with ``data[indices]`` (Fig. 5a)."""
+        return self.memory.layout(data).neighbors_in_line(
+            indices, self.cache.line_size
+        )
+
+    def reuse_distances(self, data: str | None = None):
+        """Per-element stack-distance lists (Fig. 5b)."""
+        return element_stack_distances(self.result.events, self.memory, data=data)
+
+    def reuse_heatmap(self, data: str, stat: str = "median") -> dict[tuple[int, ...], float]:
+        """Per-element min/median/max reuse distance (finite values only;
+        elements with no finite reuse are omitted)."""
+        stats = {"min": min, "max": max, "median": statistics.median}
+        if stat not in stats:
+            raise ReproError(f"unknown statistic {stat!r}")
+        out: dict[tuple[int, ...], float] = {}
+        for (name, indices), distances in self.reuse_distances(data).items():
+            finite = [d for d in distances if d != float("inf")]
+            if finite:
+                out[indices] = float(stats[stat](finite))
+        return out
+
+    def miss_counts(self, data: str | None = None):
+        """Per-container (or one container's per-element) miss counts."""
+        if data is None:
+            return per_container_misses(self.result.events, self.memory, self.cache)
+        return per_element_misses(self.result.events, self.memory, self.cache, data)
+
+    def miss_heatmap(self, data: str) -> dict[tuple[int, ...], int]:
+        """Per-element total misses of one container (Fig. 5c)."""
+        return {
+            idx: counts.misses
+            for idx, counts in per_element_misses(
+                self.result.events, self.memory, self.cache, data
+            ).items()
+        }
+
+    def miss_counts_set_associative(self, num_sets: int, ways: int):
+        """Per-container misses under a *set-associative* backend.
+
+        The Discussion's "hardware-specific back-end" extension: instead
+        of the fully-associative threshold model, simulate an actual
+        set-associative LRU cache and attribute cold / capacity / conflict
+        misses per container (conflicts are exactly the misses the
+        fully-associative assumption ignores).
+        """
+        from repro.simulation.cache import MissCounts, classify_three_way
+        from repro.simulation.stackdist import line_trace
+
+        lines = line_trace(self.result.events, self.memory)
+        kinds = classify_three_way(lines, num_sets, ways)
+        out: dict[str, MissCounts] = {}
+        from repro.simulation.cache import MissKind
+
+        for event, kind in zip(self.result.events, kinds):
+            counts = out.setdefault(event.data, MissCounts())
+            if kind is MissKind.HIT:
+                counts.hits += 1
+            elif kind is MissKind.COLD:
+                counts.cold += 1
+            elif kind is MissKind.CAPACITY:
+                counts.capacity += 1
+            else:
+                counts.conflict += 1
+        return out
+
+    def physical_movement(self) -> dict[str, int]:
+        """Estimated bytes moved to/from memory per container (Fig. 7)."""
+        return container_physical_movement(self.result.events, self.memory, self.cache)
+
+    def edge_movement(self):
+        """Physical-movement estimate per dataflow edge (Fig. 5c overlay)."""
+        return edge_physical_movement(
+            self.state, self.result.events, self.memory, self.cache
+        )
+
+    # -- rendering ---------------------------------------------------------------
+    def render_container(
+        self,
+        data: str,
+        values: Mapping[tuple[int, ...], float] | None = None,
+        highlights: Iterable[tuple[int, ...]] = (),
+        selections: Iterable[tuple[int, ...]] = (),
+        value_label: str = "accesses",
+    ) -> str:
+        """Render one container grid with optional heatmap/highlights."""
+        return render_container(
+            data,
+            self.result.shape(data),
+            values=values,
+            highlights=highlights,
+            selections=selections,
+            value_label=value_label,
+        )
+
+    def render_container_aggregated(
+        self,
+        data: str,
+        values: Mapping[tuple[int, ...], float],
+        tile: Sequence[int],
+        reduce: str = "sum",
+        value_label: str = "accesses",
+    ) -> str:
+        """Render a full-size container with tile aggregation.
+
+        The Discussion's full-size-parameter extension: simulate at real
+        sizes, then merge ``tile``-sized blocks of elements into one
+        visual tile so the view stays interpretable.
+        """
+        from repro.viz.containerview import render_container_aggregated
+
+        return render_container_aggregated(
+            data,
+            self.result.shape(data),
+            values,
+            tile,
+            reduce=reduce,
+            value_label=value_label,
+        )
+
+    def render_reuse_histogram(self, data: str, indices: tuple[int, ...]) -> str:
+        """The Fig. 5b detail histogram for one selected element."""
+        distances = self.reuse_distances(data).get((data, indices))
+        if not distances:
+            raise ReproError(f"element {data}[{indices}] was never accessed")
+        label = f"{data}[{', '.join(map(str, indices))}]"
+        return render_histogram(distances, title=f"reuse distances of {label}")

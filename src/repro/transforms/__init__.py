@@ -1,0 +1,26 @@
+"""Graph transformations: the optimizations the case studies apply.
+
+The paper's tool informs *which* optimization to apply; the optimizations
+themselves are standard dataflow transformations:
+
+- :mod:`repro.transforms.map_fusion` — fuse producer/consumer maps through
+  a transient intermediate, removing the data movement between them (the
+  BERT case study's two rounds of "loop fusion", Section VI-A).
+- :mod:`repro.transforms.layout` — change a container's physical layout:
+  dimension permutation (hdiff's ``[I+4, J+4, K] → [K, I+4, J+4]`` reshape)
+  and stride padding to cache-line multiples (Fig. 8c).
+- :mod:`repro.transforms.loop_reorder` — permute a map's parameter order
+  (hdiff's innermost-loop fix, Fig. 8b).
+"""
+
+from repro.transforms.layout import pad_strides_to_multiple, permute_array_layout
+from repro.transforms.loop_reorder import reorder_map
+from repro.transforms.map_fusion import MapFusion, fuse_all_maps
+
+__all__ = [
+    "MapFusion",
+    "fuse_all_maps",
+    "permute_array_layout",
+    "pad_strides_to_multiple",
+    "reorder_map",
+]

@@ -1,0 +1,104 @@
+"""Data-layout transformations (the hdiff case study's key optimizations).
+
+- :func:`permute_array_layout` — logically reorder an array's dimensions
+  and give it a fresh contiguous layout (the paper's "reshaping in_field
+  from [I+4, J+4, K] to [K, I+4, J+4]", Fig. 8a).  All memlets referring
+  to the array are rewritten consistently, so the program's semantics are
+  unchanged while its physical access pattern improves.
+- :func:`pad_strides_to_multiple` — round a dimension's stride up to a
+  multiple (in elements), introducing post-padding that aligns rows to
+  cache lines (Fig. 8c).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TransformError
+from repro.sdfg.data import Array
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.sdfg import SDFG
+from repro.symbolic.expr import Expr, Integer, ceiling_div, mul, sympify
+
+__all__ = ["permute_array_layout", "pad_strides_to_multiple"]
+
+
+def _rewrite_memlets(sdfg: SDFG, name: str, rewrite) -> None:
+    """Apply ``rewrite(memlet) -> Memlet`` to every memlet on *name*."""
+    for state in sdfg.states():
+        for edge in state.edges():
+            conn = edge.data
+            if conn is None or conn.memlet is None or conn.memlet.data != name:
+                continue
+            conn.memlet = rewrite(conn.memlet)
+
+
+def permute_array_layout(sdfg: SDFG, name: str, order: Sequence[int]) -> Array:
+    """Reorder the dimensions of container *name* by *order*.
+
+    ``order[k]`` gives the old dimension that becomes new dimension ``k``.
+    The descriptor is replaced by a C-contiguous array in the new dimension
+    order and every memlet subset is permuted to match.  Returns the new
+    descriptor.
+    """
+    desc = sdfg.arrays.get(name)
+    if not isinstance(desc, Array):
+        raise TransformError(f"{name!r} is not an array container")
+    order = list(order)
+    if sorted(order) != list(range(desc.ndim)):
+        raise TransformError(f"invalid permutation {order!r} for rank {desc.ndim}")
+    new_desc = desc.permuted(order)
+    sdfg.replace_descriptor(name, new_desc)
+
+    def rewrite(memlet: Memlet) -> Memlet:
+        return Memlet(
+            memlet.data,
+            memlet.subset.permuted(order),
+            wcr=memlet.wcr,
+            volume_hint=memlet.volume_hint,
+        )
+
+    _rewrite_memlets(sdfg, name, rewrite)
+    return new_desc
+
+
+def pad_strides_to_multiple(
+    sdfg: SDFG, name: str, multiple_elements: int, dim: int | None = None
+) -> Array:
+    """Pad the stride of dimension *dim* up to a multiple (in elements).
+
+    With ``dim=None``, the second-innermost dimension is padded — the
+    common "align each row to the cache line" case.  Outer strides are
+    recomputed on top of the padded stride so the layout stays consistent.
+    Returns the new descriptor.
+
+    Example: doubles in a ``[K, 12, 12]`` array with 64-byte lines
+    (8 elements): ``pad_strides_to_multiple(sdfg, "A", 8)`` pads the row
+    stride from 12 to 16 elements, so every row starts on a line boundary.
+    """
+    desc = sdfg.arrays.get(name)
+    if not isinstance(desc, Array):
+        raise TransformError(f"{name!r} is not an array container")
+    if multiple_elements <= 0:
+        raise TransformError("padding multiple must be positive")
+    if desc.ndim < 2:
+        raise TransformError("stride padding requires at least two dimensions")
+    if dim is None:
+        dim = desc.ndim - 2
+    if not (0 <= dim < desc.ndim - 1):
+        raise TransformError(
+            f"cannot pad dimension {dim} of a rank-{desc.ndim} array "
+            "(the innermost dimension's stride must remain 1)"
+        )
+
+    # Rebuild strides from the inside out, padding at `dim`.
+    multiple = Integer(multiple_elements)
+    new_strides: list[Expr] = [Integer(1)] * desc.ndim
+    for d in range(desc.ndim - 2, -1, -1):
+        inner_extent = mul(new_strides[d + 1], sympify(desc.shape[d + 1]))
+        if d == dim:
+            inner_extent = mul(ceiling_div(inner_extent, multiple), multiple)
+        new_strides[d] = inner_extent
+    new_desc = desc.with_strides(new_strides)
+    sdfg.replace_descriptor(name, new_desc)
+    return new_desc

@@ -1,0 +1,257 @@
+"""Map fusion: merge a producer map into its consumer through a transient.
+
+Pattern::
+
+    ... -> MapExit(A) -> AccessNode(T) -> MapEntry(B) -> ...
+
+where
+
+- ``T`` is a transient with no other readers or writers,
+- maps A and B have identical iteration ranges (parameter names may
+  differ — they are matched positionally), and
+- per iteration, B reads exactly the element of ``T`` that A wrote
+  (element-wise dependence; no stencil offsets).
+
+Applying the transformation moves B's body into A's scope, replaces the
+intermediate array by a per-iteration scalar (a register), and deletes the
+array ``T`` entirely — eliminating the high-volume movement edges the
+global view's heatmap highlights in the BERT case study (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.sdfg.data import Array
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Tasklet
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+
+__all__ = ["MapFusion", "fuse_all_maps"]
+
+
+class MapFusion:
+    """One matched fusion opportunity; apply with :meth:`apply`."""
+
+    def __init__(
+        self,
+        sdfg: SDFG,
+        state: SDFGState,
+        producer_exit: MapExit,
+        intermediate: AccessNode,
+        consumer_entry: MapEntry,
+    ):
+        self.sdfg = sdfg
+        self.state = state
+        self.producer_exit = producer_exit
+        self.intermediate = intermediate
+        self.consumer_entry = consumer_entry
+
+    # -- matching -----------------------------------------------------------
+    @classmethod
+    def find_matches(cls, sdfg: SDFG, state: SDFGState) -> list["MapFusion"]:
+        """All applicable fusion sites in *state* (non-overlapping order)."""
+        matches = []
+        for node in state.data_nodes():
+            match = cls._match_at(sdfg, state, node)
+            if match is not None:
+                matches.append(match)
+        return matches
+
+    @classmethod
+    def _match_at(
+        cls, sdfg: SDFG, state: SDFGState, node: AccessNode
+    ) -> "MapFusion | None":
+        desc = sdfg.arrays.get(node.data)
+        if desc is None or not desc.transient or not isinstance(desc, Array):
+            return None
+        in_edges = state.in_edges(node)
+        out_edges = state.out_edges(node)
+        if len(in_edges) != 1 or len(out_edges) != 1:
+            return None
+        producer_exit = in_edges[0].src
+        consumer_entry = out_edges[0].dst
+        if not isinstance(producer_exit, MapExit) or not isinstance(
+            consumer_entry, MapEntry
+        ):
+            return None
+        # Only one version of the transient may exist.
+        if sum(1 for n in state.data_nodes() if n.data == node.data) != 1:
+            return None
+        a_map = producer_exit.map
+        b_map = consumer_entry.map
+        if a_map.ranges != b_map.ranges:
+            return None
+        if in_edges[0].data.memlet is not None and in_edges[0].data.memlet.wcr:
+            return None
+        # Per-iteration element-wise dependence: every inner write of T in A
+        # and inner read of T in B must be the identity point subset over
+        # the (positionally matched) parameters.
+        param_map = dict(zip(b_map.params, a_map.params))
+        write_subsets = cls._inner_subsets(state, producer_exit, node.data, into=True)
+        read_subsets = cls._inner_subsets(state, consumer_entry, node.data, into=False)
+        if not write_subsets or not read_subsets:
+            return None
+        canonical = None
+        for subset in write_subsets:
+            if not subset.is_point:
+                return None
+            canonical = subset if canonical is None else canonical
+            if subset != canonical:
+                return None
+        for subset in read_subsets:
+            if not subset.is_point:
+                return None
+            renamed = subset.subs(param_map)
+            if renamed != canonical:
+                return None
+        return cls(sdfg, state, producer_exit, node, consumer_entry)
+
+    @staticmethod
+    def _inner_subsets(state, scope_node, data, into: bool):
+        edges = state.in_edges(scope_node) if into else state.out_edges(scope_node)
+        return [
+            e.data.memlet.subset
+            for e in edges
+            if e.data.memlet is not None and e.data.memlet.data == data
+        ]
+
+    # -- application --------------------------------------------------------
+    def apply(self) -> None:
+        state, sdfg = self.state, self.sdfg
+        exit_a = self.producer_exit
+        entry_a = exit_a.entry_node
+        entry_b = self.consumer_entry
+        exit_b = entry_b.exit_node
+        t_name = self.intermediate.data
+        a_map, b_map = entry_a.map, entry_b.map
+        param_map = dict(zip(b_map.params, a_map.params))
+
+        # 1. Replace the intermediate array by a per-iteration scalar.
+        scalar_name = self._fresh_scalar_name(t_name)
+        dtype = sdfg.arrays[t_name].dtype
+        sdfg.add_scalar(scalar_name, dtype, transient=True)
+        scalar_access = state.add_access(scalar_name)
+
+        # Producer writes: tasklet -> exit_a [IN_T]  ==>  tasklet -> scalar.
+        for edge in list(state.in_edges(exit_a)):
+            memlet = edge.data.memlet
+            if memlet is None or memlet.data != t_name:
+                continue
+            state.add_edge(edge.src, edge.data.src_conn, scalar_access, None,
+                           Memlet(scalar_name))
+            state.remove_edge(edge)
+
+        # 2. Rewire B's inner read edges.
+        for edge in list(state.out_edges(entry_b)):
+            memlet = edge.data.memlet
+            if memlet is None:
+                # Ordering edge: keep the node inside the fused scope.
+                state.add_edge(entry_a, None, edge.dst, edge.data.dst_conn, None)
+                state.remove_edge(edge)
+                continue
+            renamed = memlet.subs(param_map)
+            if memlet.data == t_name:
+                state.add_edge(scalar_access, None, edge.dst, edge.data.dst_conn,
+                               Memlet(scalar_name))
+            else:
+                state.add_edge(entry_a, f"OUT_{memlet.data}", edge.dst,
+                               edge.data.dst_conn, renamed)
+            state.remove_edge(edge)
+
+        # 3. Reroute B's outer input edges to entry_a.
+        for edge in list(state.in_edges(entry_b)):
+            memlet = edge.data.memlet
+            if memlet is None or memlet.data == t_name:
+                state.remove_edge(edge)
+                continue
+            state.add_edge(edge.src, edge.data.src_conn, entry_a,
+                           f"IN_{memlet.data}", memlet)
+            state.remove_edge(edge)
+
+        # 4. Move B's writes to exit_a (inner) and reroute outer outputs.
+        for edge in list(state.in_edges(exit_b)):
+            memlet = edge.data.memlet
+            if memlet is None:
+                state.remove_edge(edge)
+                continue
+            renamed = memlet.subs(param_map)
+            state.add_edge(edge.src, edge.data.src_conn, exit_a,
+                           f"IN_{renamed.data}", renamed)
+            exit_a.add_out_connector(f"OUT_{renamed.data}")
+            state.remove_edge(edge)
+        for edge in list(state.out_edges(exit_b)):
+            memlet = edge.data.memlet
+            if memlet is None:
+                state.remove_edge(edge)
+                continue
+            state.add_edge(exit_a, f"OUT_{memlet.data}", edge.dst,
+                           edge.data.dst_conn, memlet)
+            state.remove_edge(edge)
+
+        # 5. Rename any remaining references to B's params in B's body
+        #    (tasklet-to-local memlets carry no params; tasklet code may).
+        for tasklet in state.tasklets():
+            for b_param, a_param in param_map.items():
+                if b_param != a_param and isinstance(tasklet, Tasklet):
+                    tasklet.code = _rename_identifier(tasklet.code, b_param, a_param)
+
+        # 6. Delete the dissolved structure.
+        state.remove_node(entry_b)
+        state.remove_node(exit_b)
+        state.remove_node(self.intermediate)
+        sdfg.remove_data(t_name)
+
+    def _fresh_scalar_name(self, base: str) -> str:
+        candidate = f"__fused_{base}"
+        counter = 0
+        while candidate in self.sdfg.arrays:
+            counter += 1
+            candidate = f"__fused_{base}_{counter}"
+        return candidate
+
+    def __repr__(self) -> str:
+        return (
+            f"MapFusion({self.producer_exit.label} -> {self.intermediate.data} "
+            f"-> {self.consumer_entry.label})"
+        )
+
+
+def _rename_identifier(code: str, old: str, new: str) -> str:
+    """Rename identifier *old* to *new* in tasklet code (AST-based)."""
+    import ast
+
+    class Renamer(ast.NodeTransformer):
+        def visit_Name(self, node: ast.Name) -> ast.Name:
+            if node.id == old:
+                return ast.copy_location(ast.Name(id=new, ctx=node.ctx), node)
+            return node
+
+    try:
+        tree = ast.parse(code)
+    except SyntaxError:
+        return code
+    return ast.unparse(Renamer().visit(tree))
+
+
+def fuse_all_maps(sdfg: SDFG, max_rounds: int = 100) -> int:
+    """Repeatedly apply map fusion until no opportunity remains.
+
+    Returns the number of fusions applied.  One match is applied per round
+    because applying a fusion can create or invalidate other matches.
+    """
+    applied = 0
+    for _ in range(max_rounds):
+        found = False
+        for state in sdfg.states():
+            matches = MapFusion.find_matches(sdfg, state)
+            if matches:
+                matches[0].apply()
+                applied += 1
+                found = True
+                break
+        if not found:
+            break
+    else:
+        raise TransformError(f"fusion did not converge in {max_rounds} rounds")
+    return applied

@@ -1,0 +1,3 @@
+"""Version information."""
+
+__version__ = "1.0.0"

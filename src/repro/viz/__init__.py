@@ -1,0 +1,53 @@
+"""Visualization: the visual encodings of the paper's tool.
+
+The original tool renders inside VS Code; here every view is a
+deterministic SVG/HTML artifact plus an explicit, scriptable interaction
+model, so the *content* of each figure is reproducible and testable.
+
+- :mod:`repro.viz.color` — color math, the green-yellow-red scale and
+  colorblind-safe alternatives (Section IV-C).
+- :mod:`repro.viz.scaling` — adaptive heatmap scaling: mean-centered,
+  median-centered, histogram-bucketed, plus linear/exponential min-max
+  interpolation baselines (Fig. 2).
+- :mod:`repro.viz.heatmap` — scaling + color scale = heatmap assignment.
+- :mod:`repro.viz.layout` — layered graph layout for SDFG states.
+- :mod:`repro.viz.renderer` — SVG writers: graph view, data containers,
+  histograms, HTML report.
+- :mod:`repro.viz.lod` — graph folding and level-of-detail rules
+  (Section IV-A).
+- :mod:`repro.viz.overview` — minimap and outline models (Section IV-A).
+- :mod:`repro.viz.interaction` — parameter sliders, selections and the
+  resulting element highlights (Section V-A).
+"""
+
+from repro.viz.color import (
+    COLORBLIND_SCALE,
+    GREEN_YELLOW_RED,
+    Color,
+    ColorScale,
+)
+from repro.viz.heatmap import Heatmap
+from repro.viz.scaling import (
+    ExponentialScale,
+    HistogramScale,
+    LinearScale,
+    MeanCenteredScale,
+    MedianCenteredScale,
+    ScalingMethod,
+    make_scaling,
+)
+
+__all__ = [
+    "Color",
+    "ColorScale",
+    "GREEN_YELLOW_RED",
+    "COLORBLIND_SCALE",
+    "ScalingMethod",
+    "MeanCenteredScale",
+    "MedianCenteredScale",
+    "HistogramScale",
+    "LinearScale",
+    "ExponentialScale",
+    "make_scaling",
+    "Heatmap",
+]

@@ -1,0 +1,135 @@
+"""Color math and the heatmap color scales of Section IV-C.
+
+The paper motivates a green → yellow → red spectrum: it keeps the
+intuitive green=fast / red=slow ordering of the popular green-red scale
+while inserting yellow in the middle to visually separate mid-range values
+that a two-stop gradient would wash out.  Rainbow ("jet") maps are
+explicitly avoided (they are perceptually misleading); a colorblind-safe
+alternative is provided since "this color scale can be manually changed to
+fit the user's needs".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import VisualizationError
+
+__all__ = [
+    "Color",
+    "ColorScale",
+    "GREEN_YELLOW_RED",
+    "GREEN_RED",
+    "COLORBLIND_SCALE",
+    "JET",
+]
+
+
+class Color:
+    """An sRGB color with 8-bit channels."""
+
+    __slots__ = ("r", "g", "b")
+
+    def __init__(self, r: int, g: int, b: int):
+        for channel in (r, g, b):
+            if not 0 <= channel <= 255:
+                raise VisualizationError(f"channel value {channel} out of range")
+        self.r, self.g, self.b = int(r), int(g), int(b)
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Color":
+        text = text.lstrip("#")
+        if len(text) != 6:
+            raise VisualizationError(f"invalid hex color {text!r}")
+        return cls(int(text[0:2], 16), int(text[2:4], 16), int(text[4:6], 16))
+
+    def to_hex(self) -> str:
+        return f"#{self.r:02x}{self.g:02x}{self.b:02x}"
+
+    def lerp(self, other: "Color", t: float) -> "Color":
+        """Linear interpolation toward *other* (t in [0, 1])."""
+        t = min(1.0, max(0.0, t))
+        return Color(
+            round(self.r + (other.r - self.r) * t),
+            round(self.g + (other.g - self.g) * t),
+            round(self.b + (other.b - self.b) * t),
+        )
+
+    def luminance(self) -> float:
+        """Relative luminance (WCAG), for choosing readable label colors."""
+
+        def channel(c: int) -> float:
+            s = c / 255.0
+            return s / 12.92 if s <= 0.03928 else ((s + 0.055) / 1.055) ** 2.4
+
+        return 0.2126 * channel(self.r) + 0.7152 * channel(self.g) + 0.0722 * channel(self.b)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Color):
+            return NotImplemented
+        return (self.r, self.g, self.b) == (other.r, other.g, other.b)
+
+    def __hash__(self) -> int:
+        return hash((Color, self.r, self.g, self.b))
+
+    def __repr__(self) -> str:
+        return f"Color({self.to_hex()!r})"
+
+
+class ColorScale:
+    """A piecewise-linear gradient over control points at t=0..1."""
+
+    def __init__(self, name: str, stops: Sequence[Color]):
+        if len(stops) < 2:
+            raise VisualizationError("a color scale needs at least two stops")
+        self.name = name
+        self.stops = list(stops)
+
+    def sample(self, t: float) -> Color:
+        """Color at normalized position *t* (clamped to [0, 1])."""
+        t = min(1.0, max(0.0, float(t)))
+        segments = len(self.stops) - 1
+        scaled = t * segments
+        index = min(int(scaled), segments - 1)
+        local = scaled - index
+        return self.stops[index].lerp(self.stops[index + 1], local)
+
+    def reversed(self) -> "ColorScale":
+        return ColorScale(f"{self.name}_reversed", list(reversed(self.stops)))
+
+    def __repr__(self) -> str:
+        return f"ColorScale({self.name!r}, {len(self.stops)} stops)"
+
+
+#: The paper's default: green (low / fast) → yellow → red (high / slow).
+GREEN_YELLOW_RED = ColorScale(
+    "green_yellow_red",
+    [Color.from_hex("#2e9e4f"), Color.from_hex("#f0d048"), Color.from_hex("#d03a30")],
+)
+
+#: The two-stop green-red scale the paper improves upon.
+GREEN_RED = ColorScale(
+    "green_red",
+    [Color.from_hex("#2e9e4f"), Color.from_hex("#d03a30")],
+)
+
+#: Colorblind-safe alternative (blue → light gray → orange, a diverging
+#: scheme readable under deuteranopia/protanopia).
+COLORBLIND_SCALE = ColorScale(
+    "colorblind_safe",
+    [Color.from_hex("#2166ac"), Color.from_hex("#f7f7f7"), Color.from_hex("#e08214")],
+)
+
+#: The rainbow/jet map — included only as the documented anti-pattern for
+#: the color-scheme ablation benchmark.
+JET = ColorScale(
+    "jet",
+    [
+        Color.from_hex("#00007f"),
+        Color.from_hex("#0000ff"),
+        Color.from_hex("#00ffff"),
+        Color.from_hex("#ffff00"),
+        Color.from_hex("#ff0000"),
+        Color.from_hex("#7f0000"),
+    ],
+)

@@ -1,0 +1,83 @@
+"""Reuse-distance histograms (the detail panel of Fig. 5b).
+
+Selecting a memory element plots the distribution of its stack distances
+over time; cold (infinite-distance) accesses appear as a dedicated "cold"
+bar so the engineer can read off cold misses directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import VisualizationError
+from repro.viz.svg import SVGDocument
+
+__all__ = ["histogram_buckets", "render_histogram"]
+
+
+def histogram_buckets(
+    distances: Sequence[float], num_buckets: int = 10
+) -> tuple[list[tuple[float, float, int]], int]:
+    """Bucket finite distances; count infinite ones separately.
+
+    Returns ``([(lo, hi, count), ...], cold_count)``; bucket ranges are
+    half-open except the last, which includes its upper bound.
+    """
+    finite = [d for d in distances if not math.isinf(d)]
+    cold = len(distances) - len(finite)
+    if not finite:
+        return [], cold
+    lo, hi = min(finite), max(finite)
+    if lo == hi:
+        return [(lo, hi, len(finite))], cold
+    width = (hi - lo) / num_buckets
+    counts = [0] * num_buckets
+    for d in finite:
+        idx = min(int((d - lo) / width), num_buckets - 1)
+        counts[idx] += 1
+    return (
+        [(lo + i * width, lo + (i + 1) * width, c) for i, c in enumerate(counts)],
+        cold,
+    )
+
+
+def render_histogram(
+    distances: Sequence[float],
+    title: str = "reuse distance",
+    num_buckets: int = 10,
+    width: float = 320.0,
+    height: float = 160.0,
+) -> str:
+    """Render the distance histogram (plus cold bar) as SVG."""
+    if not distances:
+        raise VisualizationError("cannot render a histogram of no distances")
+    buckets, cold = histogram_buckets(distances, num_buckets)
+    bars: list[tuple[str, int]] = [
+        (f"{lo:g}–{hi:g}", count) for lo, hi, count in buckets
+    ]
+    if cold:
+        bars.append(("cold", cold))
+    max_count = max(count for _, count in bars) if bars else 1
+
+    margin = 28.0
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+    bar_w = plot_w / max(len(bars), 1)
+
+    doc = SVGDocument(width, height)
+    doc.text(width / 2, 16.0, title, font_size=12)
+    doc.line(margin, height - margin, width - margin, height - margin, stroke="#333333")
+    for i, (label, count) in enumerate(bars):
+        bar_h = plot_h * count / max_count
+        x = margin + i * bar_w
+        fill = "#8ab6e8" if label != "cold" else "#d03a30"
+        doc.rect(
+            x + 2, height - margin - bar_h, bar_w - 4, bar_h,
+            fill=fill, stroke="#333333", stroke_width=0.5,
+            title=f"{label}: {count}",
+        )
+        if count:
+            doc.text(x + bar_w / 2, height - margin - bar_h - 3, str(count), font_size=9)
+        doc.text(x + bar_w / 2, height - margin + 12, label, font_size=7)
+    return doc.to_string()

@@ -1,0 +1,110 @@
+"""Interaction state for the parameterized local view (Section V-A).
+
+Each parallel-region parameter gets a slider; setting slider values
+"highlights all memory elements accessed inside the parallel region for
+that specific parameter combination" (Fig. 3).  The interaction model here
+is the scriptable equivalent: a :class:`ParameterSliders` object bound to a
+map scope that, for the current values, resolves the per-container element
+highlights by evaluating the scope's inner memlets.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import VisualizationError
+from repro.sdfg.nodes import MapEntry, Tasklet
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+from repro.simulation.simulator import _CompiledSubset
+
+__all__ = ["ParameterSliders"]
+
+
+class ParameterSliders:
+    """Sliders over one map scope's parameters.
+
+    Parameters
+    ----------
+    sdfg, state, entry:
+        The program, state and map scope being inspected.
+    symbols:
+        Concrete values for the program's free size symbols (the local
+        view's parameterization).
+    """
+
+    def __init__(
+        self,
+        sdfg: SDFG,
+        state: SDFGState,
+        entry: MapEntry,
+        symbols: Mapping[str, int],
+    ):
+        self.sdfg = sdfg
+        self.state = state
+        self.entry = entry
+        self.symbols = {k: int(v) for k, v in symbols.items()}
+        self._values: dict[str, int] = {}
+        for param, rng in zip(entry.map.params, entry.map.ranges):
+            concrete = rng.concretize(self.symbols)
+            if len(concrete) == 0:
+                raise VisualizationError(
+                    f"map parameter {param!r} has an empty range"
+                )
+            self._values[param] = concrete[0]
+
+    # -- slider manipulation ---------------------------------------------------
+    def bounds(self, param: str) -> tuple[int, int]:
+        """Slider bounds (inclusive) of one parameter."""
+        rng = self.entry.map.range_of(param).concretize(self.symbols)
+        values = list(rng)
+        return (min(values), max(values))
+
+    def set(self, param: str, value: int) -> None:
+        """Move one slider; rejects values outside the parameter's range."""
+        rng = self.entry.map.range_of(param).concretize(self.symbols)
+        if value not in rng:
+            raise VisualizationError(
+                f"value {value} outside range of parameter {param!r} "
+                f"({rng.start}..{rng.stop - 1} step {rng.step})"
+            )
+        self._values[param] = int(value)
+
+    def values(self) -> dict[str, int]:
+        return dict(self._values)
+
+    # -- highlights -------------------------------------------------------------
+    def highlighted_elements(self) -> dict[str, set[tuple[int, ...]]]:
+        """Per-container elements accessed at the current slider values.
+
+        Evaluates every memlet attached to tasklets inside the scope under
+        the current parameter assignment — exactly what hovering/moving a
+        slider highlights in the tool.
+        """
+        env = dict(self.symbols)
+        env.update(self._values)
+        sdict = self.state.scope_dict()
+        out: dict[str, set[tuple[int, ...]]] = {}
+        for node in self.state.nodes():
+            if not isinstance(node, Tasklet):
+                continue
+            if not self._inside(sdict, node):
+                continue
+            for edge in self.state.in_edges(node) + self.state.out_edges(node):
+                memlet = edge.data.memlet
+                if memlet is None:
+                    continue
+                desc = self.sdfg.arrays.get(memlet.data)
+                if desc is None or getattr(desc, "transient", False):
+                    continue
+                for indices in _CompiledSubset(memlet).points(env):
+                    out.setdefault(memlet.data, set()).add(indices)
+        return out
+
+    def _inside(self, sdict: dict, node: Tasklet) -> bool:
+        scope = sdict.get(node)
+        while scope is not None:
+            if scope is self.entry:
+                return True
+            scope = sdict.get(scope)
+        return False

@@ -1,0 +1,156 @@
+"""Graph folding and level-of-detail rules (Section IV-A).
+
+"We exploit [the hierarchical construction] to allow entire subgraphs to
+be folded and hidden, instead representing them with a single graph
+element that summarizes their content", and "more detailed visual elements
+are gradually hidden as the user zooms further out".
+
+Both behaviours are modeled explicitly: a :class:`FoldState` tracks which
+scopes are collapsed and produces the list of *visible* nodes with
+summaries for folded scopes; :func:`visible_detail` encodes the zoom
+thresholds at which labels, connectors and fine elements disappear.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sdfg.nodes import MapEntry, NestedSDFG, Node
+from repro.sdfg.state import SDFGState
+
+__all__ = ["DetailLevel", "visible_detail", "FoldState", "FoldedScope"]
+
+
+class DetailLevel(enum.Enum):
+    """What is drawn at a given zoom factor."""
+
+    FULL = "full"  # everything: labels, connectors, memlet annotations
+    NODES = "nodes"  # node shapes and labels, no connectors/annotations
+    BLOCKS = "blocks"  # node shapes only
+    OUTLINE = "outline"  # scope boxes only
+
+
+def visible_detail(zoom: float) -> DetailLevel:
+    """Map a zoom factor (1.0 = 100%) to the rendered detail level.
+
+    Mirrors map-software behaviour: zooming out pulls focus toward coarse
+    structure.
+    """
+    if zoom >= 0.75:
+        return DetailLevel.FULL
+    if zoom >= 0.4:
+        return DetailLevel.NODES
+    if zoom >= 0.15:
+        return DetailLevel.BLOCKS
+    return DetailLevel.OUTLINE
+
+
+class FoldedScope:
+    """Placeholder standing in for a collapsed scope."""
+
+    __slots__ = ("entry", "summary", "hidden_count")
+
+    def __init__(self, entry: MapEntry | NestedSDFG, summary: str, hidden_count: int):
+        self.entry = entry
+        self.summary = summary
+        self.hidden_count = hidden_count
+
+    def __repr__(self) -> str:
+        return f"FoldedScope({self.summary!r}, hides {self.hidden_count} nodes)"
+
+
+class FoldState:
+    """Tracks collapsed scopes of one state and resolves visibility."""
+
+    def __init__(self, state: SDFGState):
+        self.state = state
+        self._collapsed: set[Node] = set()
+
+    # -- fold manipulation ---------------------------------------------------
+    def collapse(self, entry: MapEntry | NestedSDFG) -> None:
+        if not isinstance(entry, (MapEntry, NestedSDFG)):
+            raise TypeError("only map scopes and nested SDFGs can be folded")
+        self._collapsed.add(entry)
+
+    def expand(self, entry: Node) -> None:
+        self._collapsed.discard(entry)
+
+    def toggle(self, entry: MapEntry | NestedSDFG) -> bool:
+        """Flip the fold state; returns True when now collapsed."""
+        if entry in self._collapsed:
+            self.expand(entry)
+            return False
+        self.collapse(entry)
+        return True
+
+    def is_collapsed(self, entry: Node) -> bool:
+        return entry in self._collapsed
+
+    def collapse_all(self) -> None:
+        for entry in self.state.map_entries():
+            self._collapsed.add(entry)
+        for node in self.state.nodes():
+            if isinstance(node, NestedSDFG):
+                self._collapsed.add(node)
+
+    def expand_all(self) -> None:
+        self._collapsed.clear()
+
+    # -- visibility ----------------------------------------------------------
+    def visible_nodes(self) -> list[Node | FoldedScope]:
+        """Nodes to draw: unfolded nodes plus summaries for folded scopes.
+
+        A node inside a collapsed scope is hidden; the *outermost*
+        collapsed scope containing it provides the summary element.
+        """
+        sdict = self.state.scope_dict()
+
+        def outermost_collapsed(node: Node) -> Node | None:
+            found = None
+            scope = sdict.get(node)
+            while scope is not None:
+                if scope in self._collapsed:
+                    found = scope
+                scope = sdict.get(scope)
+            # The collapsed entry itself is also summarized.
+            if node in self._collapsed:
+                found = node if found is None else found
+            return found
+
+        out: list[Node | FoldedScope] = []
+        emitted: set[Node] = set()
+        for node in self.state.topological_nodes():
+            owner = outermost_collapsed(node)
+            if owner is None:
+                exit_of_collapsed = (
+                    hasattr(node, "entry_node")
+                    and outermost_collapsed(node.entry_node) is not None  # type: ignore[attr-defined]
+                ) or (hasattr(node, "entry_node") and node.entry_node in self._collapsed)  # type: ignore[attr-defined]
+                if exit_of_collapsed:
+                    continue
+                out.append(node)
+                continue
+            if owner in emitted:
+                continue
+            emitted.add(owner)
+            hidden = self._count_hidden(owner, sdict)
+            if isinstance(owner, MapEntry):
+                summary = f"{owner.label} [folded]"
+            else:
+                summary = f"{owner.label} [folded SDFG]"
+            out.append(FoldedScope(owner, summary, hidden))
+        return out
+
+    def _count_hidden(self, owner: Node, sdict: dict) -> int:
+        if isinstance(owner, NestedSDFG):
+            return sum(len(s.nodes()) for s in owner.sdfg.states())
+        count = 0
+        for node in self.state.nodes():
+            scope = sdict.get(node)
+            while scope is not None:
+                if scope is owner:
+                    count += 1
+                    break
+                scope = sdict.get(scope)
+        # The matching exit is hidden too.
+        return count + 1

@@ -1,0 +1,144 @@
+"""Navigation overviews: the outline tree and the minimap (Section IV-A).
+
+"Two separate overviews help maintain situational awareness.  A minimap
+... shows the current program in its entirety, with a box drawing the
+current viewport ...  A second, outline overview shows a hierarchical view
+of the graph, enabling quick navigation to a specific graph element."
+
+Both are plain data models: the outline is a nested tree over states,
+scopes and nodes; the minimap exposes the viewport rectangle and the
+focus-element → viewport animation as a sequence of interpolated frames
+(navigation "animated as a slowed down motion of the viewport").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sdfg.nodes import MapEntry, NestedSDFG, Node
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+from repro.viz.layout import StateLayout, layout_state
+
+__all__ = ["OutlineEntry", "build_outline", "Viewport", "Minimap"]
+
+
+class OutlineEntry:
+    """One row of the outline tree."""
+
+    __slots__ = ("label", "kind", "target", "children")
+
+    def __init__(self, label: str, kind: str, target: object):
+        self.label = label
+        self.kind = kind
+        self.target = target
+        self.children: list[OutlineEntry] = []
+
+    def walk(self) -> Iterator["OutlineEntry"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, label: str) -> "OutlineEntry | None":
+        """First entry with the given label (depth-first)."""
+        for entry in self.walk():
+            if entry.label == label:
+                return entry
+        return None
+
+    def __repr__(self) -> str:
+        return f"OutlineEntry({self.kind}:{self.label}, {len(self.children)} children)"
+
+
+def build_outline(sdfg: SDFG) -> OutlineEntry:
+    """Hierarchical outline: SDFG → states → scopes → nodes."""
+    root = OutlineEntry(sdfg.name, "sdfg", sdfg)
+    for state in sdfg.states():
+        state_entry = OutlineEntry(state.name, "state", state)
+        root.children.append(state_entry)
+        children = state.scope_children()
+
+        def add_scope(parent: OutlineEntry, scope: MapEntry | None) -> None:
+            for node in children.get(scope, []):
+                if isinstance(node, MapEntry):
+                    entry = OutlineEntry(node.label, "map", node)
+                    parent.children.append(entry)
+                    add_scope(entry, node)
+                elif isinstance(node, NestedSDFG):
+                    entry = OutlineEntry(node.label, "nested_sdfg", node)
+                    parent.children.append(entry)
+                    entry.children.append(build_outline(node.sdfg))
+                elif hasattr(node, "entry_node"):
+                    continue  # exits are implied by their entry
+                else:
+                    parent.children.append(
+                        OutlineEntry(node.label, type(node).__name__.lower(), node)
+                    )
+
+        add_scope(state_entry, None)
+    return root
+
+
+class Viewport:
+    """The visible window onto a laid-out graph."""
+
+    __slots__ = ("x", "y", "width", "height")
+
+    def __init__(self, x: float, y: float, width: float, height: float):
+        self.x, self.y, self.width, self.height = x, y, width, height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.x + self.width / 2, self.y + self.height / 2)
+
+    def contains(self, px: float, py: float) -> bool:
+        return self.x <= px <= self.x + self.width and self.y <= py <= self.y + self.height
+
+    def __repr__(self) -> str:
+        return f"Viewport({self.x:.0f}, {self.y:.0f}, {self.width:.0f}x{self.height:.0f})"
+
+
+class Minimap:
+    """Minimap model: whole-graph extent, viewport, and animated moves."""
+
+    def __init__(self, state: SDFGState, viewport: Viewport | None = None):
+        self.layout: StateLayout = layout_state(state)
+        self.viewport = viewport or Viewport(
+            0.0, 0.0, self.layout.width, self.layout.height
+        )
+
+    def viewport_fraction(self) -> tuple[float, float]:
+        """Viewport size relative to the graph (for drawing the box)."""
+        return (
+            self.viewport.width / self.layout.width if self.layout.width else 1.0,
+            self.viewport.height / self.layout.height if self.layout.height else 1.0,
+        )
+
+    def focus_on(self, node: Node, frames: int = 10) -> list[Viewport]:
+        """Animated navigation to *node*: interpolated viewport frames.
+
+        The last frame centers the node; intermediate frames move the
+        viewport smoothly (the continuity principle).
+        """
+        if frames < 1:
+            raise ValueError("need at least one frame")
+        box = self.layout.box(node)
+        target_cx, target_cy = box.x, box.y
+        start_cx, start_cy = self.viewport.center
+        out: list[Viewport] = []
+        for i in range(1, frames + 1):
+            t = i / frames
+            # Smoothstep easing for the slowed-down motion.
+            eased = t * t * (3 - 2 * t)
+            cx = start_cx + (target_cx - start_cx) * eased
+            cy = start_cy + (target_cy - start_cy) * eased
+            out.append(
+                Viewport(
+                    cx - self.viewport.width / 2,
+                    cy - self.viewport.height / 2,
+                    self.viewport.width,
+                    self.viewport.height,
+                )
+            )
+        self.viewport = out[-1]
+        return out

@@ -1,0 +1,83 @@
+"""HTML report assembly: the static equivalent of the tool's interface.
+
+Bundles the global graph view, container views, histograms and metric
+tables into one self-contained HTML document (SVGs are inlined), so an
+entire analysis session can be archived or shared.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Sequence
+
+__all__ = ["ReportBuilder"]
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; background: #fcfcfa; }
+h1 { border-bottom: 2px solid #8899bb; padding-bottom: 0.3em; }
+h2 { color: #334; margin-top: 1.6em; }
+.section { margin-bottom: 2em; }
+.figure { background: #ffffff; border: 1px solid #ddd; padding: 12px;
+          display: inline-block; margin: 6px; vertical-align: top; }
+.caption { font-size: 0.85em; color: #555; margin-top: 6px; }
+table { border-collapse: collapse; margin-top: 0.5em; }
+td, th { border: 1px solid #ccc; padding: 4px 10px; font-size: 0.9em; }
+th { background: #eef2f8; }
+"""
+
+
+class ReportBuilder:
+    """Accumulates sections and renders a standalone HTML document."""
+
+    def __init__(self, title: str):
+        self.title = title
+        self._sections: list[str] = []
+
+    def add_heading(self, text: str) -> "ReportBuilder":
+        self._sections.append(f"<h2>{html.escape(text)}</h2>")
+        return self
+
+    def add_paragraph(self, text: str) -> "ReportBuilder":
+        self._sections.append(f"<p>{html.escape(text)}</p>")
+        return self
+
+    def add_svg(self, svg: str, caption: str | None = None) -> "ReportBuilder":
+        block = f'<div class="figure">{svg}'
+        if caption:
+            block += f'<div class="caption">{html.escape(caption)}</div>'
+        block += "</div>"
+        self._sections.append(block)
+        return self
+
+    def add_table(
+        self,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[object]],
+        caption: str | None = None,
+    ) -> "ReportBuilder":
+        parts = ["<table>"]
+        parts.append(
+            "<tr>" + "".join(f"<th>{html.escape(str(h))}</th>" for h in headers) + "</tr>"
+        )
+        for row in rows:
+            parts.append(
+                "<tr>" + "".join(f"<td>{html.escape(str(c))}</td>" for c in row) + "</tr>"
+            )
+        parts.append("</table>")
+        if caption:
+            parts.append(f'<div class="caption">{html.escape(caption)}</div>')
+        self._sections.append("".join(parts))
+        return self
+
+    def render(self) -> str:
+        body = "\n".join(f'<div class="section">{s}</div>' for s in self._sections)
+        return (
+            "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+            f"<title>{html.escape(self.title)}</title>"
+            f"<style>{_STYLE}</style></head><body>"
+            f"<h1>{html.escape(self.title)}</h1>\n{body}\n</body></html>"
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.render())

@@ -1,0 +1,161 @@
+"""Tests for movement-volume and operation-count analyses."""
+
+import pytest
+
+from repro.analysis import (
+    container_movement_bytes,
+    count_expression_ops,
+    edge_movement_bytes,
+    edge_movement_volumes,
+    program_intensity,
+    program_ops,
+    scope_intensities,
+    scope_ops,
+    total_movement_bytes,
+)
+from repro.frontend import pmap, program
+from repro.sdfg import MapEntry, Tasklet
+from repro.sdfg.dtypes import float32, float64
+from repro.symbolic import Integer, symbols
+
+I, J, K = symbols("I J K")
+
+
+@program
+def outer_product(A: float64[I], B: float64[J], C: float64[I, J]):
+    for i, j in pmap(I, J):
+        C[i, j] = A[i] * B[j]
+
+
+@program
+def matmul(A: float64[I, K], B: float64[K, J], C: float64[I, J]):
+    for i, j, k in pmap(I, J, K):
+        C[i, j] += A[i, k] * B[k, j]
+
+
+@program
+def axpy(x: float32[I], y: float32[I], z: float32[I]):
+    for i in pmap(I):
+        z[i] = 2.0 * x[i] + y[i]
+
+
+class TestExpressionOps:
+    @pytest.mark.parametrize(
+        "code,expected",
+        [
+            ("_out = a * b", 1),
+            ("_out = a * b + c", 2),
+            ("_out = -a", 1),
+            ("_out = a", 0),
+            ("_out = (a + b) * (c + d)", 3),
+            ("_out = sqrt(a)", 1),
+            ("_out = a if b > c else d", 1),
+            ("_out = a ** 2 + exp(b)", 3),
+        ],
+    )
+    def test_counts(self, code, expected):
+        assert count_expression_ops(code) == expected
+
+    def test_custom_weights(self):
+        assert count_expression_ops("_out = exp(a)", {"exp": 10}) == 10
+
+    def test_bad_code(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            count_expression_ops("_out = ((")
+
+
+class TestScopeOps:
+    def test_outer_product_total(self):
+        sdfg = outer_product.to_sdfg()
+        assert program_ops(sdfg) == I * J
+
+    def test_matmul_total(self):
+        sdfg = matmul.to_sdfg()
+        assert program_ops(sdfg) == 2 * I * J * K
+
+    def test_map_entry_aggregates(self):
+        sdfg = outer_product.to_sdfg()
+        state = sdfg.start_state
+        ops = scope_ops(state)
+        entry = state.map_entries()[0]
+        assert ops[entry] == I * J
+
+    def test_tasklet_scaled_by_iterations(self):
+        sdfg = axpy.to_sdfg()
+        state = sdfg.start_state
+        ops = scope_ops(state)
+        tasklet = state.tasklets()[0]
+        assert ops[tasklet] == 2 * I
+
+
+class TestMovement:
+    def test_edge_volumes_elements(self):
+        sdfg = outer_product.to_sdfg()
+        state = sdfg.start_state
+        volumes = edge_movement_volumes(state)
+        assert len(volumes) == len(list(state.all_memlets()))
+        entry = state.map_entries()[0]
+        outer = [volumes[e] for e in state.in_edges(entry)]
+        assert all(v == I * J for v in outer)
+
+    def test_edge_bytes_respects_itemsize(self):
+        sdfg = axpy.to_sdfg()
+        state = sdfg.start_state
+        by = edge_movement_bytes(sdfg, state)
+        entry = state.map_entries()[0]
+        for e in state.in_edges(entry):
+            assert by[e] == I * 4  # float32
+
+    def test_container_totals(self):
+        sdfg = outer_product.to_sdfg()
+        moved = container_movement_bytes(sdfg)
+        # A and B each read I*J times (8B elements); C written I*J times.
+        assert moved["A"] == I * J * 8
+        assert moved["B"] == I * J * 8
+        assert moved["C"] == I * J * 8
+
+    def test_split_reads_writes(self):
+        sdfg = outer_product.to_sdfg()
+        moved = container_movement_bytes(sdfg, split_reads_writes=True)
+        reads, writes = moved["C"]
+        assert reads == Integer(0)
+        assert writes == I * J * 8
+
+    def test_total(self):
+        sdfg = outer_product.to_sdfg()
+        assert total_movement_bytes(sdfg) == 3 * I * J * 8
+
+    def test_no_double_counting_of_inner_edges(self):
+        # The total must count container-adjacent edges only, not the
+        # per-iteration inner edges again.
+        sdfg = matmul.to_sdfg()
+        total = total_movement_bytes(sdfg)
+        assert total == 3 * I * J * K * 8
+
+
+class TestIntensity:
+    def test_outer_product_intensity(self):
+        sdfg = outer_product.to_sdfg()
+        state = sdfg.start_state
+        intensities = scope_intensities(sdfg, state)
+        entry = state.map_entries()[0]
+        # 1 op per iteration; 3*8 bytes crossing the scope per iteration.
+        value = intensities[entry].evaluate({"I": 16, "J": 16})
+        assert value == pytest.approx((16 * 16) / (3 * 16 * 16 * 8))
+
+    def test_matmul_intensity_grows_with_k(self):
+        sdfg = matmul.to_sdfg()
+        intensity = program_intensity(sdfg)
+        small = intensity.evaluate({"I": 8, "J": 8, "K": 8})
+        large = intensity.evaluate({"I": 8, "J": 8, "K": 64})
+        # Logical movement counts every access, so intensity is constant
+        # per access here — this documents the *logical* metric behaviour.
+        assert small == pytest.approx(large)
+
+    def test_intensity_positive(self):
+        sdfg = axpy.to_sdfg()
+        state = sdfg.start_state
+        for node, expr in scope_intensities(sdfg, state).items():
+            assert expr.evaluate({"I": 64}) > 0

@@ -1,0 +1,87 @@
+"""Tests for the parametric scaling analysis."""
+
+import pytest
+
+from repro.analysis import ParameterSweep, evaluate_metrics, total_movement_bytes
+from repro.errors import AnalysisError
+from repro.frontend import pmap, program
+from repro.sdfg.dtypes import float64
+from repro.symbolic import symbols
+
+I, J, K = symbols("I J K")
+
+
+@program
+def matmul(A: float64[I, K], B: float64[K, J], C: float64[I, J]):
+    for i, j, k in pmap(I, J, K):
+        C[i, j] += A[i, k] * B[k, j]
+
+
+class TestEvaluateMetrics:
+    def test_basic(self):
+        metrics = {"a": I * J, "b": I + 1}
+        values = evaluate_metrics(metrics, {"I": 3, "J": 4})
+        assert values == {"a": 12.0, "b": 4.0}
+
+    def test_missing_symbol(self):
+        with pytest.raises(AnalysisError, match="'a'"):
+            evaluate_metrics({"a": I * J}, {"I": 3})
+
+    def test_reevaluation_changes_values(self):
+        sdfg = matmul.to_sdfg()
+        total = total_movement_bytes(sdfg)
+        small = evaluate_metrics({"t": total}, {"I": 8, "J": 8, "K": 8})["t"]
+        large = evaluate_metrics({"t": total}, {"I": 16, "J": 8, "K": 8})["t"]
+        assert large == 2 * small
+
+
+class TestParameterSweep:
+    def test_sweep_expression(self):
+        sweep = ParameterSweep({"I": 4, "J": 4, "K": 4})
+        result = sweep.run("I", [4, 8, 16], I * J * K)
+        assert result.values == [64.0, 128.0, 256.0]
+        assert result.growth_factors() == [2.0, 2.0]
+
+    def test_sweep_callable(self):
+        sweep = ParameterSweep({"I": 2})
+        result = sweep.run("I", [1, 2, 3], lambda env: env["I"] ** 2)
+        assert result.values == [1.0, 4.0, 9.0]
+
+    def test_sweep_missing_symbol(self):
+        sweep = ParameterSweep({})
+        with pytest.raises(AnalysisError):
+            sweep.run("I", [1], I * J)
+
+    def test_iteration(self):
+        sweep = ParameterSweep({"I": 1})
+        result = sweep.run("I", [1, 2], I + 0)
+        assert list(result) == [(1, 1.0), (2, 2.0)]
+
+
+class TestParameterRanking:
+    def test_identifies_dominant_parameter(self):
+        # movement ~ I**2 * J: doubling I quadruples it, doubling J doubles.
+        metric = I * I * J
+        sweep = ParameterSweep({"I": 8, "J": 8})
+        ranking = sweep.rank_parameters(metric)
+        assert [name for name, _ in ranking] == ["I", "J"]
+        assert ranking[0][1] == pytest.approx(4.0)
+        assert ranking[1][1] == pytest.approx(2.0)
+
+    def test_matmul_ranking_ties(self):
+        sdfg = matmul.to_sdfg()
+        metric = total_movement_bytes(sdfg)
+        sweep = ParameterSweep({"I": 8, "J": 8, "K": 8})
+        ranking = dict(sweep.rank_parameters(metric))
+        # Every parameter doubles the matmul's logical movement.
+        assert all(v == pytest.approx(2.0) for v in ranking.values())
+
+    def test_zero_base_rejected(self):
+        sweep = ParameterSweep({"I": 0})
+        with pytest.raises(AnalysisError):
+            sweep.rank_parameters(I * 1)
+
+    def test_missing_base_value(self):
+        sweep = ParameterSweep({"I": 4})
+        with pytest.raises(AnalysisError):
+            sweep.rank_parameters(I * J)

@@ -1,0 +1,134 @@
+"""Tests for the BERT encoder case study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import total_movement_bytes
+from repro.apps import bert as B
+
+
+@pytest.fixture(scope="module")
+def weights():
+    return B.initialize(B.ANALYSIS_SIZES)
+
+
+@pytest.fixture(scope="module")
+def baseline_output(weights):
+    return B.encoder_baseline(weights)
+
+
+class TestNumpyVariants:
+    def test_stage1_matches_baseline(self, weights, baseline_output):
+        np.testing.assert_allclose(
+            B.encoder_fused_stage1(weights), baseline_output, rtol=1e-10
+        )
+
+    def test_stage2_matches_baseline(self, weights, baseline_output):
+        np.testing.assert_allclose(
+            B.encoder_fused_stage2(weights), baseline_output, rtol=1e-10
+        )
+
+    def test_output_shape(self, weights, baseline_output):
+        sizes = weights.sizes
+        assert baseline_output.shape == (sizes["B"], sizes["SM"], sizes["EMB"])
+
+    def test_output_is_layernormed(self, baseline_output):
+        np.testing.assert_allclose(
+            np.mean(baseline_output, axis=-1), 0.0, atol=1e-10
+        )
+
+
+class TestSDFG:
+    def test_structure(self):
+        sdfg = B.build_sdfg()
+        sdfg.validate()
+        state = sdfg.start_state
+        # One map per operation: 29 operations in the unfused encoder.
+        assert len(state.map_entries()) == 29
+
+    def test_interpreter_matches_numpy(self):
+        # Tiny sizes: the interpreter executes every iteration in Python.
+        sizes = {"B": 1, "H": 2, "SM": 4, "EMB": 8, "FF": 16, "P": 4}
+        w = B.initialize(sizes)
+        ref = B.encoder_baseline(w)
+        from repro.codegen import interpret_sdfg
+
+        out = np.zeros_like(ref)
+        arrays = {
+            "x": w.x, "wq": w.wq, "wk": w.wk, "wv": w.wv,
+            "bq": w.bq, "bk": w.bk, "bv": w.bv,
+            "wo": w.wo, "bo": w.bo,
+            "w1": w.w1, "b1": w.b1, "w2": w.w2, "b2": w.b2,
+            "gamma1": w.gamma1, "beta1": w.beta1,
+            "gamma2": w.gamma2, "beta2": w.beta2,
+            "out": out,
+        }
+        interpret_sdfg(B.build_sdfg(), arrays, sizes)
+        np.testing.assert_allclose(out, ref, rtol=1e-8)
+
+
+class TestFusionStages:
+    def test_stage1_finds_the_two_red_chains(self):
+        """Paper Fig. 6 left: the mean-scaled movement heatmap highlights
+        two series of red edges — the attention softmax chain and the GELU
+        chain."""
+        sdfg = B.build_sdfg()
+        candidates = B.fusion_candidates_by_movement(sdfg, B.PAPER_SIZES)
+        names = {c.intermediate.data for c in candidates}
+        assert "scaled" in names  # attention chain ([B, H, SM, SM])
+        assert {"cube", "inner"} & names  # GELU chain ([B, SM, FF])
+        # Small intermediates (bias adds over [B, SM, EMB]) are not hot.
+        assert "projb" not in names
+        assert "h2b" not in names
+
+    def test_stage1_reduces_movement(self):
+        env = B.PAPER_SIZES
+        sdfg = B.build_sdfg()
+        before = total_movement_bytes(sdfg, unique=True).evaluate(env)
+        applied = B.apply_fusion_stage1(sdfg, env)
+        after = total_movement_bytes(sdfg, unique=True).evaluate(env)
+        assert applied >= 3
+        assert after < before
+        sdfg.validate()
+
+    def test_stage2_reduces_further(self):
+        env = B.PAPER_SIZES
+        sdfg = B.build_sdfg()
+        B.apply_fusion_stage1(sdfg, env)
+        mid = total_movement_bytes(sdfg, unique=True).evaluate(env)
+        applied = B.apply_fusion_stage2(sdfg)
+        after = total_movement_bytes(sdfg, unique=True).evaluate(env)
+        assert applied >= 1
+        assert after < mid
+        sdfg.validate()
+
+    def test_map_count_shrinks(self):
+        sdfg = B.build_sdfg()
+        n0 = len(sdfg.start_state.map_entries())
+        B.apply_fusion_stage1(sdfg, B.PAPER_SIZES)
+        n1 = len(sdfg.start_state.map_entries())
+        B.apply_fusion_stage2(sdfg)
+        n2 = len(sdfg.start_state.map_entries())
+        assert n0 > n1 > n2
+
+
+class TestRuntimeOrdering:
+    def test_fused_variants_not_slower(self, weights):
+        """Each stage must not regress (Table I's relative ordering)."""
+        import time
+
+        def best_of(fn, repeats=3):
+            fn(weights)  # warm up
+            times = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                fn(weights)
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        t_base = best_of(B.encoder_baseline)
+        t_s1 = best_of(B.encoder_fused_stage1)
+        t_s2 = best_of(B.encoder_fused_stage2)
+        # Allow jitter: stage1 within 20% of baseline, stage2 clearly fastest.
+        assert t_s1 <= t_base * 1.2
+        assert t_s2 <= t_base

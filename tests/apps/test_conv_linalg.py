@@ -1,0 +1,99 @@
+"""Tests for the convolution and linear-algebra figure kernels."""
+
+import numpy as np
+import pytest
+
+from repro.apps import conv as C
+from repro.apps import linalg as L
+from repro.codegen import call_sdfg
+from repro.simulation import simulate_state
+
+
+class TestConv:
+    def test_codegen_matches_reference(self):
+        rng = np.random.default_rng(3)
+        inp = rng.random((3, 9, 9))
+        w = rng.random((2, 3, 4, 4))
+        out = np.zeros((2, 6, 6))
+        call_sdfg(C.build_conv(), inp, w, out)
+        np.testing.assert_allclose(out, C.reference_conv(inp, w))
+
+    def test_fig4b_access_distribution(self):
+        """Fig. 4b: 3-channel 9×9 → 2-channel 6×6 (4×4 kernel).
+
+        Interior input elements are touched by all overlapping windows
+        (up to 4×4 per output channel), borders by fewer — the
+        distribution the flattened heatmap shows.
+        """
+        result = simulate_state(C.build_conv(), C.FIG4_SIZES)
+        counts = result.access_counts("inp")
+        cout = C.FIG4_SIZES["Cout"]
+        # Corner touched by exactly one window per output channel.
+        assert counts[(0, 0, 0)] == cout
+        # A fully-interior element is covered by 16 windows per channel.
+        assert counts[(0, 4, 4)] == 16 * cout
+        # Every weight is used once per output position.
+        wcounts = result.access_counts("w")
+        assert set(wcounts.values()) == {6 * 6}
+
+    def test_output_write_counts(self):
+        result = simulate_state(C.build_conv(), C.FIG4_SIZES)
+        from repro.simulation import AccessKind
+
+        writes = result.access_counts("out", AccessKind.WRITE)
+        # Each output element accumulates Cin*KY*KX contributions.
+        s = C.FIG4_SIZES
+        assert set(writes.values()) == {s["Cin"] * s["KY"] * s["KX"]}
+
+
+class TestLinalg:
+    def test_outer_product_codegen(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.random(3), rng.random(4)
+        c = np.zeros((3, 4))
+        call_sdfg(L.build_outer_product(), a, b, c)
+        np.testing.assert_allclose(c, L.reference_outer(a, b))
+
+    def test_matmul_codegen(self):
+        rng = np.random.default_rng(6)
+        a = rng.random((9, 10)).astype(np.float32)
+        b = rng.random((10, 15)).astype(np.float32)
+        c = np.zeros((9, 15), dtype=np.float32)
+        call_sdfg(L.build_matmul(), a, b, c)
+        np.testing.assert_allclose(c, L.reference_matmul(a, b), rtol=1e-5)
+
+    def test_fig5_matmul_layouts(self):
+        """Fig. 5a: A and C row-major, B column-major, 4-byte elements."""
+        sdfg = L.build_fig5_matmul()
+        env = {"I": 9, "K": 10, "J": 15}
+        assert sdfg.arrays["A"].is_c_contiguous()
+        assert sdfg.arrays["C"].is_c_contiguous()
+        b = sdfg.arrays["B"]
+        assert not b.is_c_contiguous()
+        assert b.strides[0].evaluate(env) == 1
+        assert b.dtype.itemsize == 4
+
+    def test_fig5_cache_line_reveals_layouts(self):
+        """Selecting elements with the 64-byte line overlay shows A's
+        neighbors along rows and B's along columns (Fig. 5a)."""
+        from repro.simulation import MemoryModel
+
+        sdfg = L.build_fig5_matmul()
+        env = {"I": 9, "K": 10, "J": 15}
+        memory = MemoryModel(sdfg, env, line_size=64)
+        a_neighbors = memory.layout("A").neighbors_in_line((0, 0), 64)
+        # Row-major A: the whole 10-wide row shares the line, and (since a
+        # 40-byte row underfills the 64-byte line) the line wraps into the
+        # start of row 1 — the wrap-around phenomenon of Fig. 8c.
+        assert [idx for idx in a_neighbors if idx[0] == 0] == [
+            (0, c) for c in range(10)
+        ]
+        assert any(idx[0] == 1 for idx in a_neighbors)
+        # Column-major B (line-aligned base): the line of B[0, 1] holds all
+        # of column 0 plus the first rows of column 1 — grouping runs down
+        # the columns, the transpose of A's row grouping.
+        b_neighbors = memory.layout("B").neighbors_in_line((0, 1), 64)
+        assert [idx for idx in b_neighbors if idx[1] == 0] == [
+            (r, 0) for r in range(10)
+        ]
+        assert all(idx[1] in (0, 1) for idx in b_neighbors)

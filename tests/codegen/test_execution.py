@@ -1,0 +1,215 @@
+"""Tests for the interpreter and the NumPy code generator."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import call_sdfg, compile_sdfg, generate_source, interpret_sdfg
+from repro.errors import CodegenError
+from repro.frontend import pmap, program
+from repro.sdfg.dtypes import float64
+from repro.symbolic import symbols
+
+I, J, K = symbols("I J K")
+
+
+@program
+def outer_product(A: float64[I], B: float64[J], C: float64[I, J]):
+    for i, j in pmap(I, J):
+        C[i, j] = A[i] * B[j]
+
+
+@program
+def matmul(A: float64[I, K], B: float64[K, J], C: float64[I, J]):
+    for i, j, k in pmap(I, J, K):
+        C[i, j] += A[i, k] * B[k, j]
+
+
+@program
+def stencil(A: float64[I + 2], B: float64[I]):
+    for i in pmap(I):
+        B[i] = (A[i] + A[i + 1] + A[i + 2]) / 3.0
+
+
+@program
+def with_local(A: float64[I], B: float64[I]):
+    for i in pmap(I):
+        t = A[i] * 2.0
+        B[i] = t + 1.0
+
+
+@program
+def scaled(A: float64[I], alpha: float64, B: float64[I]):
+    for i in pmap(I):
+        B[i] = alpha * A[i]
+
+
+@program
+def uses_params(A: float64[I, J]):
+    for i, j in pmap(I, J):
+        A[i, j] = i + 2 * j  # parameters as values: loop fallback
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestInterpreter:
+    def test_outer_product(self):
+        a, b = rng().random(3), rng().random(4)
+        c = np.zeros((3, 4))
+        interpret_sdfg(outer_product.to_sdfg(), {"A": a, "B": b, "C": c},
+                       {"I": 3, "J": 4})
+        np.testing.assert_allclose(c, np.outer(a, b))
+
+    def test_matmul(self):
+        r = rng()
+        a, b = r.random((3, 5)), r.random((5, 4))
+        c = np.zeros((3, 4))
+        interpret_sdfg(matmul.to_sdfg(), {"A": a, "B": b, "C": c},
+                       {"I": 3, "J": 4, "K": 5})
+        np.testing.assert_allclose(c, a @ b)
+
+    def test_stencil(self):
+        a = rng().random(8)
+        b = np.zeros(6)
+        interpret_sdfg(stencil.to_sdfg(), {"A": a, "B": b}, {"I": 6})
+        expected = (a[:-2] + a[1:-1] + a[2:]) / 3.0
+        np.testing.assert_allclose(b, expected)
+
+    def test_locals(self):
+        a = rng().random(5)
+        b = np.zeros(5)
+        interpret_sdfg(with_local.to_sdfg(), {"A": a, "B": b}, {"I": 5})
+        np.testing.assert_allclose(b, a * 2.0 + 1.0)
+
+    def test_scalar_parameter(self):
+        a = rng().random(4)
+        b = np.zeros(4)
+        interpret_sdfg(scaled.to_sdfg(), {"A": a, "alpha": 2.5, "B": b}, {"I": 4})
+        np.testing.assert_allclose(b, 2.5 * a)
+
+    def test_missing_argument(self):
+        with pytest.raises(CodegenError, match="missing"):
+            interpret_sdfg(outer_product.to_sdfg(), {}, {"I": 2, "J": 2})
+
+
+class TestCodegen:
+    def test_source_is_valid_python(self):
+        src = generate_source(outer_product.to_sdfg())
+        compile(src, "<test>", "exec")
+        assert "def run(" in src
+
+    def test_outer_product_vectorized(self):
+        sdfg = outer_product.to_sdfg()
+        src = generate_source(sdfg)
+        assert "(vectorized)" in src
+        a, b = rng().random(3), rng().random(4)
+        c = np.zeros((3, 4))
+        call_sdfg(sdfg, a, b, c)
+        np.testing.assert_allclose(c, np.outer(a, b))
+
+    def test_matmul_reduction(self):
+        sdfg = matmul.to_sdfg()
+        r = rng()
+        a, b = r.random((6, 5)), r.random((5, 4))
+        c = np.zeros((6, 4))
+        call_sdfg(sdfg, a, b, c)
+        np.testing.assert_allclose(c, a @ b)
+
+    def test_stencil_slices(self):
+        sdfg = stencil.to_sdfg()
+        a = rng().random(10)
+        b = np.zeros(8)
+        call_sdfg(sdfg, a, b)
+        np.testing.assert_allclose(b, (a[:-2] + a[1:-1] + a[2:]) / 3.0)
+
+    def test_locals_vectorized(self):
+        sdfg = with_local.to_sdfg()
+        a = rng().random(5)
+        b = np.zeros(5)
+        call_sdfg(sdfg, a, b)
+        np.testing.assert_allclose(b, a * 2.0 + 1.0)
+
+    def test_param_values_fall_back_to_loops(self):
+        sdfg = uses_params.to_sdfg()
+        src = generate_source(sdfg)
+        assert "(loop nest)" in src
+        a = np.zeros((3, 4))
+        call_sdfg(sdfg, a)
+        expected = np.add.outer(np.arange(3), 2 * np.arange(4)).astype(float)
+        np.testing.assert_allclose(a, expected)
+
+    def test_symbol_inference_from_shapes(self):
+        sdfg = stencil.to_sdfg()  # A has shape I+2: needs the solver
+        a = rng().random(12)
+        b = np.zeros(10)
+        call_sdfg(sdfg, a, b)  # I inferred as 10
+        assert not np.allclose(b, 0)
+
+    def test_keyword_arguments(self):
+        sdfg = outer_product.to_sdfg()
+        a, b = rng().random(2), rng().random(2)
+        c = np.zeros((2, 2))
+        call_sdfg(sdfg, A=a, B=b, C=c)
+        np.testing.assert_allclose(c, np.outer(a, b))
+
+    def test_inconsistent_shapes_rejected(self):
+        sdfg = outer_product.to_sdfg()
+        compiled = compile_sdfg(sdfg)
+        a = rng().random(3)
+        b = rng().random(4)
+        c = np.zeros((5, 4))  # I mismatch: 3 vs 5
+        with pytest.raises(CodegenError, match="inconsistent"):
+            compiled(a, b, c)
+
+    def test_unknown_kwarg(self):
+        sdfg = outer_product.to_sdfg()
+        with pytest.raises(CodegenError, match="unknown"):
+            compile_sdfg(sdfg)(z=1)
+
+    def test_program_call_api(self):
+        a, b = rng().random(3), rng().random(4)
+        c = np.zeros((3, 4))
+        outer_product(a, b, c)
+        np.testing.assert_allclose(c, np.outer(a, b))
+
+    def test_scalar_parameter(self):
+        sdfg = scaled.to_sdfg()
+        a = rng().random(4)
+        b = np.zeros(4)
+        call_sdfg(sdfg, a, 3.0, b)
+        np.testing.assert_allclose(b, 3.0 * a)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("prog,shapes", [
+        (outer_product, {"A": (3,), "B": (4,), "C": (3, 4)}),
+        (matmul, {"A": (3, 5), "B": (5, 4), "C": (3, 4)}),
+        (stencil, {"A": (8,), "B": (6,)}),
+        (with_local, {"A": (5,), "B": (5,)}),
+    ])
+    def test_codegen_matches_interpreter(self, prog, shapes):
+        r = rng()
+        env = {"I": 3, "J": 4, "K": 5}
+        if prog is stencil or prog is with_local:
+            env = {"I": shapes["B"][0] if prog is stencil else 5}
+        args_interp = {k: r.random(v) for k, v in shapes.items()}
+        args_gen = {k: v.copy() for k, v in args_interp.items()}
+        sdfg = prog.to_sdfg()
+        interpret_sdfg(sdfg, args_interp, env)
+        call_sdfg(sdfg, **args_gen)
+        for name in shapes:
+            np.testing.assert_allclose(args_gen[name], args_interp[name])
+
+    def test_fused_sdfg_executes_identically(self):
+        from tests.transforms.test_map_fusion import build_chain
+        from repro.transforms import fuse_all_maps
+
+        sdfg = build_chain()
+        a = rng().random(16)
+        c0, c1 = np.zeros(16), np.zeros(16)
+        interpret_sdfg(sdfg, {"A": a, "C": c0}, {"I": 16})
+        fuse_all_maps(sdfg)
+        call_sdfg(sdfg, a, c1)
+        np.testing.assert_allclose(c0, a * 2.0 + 1.0)
+        np.testing.assert_allclose(c1, c0)

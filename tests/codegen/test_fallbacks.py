@@ -1,0 +1,142 @@
+"""Codegen fallback paths: cases the vectorizer must decline correctly."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import call_sdfg, generate_source, interpret_sdfg
+from repro.frontend import pmap, program
+from repro.sdfg import SDFG, Memlet, dtypes
+from repro.sdfg.dtypes import float32, float64
+from repro.symbolic import symbols
+
+I, J = symbols("I J")
+
+
+@program
+def strided(A: float64[I], B: float64[I]):
+    for i in pmap("0:I:2"):
+        B[i] = A[i] * 2.0
+
+
+@program
+def coefficient(A: float64[2 * I], B: float64[I]):
+    for i in pmap(I):
+        B[i] = A[2 * i]
+
+
+@program
+def offset_range(A: float64[I], B: float64[I]):
+    for i in pmap((1, I - 1)):
+        B[i] = A[i] + 1.0
+
+
+class TestStridedMaps:
+    def test_strided_map_falls_back(self):
+        src = generate_source(strided.to_sdfg())
+        assert "(loop nest)" in src
+
+    def test_strided_results(self):
+        a = np.arange(8.0)
+        b = np.zeros(8)
+        call_sdfg(strided.to_sdfg(), a, b)
+        expected = np.zeros(8)
+        expected[::2] = a[::2] * 2.0
+        np.testing.assert_allclose(b, expected)
+
+
+class TestNonUnitCoefficients:
+    def test_coefficient_access_falls_back(self):
+        src = generate_source(coefficient.to_sdfg())
+        assert "(loop nest)" in src
+
+    def test_coefficient_results(self):
+        a = np.arange(10.0)
+        b = np.zeros(5)
+        call_sdfg(coefficient.to_sdfg(), a, b, I=5)
+        np.testing.assert_allclose(b, a[::2])
+
+
+class TestOffsetRanges:
+    def test_interior_range_vectorizes(self):
+        src = generate_source(offset_range.to_sdfg())
+        assert "(vectorized)" in src
+
+    def test_interior_results(self):
+        a = np.arange(6.0)
+        b = np.zeros(6)
+        call_sdfg(offset_range.to_sdfg(), a, b)
+        expected = np.zeros(6)
+        expected[1:5] = a[1:5] + 1.0
+        np.testing.assert_allclose(b, expected)
+
+
+class TestNestedMapsFallback:
+    def build(self):
+        sdfg = SDFG("nested_maps")
+        sdfg.add_array("A", [I, J], dtypes.float64)
+        sdfg.add_array("B", [I, J], dtypes.float64)
+        state = sdfg.add_state()
+        a, b = state.add_access("A"), state.add_access("B")
+        oentry, oexit = state.add_map("outer", {"i": "0:I"})
+        ientry, iexit = state.add_map("inner", {"j": "0:J"})
+        t = state.add_tasklet("t", ["x"], ["y"], "y = x * 3.0")
+        state.add_memlet_path(a, oentry, ientry, t, memlet=Memlet("A", "i, j"),
+                              dst_conn="x")
+        state.add_memlet_path(t, iexit, oexit, b, memlet=Memlet("B", "i, j"),
+                              src_conn="y")
+        sdfg.validate()
+        return sdfg
+
+    def test_nested_scope_falls_back(self):
+        src = generate_source(self.build())
+        assert "(loop nest)" in src
+
+    def test_nested_scope_results(self):
+        sdfg = self.build()
+        rng = np.random.default_rng(9)
+        a = rng.random((3, 4))
+        b = np.zeros((3, 4))
+        call_sdfg(sdfg, a, b)
+        np.testing.assert_allclose(b, a * 3.0)
+
+    def test_interpreter_agrees(self):
+        sdfg = self.build()
+        rng = np.random.default_rng(10)
+        a = rng.random((2, 5))
+        b1, b2 = np.zeros((2, 5)), np.zeros((2, 5))
+        interpret_sdfg(sdfg, {"A": a, "B": b1}, {"I": 2, "J": 5})
+        call_sdfg(sdfg, a, b2)
+        np.testing.assert_allclose(b2, b1)
+
+
+class TestDtypeHandling:
+    def test_float32_transient_allocation(self):
+        @program
+        def f32chain(A: float32[I], C: float32[I]):
+            for i in pmap(I):
+                C[i] = A[i] * 2.0
+
+        src = generate_source(f32chain.to_sdfg())
+        a = np.arange(4, dtype=np.float32)
+        c = np.zeros(4, dtype=np.float32)
+        call_sdfg(f32chain.to_sdfg(), a, c)
+        np.testing.assert_allclose(c, a * 2.0)
+
+    def test_transient_array_dtype_in_source(self):
+        sdfg = SDFG("talloc")
+        sdfg.add_array("A", [I], dtypes.float32)
+        sdfg.add_transient("T", [I], dtypes.float32)
+        sdfg.add_array("B", [I], dtypes.float32)
+        state = sdfg.add_state()
+        state.add_mapped_tasklet(
+            "m1", {"i": "0:I"}, inputs={"x": Memlet("A", "i")},
+            code="_out = x", outputs={"_out": Memlet("T", "i")},
+        )
+        t = next(n for n in state.data_nodes() if n.data == "T")
+        state.add_mapped_tasklet(
+            "m2", {"i": "0:I"}, inputs={"x": Memlet("T", "i")},
+            code="_out = x", outputs={"_out": Memlet("B", "i")},
+            input_nodes={"T": t},
+        )
+        src = generate_source(sdfg)
+        assert "np.float32" in src

@@ -1,0 +1,172 @@
+"""Property tests: the vectorizing code generator against the interpreter.
+
+Random affine programs are built through the builder API — chains of map
+scopes with random stencil offsets, elementwise operations and optional
+sum reductions — and executed through both backends.  Any divergence is a
+codegen bug (the interpreter is the semantics oracle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import compile_sdfg, interpret_sdfg
+from repro.sdfg import SDFG, Memlet, dtypes
+from repro.symbolic import Subset, symbols
+
+I, J = symbols("I J")
+
+_OPS = ["{a} + {b}", "{a} * {b}", "{a} - {b}", "({a} + {b}) * 0.5"]
+
+
+@st.composite
+def elementwise_chain(draw):
+    """A chain of 1-3 elementwise/stencil maps over 1-D arrays."""
+    num_stages = draw(st.integers(1, 3))
+    halo_per_stage = [draw(st.integers(0, 2)) for _ in range(num_stages)]
+    total_halo = sum(halo_per_stage)
+    ops = [draw(st.sampled_from(_OPS)) for _ in range(num_stages)]
+    return num_stages, halo_per_stage, total_halo, ops
+
+
+def build_chain_sdfg(num_stages, halo_per_stage, ops):
+    """in -> stage_0 -> t0 -> stage_1 -> ... -> out, shrinking by halos."""
+    sdfg = SDFG("random_chain")
+    total_halo = sum(halo_per_stage)
+    sdfg.add_array("inp", [I + 2 * total_halo], dtypes.float64)
+    sizes = []
+    remaining = total_halo
+    names = []
+    for s in range(num_stages):
+        remaining -= halo_per_stage[s]
+        extent = I + 2 * remaining
+        if s == num_stages - 1:
+            name = "out"
+            sdfg.add_array(name, [extent], dtypes.float64)
+        else:
+            name = f"t{s}"
+            sdfg.add_transient(name, [extent], dtypes.float64)
+        sizes.append(extent)
+        names.append(name)
+
+    state = sdfg.add_state("main")
+    produced = {}
+    source = "inp"
+    for s in range(num_stages):
+        halo = halo_per_stage[s]
+        target = names[s]
+        if halo == 0:
+            code = ops[s].format(a="x0", b="x0")
+            inputs = {"x0": Memlet(source, "i")}
+        else:
+            code = ops[s].format(a="x0", b="x1")
+            inputs = {
+                "x0": Memlet(source, "i"),
+                "x1": Memlet(source, f"i + {2 * halo}"),
+            }
+        input_nodes = {}
+        if source in produced:
+            input_nodes[source] = produced[source]
+        tasklet, entry, exit_ = state.add_mapped_tasklet(
+            f"stage{s}",
+            {"i": f"0:{sizes[s]}"},
+            inputs={k: v for k, v in inputs.items()},
+            code=f"_out = {code}",
+            outputs={"_out": Memlet(target, "i")},
+            input_nodes=input_nodes,
+        )
+        out_node = next(
+            e.dst for e in state.out_edges(exit_)
+        )
+        produced[target] = out_node
+        source = target
+    sdfg.validate()
+    return sdfg
+
+
+class TestRandomChains:
+    @given(elementwise_chain(), st.integers(3, 10), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_codegen_matches_interpreter(self, spec, size, seed):
+        num_stages, halo_per_stage, total_halo, ops = spec
+        sdfg = build_chain_sdfg(num_stages, halo_per_stage, ops)
+
+        rng = np.random.default_rng(seed)
+        inp = rng.random(size + 2 * total_halo)
+        out_interp = np.zeros(size)
+        out_gen = np.zeros(size)
+
+        interpret_sdfg(sdfg, {"inp": inp, "out": out_interp}, {"I": size})
+        compile_sdfg(sdfg)(inp, out_gen, I=size)
+        np.testing.assert_allclose(out_gen, out_interp, rtol=1e-12)
+
+    @given(elementwise_chain(), st.integers(3, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_serialization_preserves_execution(self, spec, size):
+        """to_json/from_json round-trips produce identical results."""
+        from repro.sdfg.serialize import from_json, to_json
+
+        num_stages, halo_per_stage, total_halo, ops = spec
+        sdfg = build_chain_sdfg(num_stages, halo_per_stage, ops)
+        clone = from_json(to_json(sdfg))
+        clone.validate()
+
+        rng = np.random.default_rng(0)
+        inp = rng.random(size + 2 * total_halo)
+        out_a, out_b = np.zeros(size), np.zeros(size)
+        interpret_sdfg(sdfg, {"inp": inp, "out": out_a}, {"I": size})
+        interpret_sdfg(clone, {"inp": inp, "out": out_b}, {"I": size})
+        np.testing.assert_allclose(out_b, out_a)
+
+    @given(elementwise_chain(), st.integers(3, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_fusion_preserves_execution(self, spec, size):
+        """Fusing whatever is fusible never changes results."""
+        from repro.transforms import fuse_all_maps
+
+        num_stages, halo_per_stage, total_halo, ops = spec
+        sdfg = build_chain_sdfg(num_stages, halo_per_stage, ops)
+
+        rng = np.random.default_rng(1)
+        inp = rng.random(size + 2 * total_halo)
+        out_before, out_after = np.zeros(size), np.zeros(size)
+        interpret_sdfg(sdfg, {"inp": inp, "out": out_before}, {"I": size})
+        fuse_all_maps(sdfg)
+        sdfg.validate()
+        interpret_sdfg(sdfg, {"inp": inp, "out": out_after}, {"I": size})
+        np.testing.assert_allclose(out_after, out_before)
+
+
+class Test2DReductions:
+    @given(
+        st.integers(2, 6),
+        st.integers(2, 6),
+        st.integers(0, 2**31 - 1),
+        st.sampled_from(["sum", "product"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_row_reduction(self, rows, cols, seed, wcr):
+        sdfg = SDFG("reduce")
+        sdfg.add_array("A", [I, J], dtypes.float64)
+        sdfg.add_array("r", [I], dtypes.float64)
+        state = sdfg.add_state()
+        state.add_mapped_tasklet(
+            "reduce",
+            {"i": "0:I", "j": "0:J"},
+            inputs={"a": Memlet("A", "i, j")},
+            code="_out = a",
+            outputs={"_out": Memlet("r", Subset.from_string("i"), wcr=wcr)},
+        )
+        sdfg.validate()
+
+        rng = np.random.default_rng(seed)
+        a = rng.random((rows, cols)) + 0.5
+        init = np.zeros(rows) if wcr == "sum" else np.ones(rows)
+        r_interp, r_gen = init.copy(), init.copy()
+        interpret_sdfg(sdfg, {"A": a, "r": r_interp}, {"I": rows, "J": cols})
+        compile_sdfg(sdfg)(a, r_gen, I=rows, J=cols)
+        expected = a.sum(axis=1) if wcr == "sum" else a.prod(axis=1)
+        np.testing.assert_allclose(r_interp, expected)
+        np.testing.assert_allclose(r_gen, r_interp, rtol=1e-12)

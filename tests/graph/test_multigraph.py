@@ -1,0 +1,125 @@
+"""Unit tests for the ordered multi-digraph."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import OrderedMultiDiGraph
+
+
+@pytest.fixture
+def diamond():
+    """a -> b, a -> c, b -> d, c -> d."""
+    g = OrderedMultiDiGraph()
+    for n in "abcd":
+        g.add_node(n)
+    g.add_edge("a", "b")
+    g.add_edge("a", "c")
+    g.add_edge("b", "d")
+    g.add_edge("c", "d")
+    return g
+
+
+class TestNodes:
+    def test_insertion_order(self):
+        g = OrderedMultiDiGraph()
+        for n in ["z", "a", "m"]:
+            g.add_node(n)
+        assert g.nodes() == ["z", "a", "m"]
+
+    def test_add_idempotent(self):
+        g = OrderedMultiDiGraph()
+        g.add_node("x")
+        g.add_node("x")
+        assert g.number_of_nodes == 1
+
+    def test_contains(self, diamond):
+        assert "a" in diamond
+        assert "z" not in diamond
+
+    def test_len_iter(self, diamond):
+        assert len(diamond) == 4
+        assert list(diamond) == ["a", "b", "c", "d"]
+
+    def test_remove_node_removes_incident_edges(self, diamond):
+        diamond.remove_node("b")
+        assert diamond.number_of_edges == 2
+        assert not diamond.has_edge("a", "b")
+        assert not diamond.has_edge("b", "d")
+
+    def test_remove_missing_node(self):
+        with pytest.raises(GraphError):
+            OrderedMultiDiGraph().remove_node("x")
+
+
+class TestEdges:
+    def test_add_edge_adds_endpoints(self):
+        g = OrderedMultiDiGraph()
+        g.add_edge("u", "v")
+        assert g.has_node("u") and g.has_node("v")
+
+    def test_parallel_edges(self):
+        g = OrderedMultiDiGraph()
+        e1 = g.add_edge("u", "v", "first")
+        e2 = g.add_edge("u", "v", "second")
+        assert g.number_of_edges == 2
+        assert e1 is not e2
+        assert [e.data for e in g.edges_between("u", "v")] == ["first", "second"]
+
+    def test_parallel_edges_with_equal_payloads_distinct(self):
+        g = OrderedMultiDiGraph()
+        e1 = g.add_edge("u", "v", "same")
+        g.add_edge("u", "v", "same")
+        g.remove_edge(e1)
+        assert g.number_of_edges == 1
+
+    def test_self_loop(self):
+        g = OrderedMultiDiGraph()
+        g.add_edge("u", "u")
+        assert g.in_degree("u") == 1
+        assert g.out_degree("u") == 1
+        g.remove_node("u")
+        assert g.number_of_edges == 0
+
+    def test_remove_edge(self, diamond):
+        edge = diamond.edges_between("a", "b")[0]
+        diamond.remove_edge(edge)
+        assert not diamond.has_edge("a", "b")
+        with pytest.raises(GraphError):
+            diamond.remove_edge(edge)
+
+    def test_edge_order(self, diamond):
+        assert [(e.src, e.dst) for e in diamond.edges()] == [
+            ("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"),
+        ]
+
+    def test_edges_between_missing_node(self):
+        assert OrderedMultiDiGraph().edges_between("u", "v") == []
+
+
+class TestIncidence:
+    def test_degrees(self, diamond):
+        assert diamond.in_degree("d") == 2
+        assert diamond.out_degree("a") == 2
+        assert diamond.in_degree("a") == 0
+
+    def test_predecessors_successors(self, diamond):
+        assert diamond.successors("a") == ["b", "c"]
+        assert diamond.predecessors("d") == ["b", "c"]
+
+    def test_predecessors_unique(self):
+        g = OrderedMultiDiGraph()
+        g.add_edge("u", "v")
+        g.add_edge("u", "v")
+        assert g.predecessors("v") == ["u"]
+
+    def test_sources_sinks(self, diamond):
+        assert diamond.source_nodes() == ["a"]
+        assert diamond.sink_nodes() == ["d"]
+
+    def test_all_edges(self, diamond):
+        edges = diamond.all_edges("b")
+        assert [(e.src, e.dst) for e in edges] == [("a", "b"), ("b", "d")]
+
+    def test_missing_node_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.in_edges("zzz")

@@ -1,0 +1,149 @@
+"""Unit and property tests for graph traversals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    OrderedMultiDiGraph,
+    bfs_layers,
+    dfs_postorder,
+    dfs_preorder,
+    has_cycle,
+    topological_sort,
+    weakly_connected_components,
+)
+
+
+def build(edges, nodes=None):
+    g = OrderedMultiDiGraph()
+    for n in nodes or []:
+        g.add_node(n)
+    for s, d in edges:
+        g.add_edge(s, d)
+    return g
+
+
+class TestTopologicalSort:
+    def test_chain(self):
+        g = build([("a", "b"), ("b", "c")])
+        assert topological_sort(g) == ["a", "b", "c"]
+
+    def test_diamond_deterministic(self):
+        g = build([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        assert topological_sort(g) == ["a", "b", "c", "d"]
+
+    def test_cycle_raises(self):
+        g = build([("a", "b"), ("b", "a")])
+        with pytest.raises(GraphError):
+            topological_sort(g)
+
+    def test_self_loop_raises(self):
+        g = build([("a", "a")])
+        with pytest.raises(GraphError):
+            topological_sort(g)
+
+    def test_isolated_nodes_included(self):
+        g = build([("a", "b")], nodes=["x"])
+        order = topological_sort(g)
+        assert set(order) == {"x", "a", "b"}
+        assert order.index("a") < order.index("b")
+
+    def test_parallel_edges(self):
+        g = build([("a", "b"), ("a", "b")])
+        assert topological_sort(g) == ["a", "b"]
+
+    def test_empty(self):
+        assert topological_sort(OrderedMultiDiGraph()) == []
+
+
+class TestHasCycle:
+    def test_acyclic(self):
+        assert not has_cycle(build([("a", "b"), ("b", "c")]))
+
+    def test_cyclic(self):
+        assert has_cycle(build([("a", "b"), ("b", "c"), ("c", "a")]))
+
+
+class TestDFS:
+    def test_preorder_visits_all(self):
+        g = build([("a", "b"), ("a", "c"), ("b", "d")])
+        assert list(dfs_preorder(g)) == ["a", "b", "d", "c"]
+
+    def test_postorder_children_first(self):
+        g = build([("a", "b"), ("b", "c")])
+        assert list(dfs_postorder(g)) == ["c", "b", "a"]
+
+    def test_diamond_postorder(self):
+        g = build([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        post = list(dfs_postorder(g))
+        assert post.index("d") < post.index("b")
+        assert post[-1] == "a"
+
+    def test_explicit_sources(self):
+        g = build([("a", "b"), ("c", "d")])
+        assert list(dfs_preorder(g, sources=["c"])) == ["c", "d"]
+
+
+class TestBFS:
+    def test_layers(self):
+        g = build([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        assert bfs_layers(g) == [["a"], ["b", "c"], ["d"]]
+
+    def test_multiple_sources(self):
+        g = build([("a", "x"), ("b", "x")])
+        assert bfs_layers(g) == [["a", "b"], ["x"]]
+
+
+class TestComponents:
+    def test_two_components(self):
+        g = build([("a", "b"), ("c", "d")])
+        comps = weakly_connected_components(g)
+        assert sorted(sorted(c) for c in comps) == [["a", "b"], ["c", "d"]]
+
+    def test_direction_ignored(self):
+        g = build([("a", "b"), ("c", "b")])
+        assert len(weakly_connected_components(g)) == 1
+
+
+@st.composite
+def random_dags(draw):
+    """Random DAG: edges only go from lower to higher node index."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=30) if possible
+                 else st.just([]))
+    g = OrderedMultiDiGraph()
+    for i in range(n):
+        g.add_node(i)
+    for s, d in edges:
+        g.add_edge(s, d)
+    return g
+
+
+class TestTraversalProperties:
+    @given(random_dags())
+    @settings(max_examples=150, deadline=None)
+    def test_topological_order_respects_edges(self, g):
+        order = topological_sort(g)
+        pos = {n: i for i, n in enumerate(order)}
+        assert len(order) == g.number_of_nodes
+        for e in g.edges():
+            assert pos[e.src] < pos[e.dst]
+
+    @given(random_dags())
+    @settings(max_examples=100, deadline=None)
+    def test_dfs_covers_reachable_set(self, g):
+        seen = set(dfs_preorder(g, sources=g.nodes()))
+        assert seen == set(g.nodes())
+
+    @given(random_dags())
+    @settings(max_examples=100, deadline=None)
+    def test_postorder_is_reverse_topological_on_trees(self, g):
+        # For any DAG: in postorder, every node appears after all its
+        # successors that were discovered through it or earlier roots.
+        post = list(dfs_postorder(g, sources=g.nodes()))
+        pos = {n: i for i, n in enumerate(post)}
+        for e in g.edges():
+            assert pos[e.dst] < pos[e.src]

@@ -1,0 +1,144 @@
+"""Tests for dtypes and data descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, SymbolicError
+from repro.sdfg import Array, Scalar, dtypes
+from repro.symbolic import Integer, Symbol, symbols
+
+I, J, K = symbols("I J K")
+
+
+class TestDtypes:
+    def test_sizes(self):
+        assert dtypes.float64.itemsize == 8
+        assert dtypes.float32.itemsize == 4
+        assert dtypes.int8.itemsize == 1
+        assert dtypes.complex128.itemsize == 16
+
+    def test_numpy_round_trip(self):
+        for name in ["float32", "float64", "int32", "int64", "uint8", "bool"]:
+            t = dtypes.by_name(name)
+            assert dtypes.from_numpy(t.as_numpy) == t
+
+    def test_numpy_dtype(self):
+        assert dtypes.float64.as_numpy == np.dtype("float64")
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            dtypes.by_name("float128x")
+
+    def test_kinds(self):
+        assert dtypes.float32.is_floating
+        assert dtypes.int32.is_integer
+        assert not dtypes.int32.is_floating
+
+    def test_annotation_syntax(self):
+        dtype, shape = dtypes.float64[I, J]
+        assert dtype == dtypes.float64
+        assert shape == (I, J)
+
+    def test_annotation_single_dim(self):
+        _, shape = dtypes.float32[8]
+        assert shape == (8,)
+
+
+class TestArrayLayout:
+    def test_default_c_strides(self):
+        a = Array(dtypes.float64, [I, J, K])
+        assert a.strides == (J * K, K, Integer(1))
+        assert a.is_c_contiguous()
+
+    def test_f_strides(self):
+        a = Array(dtypes.float64, [I, J], strides=Array.f_strides([I, J]))
+        assert a.strides == (Integer(1), I)
+        assert a.is_f_contiguous()
+        assert not a.is_c_contiguous()
+
+    def test_element_offset_row_major(self):
+        a = Array(dtypes.float32, [4, 5])
+        assert a.concrete_element_offset((0, 0)) == 0
+        assert a.concrete_element_offset((1, 0)) == 5
+        assert a.concrete_element_offset((2, 3)) == 13
+
+    def test_byte_offset(self):
+        a = Array(dtypes.float32, [4, 5])
+        assert a.byte_offset([1, 0]).evaluate() == 20
+
+    def test_start_offset(self):
+        a = Array(dtypes.float64, [4], start_offset=2)
+        assert a.concrete_element_offset((0,)) == 2
+
+    def test_symbolic_offset(self):
+        a = Array(dtypes.float64, [I, J])
+        off = a.element_offset([Symbol("i"), Symbol("j")])
+        assert off.evaluate({"i": 2, "j": 3, "J": 10}) == 23
+
+    def test_total_elements_contiguous(self):
+        a = Array(dtypes.float64, [4, 5])
+        assert a.total_elements().evaluate() == 20
+
+    def test_total_elements_padded(self):
+        # Rows of 5 elements padded to stride 8.
+        a = Array(dtypes.float64, [4, 5], strides=[8, 1])
+        assert a.total_elements().evaluate() == 3 * 8 + 4 + 1  # == 29
+        assert a.total_bytes().evaluate() == 29 * 8
+
+    def test_wrong_rank_strides(self):
+        with pytest.raises(ReproError):
+            Array(dtypes.float64, [4, 5], strides=[1])
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ReproError):
+            Array(dtypes.float64, [])
+
+    def test_wrong_index_count(self):
+        a = Array(dtypes.float64, [4, 5])
+        with pytest.raises(SymbolicError):
+            a.element_offset([1])
+
+    def test_negative_alignment(self):
+        with pytest.raises(ReproError):
+            Array(dtypes.float64, [4], alignment=-1)
+
+
+class TestArrayTransforms:
+    def test_permuted_relayout(self):
+        a = Array(dtypes.float64, [I + 4, J + 4, K])
+        b = a.permuted([2, 0, 1])
+        assert b.shape == (K, I + 4, J + 4)
+        assert b.is_c_contiguous()
+
+    def test_permuted_invalid(self):
+        a = Array(dtypes.float64, [4, 5])
+        with pytest.raises(ReproError):
+            a.permuted([0, 0])
+
+    def test_transposed_view_keeps_strides(self):
+        a = Array(dtypes.float64, [4, 5])
+        v = a.transposed_view([1, 0])
+        assert v.shape == (Integer(5), Integer(4))
+        assert v.strides == (Integer(1), Integer(5))
+        # Same element, same address:
+        assert v.concrete_element_offset((3, 2)) == a.concrete_element_offset((2, 3))
+
+    def test_with_strides(self):
+        a = Array(dtypes.float64, [4, 5])
+        b = a.with_strides([16, 1])
+        assert b.strides == (Integer(16), Integer(1))
+        assert b.shape == a.shape
+
+    def test_num_elements(self):
+        assert Array(dtypes.float64, [I, J]).num_elements() == I * J
+
+
+class TestScalar:
+    def test_shape(self):
+        s = Scalar(dtypes.float64)
+        assert s.shape == ()
+        assert s.total_bytes() == Integer(8)
+
+    def test_equality(self):
+        assert Scalar(dtypes.float64) == Scalar(dtypes.float64)
+        assert Scalar(dtypes.float64) != Scalar(dtypes.float32)

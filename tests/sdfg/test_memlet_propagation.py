@@ -1,0 +1,122 @@
+"""Tests for memlets and propagation through map scopes."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sdfg import Array, Memlet, Map, dtypes
+from repro.sdfg.propagation import propagate_memlet, propagate_subset
+from repro.symbolic import Integer, Range, Subset, symbols
+
+I, J, K = symbols("I J K")
+
+
+class TestMemlet:
+    def test_volume_from_subset(self):
+        m = Memlet("A", "0:I, 0:J")
+        assert m.volume() == I * J
+
+    def test_scalar_memlet(self):
+        m = Memlet("s")
+        assert m.subset.dims == 0
+        assert m.volume() == Integer(1)
+
+    def test_point_volume(self):
+        assert Memlet("A", "i, j").volume() == Integer(1)
+
+    def test_bytes_moved(self):
+        desc = Array(dtypes.float64, [I, J])
+        m = Memlet("A", "0:I, 0:J")
+        assert m.bytes_moved(desc) == I * J * 8
+
+    def test_volume_hint_overrides(self):
+        m = Memlet("A", "0:I", volume_hint=I * 3)
+        assert m.volume() == I * 3
+
+    def test_wcr_validation(self):
+        Memlet("A", "i", wcr="sum")
+        with pytest.raises(ReproError):
+            Memlet("A", "i", wcr="xor")
+
+    def test_subs(self):
+        m = Memlet("A", "i, 0:J").subs({"i": 3, "J": 5})
+        assert str(m.subset) == "3, 0:5"
+
+    def test_full(self):
+        desc = Array(dtypes.float64, [I, J])
+        assert Memlet.full("A", desc).volume() == I * J
+
+    def test_equality(self):
+        assert Memlet("A", "0:I") == Memlet("A", "0:I")
+        assert Memlet("A", "0:I") != Memlet("B", "0:I")
+
+    def test_invalid_data_name(self):
+        with pytest.raises(ReproError):
+            Memlet("", "0:I")
+
+
+def make_map(**ranges):
+    return Map("m", list(ranges), [Range.from_string(r) for r in ranges.values()])
+
+
+class TestPropagation:
+    def test_point_to_full_range(self):
+        m = make_map(i="0:I")
+        inner = Memlet("A", "i")
+        outer = propagate_memlet(inner, m)
+        assert str(outer.subset) == "0:I"
+        assert outer.volume() == I
+
+    def test_two_params(self):
+        m = make_map(i="0:I", j="0:J")
+        outer = propagate_memlet(Memlet("C", "i, j"), m)
+        assert str(outer.subset) == "0:I, 0:J"
+        assert outer.volume() == I * J
+
+    def test_param_free_dim_untouched(self):
+        m = make_map(i="0:I")
+        outer = propagate_memlet(Memlet("A", "i, 0:K"), m)
+        assert str(outer.subset) == "0:I, 0:K"
+        assert outer.volume() == I * K
+
+    def test_replicated_read_volume(self):
+        # A[i] read inside a map over (i, j): each row read J times.
+        m = make_map(i="0:I", j="0:J")
+        outer = propagate_memlet(Memlet("A", "i"), m)
+        assert str(outer.subset) == "0:I"
+        assert outer.volume() == I * J  # volume hint preserves total movement
+
+    def test_offset_window(self):
+        # Stencil-style window i:i+3 over i in 0:I → union 0:I+2.
+        m = make_map(i="0:I")
+        outer = propagate_memlet(Memlet("A", "i:i+3"), m)
+        assert str(outer.subset) == f"0:{I + 2}"
+        assert outer.volume() == 3 * I
+
+    def test_affine_coefficient(self):
+        # A[2*i] over i in 0:I → union 0..2I-2.
+        m = make_map(i="0:I")
+        outer = propagate_memlet(Memlet("A", "2*i"), m)
+        concrete = outer.subset.subs({"I": 5}).ranges[0]
+        assert (concrete.begin.evaluate(), concrete.end.evaluate()) == (0, 8)
+
+    def test_subset_propagation_multi_param_dim(self):
+        # A[i + j] with i in 0:I, j in 0:J → 0 .. I+J-2.
+        m = make_map(i="0:I", j="0:J")
+        s = propagate_subset(Subset.from_string("i + j"), m)
+        r = s.ranges[0]
+        assert r.begin.evaluate({"I": 3, "J": 4}) == 0
+        assert r.end.evaluate({"I": 3, "J": 4}) == 5
+
+    def test_wcr_preserved(self):
+        m = make_map(i="0:I")
+        outer = propagate_memlet(Memlet("acc", "0", wcr="sum"), m)
+        assert outer.wcr == "sum"
+
+    def test_nested_propagation_volume(self):
+        inner_map = make_map(j="0:J")
+        outer_map = make_map(i="0:I")
+        inner = Memlet("C", "i, j")
+        mid = propagate_memlet(inner, inner_map)
+        outer = propagate_memlet(mid, outer_map)
+        assert outer.volume() == I * J
+        assert str(outer.subset) == "0:I, 0:J"

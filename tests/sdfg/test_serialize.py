@@ -1,0 +1,116 @@
+"""Round-trip tests for SDFG JSON serialization."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sdfg import SDFG, Memlet, dtypes
+from repro.sdfg.serialize import dumps, from_json, loads, to_json
+from repro.symbolic import symbols
+
+I, J = symbols("I J")
+
+
+def outer_product_sdfg():
+    sdfg = SDFG("outer")
+    sdfg.add_array("A", [I], dtypes.float64)
+    sdfg.add_array("B", [J], dtypes.float64)
+    sdfg.add_array("C", [I, J], dtypes.float64)
+    state = sdfg.add_state("main")
+    state.add_mapped_tasklet(
+        "product",
+        {"i": "0:I", "j": "0:J"},
+        inputs={"a": Memlet("A", "i"), "b": Memlet("B", "j")},
+        code="out = a * b",
+        outputs={"out": Memlet("C", "i, j")},
+    )
+    return sdfg
+
+
+def assert_equivalent(a: SDFG, b: SDFG):
+    assert a.name == b.name
+    assert a.symbols == b.symbols
+    assert set(a.arrays) == set(b.arrays)
+    for name in a.arrays:
+        assert a.arrays[name] == b.arrays[name]
+    assert len(a.states()) == len(b.states())
+    for sa, sb in zip(a.states(), b.states()):
+        assert sa.name == sb.name
+        assert len(sa.nodes()) == len(sb.nodes())
+        assert len(sa.edges()) == len(sb.edges())
+        for ea, eb in zip(sa.edges(), sb.edges()):
+            assert type(ea.src) is type(eb.src)
+            assert ea.data.src_conn == eb.data.src_conn
+            assert ea.data.dst_conn == eb.data.dst_conn
+            assert ea.data.memlet == eb.data.memlet
+
+
+class TestRoundTrip:
+    def test_outer_product(self):
+        sdfg = outer_product_sdfg()
+        clone = from_json(to_json(sdfg))
+        clone.validate()
+        assert_equivalent(sdfg, clone)
+
+    def test_double_round_trip_stable(self):
+        sdfg = outer_product_sdfg()
+        doc1 = to_json(sdfg)
+        doc2 = to_json(from_json(doc1))
+        assert doc1 == doc2
+
+    def test_string_round_trip(self):
+        sdfg = outer_product_sdfg()
+        clone = loads(dumps(sdfg))
+        assert_equivalent(sdfg, clone)
+
+    def test_layout_attributes_preserved(self):
+        sdfg = SDFG("layouts")
+        sdfg.add_array(
+            "A", [4, 5], dtypes.float32, strides=[8, 1], start_offset=2, alignment=64
+        )
+        sdfg.add_scalar("s", dtypes.int64)
+        sdfg.add_transient("tmp", [4], dtypes.float64)
+        sdfg.add_state("empty")
+        clone = from_json(to_json(sdfg))
+        a = clone.arrays["A"]
+        assert a.strides[0].evaluate() == 8
+        assert a.start_offset.evaluate() == 2
+        assert a.alignment == 64
+        assert clone.arrays["tmp"].transient
+
+    def test_multi_state(self):
+        sdfg = SDFG("two")
+        sdfg.add_array("A", [I], dtypes.float64)
+        s0 = sdfg.add_state("first")
+        s1 = sdfg.add_state_after(s0, "second")
+        sdfg.add_interstate_edge(s1, s0, condition="i < 10", assignments={"i": "i + 1"})
+        clone = from_json(to_json(sdfg))
+        assert [s.name for s in clone.states()] == ["first", "second"]
+        assert clone.start_state.name == "first"
+        edges = clone.interstate_edges()
+        assert len(edges) == 2
+        assert edges[1].data.condition == "i < 10"
+        assert edges[1].data.assignments == {"i": "i + 1"}
+
+    def test_wcr_and_volume_hint(self):
+        sdfg = SDFG("wcr")
+        sdfg.add_array("acc", [1], dtypes.float64)
+        sdfg.add_array("A", [I], dtypes.float64)
+        state = sdfg.add_state()
+        state.add_mapped_tasklet(
+            "reduce",
+            {"i": "0:I"},
+            inputs={"a": Memlet("A", "i")},
+            code="out = a",
+            outputs={"out": Memlet("acc", "0", wcr="sum")},
+        )
+        clone = from_json(to_json(sdfg))
+        wcr_memlets = [
+            m for s in clone.states() for _, m in s.all_memlets() if m.wcr is not None
+        ]
+        assert wcr_memlets
+        hinted = [m for m in wcr_memlets if m.volume_hint is not None]
+        assert any(m.volume() == I for m in hinted)
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ReproError):
+            from_json({"format": "something-else"})

@@ -1,0 +1,216 @@
+"""Tests for SDFG construction, scopes and validation."""
+
+import pytest
+
+from repro.errors import InvalidSDFGError, ReproError
+from repro.sdfg import SDFG, AccessNode, MapEntry, MapExit, Memlet, Tasklet, dtypes
+from repro.symbolic import Symbol, symbols
+
+I, J = symbols("I J")
+
+
+def outer_product_sdfg():
+    """C[i, j] = A[i] * B[j] over a 2D map — the paper's Fig. 3 program."""
+    sdfg = SDFG("outer")
+    sdfg.add_array("A", [I], dtypes.float64)
+    sdfg.add_array("B", [J], dtypes.float64)
+    sdfg.add_array("C", [I, J], dtypes.float64)
+    state = sdfg.add_state("main")
+    state.add_mapped_tasklet(
+        "product",
+        {"i": "0:I", "j": "0:J"},
+        inputs={"a": Memlet("A", "i"), "b": Memlet("B", "j")},
+        code="out = a * b",
+        outputs={"out": Memlet("C", "i, j")},
+    )
+    return sdfg
+
+
+class TestConstruction:
+    def test_add_array_registers_symbols(self):
+        sdfg = SDFG("s")
+        sdfg.add_array("A", [I, J], dtypes.float64)
+        assert {"I", "J"} <= sdfg.symbols
+
+    def test_duplicate_container_rejected(self):
+        sdfg = SDFG("s")
+        sdfg.add_array("A", [4], dtypes.float64)
+        with pytest.raises(ReproError):
+            sdfg.add_array("A", [4], dtypes.float64)
+
+    def test_invalid_names(self):
+        with pytest.raises(ReproError):
+            SDFG("bad name")
+        sdfg = SDFG("s")
+        with pytest.raises(ReproError):
+            sdfg.add_array("1bad", [4], dtypes.float64)
+
+    def test_access_node_requires_known_container(self):
+        sdfg = SDFG("s")
+        state = sdfg.add_state()
+        with pytest.raises(ReproError):
+            state.add_access("nope")
+
+    def test_mapped_tasklet_structure(self):
+        sdfg = outer_product_sdfg()
+        state = sdfg.start_state
+        kinds = [type(n).__name__ for n in state.topological_nodes()]
+        assert kinds.count("AccessNode") == 3
+        assert kinds.count("MapEntry") == 1
+        assert kinds.count("MapExit") == 1
+        assert kinds.count("Tasklet") == 1
+
+    def test_mapped_tasklet_propagated_outer_memlets(self):
+        sdfg = outer_product_sdfg()
+        state = sdfg.start_state
+        entry = state.map_entries()[0]
+        outer_in = {e.data.memlet.data: e.data.memlet for e in state.in_edges(entry)}
+        # A is read once per (i, j) pair -> volume I*J, union subset 0:I.
+        assert str(outer_in["A"].subset) == "0:I"
+        assert outer_in["A"].volume() == I * J
+        assert str(outer_in["B"].subset) == "0:J"
+        exit_ = entry.exit_node
+        out_edge = state.out_edges(exit_)[0]
+        assert str(out_edge.data.memlet.subset) == "0:I, 0:J"
+        assert out_edge.data.memlet.volume() == I * J
+
+    def test_validates(self):
+        outer_product_sdfg().validate()
+
+    def test_io_classification(self):
+        sdfg = outer_product_sdfg()
+        assert set(sdfg.input_containers()) == {"A", "B"}
+        assert sdfg.output_containers() == ["C"]
+
+    def test_transient_not_io(self):
+        sdfg = SDFG("s")
+        sdfg.add_array("A", [4], dtypes.float64)
+        sdfg.add_transient("tmp", [4], dtypes.float64)
+        sdfg.add_array("B", [4], dtypes.float64)
+        state = sdfg.add_state()
+        a, t, b = state.add_access("A"), state.add_access("tmp"), state.add_access("B")
+        t1 = state.add_tasklet("copy1", ["x"], ["y"], "y = x")
+        t2 = state.add_tasklet("copy2", ["x"], ["y"], "y = x")
+        state.add_edge(a, None, t1, "x", Memlet("A", "0"))
+        state.add_edge(t1, "y", t, None, Memlet("tmp", "0"))
+        state.add_edge(t, None, t2, "x", Memlet("tmp", "0"))
+        state.add_edge(t2, "y", b, None, Memlet("B", "0"))
+        assert sdfg.input_containers() == ["A"]
+        assert sdfg.output_containers() == ["B"]
+
+
+class TestScopes:
+    def test_scope_dict(self):
+        sdfg = outer_product_sdfg()
+        state = sdfg.start_state
+        sdict = state.scope_dict()
+        entry = state.map_entries()[0]
+        tasklet = state.tasklets()[0]
+        assert sdict[tasklet] is entry
+        assert sdict[entry] is None
+        assert sdict[entry.exit_node] is None
+        for node in state.data_nodes():
+            assert sdict[node] is None
+
+    def test_scope_children(self):
+        sdfg = outer_product_sdfg()
+        state = sdfg.start_state
+        entry = state.map_entries()[0]
+        children = state.scope_children()
+        assert state.tasklets()[0] in children[entry]
+        assert entry in children[None]
+
+    def test_nested_scopes(self):
+        sdfg = SDFG("nested")
+        sdfg.add_array("A", [I, J], dtypes.float64)
+        sdfg.add_array("B", [I, J], dtypes.float64)
+        state = sdfg.add_state()
+        a, b = state.add_access("A"), state.add_access("B")
+        oentry, oexit = state.add_map("outer", {"i": "0:I"})
+        ientry, iexit = state.add_map("inner", {"j": "0:J"})
+        t = state.add_tasklet("copy", ["x"], ["y"], "y = x")
+        state.add_memlet_path(a, oentry, ientry, t, memlet=Memlet("A", "i, j"), dst_conn="x")
+        state.add_memlet_path(t, iexit, oexit, b, memlet=Memlet("B", "i, j"), src_conn="y")
+        sdfg.validate()
+        sdict = state.scope_dict()
+        assert sdict[t] is ientry
+        assert sdict[ientry] is oentry
+        assert sdict[oentry] is None
+        # Propagation happened twice for the outermost edges.
+        outer_edge = state.out_edges(a)[0]
+        assert str(outer_edge.data.memlet.subset) == "0:I, 0:J"
+
+
+class TestStateMachine:
+    def test_start_state(self):
+        sdfg = SDFG("s")
+        s0 = sdfg.add_state("first")
+        sdfg.add_state("second")
+        assert sdfg.start_state is s0
+
+    def test_add_state_after(self):
+        sdfg = SDFG("s")
+        s0 = sdfg.add_state()
+        s1 = sdfg.add_state_after(s0)
+        assert sdfg.all_states_topological() == [s0, s1]
+        assert len(sdfg.interstate_edges()) == 1
+
+    def test_duplicate_state_name(self):
+        sdfg = SDFG("s")
+        sdfg.add_state("x")
+        with pytest.raises(ReproError):
+            sdfg.add_state("x")
+
+    def test_no_states(self):
+        sdfg = SDFG("s")
+        with pytest.raises(ReproError):
+            _ = sdfg.start_state
+        with pytest.raises(InvalidSDFGError):
+            sdfg.validate()
+
+
+class TestValidation:
+    def test_undefined_memlet_container(self):
+        sdfg = SDFG("s")
+        sdfg.add_array("A", [4], dtypes.float64)
+        state = sdfg.add_state()
+        a = state.add_access("A")
+        t = state.add_tasklet("t", ["x"], ["y"], "y = x")
+        state.add_edge(a, None, t, "x", Memlet("Z", "0"))
+        state.add_edge(t, "y", a, None, Memlet("A", "0"))
+        with pytest.raises(InvalidSDFGError):
+            sdfg.validate()
+
+    def test_rank_mismatch(self):
+        sdfg = SDFG("s")
+        sdfg.add_array("A", [4, 4], dtypes.float64)
+        state = sdfg.add_state()
+        a = state.add_access("A")
+        t = state.add_tasklet("t", ["x"], ["y"], "y = x")
+        state.add_edge(a, None, t, "x", Memlet("A", "0"))  # rank 1 vs 2
+        state.add_edge(t, "y", a, None, Memlet("A", "0, 0"))
+        with pytest.raises(InvalidSDFGError):
+            sdfg.validate()
+
+    def test_dangling_tasklet(self):
+        sdfg = SDFG("s")
+        sdfg.add_array("A", [4], dtypes.float64)
+        state = sdfg.add_state()
+        a = state.add_access("A")
+        t = state.add_tasklet("t", ["x"], ["y"], "y = x")
+        state.add_edge(a, None, t, "x", Memlet("A", "0"))
+        # No outgoing edge from tasklet.
+        with pytest.raises(InvalidSDFGError):
+            sdfg.validate()
+
+    def test_unfed_connector(self):
+        sdfg = SDFG("s")
+        sdfg.add_array("A", [4], dtypes.float64)
+        state = sdfg.add_state()
+        a = state.add_access("A")
+        t = Tasklet("t", ["x", "unfed"], ["y"], "y = x")
+        state.add_node(t)
+        state.add_edge(a, None, t, "x", Memlet("A", "0"))
+        state.add_edge(t, "y", a, None, Memlet("A", "1"))
+        with pytest.raises(InvalidSDFGError):
+            sdfg.validate()

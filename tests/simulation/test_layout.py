@@ -1,0 +1,140 @@
+"""Tests for physical layout and the memory model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sdfg import SDFG, Array, Scalar, dtypes
+from repro.simulation import MemoryModel, PhysicalLayout
+from repro.symbolic import symbols
+
+I, J = symbols("I J")
+
+
+class TestPhysicalLayout:
+    def test_row_major_addresses(self):
+        layout = PhysicalLayout(Array(dtypes.float32, [4, 5]))
+        assert layout.element_address((0, 0)) == 0
+        assert layout.element_address((0, 1)) == 4
+        assert layout.element_address((1, 0)) == 20
+
+    def test_column_major_addresses(self):
+        desc = Array(dtypes.float32, [4, 5], strides=Array.f_strides([4, 5]))
+        layout = PhysicalLayout(desc)
+        assert layout.element_address((1, 0)) == 4
+        assert layout.element_address((0, 1)) == 16
+
+    def test_symbolic_shape(self):
+        layout = PhysicalLayout(Array(dtypes.float64, [I, J]), {"I": 3, "J": 4})
+        assert layout.shape == (3, 4)
+        assert layout.element_address((2, 3)) == (2 * 4 + 3) * 8
+
+    def test_base_address(self):
+        layout = PhysicalLayout(Array(dtypes.float64, [4]), base_address=128)
+        assert layout.element_address((0,)) == 128
+
+    def test_start_offset(self):
+        layout = PhysicalLayout(Array(dtypes.float64, [4], start_offset=2))
+        assert layout.element_address((0,)) == 16
+
+    def test_cache_line_of(self):
+        layout = PhysicalLayout(Array(dtypes.float32, [4, 5]))
+        # 64B lines hold 16 float32s.
+        assert layout.cache_line_of((0, 0), 64) == 0
+        assert layout.cache_line_of((3, 0), 64) == 0  # element 15
+        assert layout.cache_line_of((3, 1), 64) == 1  # element 16
+
+    def test_neighbors_in_line_row_major(self):
+        layout = PhysicalLayout(Array(dtypes.float64, [4, 4]))
+        # 32B lines hold 4 doubles: exactly one row.
+        neighbors = layout.neighbors_in_line((1, 2), 32)
+        assert neighbors == [(1, 0), (1, 1), (1, 2), (1, 3)]
+
+    def test_neighbors_in_line_column_major(self):
+        desc = Array(dtypes.float64, [4, 4], strides=Array.f_strides([4, 4]))
+        layout = PhysicalLayout(desc)
+        neighbors = layout.neighbors_in_line((2, 1), 32)
+        assert neighbors == [(0, 1), (1, 1), (2, 1), (3, 1)]
+
+    def test_line_wraps_rows(self):
+        # 5-wide rows of doubles with 64B lines: line 0 holds row 0 and the
+        # first 3 elements of row 1 (the Fig. 8c wrap-around effect).
+        layout = PhysicalLayout(Array(dtypes.float64, [3, 5]))
+        elements = layout.elements_on_line(0, 64)
+        assert (0, 4) in elements and (1, 0) in elements and (1, 2) in elements
+        assert (1, 3) not in elements
+
+    def test_padded_rows_no_wrap(self):
+        # Padding the row stride to 8 aligns each row to its own 64B line.
+        layout = PhysicalLayout(Array(dtypes.float64, [3, 5], strides=[8, 1]))
+        for row in range(3):
+            line = layout.cache_line_of((row, 0), 64)
+            elements = layout.elements_on_line(line, 64)
+            assert all(idx[0] == row for idx in elements)
+
+    def test_size_bytes_padded(self):
+        layout = PhysicalLayout(Array(dtypes.float64, [3, 5], strides=[8, 1]))
+        assert layout.size_bytes() == (2 * 8 + 4 + 1) * 8
+
+    def test_scalar(self):
+        layout = PhysicalLayout(Scalar(dtypes.float64))
+        assert layout.element_address(()) == 0
+        assert layout.size_bytes() == 8
+
+    def test_wrong_rank(self):
+        layout = PhysicalLayout(Array(dtypes.float64, [4, 4]))
+        with pytest.raises(SimulationError):
+            layout.element_address((1,))
+
+    def test_iter_elements_row_major(self):
+        layout = PhysicalLayout(Array(dtypes.float64, [2, 2]))
+        assert list(layout.iter_elements()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestMemoryModel:
+    def make_sdfg(self):
+        sdfg = SDFG("mm")
+        sdfg.add_array("A", [I], dtypes.float64)
+        sdfg.add_array("B", [4], dtypes.float32)
+        return sdfg
+
+    def test_sequential_placement(self):
+        sdfg = self.make_sdfg()
+        mm = MemoryModel(sdfg, {"I": 8}, line_size=64)
+        a, b = mm.layout("A"), mm.layout("B")
+        assert a.base_address == 0
+        assert b.base_address >= a.end_address()
+
+    def test_alignment_respected(self):
+        sdfg = SDFG("aligned")
+        sdfg.add_array("A", [3], dtypes.float64)  # 24 bytes
+        sdfg.add_array("B", [4], dtypes.float64, alignment=64)
+        mm = MemoryModel(sdfg, line_size=64)
+        assert mm.layout("B").base_address % 64 == 0
+
+    def test_line_queries_cross_containers(self):
+        sdfg = SDFG("shared")
+        sdfg.add_array("A", [4], dtypes.float64)  # 32 bytes
+        sdfg.add_array("B", [4], dtypes.float64)
+        mm = MemoryModel(sdfg, line_size=64)
+        # Both containers fit in line 0 (A at 0-31, B at 32-63).
+        on_line = mm.elements_on_line(0)
+        assert set(on_line) == {"A", "B"}
+
+    def test_unknown_container(self):
+        mm = MemoryModel(self.make_sdfg(), {"I": 4})
+        with pytest.raises(SimulationError):
+            mm.layout("Z")
+
+    def test_include_subset(self):
+        mm = MemoryModel(self.make_sdfg(), {"I": 4}, include=["B"])
+        assert list(mm.layouts) == ["B"]
+
+    def test_total_lines(self):
+        sdfg = SDFG("tl")
+        sdfg.add_array("A", [16], dtypes.float64)  # 128 bytes = 2 lines
+        mm = MemoryModel(sdfg, line_size=64)
+        assert mm.total_lines() == 2
+
+    def test_invalid_line_size(self):
+        with pytest.raises(SimulationError):
+            MemoryModel(self.make_sdfg(), {"I": 4}, line_size=0)

@@ -1,0 +1,127 @@
+"""Tests for stack distances and the cache model (incl. key equivalences)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    CacheModel,
+    MissKind,
+    classify_accesses,
+    count_misses,
+    simulate_lru,
+    stack_distances,
+    stack_distances_bruteforce,
+)
+from repro.simulation.cache import simulate_set_associative
+
+INF = math.inf
+
+
+class TestStackDistances:
+    def test_all_cold(self):
+        assert stack_distances([1, 2, 3]) == [INF, INF, INF]
+
+    def test_immediate_reuse(self):
+        assert stack_distances([1, 1]) == [INF, 0.0]
+
+    def test_textbook_example(self):
+        # Trace a b c b a: d(b@3)=1 (c), d(a@4)=2 (b, c distinct).
+        dists = stack_distances([1, 2, 3, 2, 1])
+        assert dists == [INF, INF, INF, 1.0, 2.0]
+
+    def test_repeated_interleaving(self):
+        dists = stack_distances([1, 2, 1, 2, 1])
+        assert dists == [INF, INF, 1.0, 1.0, 1.0]
+
+    def test_duplicates_between_counted_once(self):
+        # a b b b a: only one distinct line between the two a's.
+        dists = stack_distances([1, 2, 2, 2, 1])
+        assert dists[-1] == 1.0
+
+    def test_empty(self):
+        assert stack_distances([]) == []
+
+
+class TestBruteforceEquivalence:
+    @given(st.lists(st.integers(0, 9), max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_fenwick_matches_bruteforce(self, lines):
+        assert stack_distances(lines) == stack_distances_bruteforce(lines)
+
+    @given(st.lists(st.integers(0, 3), max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_small_alphabet(self, lines):
+        assert stack_distances(lines) == stack_distances_bruteforce(lines)
+
+
+class TestCacheModel:
+    def test_classification(self):
+        model = CacheModel(line_size=64, capacity_lines=4)
+        assert model.classify(INF) is MissKind.COLD
+        assert model.classify(3.0) is MissKind.HIT
+        assert model.classify(4.0) is MissKind.CAPACITY
+        assert model.classify(100.0) is MissKind.CAPACITY
+
+    def test_count_misses(self):
+        model = CacheModel(capacity_lines=2)
+        counts = count_misses([INF, INF, 0.0, 2.0, 1.0], model)
+        assert (counts.hits, counts.cold, counts.capacity) == (2, 2, 1)
+        assert counts.misses == 3
+        assert counts.miss_rate == pytest.approx(0.6)
+
+    def test_capacity_bytes(self):
+        assert CacheModel(64, 512).capacity_bytes == 32768
+
+    def test_invalid_params(self):
+        with pytest.raises(SimulationError):
+            CacheModel(line_size=0)
+        with pytest.raises(SimulationError):
+            CacheModel(capacity_lines=0)
+
+    def test_classify_accesses(self):
+        model = CacheModel(capacity_lines=8)
+        kinds = classify_accesses([INF, 1.0], model)
+        assert kinds == [MissKind.COLD, MissKind.HIT]
+
+
+class TestLRUSimulator:
+    def test_basic(self):
+        misses = simulate_lru([1, 2, 1, 3, 2], capacity_lines=2)
+        assert misses == [True, True, False, True, True]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_lru([1], 0)
+
+    @given(
+        st.lists(st.integers(0, 9), max_size=200),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_threshold_model_equals_exact_lru(self, lines, capacity):
+        """The paper's justification: distance >= C  <=>  LRU miss.
+
+        This is the McKinley/Temam & Beyls/D'Hollander argument for
+        estimating misses from stack distances under full associativity.
+        """
+        model = CacheModel(capacity_lines=capacity)
+        predicted = [model.classify(d).is_miss for d in stack_distances(lines)]
+        assert predicted == simulate_lru(lines, capacity)
+
+    def test_conflict_misses_on_same_set_pattern(self):
+        """Lines mapping to one set conflict even in an underfull cache."""
+        # Lines 0 and 4 both map to set 0 of a 4-set direct-mapped cache.
+        lines = [0, 4, 0, 4]
+        sa = simulate_set_associative(lines, num_sets=4, ways=1)
+        fa = simulate_lru(lines, capacity_lines=4)
+        assert sum(sa) == 4  # every access conflicts
+        assert sum(fa) == 2  # fully associative: both fit
+        assert sum(sa) > sum(fa)
+
+    def test_fully_associative_is_one_set(self):
+        lines = [1, 5, 1, 9, 5, 1]
+        assert simulate_set_associative(lines, 1, 3) == simulate_lru(lines, 3)

@@ -1,0 +1,97 @@
+"""Soundness tests for the interval bound analysis (int_lower_bound etc.).
+
+The bound analysis underlies Min/Max pruning and therefore memlet
+propagation; unsoundness there silently corrupts movement volumes, so the
+bounds are property-tested against exhaustive evaluation over the assumed
+domain (all size symbols >= 1).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import smax, smin, symbols, sympify
+from repro.symbolic.expr import int_lower_bound, int_upper_bound, proves_le
+
+SYMS = ("I", "J")
+
+
+@st.composite
+def bounded_exprs(draw, depth=3):
+    """Random expressions over I, J with nonnegative-leaning structure."""
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return sympify(draw(st.integers(-10, 10)))
+        return sympify(draw(st.sampled_from(SYMS)))
+    op = draw(st.sampled_from(["add", "sub", "mul", "min", "max"]))
+    a = draw(bounded_exprs(depth=depth - 1))
+    b = draw(bounded_exprs(depth=depth - 1))
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "min":
+        return smin(a, b)
+    return smax(a, b)
+
+
+@st.composite
+def envs(draw):
+    # The engine's assumption: size symbols are positive integers.
+    return {name: draw(st.integers(1, 12)) for name in SYMS}
+
+
+class TestBoundSoundness:
+    @given(bounded_exprs(), envs())
+    @settings(max_examples=300, deadline=None)
+    def test_lower_bound_is_sound(self, expr, env):
+        lb = int_lower_bound(expr)
+        if lb is not None:
+            assert expr.evaluate(env) >= lb
+
+    @given(bounded_exprs(), envs())
+    @settings(max_examples=300, deadline=None)
+    def test_upper_bound_is_sound(self, expr, env):
+        ub = int_upper_bound(expr)
+        if ub is not None:
+            assert expr.evaluate(env) <= ub
+
+    @given(bounded_exprs(), bounded_exprs(), envs())
+    @settings(max_examples=300, deadline=None)
+    def test_proves_le_is_sound(self, a, b, env):
+        if proves_le(a, b):
+            assert a.evaluate(env) <= b.evaluate(env)
+
+    @given(bounded_exprs(), bounded_exprs(), envs())
+    @settings(max_examples=200, deadline=None)
+    def test_minmax_pruning_preserves_value(self, a, b, env):
+        # Pruned Min/Max must still evaluate to the true min/max.
+        assert smin(a, b).evaluate(env) == min(a.evaluate(env), b.evaluate(env))
+        assert smax(a, b).evaluate(env) == max(a.evaluate(env), b.evaluate(env))
+
+
+class TestPropagationSoundness:
+    @given(
+        st.integers(0, 3),   # window offset
+        st.integers(1, 4),   # window size
+        st.integers(2, 10),  # map extent
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_union_covers_every_iteration(self, offset, window, extent):
+        """Propagated subsets contain every per-iteration subset."""
+        from repro.sdfg.memlet import Memlet
+        from repro.sdfg.nodes import Map
+        from repro.sdfg.propagation import propagate_memlet
+        from repro.symbolic import Range
+
+        m = Map("m", ["i"], [Range(0, extent - 1)])
+        inner = Memlet("A", f"i + {offset} : i + {offset + window}")
+        outer = propagate_memlet(inner, m)
+        lo = outer.subset.ranges[0].begin.evaluate({})
+        hi = outer.subset.ranges[0].end.evaluate({})
+        for i in range(extent):
+            assert lo <= i + offset
+            assert hi >= i + offset + window - 1
+        # Volume hint is exact: window elements per iteration.
+        assert outer.volume().evaluate({}) == window * extent

@@ -1,0 +1,345 @@
+"""Unit tests for the symbolic expression engine."""
+
+import math
+
+import pytest
+
+from repro.errors import EvaluationError, SymbolicError
+from repro.symbolic import (
+    Add,
+    Integer,
+    Max,
+    Min,
+    Mul,
+    Number,
+    Symbol,
+    add,
+    ceiling_div,
+    div,
+    evaluate_int,
+    floor_div,
+    mod,
+    mul,
+    neg,
+    pow_,
+    smax,
+    smin,
+    sub,
+    symbols,
+    sympify,
+)
+
+
+I, J, K = symbols("I J K")
+
+
+class TestSympify:
+    def test_int(self):
+        assert sympify(5) == Integer(5)
+
+    def test_integer_valued_float(self):
+        assert sympify(5.0) == Integer(5)
+
+    def test_float(self):
+        e = sympify(2.5)
+        assert isinstance(e, Number)
+        assert e.evaluate() == 2.5
+
+    def test_string(self):
+        assert sympify("I + 1") == I + 1
+
+    def test_expr_passthrough(self):
+        assert sympify(I) is I
+
+    def test_bool_rejected(self):
+        with pytest.raises(SymbolicError):
+            sympify(True)
+
+    def test_unsupported_type(self):
+        with pytest.raises(SymbolicError):
+            sympify([1, 2])
+
+
+class TestSymbol:
+    def test_valid_name(self):
+        assert Symbol("abc_1").name == "abc_1"
+
+    def test_invalid_name(self):
+        with pytest.raises(SymbolicError):
+            Symbol("2bad")
+
+    def test_empty_name(self):
+        with pytest.raises(SymbolicError):
+            Symbol("")
+
+    def test_equality_by_name(self):
+        assert Symbol("I") == Symbol("I")
+        assert Symbol("I") != Symbol("J")
+
+    def test_hash_consistent(self):
+        assert hash(Symbol("I")) == hash(Symbol("I"))
+
+    def test_free_symbols(self):
+        assert I.free_symbols() == {"I"}
+
+    def test_evaluate_requires_env(self):
+        with pytest.raises(EvaluationError):
+            I.evaluate()
+        with pytest.raises(EvaluationError):
+            I.evaluate({"J": 1})
+        assert I.evaluate({"I": 7}) == 7
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            I.name = "X"
+
+
+class TestAdd:
+    def test_constant_fold(self):
+        assert sympify(2) + 3 == Integer(5)
+
+    def test_zero_identity(self):
+        assert I + 0 == I
+        assert 0 + I == I
+
+    def test_flattening(self):
+        e = (I + J) + K
+        assert isinstance(e, Add)
+        assert len(e.args) == 3
+
+    def test_like_terms_collect(self):
+        assert I + I == 2 * I
+
+    def test_like_terms_with_coefficients(self):
+        assert 2 * I + 3 * I == 5 * I
+
+    def test_cancellation(self):
+        assert I - I == Integer(0)
+
+    def test_commutative_canonical(self):
+        assert I + J == J + I
+
+    def test_evaluate(self):
+        assert (I + J * 2).evaluate({"I": 1, "J": 3}) == 7
+
+    def test_mixed_constant_collect(self):
+        assert (I + 2) + (J + 3) == I + J + 5
+
+
+class TestMul:
+    def test_constant_fold(self):
+        assert sympify(4) * 3 == Integer(12)
+
+    def test_one_identity(self):
+        assert I * 1 == I
+
+    def test_zero_absorbs(self):
+        assert I * 0 == Integer(0)
+
+    def test_commutative_canonical(self):
+        assert I * J == J * I
+
+    def test_power_collection(self):
+        assert I * I == pow_(I, 2)
+
+    def test_power_merge(self):
+        assert I * pow_(I, 2) == pow_(I, 3)
+
+    def test_distribution_not_automatic(self):
+        # (I + 1) * J stays factored; auto-expansion would blow up volumes.
+        e = (I + 1) * J
+        assert isinstance(e, Mul)
+
+    def test_evaluate(self):
+        assert (2 * I * J).evaluate({"I": 3, "J": 5}) == 30
+
+    def test_negative_coefficient_str(self):
+        assert str(-I) == "-I"
+
+
+class TestSubNeg:
+    def test_sub(self):
+        assert sub(I, J).evaluate({"I": 10, "J": 4}) == 6
+
+    def test_neg_constant(self):
+        assert neg(sympify(3)) == Integer(-3)
+
+    def test_double_neg(self):
+        assert neg(neg(I)) == I
+
+
+class TestPow:
+    def test_exponent_zero(self):
+        assert pow_(I, 0) == Integer(1)
+
+    def test_exponent_one(self):
+        assert pow_(I, 1) == I
+
+    def test_base_one(self):
+        assert pow_(1, I) == Integer(1)
+
+    def test_constant_fold(self):
+        assert pow_(2, 10) == Integer(1024)
+
+    def test_nested_integer_exponents(self):
+        assert pow_(pow_(I, 2), 3) == pow_(I, 6)
+
+    def test_evaluate(self):
+        assert pow_(I, J).evaluate({"I": 2, "J": 5}) == 32
+
+
+class TestDiv:
+    def test_exact_integer_division(self):
+        assert div(6, 3) == Integer(2)
+
+    def test_inexact_division_is_float(self):
+        assert div(1, 2).evaluate() == 0.5
+
+    def test_div_by_one(self):
+        assert div(I, 1) == I
+
+    def test_div_by_zero_symbolic(self):
+        with pytest.raises(SymbolicError):
+            div(I, 0)
+
+    def test_div_by_zero_at_evaluation(self):
+        with pytest.raises(EvaluationError):
+            div(I, J).evaluate({"I": 1, "J": 0})
+
+    def test_self_division(self):
+        assert div(I, I) == Integer(1)
+
+    def test_zero_numerator(self):
+        assert div(0, I) == Integer(0)
+
+
+class TestFloorDivMod:
+    def test_floordiv_fold(self):
+        assert floor_div(7, 2) == Integer(3)
+
+    def test_floordiv_negative_python_semantics(self):
+        assert floor_div(-7, 2) == Integer(-4)
+
+    def test_floordiv_by_one(self):
+        assert floor_div(I, 1) == I
+
+    def test_mod_fold(self):
+        assert mod(7, 3) == Integer(1)
+
+    def test_mod_by_one(self):
+        assert mod(I, 1) == Integer(0)
+
+    def test_mod_self(self):
+        assert mod(I, I) == Integer(0)
+
+    def test_mod_by_zero(self):
+        with pytest.raises(SymbolicError):
+            mod(I, 0)
+
+    def test_ceiling_div_matches_math_ceil(self):
+        for a in range(0, 30):
+            for b in range(1, 9):
+                assert ceiling_div(a, b).evaluate() == math.ceil(a / b)
+
+    def test_ceiling_div_symbolic(self):
+        e = ceiling_div(I, 4)
+        assert e.evaluate({"I": 9}) == 3
+        assert e.evaluate({"I": 8}) == 2
+
+
+class TestMinMax:
+    def test_constant_fold(self):
+        assert smin(3, 5, 1) == Integer(1)
+        assert smax(3, 5, 1) == Integer(5)
+
+    def test_flatten(self):
+        e = smin(I, smin(J, K))
+        assert isinstance(e, Min)
+        assert len(e.args) == 3
+
+    def test_dedup(self):
+        assert smin(I, I) == I
+
+    def test_mixed(self):
+        e = smax(I, 3, 7)
+        assert isinstance(e, Max)
+        assert e.evaluate({"I": 10}) == 10
+        assert e.evaluate({"I": 2}) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(SymbolicError):
+            smin()
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert (I + J).subs({"I": 3}) == J + 3
+
+    def test_full_substitution_folds(self):
+        assert (I * J + 2).subs({"I": 3, "J": 4}) == Integer(14)
+
+    def test_symbol_to_expression(self):
+        assert (I * 2).subs({"I": J + 1}) == 2 * (J + 1)
+
+    def test_untouched(self):
+        e = I + J
+        assert e.subs({"K": 9}) == e
+
+    def test_resimplification(self):
+        # Substituting makes terms collapse.
+        e = I * J - I * J
+        assert e == Integer(0)
+        e2 = (I - J).subs({"J": "I"})
+        assert e2 == Integer(0)
+
+
+class TestStringRoundTrip:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            I + J,
+            I - J,
+            2 * I * J,
+            (I + 4) * (J + 4) * K,
+            pow_(I, 2) + pow_(J, 3),
+            floor_div(I, 2),
+            mod(I + 1, 4),
+            div(I, J),
+            smin(I, J, 3),
+            smax(I + 1, 2 * J),
+            -I + 3,
+            I * (J - 2),
+            ceiling_div(I * J, 16),
+        ],
+    )
+    def test_round_trip(self, expr):
+        from repro.symbolic import parse_expr
+
+        assert parse_expr(str(expr)) == expr
+
+
+class TestEvaluateInt:
+    def test_integer(self):
+        assert evaluate_int(I * 2, {"I": 3}) == 6
+
+    def test_float_integral(self):
+        assert evaluate_int(div(I, 2), {"I": 8}) == 4
+
+    def test_float_nonintegral(self):
+        with pytest.raises(EvaluationError):
+            evaluate_int(div(I, 2), {"I": 7})
+
+
+class TestSignAnalysis:
+    def test_symbols_assumed_nonnegative(self):
+        assert I.is_nonnegative() is True
+
+    def test_sum_of_nonnegative(self):
+        assert (I + J + 1).is_nonnegative() is True
+
+    def test_unknown_for_subtraction(self):
+        assert (I - J).is_nonnegative() is None
+
+    def test_product(self):
+        assert (I * J).is_nonnegative() is True
+        assert (-1 * I).is_nonnegative() is False

@@ -1,0 +1,157 @@
+"""Property-based tests for the symbolic engine (hypothesis).
+
+The core invariant: canonicalization never changes the value of an
+expression.  We generate random expression trees alongside a direct Python
+evaluation function and check the symbolic result agrees, plus round-trip
+properties for printing/parsing and substitution.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import (
+    Expr,
+    Range,
+    Subset,
+    parse_expr,
+    symbols,
+    sympify,
+)
+
+SYMS = ("I", "J", "K")
+ENV_VALUES = st.integers(min_value=1, max_value=20)
+
+
+@st.composite
+def envs(draw):
+    return {name: draw(ENV_VALUES) for name in SYMS}
+
+
+@st.composite
+def exprs(draw, depth=3) -> tuple[Expr, object]:
+    """Generate (symbolic expr, python-callable ground truth)."""
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            val = draw(st.integers(min_value=-50, max_value=50))
+            return sympify(val), (lambda env, v=val: v)
+        name = draw(st.sampled_from(SYMS))
+        return sympify(name), (lambda env, n=name: env[n])
+    op = draw(st.sampled_from(["add", "sub", "mul", "min", "max", "floordiv", "mod"]))
+    left, lf = draw(exprs(depth=depth - 1))
+    right, rf = draw(exprs(depth=depth - 1))
+    if op == "add":
+        return left + right, (lambda env: lf(env) + rf(env))
+    if op == "sub":
+        return left - right, (lambda env: lf(env) - rf(env))
+    if op == "mul":
+        return left * right, (lambda env: lf(env) * rf(env))
+    if op == "min":
+        from repro.symbolic import smin
+
+        return smin(left, right), (lambda env: min(lf(env), rf(env)))
+    if op == "max":
+        from repro.symbolic import smax
+
+        return smax(left, right), (lambda env: max(lf(env), rf(env)))
+    # Guard divisor away from zero by adding a positive constant offset to
+    # an always-positive base.
+    divisor = right * right + 1
+    if op == "floordiv":
+        return left // divisor, (lambda env: lf(env) // (rf(env) * rf(env) + 1))
+    return left % divisor, (lambda env: lf(env) % (rf(env) * rf(env) + 1))
+
+
+class TestExpressionProperties:
+    @given(exprs(), envs())
+    @settings(max_examples=300, deadline=None)
+    def test_canonicalization_preserves_value(self, pair, env):
+        expr, ground_truth = pair
+        assert expr.evaluate(env) == ground_truth(env)
+
+    @given(exprs())
+    @settings(max_examples=300, deadline=None)
+    def test_print_parse_round_trip(self, pair):
+        expr, _ = pair
+        assert parse_expr(str(expr)) == expr
+
+    @given(exprs(), envs())
+    @settings(max_examples=200, deadline=None)
+    def test_substitute_all_equals_evaluate(self, pair, env):
+        expr, _ = pair
+        folded = expr.subs(env)
+        assert folded.is_constant
+        assert folded.evaluate() == expr.evaluate(env)
+
+    @given(exprs(), envs(), st.sampled_from(SYMS))
+    @settings(max_examples=200, deadline=None)
+    def test_partial_substitution_commutes(self, pair, env, name):
+        expr, _ = pair
+        partial = expr.subs({name: env[name]})
+        assert partial.evaluate(env) == expr.evaluate(env)
+
+    @given(exprs(), exprs(), envs())
+    @settings(max_examples=150, deadline=None)
+    def test_operator_consistency(self, a_pair, b_pair, env):
+        a, fa = a_pair
+        b, fb = b_pair
+        assert (a + b).evaluate(env) == fa(env) + fb(env)
+        assert (a * b).evaluate(env) == fa(env) * fb(env)
+        assert (a - b).evaluate(env) == fa(env) - fb(env)
+
+    @given(exprs())
+    @settings(max_examples=200, deadline=None)
+    def test_hash_equality_contract(self, pair):
+        expr, _ = pair
+        clone = parse_expr(str(expr))
+        assert clone == expr
+        assert hash(clone) == hash(expr)
+
+
+class TestRangeProperties:
+    @given(
+        st.integers(-20, 20),
+        st.integers(0, 30),
+        st.integers(1, 5),
+        envs(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_num_elements_matches_iteration(self, begin, extent, step, env):
+        r = Range(begin, begin + extent, step)
+        assert r.num_elements().evaluate(env) == len(list(r.iter_indices(env)))
+
+    @given(st.integers(0, 10), st.integers(0, 10), st.integers(1, 4))
+    @settings(max_examples=200, deadline=None)
+    def test_python_range_equivalence(self, begin, length, step):
+        # String form "b:e:s" must cover exactly range(b, e, s).
+        end_excl = begin + length
+        r = Range.from_string(f"{begin}:{end_excl}:{step}")
+        assert list(r.iter_indices()) == list(range(begin, end_excl, step))
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 4), st.integers(1, 4)), min_size=1, max_size=3)
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_subset_size_is_product(self, dims):
+        ranges = [Range(b, b + n - 1) for b, n in dims]
+        s = Subset(ranges)
+        assert s.size() == math.prod(n for _, n in dims)
+        assert len(list(s.iter_points())) == s.size()
+
+    @given(
+        st.lists(st.integers(1, 4), min_size=2, max_size=4),
+        st.randoms(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_permutation_preserves_points(self, shape, rng):
+        s = Subset.full(shape)
+        order = list(range(len(shape)))
+        rng.shuffle(order)
+        permuted = s.permuted(order)
+        original = {tuple(p[order.index(d)] for d in range(len(shape)))
+                    for p in permuted.iter_points()}
+        assert original == set(s.iter_points())

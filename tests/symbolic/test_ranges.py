@@ -1,0 +1,172 @@
+"""Unit tests for symbolic ranges and subsets."""
+
+import pytest
+
+from repro.errors import EvaluationError, ParseError, SymbolicError
+from repro.symbolic import Integer, Range, Subset, Symbol, symbols
+
+I, J, K = symbols("I J K")
+
+
+class TestRange:
+    def test_inclusive_end(self):
+        r = Range(0, 9)
+        assert list(r.iter_indices()) == list(range(10))
+
+    def test_point(self):
+        r = Range.point(5)
+        assert r.is_point
+        assert r.num_elements() == Integer(1)
+        assert list(r.iter_indices()) == [5]
+
+    def test_symbolic_point(self):
+        r = Range.point(I)
+        assert r.is_point
+        assert list(r.iter_indices({"I": 3})) == [3]
+
+    def test_num_elements_unit_step(self):
+        assert Range(0, I - 1).num_elements() == I
+
+    def test_num_elements_strided(self):
+        r = Range(0, 9, 2)
+        assert r.num_elements().evaluate() == 5
+        assert list(r.iter_indices()) == [0, 2, 4, 6, 8]
+
+    def test_num_elements_strided_symbolic(self):
+        r = Range(0, I - 1, 2)
+        # ceil(I/2) elements
+        assert r.num_elements().evaluate({"I": 9}) == 5
+        assert r.num_elements().evaluate({"I": 8}) == 4
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(SymbolicError):
+            Range(0, 5, 0)
+
+    def test_negative_step(self):
+        r = Range(8, 0, -2)
+        assert list(r.iter_indices()) == [8, 6, 4, 2, 0]
+
+    def test_offset_by(self):
+        r = Range(0, I - 1).offset_by(2)
+        assert r.begin == Integer(2)
+        assert r.end == I + 1
+
+    def test_scaled_by(self):
+        r = Range(1, 3).scaled_by(4)
+        assert (r.begin, r.end, r.step) == (Integer(4), Integer(12), Integer(4))
+
+    def test_subs(self):
+        r = Range(0, I - 1).subs({"I": 10})
+        assert list(r.iter_indices()) == list(range(10))
+
+    def test_size(self):
+        assert Range(0, I - 1).size({"I": 7}) == 7
+
+    def test_step_zero_at_eval(self):
+        r = Range(0, 5, J)
+        with pytest.raises(EvaluationError):
+            r.concretize({"J": 0})
+
+    def test_equality(self):
+        assert Range(0, I - 1) == Range(0, I - 1)
+        assert Range(0, I - 1) != Range(0, I)
+
+    def test_hashable(self):
+        assert len({Range(0, 3), Range(0, 3)}) == 1
+
+
+class TestRangeStrings:
+    def test_parse_slice(self):
+        r = Range.from_string("0:N")
+        assert r.begin == Integer(0)
+        assert r.end == Symbol("N") - 1
+
+    def test_parse_point(self):
+        r = Range.from_string("i")
+        assert r.is_point
+        assert r.begin == Symbol("i")
+
+    def test_parse_step(self):
+        r = Range.from_string("0:10:2")
+        assert list(r.iter_indices()) == [0, 2, 4, 6, 8]
+
+    def test_parse_expression_bounds(self):
+        r = Range.from_string("2*i : 2*i + 2")
+        assert r.num_elements() == Integer(2)
+
+    def test_round_trip(self):
+        for text in ["0:N", "i", "0:10:2", "1:N+1"]:
+            r = Range.from_string(text)
+            assert Range.from_string(str(r)) == r
+
+    def test_invalid(self):
+        with pytest.raises(ParseError):
+            Range.from_string("0:1:2:3")
+
+
+class TestSubset:
+    def test_full(self):
+        s = Subset.full([I, J])
+        assert s.dims == 2
+        assert s.num_elements() == I * J
+
+    def test_from_indices(self):
+        s = Subset.from_indices([I, 0])
+        assert s.is_point
+        assert s.indices() == (I, Integer(0))
+
+    def test_indices_requires_point(self):
+        with pytest.raises(SymbolicError):
+            Subset.full([3, 4]).indices()
+
+    def test_from_string(self):
+        s = Subset.from_string("0:I, j, 0:K:2")
+        assert s.dims == 3
+        assert s.ranges[1].is_point
+
+    def test_from_string_with_function_commas(self):
+        s = Subset.from_string("0:Min(I, J), 0:K")
+        assert s.dims == 2
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ParseError):
+            Subset.from_string("")
+
+    def test_round_trip(self):
+        for text in ["0:I, j, 0:K:2", "i, j", "0:I+4, 0:J+4, 0:K"]:
+            s = Subset.from_string(text)
+            assert Subset.from_string(str(s)) == s
+
+    def test_iter_points_row_major(self):
+        s = Subset.from_string("0:2, 0:3")
+        assert list(s.iter_points()) == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+
+    def test_iter_points_scalar(self):
+        s = Subset(())
+        assert list(s.iter_points()) == [()]
+
+    def test_iter_points_empty_range(self):
+        s = Subset([Range(0, -1)])  # empty
+        assert list(s.iter_points()) == []
+
+    def test_size(self):
+        s = Subset.full([I, J]).subs({"I": 4})
+        assert s.size({"J": 5}) == 20
+
+    def test_permuted(self):
+        s = Subset.from_string("0:I, 0:J, 0:K").permuted([2, 0, 1])
+        assert str(s) == "0:K, 0:I, 0:J"
+
+    def test_permuted_invalid(self):
+        with pytest.raises(SymbolicError):
+            Subset.full([2, 3]).permuted([0, 0])
+
+    def test_num_elements_with_points(self):
+        s = Subset.from_string("i, 0:J")
+        assert s.num_elements() == Symbol("J")
+
+    def test_free_symbols(self):
+        s = Subset.from_string("0:I, j")
+        assert s.free_symbols() == {"I", "j"}

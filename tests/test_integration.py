@@ -1,0 +1,180 @@
+"""Cross-module integration tests: complete workflows end-to-end.
+
+Each test drives a full pipeline the way a user would — frontend →
+analysis → transformation → simulation → rendering — checking the pieces
+compose, not just that each works alone.
+"""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.apps import bert, hdiff
+from repro.codegen import call_sdfg
+from repro.tool import Session
+from repro.viz.heatmap import Heatmap
+
+
+class TestHdiffFullWorkflow:
+    """The complete Section VI-B walkthrough via the Session facade."""
+
+    def test_analysis_to_optimization_to_execution(self):
+        # 1. Analyze the baseline in the local view.
+        sdfg = hdiff.build_sdfg()
+        lv_before = Session(sdfg).local_view(
+            hdiff.LOCAL_VIEW_SIZES, **hdiff.FIG7_CACHE
+        )
+        moved_before = lv_before.physical_movement()["in_field"]
+
+        # 2. Apply the three tuning steps the view motivated.
+        hdiff.apply_reshape(sdfg)
+        hdiff.apply_reorder(sdfg)
+        hdiff.apply_padding(sdfg)
+        sdfg.validate()
+
+        # 3. Re-analyze: the model confirms the improvement.
+        lv_after = Session(sdfg).local_view(
+            hdiff.LOCAL_VIEW_SIZES, **hdiff.FIG7_CACHE
+        )
+        moved_after = lv_after.physical_movement()["in_field"]
+        assert moved_after < moved_before
+
+        # 4. The transformed program still computes hdiff (execute it).
+        I, J, K = 6, 6, 3
+        in_field, out_field, coeff = hdiff.initialize(I, J, K)
+        reference = out_field.copy()
+        hdiff.hdiff_numpy_baseline(in_field, reference, coeff)
+        out_km = np.zeros((K, I, J))
+        call_sdfg(
+            sdfg,
+            np.ascontiguousarray(in_field.transpose(2, 0, 1)),
+            np.ascontiguousarray(coeff.transpose(2, 0, 1)),
+            out_km,
+        )
+        np.testing.assert_allclose(out_km.transpose(1, 2, 0), reference)
+
+    def test_report_contains_all_panels(self, tmp_path):
+        session = Session(hdiff.build_sdfg())
+        lv = session.local_view(hdiff.LOCAL_VIEW_SIZES, **hdiff.FIG7_CACHE)
+        report = session.report()
+        report.add_svg(
+            session.global_view().render(
+                env=hdiff.LOCAL_VIEW_SIZES, edge_overlay="movement"
+            )
+        )
+        report.add_svg(
+            lv.render_container("in_field", values=lv.miss_heatmap("in_field"))
+        )
+        report.add_svg(lv.render_reuse_histogram("in_field", (2, 2, 0)))
+        path = tmp_path / "full.html"
+        report.save(str(path))
+        text = path.read_text()
+        assert text.count("<svg") == 3
+
+
+class TestBertFullWorkflow:
+    """The complete Section VI-A walkthrough at tiny validation sizes."""
+
+    SIZES = {"B": 1, "H": 2, "SM": 8, "EMB": 16, "FF": 32, "P": 8}
+
+    def test_fused_sdfg_still_computes_the_encoder(self):
+        w = bert.initialize(self.SIZES)
+        reference = bert.encoder_baseline(w)
+
+        sdfg = bert.build_sdfg()
+        bert.apply_fusion_stage1(sdfg, bert.PAPER_SIZES)
+        bert.apply_fusion_stage2(sdfg)
+        sdfg.validate()
+
+        from repro.codegen import interpret_sdfg
+
+        out = np.zeros_like(reference)
+        arrays = {
+            "x": w.x, "wq": w.wq, "wk": w.wk, "wv": w.wv,
+            "bq": w.bq, "bk": w.bk, "bv": w.bv,
+            "wo": w.wo, "bo": w.bo,
+            "w1": w.w1, "b1": w.b1, "w2": w.w2, "b2": w.b2,
+            "gamma1": w.gamma1, "beta1": w.beta1,
+            "gamma2": w.gamma2, "beta2": w.beta2,
+            "out": out,
+        }
+        interpret_sdfg(sdfg, arrays, self.SIZES)
+        np.testing.assert_allclose(out, reference, rtol=1e-8)
+
+    def test_simulation_of_fused_graph(self):
+        sdfg = bert.build_sdfg()
+        bert.apply_fusion_stage1(sdfg, bert.PAPER_SIZES)
+        lv = Session(sdfg).local_view(self.SIZES)
+        # The fused intermediates are gone from the trace.
+        assert "scaled" not in lv.result.containers()
+        assert "cube" not in lv.result.containers()
+        # The inputs/outputs are still exercised.
+        assert lv.result.total_accesses("x") > 0
+        assert lv.result.total_accesses("out") > 0
+
+
+class TestProfileDrivenOverlay:
+    """Measured metrics flow into the same rendering path as static ones."""
+
+    def test_profile_to_heatmap_to_svg(self):
+        from repro.analysis.profiling import profile_execution
+        from repro.apps import linalg
+        from repro.viz.graphview import render_state
+
+        sdfg = linalg.build_outer_product()
+        rng = np.random.default_rng(2)
+        arrays = {
+            "A": rng.random(4), "B": rng.random(3), "C": np.zeros((4, 3)),
+        }
+        report = profile_execution(sdfg, arrays, {"M": 4, "N": 3})
+        state = sdfg.start_state
+        edge_values = report.measured_edge_accesses(state)
+        heatmap = Heatmap(edge_values, method="median")
+        svg = render_state(state, edge_heatmap=heatmap)
+        ET.fromstring(svg)
+
+
+class TestFullSizeAggregatedView:
+    def test_hdiff_full_size_tiles(self):
+        """Simulate hdiff at *full* paper sizes is infeasible interactively;
+        a quarter-scale run with tile aggregation demonstrates the
+        Discussion's full-size pathway."""
+        session = Session(hdiff.build_sdfg())
+        env = {"I": 16, "J": 16, "K": 4}
+        lv = session.local_view(env)
+        counts = {
+            k: float(v) for k, v in lv.access_heatmap("in_field").items()
+        }
+        svg = lv.render_container_aggregated("in_field", counts, tile=(4, 4, 4))
+        ET.fromstring(svg)
+        # 20x20x4 elements -> 5x5x1 tiles.
+        assert "4x4x4 tiles" in svg
+
+
+class TestSerializationOfTransformedGraphs:
+    def test_fused_bert_round_trips(self):
+        from repro.sdfg.serialize import from_json, to_json
+
+        sdfg = bert.build_sdfg()
+        bert.apply_fusion_stage1(sdfg, bert.PAPER_SIZES)
+        clone = from_json(to_json(sdfg))
+        clone.validate()
+        assert len(clone.start_state.map_entries()) == len(
+            sdfg.start_state.map_entries()
+        )
+
+    def test_relayouted_hdiff_round_trips(self):
+        from repro.analysis import total_movement_bytes
+        from repro.sdfg.serialize import from_json, to_json
+
+        sdfg = hdiff.build_sdfg()
+        hdiff.apply_reshape(sdfg)
+        hdiff.apply_padding(sdfg)
+        clone = from_json(to_json(sdfg))
+        clone.validate()
+        env = hdiff.LOCAL_VIEW_SIZES
+        assert clone.arrays["in_field"].strides == sdfg.arrays["in_field"].strides
+        assert total_movement_bytes(clone).evaluate(env) == total_movement_bytes(
+            sdfg
+        ).evaluate(env)

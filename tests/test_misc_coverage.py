@@ -1,0 +1,188 @@
+"""Unit tests for smaller API surfaces not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.symbolic import (
+    Integer,
+    Subset,
+    div,
+    parse_expr,
+    pow_,
+    smax,
+    smin,
+    symbols,
+    sympify,
+)
+
+I, J = symbols("I J")
+
+from repro.frontend import pmap, program  # noqa: E402
+from repro.sdfg.dtypes import float64  # noqa: E402
+
+
+@program
+def _tiny_program(A: float64[I], B: float64[I]):
+    for i in pmap(I):
+        B[i] = A[i]
+
+
+class TestExprMisc:
+    def test_atoms(self):
+        e = (I + 2) * J
+        atoms = e.atoms()
+        assert I in atoms and J in atoms
+        assert Integer(2) in atoms
+
+    def test_children(self):
+        e = I + J
+        assert set(e.children()) == {I, J}
+        assert I.children() == ()
+
+    def test_div_evaluate(self):
+        assert div(I, J).evaluate({"I": 7, "J": 2}) == 3.5
+
+    def test_pow_sign(self):
+        assert pow_(I, J).is_nonnegative() is True
+
+    def test_min_max_signs(self):
+        assert smin(I, J).is_nonnegative() is True
+        assert smax(-1 * I, J).is_nonnegative() is True
+
+    def test_mod_sign(self):
+        assert (I % 4).is_nonnegative() is True
+
+    def test_repr_contains_str(self):
+        assert "I" in repr(I + 1)
+
+    def test_parse_rejects_keyword_args(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_expr("Min(a, b=2)")
+
+    def test_parse_rejects_non_string(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_expr(42)  # type: ignore[arg-type]
+
+    def test_sympify_fraction(self):
+        from fractions import Fraction
+
+        assert sympify(Fraction(4, 2)) == Integer(2)
+        assert sympify(Fraction(1, 2)).evaluate() == 0.5
+
+
+class TestSubsetMisc:
+    def test_full_scalar_shape(self):
+        s = Subset.full([])
+        assert s.dims == 0
+        assert s.num_elements() == Integer(1)
+
+    def test_repr(self):
+        assert "0:I" in repr(Subset.from_string("0:I"))
+
+
+class TestDtypesMisc:
+    def test_from_numpy_unknown(self):
+        from repro.sdfg import dtypes
+
+        with pytest.raises(ReproError):
+            dtypes.from_numpy(np.dtype([("a", np.int32)]))  # structured
+
+    def test_repr(self):
+        from repro.sdfg import dtypes
+
+        assert repr(dtypes.float32) == "float32"
+
+
+class TestMemletMisc:
+    def test_free_symbols_include_hint(self):
+        from repro.sdfg import Memlet
+
+        m = Memlet("A", "0:4", volume_hint=I * 2)
+        assert "I" in m.free_symbols()
+
+    def test_simple_constructor(self):
+        from repro.sdfg import Memlet
+
+        m = Memlet.simple("A", "i, j", wcr="sum")
+        assert m.wcr == "sum"
+        assert m.subset.dims == 2
+
+
+class TestViewportMisc:
+    def test_contains(self):
+        from repro.viz.overview import Viewport
+
+        vp = Viewport(10, 10, 100, 50)
+        assert vp.contains(50, 30)
+        assert not vp.contains(0, 0)
+        assert vp.center == (60.0, 35.0)
+
+    def test_partial_viewport_fraction(self):
+        from repro.viz.overview import Minimap, Viewport
+
+        state = _tiny_program.to_sdfg().start_state
+        mm = Minimap(state, Viewport(0, 0, 50, 50))
+        fx, fy = mm.viewport_fraction()
+        assert 0 < fx < 1 and 0 < fy < 1
+
+
+class TestInterstateEdgeRepr:
+    def test_repr(self):
+        from repro.sdfg import InterstateEdge
+
+        edge = InterstateEdge(condition="i < N", assignments={"i": "i + 1"})
+        text = repr(edge)
+        assert "i < N" in text and "i + 1" in text
+
+
+class TestMapMisc:
+    def test_range_of_unknown_param(self):
+        from repro.sdfg import Map
+        from repro.symbolic import Range
+
+        m = Map("m", ["i"], [Range(0, 3)])
+        with pytest.raises(ReproError):
+            m.range_of("z")
+
+    def test_duplicate_params_rejected(self):
+        from repro.sdfg import Map
+        from repro.symbolic import Range
+
+        with pytest.raises(ReproError):
+            Map("m", ["i", "i"], [Range(0, 1), Range(0, 1)])
+
+    def test_subs(self):
+        from repro.sdfg import Map
+        from repro.symbolic import Range
+
+        m = Map("m", ["i"], [Range(0, I - 1)]).subs({"I": 5})
+        assert m.ranges[0].size() == 5
+
+
+class TestReportEscaping:
+    def test_svg_not_escaped_but_captions_are(self):
+        from repro.viz.report import ReportBuilder
+
+        report = ReportBuilder("t")
+        report.add_svg("<svg xmlns='x'></svg>", caption="a < b & c")
+        html_text = report.render()
+        assert "<svg xmlns='x'></svg>" in html_text
+        assert "a &lt; b &amp; c" in html_text
+
+
+class TestCLILocalOnly:
+    def test_local_view_without_global_params(self, tmp_path):
+        from repro.tool.cli import main as cli_main
+        from tests.tool.test_session_cli import TestCLI
+
+        module = tmp_path / "m.py"
+        module.write_text(TestCLI.PROGRAM_SOURCE)
+        out = tmp_path / "o.html"
+        rc = cli_main([str(module), "--local", "I=2,J=2", "-o", str(out)])
+        assert rc == 0
+        assert "Local view" in out.read_text()

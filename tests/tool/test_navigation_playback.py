@@ -1,0 +1,146 @@
+"""Tests for search/filter navigation and playback-frame rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ReproError
+from repro.frontend import pmap, program
+from repro.sdfg import AccessNode, Tasklet
+from repro.sdfg.dtypes import float64
+from repro.tool import Session
+from repro.symbolic import symbols
+
+I, J = symbols("I J")
+
+
+@program
+def two_kernels(A: float64[I], B: float64[I], C: float64[I]):
+    for i in pmap(I):
+        B[i] = A[i] * 2.0
+    for i in pmap(I):
+        C[i] = B[i] + 1.0
+
+
+@pytest.fixture
+def session():
+    return Session(two_kernels)
+
+
+class TestSearch:
+    def test_finds_maps(self, session):
+        gv = session.global_view()
+        hits = gv.search("map_")
+        assert {h.label for h in hits} == {"map_0", "map_1"}
+
+    def test_case_insensitive(self, session):
+        gv = session.global_view()
+        assert gv.search("MAP_0")
+
+    def test_finds_containers(self, session):
+        gv = session.global_view()
+        labels = {h.label for h in gv.search("B")}
+        assert "B" in labels
+
+    def test_no_hits(self, session):
+        assert session.global_view().search("zzz") == []
+
+
+class TestFilter:
+    def test_hide_access_nodes(self, session):
+        gv = session.global_view()
+        visible = gv.filter_nodes(["AccessNode"])
+        assert visible
+        assert not any(isinstance(n, AccessNode) for n in visible)
+        assert any(isinstance(n, Tasklet) for n in visible)
+
+    def test_hide_nothing(self, session):
+        gv = session.global_view()
+        assert len(gv.filter_nodes([])) == len(gv.state.nodes())
+
+
+class TestPlayback:
+    def test_frames_cover_iterations(self, session):
+        lv = session.local_view({"I": 4})
+        frames = list(lv.playback())
+        assert len(frames) == 8  # two kernels x four iterations
+
+    def test_render_frame(self, session):
+        lv = session.local_view({"I": 4})
+        svgs = lv.render_playback_frame(0)
+        assert set(svgs) == {"A", "B"}
+        for svg in svgs.values():
+            ET.fromstring(svg)
+        # The first frame highlights exactly the first iteration's elements.
+        assert "#37c871" in svgs["A"]
+
+    def test_render_frame_restricted(self, session):
+        lv = session.local_view({"I": 4})
+        svgs = lv.render_playback_frame(0, data="A")
+        assert list(svgs) == ["A"]
+
+    def test_bad_step(self, session):
+        lv = session.local_view({"I": 4})
+        with pytest.raises(ReproError):
+            lv.render_playback_frame(999)
+
+    def test_frames_progress_through_elements(self, session):
+        lv = session.local_view({"I": 3})
+        first = lv.result.events_at_step(0)
+        second = lv.result.events_at_step(1)
+        assert {e.indices for e in first if e.data == "A"} == {(0,)}
+        assert {e.indices for e in second if e.data == "A"} == {(1,)}
+
+
+class TestBoundsValidation:
+    def test_constant_overrun_rejected(self):
+        from repro.errors import InvalidSDFGError
+        from repro.sdfg import SDFG, Memlet, dtypes
+
+        sdfg = SDFG("oob")
+        sdfg.add_array("A", [4], dtypes.float64)
+        sdfg.add_array("B", [4], dtypes.float64)
+        state = sdfg.add_state()
+        a, b = state.add_access("A"), state.add_access("B")
+        t = state.add_tasklet("t", ["x"], ["y"], "y = x")
+        state.add_edge(a, None, t, "x", Memlet("A", "7"))  # out of bounds
+        state.add_edge(t, "y", b, None, Memlet("B", "0"))
+        with pytest.raises(InvalidSDFGError, match="extent"):
+            sdfg.validate()
+
+    def test_negative_index_rejected(self):
+        from repro.errors import InvalidSDFGError
+        from repro.sdfg import SDFG, Memlet, dtypes
+        from repro.symbolic import Range, Subset
+
+        sdfg = SDFG("neg")
+        sdfg.add_array("A", [4], dtypes.float64)
+        sdfg.add_array("B", [4], dtypes.float64)
+        state = sdfg.add_state()
+        a, b = state.add_access("A"), state.add_access("B")
+        t = state.add_tasklet("t", ["x"], ["y"], "y = x")
+        state.add_edge(a, None, t, "x", Memlet("A", Subset([Range(-1, -1)])))
+        state.add_edge(t, "y", b, None, Memlet("B", "0"))
+        with pytest.raises(InvalidSDFGError, match="negative"):
+            sdfg.validate()
+
+    def test_symbolic_bounds_not_flagged(self):
+        # Symbolic subsets (e.g. 0:I) cannot be proven wrong statically.
+        two_kernels.to_sdfg().validate()
+
+
+class TestGlobalViewFolding:
+    def test_collapse_all_then_render(self, session):
+        gv = session.global_view()
+        gv.folds.collapse_all()
+        svg = gv.render(show_minimap=False)
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(svg)
+        assert svg.count("[+]") == 2  # both kernels summarized
+
+    def test_zoom_through_session(self, session):
+        gv = session.global_view()
+        full = gv.render(show_minimap=False, zoom=1.0)
+        coarse = gv.render(show_minimap=False, zoom=0.2)
+        assert full.count("<text") > coarse.count("<text")

