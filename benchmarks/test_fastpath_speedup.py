@@ -1,0 +1,59 @@
+"""Interpreter vs. vectorized fast path on the hdiff local view.
+
+The paper's interactive loop re-simulates on every slider movement, so
+the fast path must beat the per-iteration interpreter by a wide margin
+while producing a byte-identical trace.  This benchmark records the
+speedup row demanded by the roadmap: >= 5x on the hdiff local view.
+"""
+
+import gc
+import time
+
+from repro.apps import hdiff
+from repro.simulation import simulate_state
+
+from conftest import print_table
+
+SIZES = [
+    ("paper local view", hdiff.LOCAL_VIEW_SIZES),
+    ("2x per axis", {"I": 16, "J": 16, "K": 8}),
+]
+
+
+def _best_of(callable_, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_fastpath_speedup():
+    sdfg = hdiff.build_sdfg()
+    simulate_state(sdfg, {"I": 2, "J": 2, "K": 2})  # warm up imports/caches
+    rows = []
+    speedups = {}
+    for label, sizes in SIZES:
+        t_interp, slow = _best_of(lambda: simulate_state(sdfg, sizes, fast=False))
+        t_vec, fast = _best_of(lambda: simulate_state(sdfg, sizes, fast=True))
+        assert len(fast.events) == len(slow.events)
+        speedups[label] = t_interp / t_vec
+        rows.append(
+            [
+                label,
+                len(fast.events),
+                f"{t_interp * 1e3:.1f}",
+                f"{t_vec * 1e3:.1f}",
+                f"{speedups[label]:.1f}x",
+            ]
+        )
+    print_table(
+        "hdiff local view: interpreter vs. vectorized fast path",
+        ["size", "events", "interpreter [ms]", "vectorized [ms]", "speedup"],
+        rows,
+    )
+    # The acceptance bar: >= 5x on the hdiff local view.
+    assert max(speedups.values()) >= 5.0, speedups
+    assert min(speedups.values()) >= 3.0, speedups

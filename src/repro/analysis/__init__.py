@@ -28,8 +28,11 @@ from repro.analysis.opcount import (
     tasklet_ops,
 )
 from repro.analysis.parametric import ParameterSweep, evaluate_metrics
+from repro.analysis.timing import STAGES, StageTimings
 
 __all__ = [
+    "STAGES",
+    "StageTimings",
     "edge_movement_volumes",
     "edge_movement_bytes",
     "container_movement_bytes",

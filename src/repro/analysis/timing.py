@@ -1,0 +1,99 @@
+"""Lightweight wall-time instrumentation of the analysis pipeline stages.
+
+The paper's interactive loop lives or dies by the local view re-running
+"in a fraction of a second"; to keep that property measurable, every
+stage of the pipeline records wall-time spans into a
+:class:`StageTimings` collector owned by the session:
+
+- ``enumerate`` — concretizing iteration spaces / building index grids,
+- ``evaluate``  — materializing the access trace (vectorized or
+  interpreted),
+- ``layout``    — physical layout construction and element→line mapping,
+- ``stackdist`` — reuse-distance computation,
+- ``classify``  — miss classification and movement estimation.
+
+The collector is queryable from :class:`~repro.tool.session.Session` and
+printed by the CLI under ``--timings``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+__all__ = ["STAGES", "StageTimings", "maybe_span"]
+
+#: Canonical pipeline stage names, in pipeline order.
+STAGES = ("enumerate", "evaluate", "layout", "stackdist", "classify")
+
+
+class StageTimings:
+    """Per-stage wall-time spans with aggregate queries."""
+
+    def __init__(self) -> None:
+        self._spans: dict[str, list[float]] = {}
+
+    # -- recording ---------------------------------------------------------
+    def add(self, stage: str, seconds: float) -> None:
+        self._spans.setdefault(stage, []).append(float(seconds))
+
+    @contextmanager
+    def span(self, stage: str) -> Iterator[None]:
+        """Context manager recording one wall-time span for *stage*."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.add(stage, perf_counter() - start)
+
+    # -- queries -----------------------------------------------------------
+    def stages(self) -> list[str]:
+        """Stages with at least one span, canonical stages first."""
+        known = [s for s in STAGES if s in self._spans]
+        extra = [s for s in self._spans if s not in STAGES]
+        return known + extra
+
+    def spans(self, stage: str) -> list[float]:
+        return list(self._spans.get(stage, ()))
+
+    def count(self, stage: str) -> int:
+        return len(self._spans.get(stage, ()))
+
+    def total(self, stage: str | None = None) -> float:
+        """Total seconds of one stage (or of the whole pipeline)."""
+        if stage is not None:
+            return sum(self._spans.get(stage, ()))
+        return sum(sum(v) for v in self._spans.values())
+
+    def rows(self) -> list[tuple[str, int, float]]:
+        """``(stage, span count, total seconds)`` per recorded stage."""
+        return [(s, self.count(s), self.total(s)) for s in self.stages()]
+
+    def report(self) -> str:
+        """A small fixed-width table of the recorded stages."""
+        rows = self.rows()
+        if not rows:
+            return "no stages recorded"
+        width = max(len(s) for s, _, _ in rows)
+        lines = [f"{'stage'.ljust(width)}  spans      total"]
+        for stage, count, total in rows:
+            lines.append(f"{stage.ljust(width)}  {count:5d}  {total * 1e3:7.2f}ms")
+        lines.append(f"{'(all)'.ljust(width)}  {'':5}  {self.total() * 1e3:7.2f}ms")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._spans.clear()
+
+    def __repr__(self) -> str:
+        return f"StageTimings({', '.join(self.stages()) or 'empty'})"
+
+
+@contextmanager
+def maybe_span(timings: StageTimings | None, stage: str) -> Iterator[None]:
+    """Record a span when *timings* is provided; otherwise a no-op."""
+    if timings is None:
+        yield
+        return
+    with timings.span(stage):
+        yield

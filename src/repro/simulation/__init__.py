@@ -46,8 +46,15 @@ from repro.simulation.stackdist import (
     stack_distances_bruteforce,
 )
 from repro.simulation.trace import AccessEvent, AccessKind
+from repro.simulation.affine import AffineForm, AffineSubset, affine_form
+from repro.simulation.vectorized import fast_line_trace, simulate_scope_vectorized
 
 __all__ = [
+    "AffineForm",
+    "AffineSubset",
+    "affine_form",
+    "fast_line_trace",
+    "simulate_scope_vectorized",
     "AccessEvent",
     "AccessKind",
     "AccessPatternSimulator",

@@ -1,0 +1,180 @@
+"""Affine-form analysis of memlet subsets over map parameters.
+
+The vectorized simulation fast path (:mod:`~repro.simulation.vectorized`)
+applies to memlets whose subset expressions are *affine* in the enclosing
+map's parameters: every index is of the form ``c0 + c1*p1 + ... + cn*pn``
+where the ``ci`` are expressions free of the parameters (they may still
+reference size symbols, which are concrete at simulation time).  For such
+subsets the full access trace over an iteration space can be materialized
+with broadcast array arithmetic instead of per-iteration ``eval`` calls.
+
+AutoLALA-style locality analyses exploit the same structure analytically;
+here we only need the decomposition itself, which this module provides:
+
+- :func:`affine_form` — decompose one expression into offset + integer
+  combination of parameters (or report that it is not affine);
+- :class:`AffineSubset` — the per-dimension decomposition of a whole
+  memlet subset, with the constraints that make an aggressive rewrite of
+  the hot loop safe (range extents and steps must not depend on the
+  parameters, so the number of points per iteration is constant).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SimulationError
+from repro.sdfg.memlet import Memlet
+from repro.symbolic.expr import (
+    Add,
+    Expr,
+    Mul,
+    Symbol,
+    add,
+    evaluate_int,
+    mul,
+    sub,
+)
+
+__all__ = ["AffineForm", "AffineDim", "AffineSubset", "affine_form"]
+
+_ZERO = add()  # Integer(0) via the canonical constructor
+_ONE = mul()  # Integer(1)
+
+
+class AffineForm:
+    """``offset + Σ coeffs[p]·p`` with parameter-free offset/coefficients.
+
+    Both the offset and the coefficients are symbolic expressions that do
+    not mention any map parameter; they are evaluated once per simulated
+    scope (under the concrete symbol environment), not once per iteration.
+    """
+
+    __slots__ = ("offset", "coeffs")
+
+    def __init__(self, offset: Expr, coeffs: Mapping[str, Expr]):
+        self.offset = offset
+        self.coeffs = dict(coeffs)
+
+    def concretize(self, env: Mapping[str, int]) -> tuple[int, dict[str, int]]:
+        """Evaluate offset and coefficients to concrete integers."""
+        return (
+            evaluate_int(self.offset, env),
+            {p: evaluate_int(c, env) for p, c in self.coeffs.items()},
+        )
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"({c})*{p}" for p, c in self.coeffs.items())
+        return f"AffineForm({self.offset}{' + ' + terms if terms else ''})"
+
+
+def affine_form(expr: Expr, params: frozenset[str]) -> AffineForm | None:
+    """Decompose *expr* as affine in *params*, or return ``None``.
+
+    Any expression whose free symbols are disjoint from *params* is
+    trivially affine (it is its own offset).  Sums and products with at
+    most one parameter-dependent factor recurse; everything else —
+    ``i*j``, ``i**2``, ``i // 2``, ``Min(i, j)`` — is non-affine and
+    handled by the interpreter fallback.
+    """
+    if not (expr.free_symbols() & params):
+        return AffineForm(expr, {})
+    if isinstance(expr, Symbol):
+        return AffineForm(_ZERO, {expr.name: _ONE})
+    if isinstance(expr, Add):
+        offset = _ZERO
+        coeffs: dict[str, Expr] = {}
+        for arg in expr.args:
+            part = affine_form(arg, params)
+            if part is None:
+                return None
+            offset = add(offset, part.offset)
+            for p, c in part.coeffs.items():
+                coeffs[p] = add(coeffs.get(p, _ZERO), c)
+        return AffineForm(offset, {p: c for p, c in coeffs.items() if c != _ZERO})
+    if isinstance(expr, Mul):
+        dependent = [a for a in expr.args if a.free_symbols() & params]
+        if len(dependent) != 1:
+            return None
+        factor = mul(*(a for a in expr.args if not (a.free_symbols() & params)))
+        inner = affine_form(dependent[0], params)
+        if inner is None:
+            return None
+        return AffineForm(
+            mul(factor, inner.offset),
+            {p: mul(factor, c) for p, c in inner.coeffs.items()},
+        )
+    return None
+
+
+class AffineDim:
+    """One subset dimension: affine begin, parameter-free extent and step.
+
+    ``extent`` (``end - begin``) and ``step`` are ``None`` for point
+    dimensions.  For range dimensions they must be parameter-free, which
+    guarantees a fixed number of covered indices per iteration — the
+    property the vectorized trace layout relies on.
+    """
+
+    __slots__ = ("begin", "extent", "step")
+
+    def __init__(self, begin: AffineForm, extent: Expr | None, step: Expr | None):
+        self.begin = begin
+        self.extent = extent
+        self.step = step
+
+    @property
+    def is_point(self) -> bool:
+        return self.extent is None
+
+    def local_offsets(self, env: Mapping[str, int]) -> list[int]:
+        """Concrete offsets of the covered indices relative to ``begin``.
+
+        Mirrors the interpreter's inclusive-end semantics: a positive step
+        covers ``0..extent`` and a negative step ``0..extent`` downward.
+        A zero step is rejected, matching the interpreter's guard.
+        """
+        if self.extent is None:
+            return [0]
+        extent = evaluate_int(self.extent, env)
+        step = evaluate_int(self.step, env)
+        if step == 0:
+            raise SimulationError("memlet subset step evaluated to zero")
+        if step > 0:
+            return list(range(0, extent + 1, step))
+        return list(range(0, extent - 1, step))
+
+
+class AffineSubset:
+    """A memlet subset decomposed dimension-by-dimension.
+
+    Build with :meth:`from_memlet`, which returns ``None`` when any
+    dimension falls outside the affine class (those memlets take the
+    interpreter path instead).
+    """
+
+    __slots__ = ("dims",)
+
+    def __init__(self, dims: list[AffineDim]):
+        self.dims = dims
+
+    @classmethod
+    def from_memlet(cls, memlet: Memlet, params: frozenset[str]) -> "AffineSubset | None":
+        dims: list[AffineDim] = []
+        for r in memlet.subset.ranges:
+            begin = affine_form(r.begin, params)
+            if begin is None:
+                return None
+            if r.is_point:
+                dims.append(AffineDim(begin, None, None))
+                continue
+            extent = sub(r.end, r.begin)
+            if extent.free_symbols() & params:
+                return None
+            if r.step.free_symbols() & params:
+                return None
+            dims.append(AffineDim(begin, extent, r.step))
+        return cls(dims)
+
+    def __repr__(self) -> str:
+        return f"AffineSubset({len(self.dims)} dims)"

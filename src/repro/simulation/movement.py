@@ -28,25 +28,30 @@ __all__ = [
 
 
 def _distances_with_events(
-    events: Sequence[AccessEvent], memory: MemoryModel
+    events: Sequence[AccessEvent],
+    memory: MemoryModel,
+    distances: Sequence[float] | None = None,
 ) -> list[tuple[AccessEvent, float]]:
-    lines = line_trace(events, memory)
-    return list(zip(events, stack_distances(lines)))
+    if distances is None:
+        distances = stack_distances(line_trace(events, memory))
+    return list(zip(events, distances))
 
 
 def per_container_misses(
     events: Sequence[AccessEvent],
     memory: MemoryModel,
     model: CacheModel,
+    distances: Sequence[float] | None = None,
 ) -> dict[str, MissCounts]:
     """Miss counts per container, from one interleaved trace.
 
     The stack distances are computed over the *full* trace (all containers
     share the cache); the outcomes are then attributed to each event's
-    container.
+    container.  Pass precomputed per-event *distances* to reuse work
+    across queries.
     """
     out: dict[str, MissCounts] = {}
-    for event, distance in _distances_with_events(events, memory):
+    for event, distance in _distances_with_events(events, memory, distances):
         counts = out.setdefault(event.data, MissCounts())
         kind = model.classify(distance)
         if kind.is_miss:
@@ -64,10 +69,11 @@ def per_element_misses(
     memory: MemoryModel,
     model: CacheModel,
     data: str,
+    distances: Sequence[float] | None = None,
 ) -> dict[tuple[int, ...], MissCounts]:
     """Miss counts per element of *data* — the Fig. 5c / Fig. 7 heatmap."""
     out: dict[tuple[int, ...], MissCounts] = {}
-    for event, distance in _distances_with_events(events, memory):
+    for event, distance in _distances_with_events(events, memory, distances):
         if event.data != data:
             continue
         counts = out.setdefault(event.indices, MissCounts())
@@ -86,9 +92,10 @@ def container_physical_movement(
     events: Sequence[AccessEvent],
     memory: MemoryModel,
     model: CacheModel,
+    distances: Sequence[float] | None = None,
 ) -> dict[str, int]:
     """Estimated bytes moved between memory and cache, per container."""
-    misses = per_container_misses(events, memory, model)
+    misses = per_container_misses(events, memory, model, distances)
     return {name: counts.misses * model.line_size for name, counts in misses.items()}
 
 
@@ -97,6 +104,7 @@ def edge_physical_movement(
     events: Sequence[AccessEvent],
     memory: MemoryModel,
     model: CacheModel,
+    distances: Sequence[float] | None = None,
 ) -> dict[object, int]:
     """Physical-movement estimate per dataflow edge.
 
@@ -105,7 +113,7 @@ def edge_physical_movement(
     (copies) get the sum of both sides.  Edges whose containers never
     appear in the trace get zero.
     """
-    container_misses = per_container_misses(events, memory, model)
+    container_misses = per_container_misses(events, memory, model, distances)
 
     def node_misses(node) -> int:
         if isinstance(node, AccessNode) and node.data in container_misses:

@@ -9,8 +9,14 @@ The simulator walks a state's scopes in topological order, enumerates every
 map's concrete iteration space and evaluates each memlet subset at each
 point, producing an ordered trace of :class:`AccessEvent` objects.  Symbolic
 index expressions are compiled to Python code objects once per memlet, so
-the per-iteration cost is a handful of ``eval`` calls — this is what makes
-the "fraction of a second" interactive loop of the paper feasible.
+the per-iteration cost is a handful of ``eval`` calls.
+
+With ``fast=True`` (the default), flat map scopes whose memlet subsets are
+affine in the map parameters bypass the per-iteration loop entirely: the
+whole scope trace is materialized with NumPy broadcast arithmetic
+(:mod:`~repro.simulation.vectorized`), which is what makes the "fraction
+of a second" interactive loop of the paper feasible at realistic sizes.
+The two paths are differentially tested to produce identical traces.
 """
 
 from __future__ import annotations
@@ -59,6 +65,8 @@ class _CompiledSubset:
                 continue
             e = eval(end, _EVAL_GLOBALS, env)  # noqa: S307
             s = eval(step, _EVAL_GLOBALS, env)  # noqa: S307
+            if s == 0:
+                raise SimulationError("memlet subset step evaluated to zero")
             if s > 0:
                 axes.append(list(range(int(b), int(e) + 1, int(s))))
             else:
@@ -89,6 +97,10 @@ class SimulationResult:
         self.events: list[AccessEvent] = []
         self.num_steps = 0
         self.num_executions = 0
+        #: Index matrices recorded by the vectorized fast path; when they
+        #: cover the whole trace, line ids can be computed by broadcast
+        #: (see :func:`~repro.simulation.vectorized.fast_line_trace`).
+        self.vector_blocks: list = []
 
     # -- shapes --------------------------------------------------------------
     def shape(self, data: str) -> tuple[int, ...]:
@@ -186,6 +198,15 @@ class AccessPatternSimulator:
     include_transients:
         When False (default), accesses to scalar transients (tasklet
         locals) are excluded — they live in registers, not memory.
+    fast:
+        When True (default), flat map scopes with affine memlet subsets
+        are simulated by the vectorized fast path
+        (:mod:`~repro.simulation.vectorized`); pass False to force the
+        per-iteration interpreter everywhere (the differential-testing
+        reference).  Both paths produce identical traces.
+    timings:
+        Optional :class:`~repro.analysis.timing.StageTimings` collector
+        recording enumerate/evaluate wall-time spans.
     """
 
     def __init__(
@@ -194,11 +215,15 @@ class AccessPatternSimulator:
         symbols: Mapping[str, int] | None = None,
         state: SDFGState | None = None,
         include_transients: bool = False,
+        fast: bool = True,
+        timings=None,
     ):
         self.sdfg = sdfg
         self.symbols = {k: int(v) for k, v in (symbols or {}).items()}
         self.state = state
         self.include_transients = include_transients
+        self.fast = fast
+        self.timings = timings
         missing = sorted(
             s for s in sdfg.free_symbols() if s not in self.symbols
         )
@@ -255,24 +280,38 @@ class AccessPatternSimulator:
         nested_sdfgs = [n for n in order if isinstance(n, NestedSDFG)]
         params = entry.map.params
 
-        for point in iteration_points(entry.map, env):
-            for name, value in zip(params, point):
-                env[name] = value
-            step = self._next_step(result)
-            for tasklet in tasklets:
-                self._execute_tasklet(
-                    state, tasklet, env, result, point=outer_point + point, step=step
-                )
-            for nested_node in nested_sdfgs:
-                self._simulate_nested(
-                    state, nested_node, env, result, outer_point=outer_point + point
-                )
-            for inner in nested:
-                self._simulate_scope(
-                    state, inner, children, env, result, outer_point=outer_point + point
-                )
-        for name in params:
-            env.pop(name, None)
+        if self.fast and not nested and not nested_sdfgs:
+            from repro.simulation.vectorized import simulate_scope_vectorized
+
+            if simulate_scope_vectorized(
+                state, entry, tasklets, env, result, outer_point,
+                self._tracked, self._compiled, timings=self.timings,
+            ):
+                return
+
+        from repro.analysis.timing import maybe_span
+
+        # Only the outermost scope records a span: recursive calls for
+        # nested maps run inside it and must not double-count.
+        with maybe_span(self.timings if not outer_point else None, "evaluate"):
+            for point in iteration_points(entry.map, env):
+                for name, value in zip(params, point):
+                    env[name] = value
+                step = self._next_step(result)
+                for tasklet in tasklets:
+                    self._execute_tasklet(
+                        state, tasklet, env, result, point=outer_point + point, step=step
+                    )
+                for nested_node in nested_sdfgs:
+                    self._simulate_nested(
+                        state, nested_node, env, result, outer_point=outer_point + point
+                    )
+                for inner in nested:
+                    self._simulate_scope(
+                        state, inner, children, env, result, outer_point=outer_point + point
+                    )
+            for name in params:
+                env.pop(name, None)
 
     def _next_step(self, result: SimulationResult) -> int:
         step = result.num_steps
@@ -438,8 +477,11 @@ def simulate_state(
     symbols: Mapping[str, int],
     state: SDFGState | None = None,
     include_transients: bool = False,
+    fast: bool = True,
+    timings=None,
 ) -> SimulationResult:
     """Convenience wrapper: build a simulator and run it."""
     return AccessPatternSimulator(
-        sdfg, symbols=symbols, state=state, include_transients=include_transients
+        sdfg, symbols=symbols, state=state, include_transients=include_transients,
+        fast=fast, timings=timings,
     ).run()

@@ -121,15 +121,17 @@ def element_stack_distances(
     events: Sequence[AccessEvent],
     memory: MemoryModel,
     data: str | None = None,
+    distances: Sequence[float] | None = None,
 ) -> dict[tuple[str, tuple[int, ...]], list[float]]:
     """Distances grouped per element: ``(container, indices) -> [d, ...]``.
 
     The heatmap of Fig. 5b visualizes, per element, the min / median / max
     of this list; the histogram panel plots the full list for a selected
-    element.  Restrict to one container with *data*.
+    element.  Restrict to one container with *data*.  Pass precomputed
+    *distances* (one per event) to reuse work across queries.
     """
-    lines = line_trace(events, memory)
-    distances = stack_distances(lines)
+    if distances is None:
+        distances = stack_distances(line_trace(events, memory))
     out: dict[tuple[str, tuple[int, ...]], list[float]] = {}
     for event, dist in zip(events, distances):
         if data is not None and event.data != data:

@@ -1,0 +1,390 @@
+"""NumPy-vectorized fast path for access-trace generation.
+
+The interpreter in :mod:`~repro.simulation.simulator` evaluates every
+memlet subset with per-iteration ``eval`` calls — a handful of Python-VM
+round trips per access event.  For memlets whose subsets are *affine* in
+the map parameters (:mod:`~repro.simulation.affine`), the whole trace of
+a map scope can instead be materialized with array arithmetic:
+
+1. broadcast the scope's concrete parameter ranges into flat index grids
+   (one ``int64`` column per parameter, row-major / last-parameter-fastest
+   order — exactly the interpreter's iteration order);
+2. combine the grids with each memlet's affine offsets and coefficients
+   into per-dimension index columns (one matrix per memlet);
+3. assemble :class:`~repro.simulation.trace.AccessEvent` objects in bulk
+   with strided slice assignment, so the per-event Python cost is one
+   constructor call instead of several ``eval`` s.
+
+Memlets that are *not* affine fall back to the interpreter's compiled
+subsets per memlet, inside the same scope walk, so mixed scopes still
+produce byte-identical traces.
+
+The index matrices are additionally kept on the result (as
+:class:`VectorBlock` records) so the element→address→cache-line
+projection of the locality pipeline can run as a single broadcast
+(:func:`fast_line_trace`) instead of a per-event Python loop.
+"""
+
+from __future__ import annotations
+
+import gc
+from itertools import repeat
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import MapEntry, Tasklet
+from repro.sdfg.state import SDFGState
+from repro.simulation.affine import AffineSubset
+from repro.simulation.trace import AccessEvent, AccessKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.timing import StageTimings
+    from repro.simulation.layout import MemoryModel
+    from repro.simulation.simulator import SimulationResult
+
+__all__ = ["VectorBlock", "simulate_scope_vectorized", "fast_line_trace"]
+
+
+class VectorBlock:
+    """Index matrix of one vectorized memlet, with its trace positions.
+
+    The events of one (tasklet, edge, subset-point) column occupy
+    positions ``start, start + stride, ...`` in the global event list
+    (``stride`` is the scope's events-per-iteration).  ``matrix`` holds
+    the per-event element indices, shape ``(count, ndims)``.
+    """
+
+    __slots__ = ("data", "matrix", "start", "stride", "count")
+
+    def __init__(self, data: str, matrix: np.ndarray, start: int, stride: int, count: int):
+        self.data = data
+        self.matrix = matrix
+        self.start = start
+        self.stride = stride
+        self.count = count
+
+    def __repr__(self) -> str:
+        return (
+            f"VectorBlock({self.data}, count={self.count}, "
+            f"start={self.start}, stride={self.stride})"
+        )
+
+
+class _VecPlan:
+    """A vectorized edge: prebuilt index tuples for the whole scope."""
+
+    __slots__ = ("data", "kind", "tuples", "width", "matrix")
+
+    def __init__(self, data: str, kind: AccessKind, tuples: list, width: int, matrix: np.ndarray):
+        self.data = data
+        self.kind = kind
+        self.tuples = tuples
+        self.width = width
+        self.matrix = matrix
+
+
+class _InterpPlan:
+    """A non-affine edge: evaluated per iteration via the compiled subset."""
+
+    __slots__ = ("data", "kind", "compiled")
+
+    def __init__(self, data: str, kind: AccessKind, compiled):
+        self.data = data
+        self.kind = kind
+        self.compiled = compiled
+
+
+def _iteration_grids(
+    entry: MapEntry, env: dict
+) -> tuple[list[np.ndarray], int, list[tuple[int, ...]]] | None:
+    """Flat parameter columns + iteration points, in interpreter order.
+
+    Returns ``None`` for an empty iteration space (any dimension with no
+    indices), matching the interpreter's "loop body never runs" case.
+    """
+    map_obj = entry.map
+    try:
+        concrete = [r.concretize(env) for r in map_obj.ranges]
+    except Exception as exc:
+        raise SimulationError(
+            f"cannot concretize map {map_obj.label!r}: {exc}; provide values "
+            f"for {sorted(set().union(*(r.free_symbols() for r in map_obj.ranges)))}"
+        ) from exc
+    dims = [np.fromiter(c, dtype=np.int64, count=len(c)) for c in concrete]
+    if not dims:
+        return [], 1, [()]
+    if any(d.size == 0 for d in dims):
+        return None
+    shape = tuple(d.size for d in dims)
+    niter = 1
+    for s in shape:
+        niter *= s
+    cols: list[np.ndarray] = []
+    for axis, arr in enumerate(dims):
+        view = arr.reshape(tuple(-1 if i == axis else 1 for i in range(len(dims))))
+        cols.append(np.ascontiguousarray(np.broadcast_to(view, shape).reshape(-1)))
+    points = list(zip(*(c.tolist() for c in cols)))
+    return cols, niter, points
+
+
+def _materialize(
+    affine: AffineSubset,
+    cols: Sequence[np.ndarray],
+    niter: int,
+    env: dict,
+    param_index: dict[str, int],
+) -> tuple[list, int, np.ndarray]:
+    """Index tuples (iteration-major, subset-point-minor) for one memlet."""
+    ndims = len(affine.dims)
+    bases: list[np.ndarray] = []
+    locals_per_dim: list[list[int]] = []
+    for dim in affine.dims:
+        offset, coeffs = dim.begin.concretize(env)
+        base = np.full(niter, offset, dtype=np.int64)
+        for p, c in coeffs.items():
+            if c:
+                base = base + c * cols[param_index[p]]
+        bases.append(base)
+        locals_per_dim.append(dim.local_offsets(env))
+
+    width = 1
+    for offsets in locals_per_dim:
+        width *= len(offsets)
+    if width == 0:
+        return [], 0, np.empty((0, ndims), dtype=np.int64)
+    if ndims == 0:
+        return [()] * niter, 1, np.empty((niter, 0), dtype=np.int64)
+
+    flats: list[np.ndarray] = []
+    suffix = width
+    prefix = 1
+    for d, offsets in enumerate(locals_per_dim):
+        suffix //= len(offsets)
+        pattern = np.tile(np.repeat(np.asarray(offsets, dtype=np.int64), suffix), prefix)
+        prefix *= len(offsets)
+        flats.append((bases[d][:, None] + pattern[None, :]).reshape(-1))
+    matrix = np.stack(flats, axis=1)
+    tuples = list(zip(*(f.tolist() for f in flats)))
+    return tuples, width, matrix
+
+
+def simulate_scope_vectorized(
+    state: SDFGState,
+    entry: MapEntry,
+    tasklets: Sequence[Tasklet],
+    env: dict,
+    result: "SimulationResult",
+    outer_point: tuple[int, ...],
+    tracked: Callable[[str], bool],
+    compile_subset: Callable[[Memlet], object],
+    timings: "StageTimings | None" = None,
+) -> bool:
+    """Vectorized simulation of one flat map scope.
+
+    Returns ``True`` when the scope was fully handled (events appended,
+    step/execution counters advanced — trace-identical to the
+    interpreter), or ``False`` to decline (no memlet vectorizes), in
+    which case the caller runs the interpreter unchanged.
+    """
+    from repro.analysis.timing import maybe_span
+
+    map_obj = entry.map
+    params = frozenset(map_obj.params)
+    param_index = {p: i for i, p in enumerate(map_obj.params)}
+
+    with maybe_span(timings, "enumerate"):
+        grids = _iteration_grids(entry, env)
+    if grids is None:
+        return True  # empty iteration space: no events, no steps
+    cols, niter, points = grids
+
+    with maybe_span(timings, "enumerate"):
+        plans: list[tuple[str, list]] = []
+        any_affine = False
+        has_fallback = False
+        for tasklet in tasklets:
+            edge_plans: list = []
+            for kind, edges in (
+                (AccessKind.READ, state.in_edges(tasklet)),
+                (AccessKind.WRITE, state.out_edges(tasklet)),
+            ):
+                for edge in edges:
+                    memlet = edge.data.memlet
+                    if memlet is None or not tracked(memlet.data):
+                        continue
+                    affine = AffineSubset.from_memlet(memlet, params)
+                    if affine is None:
+                        edge_plans.append(
+                            _InterpPlan(memlet.data, kind, compile_subset(memlet))
+                        )
+                        has_fallback = True
+                    else:
+                        tuples, width, matrix = _materialize(
+                            affine, cols, niter, env, param_index
+                        )
+                        edge_plans.append(
+                            _VecPlan(memlet.data, kind, tuples, width, matrix)
+                        )
+                        any_affine = True
+            plans.append((tasklet.name, edge_plans))
+
+    if has_fallback and not any_affine:
+        return False  # nothing vectorizes; the plain interpreter is faster
+
+    full_points = [outer_point + p for p in points] if outer_point else points
+    ntasklets = len(tasklets)
+    step_base = result.num_steps
+    exec_base = result.num_executions
+
+    # Bulk-allocating hundreds of thousands of events triggers the cyclic
+    # collector over and over even though AccessEvent objects (ints,
+    # strings, tuples of ints) cannot form cycles; pausing it during
+    # assembly is worth ~8x on large scopes.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        with maybe_span(timings, "evaluate"):
+            if has_fallback:
+                _assemble_mixed(
+                    plans, map_obj.params, points, full_points, env, result,
+                    step_base, exec_base, niter, ntasklets,
+                )
+            else:
+                _assemble_pure(
+                    plans, full_points, result, step_base, exec_base, niter, ntasklets,
+                )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    result.num_steps += niter
+    result.num_executions += niter * ntasklets
+    return True
+
+
+def _assemble_pure(
+    plans: list,
+    full_points: list,
+    result: "SimulationResult",
+    step_base: int,
+    exec_base: int,
+    niter: int,
+    ntasklets: int,
+) -> None:
+    """Bulk event assembly when every tracked memlet vectorized.
+
+    Events per iteration are constant, so each (edge, subset-point)
+    column occupies a strided slice of the scope's event block — one
+    list comprehension per column, no per-iteration Python loop.
+    """
+    events_per_iter = sum(p.width for _, edge_plans in plans for p in edge_plans)
+    if events_per_iter == 0:
+        return
+    base_pos = len(result.events)
+    block = [None] * (niter * events_per_iter)
+    steps = range(step_base, step_base + niter)
+    offset = 0
+    for t_idx, (tname, edge_plans) in enumerate(plans):
+        execs = range(exec_base + t_idx, exec_base + niter * ntasklets, ntasklets)
+        for plan in edge_plans:
+            data, kind, tuples, width = plan.data, plan.kind, plan.tuples, plan.width
+            for r in range(width):
+                # map() + repeat() keeps the per-event Python work down to
+                # the AccessEvent constructor itself.
+                block[offset::events_per_iter] = list(
+                    map(
+                        AccessEvent,
+                        repeat(data), tuples[r::width] if width > 1 else tuples,
+                        repeat(kind), steps, execs, repeat(tname), full_points,
+                    )
+                )
+                result.vector_blocks.append(
+                    VectorBlock(
+                        data,
+                        plan.matrix[r::width],
+                        base_pos + offset,
+                        events_per_iter,
+                        niter,
+                    )
+                )
+                offset += 1
+    result.events.extend(block)
+
+
+def _assemble_mixed(
+    plans: list,
+    params: Sequence[str],
+    points: list,
+    full_points: list,
+    env: dict,
+    result: "SimulationResult",
+    step_base: int,
+    exec_base: int,
+    niter: int,
+    ntasklets: int,
+) -> None:
+    """Per-iteration assembly when some memlets need the interpreter.
+
+    Non-affine subsets may cover a varying number of points per
+    iteration, so event positions are not strided; walk iterations in
+    order, emitting prebuilt tuples for vectorized edges and evaluating
+    compiled subsets for the rest.
+    """
+    local_env = dict(env)
+    append = result.events.append
+    for it in range(niter):
+        for name, value in zip(params, points[it]):
+            local_env[name] = value
+        step = step_base + it
+        point = full_points[it]
+        for t_idx, (tname, edge_plans) in enumerate(plans):
+            execution = exec_base + it * ntasklets + t_idx
+            for plan in edge_plans:
+                if isinstance(plan, _VecPlan):
+                    base = it * plan.width
+                    for r in range(plan.width):
+                        append(
+                            AccessEvent(
+                                plan.data, plan.tuples[base + r], plan.kind,
+                                step, execution, tname, point,
+                            )
+                        )
+                else:
+                    for indices in plan.compiled.points(local_env):
+                        append(
+                            AccessEvent(
+                                plan.data, indices, plan.kind,
+                                step, execution, tname, point,
+                            )
+                        )
+
+
+def fast_line_trace(result: "SimulationResult", memory: "MemoryModel") -> list[int]:
+    """Project a trace onto cache-line ids, vectorized where possible.
+
+    When the whole trace was produced by the vectorized fast path, the
+    element→address→line projection runs as one broadcast per
+    :class:`VectorBlock` (index grid · strides → addresses → line ids).
+    Traces with interpreted portions fall back to the per-event
+    projection of :func:`~repro.simulation.stackdist.line_trace`.
+    """
+    from repro.simulation.stackdist import line_trace
+
+    blocks = getattr(result, "vector_blocks", None)
+    n = len(result.events)
+    if not blocks or sum(b.count for b in blocks) != n:
+        return line_trace(result.events, memory)
+    out = np.empty(n, dtype=np.int64)
+    for b in blocks:
+        layout = memory.layout(b.data)
+        if b.matrix.shape[1]:
+            strides = np.asarray(layout.strides, dtype=np.int64)
+            offsets = layout.start_offset + b.matrix @ strides
+        else:
+            offsets = np.full(b.count, layout.start_offset, dtype=np.int64)
+        addresses = layout.base_address + offsets * layout.itemsize
+        stop = b.start + b.stride * b.count
+        out[b.start:stop:b.stride] = addresses // memory.line_size
+    return out.tolist()

@@ -48,6 +48,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacity", type=int, default=512, help="modeled cache capacity in lines"
     )
     parser.add_argument("-o", "--output", default="report.html", help="output HTML path")
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-stage wall-time spans of the analysis pipeline",
+    )
+    parser.add_argument(
+        "--no-fast",
+        action="store_true",
+        help="disable the vectorized simulation fast path (use the interpreter)",
+    )
     return parser
 
 
@@ -127,6 +137,7 @@ def main(argv: list[str] | None = None) -> int:
                 local_env,
                 line_size=args.line_size,
                 capacity_lines=args.capacity,
+                fast=not args.no_fast,
             )
             report.add_heading(f"Local view (parameterized at {local_env})")
             for data in lv.result.containers():
@@ -151,6 +162,9 @@ def main(argv: list[str] | None = None) -> int:
 
         report.save(args.output)
         print(f"report written to {args.output}")
+        if args.timings:
+            print("pipeline stage timings:")
+            print(session.timings.report())
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

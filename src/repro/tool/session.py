@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import statistics
-from typing import Iterable, Mapping, Sequence
+from collections import OrderedDict
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis import (
     ParameterSweep,
@@ -14,6 +15,7 @@ from repro.analysis import (
     total_movement_bytes,
 )
 from repro.analysis.parametric import evaluate_metrics
+from repro.analysis.timing import StageTimings, maybe_span
 from repro.errors import ReproError
 from repro.frontend.program import Program
 from repro.sdfg.nodes import MapEntry
@@ -32,7 +34,8 @@ from repro.simulation.movement import (
     per_element_misses,
 )
 from repro.simulation.simulator import SimulationResult
-from repro.simulation.stackdist import element_stack_distances
+from repro.simulation.stackdist import element_stack_distances, stack_distances
+from repro.simulation.vectorized import fast_line_trace
 from repro.viz.graphview import render_state
 from repro.viz.heatmap import Heatmap
 from repro.viz.interaction import ParameterSliders
@@ -42,17 +45,76 @@ from repro.viz.report import ReportBuilder
 from repro.viz.containerview import render_container
 from repro.viz.histogramview import render_histogram
 
-__all__ = ["Session", "GlobalView", "LocalView"]
+__all__ = ["Session", "GlobalView", "LocalView", "SimulationCache"]
+
+
+class SimulationCache:
+    """Bounded LRU cache of simulation and locality-pipeline results.
+
+    Slider interactions in the paper's interactive loop revisit parameter
+    points constantly; memoizing per ``(state id, frozen params,
+    memory-model config)`` makes revisits O(1).  The cache is owned by the
+    :class:`Session` and shared by every :class:`LocalView` it opens, with
+    least-recently-used eviction bounding memory.
+    """
+
+    def __init__(self, maxsize: int = 32):
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[tuple, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Any:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: tuple, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def info(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationCache(entries={len(self._entries)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
 
 
 class Session:
     """One analysis session over a program.
 
     Accepts either a :class:`~repro.frontend.program.Program` (translated
-    on construction) or a ready SDFG.
+    on construction) or a ready SDFG.  The session owns a
+    :class:`SimulationCache` shared by all local views it opens, and a
+    :class:`~repro.analysis.timing.StageTimings` collector recording
+    per-stage wall time of the locality pipeline.
     """
 
-    def __init__(self, program_or_sdfg: Program | SDFG):
+    def __init__(self, program_or_sdfg: Program | SDFG, cache_size: int = 32):
         if isinstance(program_or_sdfg, Program):
             self.sdfg = program_or_sdfg.to_sdfg()
         elif isinstance(program_or_sdfg, SDFG):
@@ -61,6 +123,8 @@ class Session:
             raise ReproError(
                 f"Session expects a Program or SDFG, got {type(program_or_sdfg).__name__}"
             )
+        self.cache = SimulationCache(maxsize=cache_size)
+        self.timings = StageTimings()
 
     def global_view(self, state: SDFGState | None = None) -> "GlobalView":
         """Open the global (whole-program) analysis view."""
@@ -73,12 +137,16 @@ class Session:
         line_size: int = 64,
         capacity_lines: int = 512,
         include_transients: bool = False,
+        fast: bool = True,
     ) -> "LocalView":
         """Open the local (parameterized close-up) view.
 
         *symbols* are the small simulation sizes; *line_size* and
         *capacity_lines* parameterize the cache model (both adjustable
-        later via :attr:`LocalView.cache`).
+        later via :attr:`LocalView.cache`).  *fast* selects the vectorized
+        simulation path (pass False to force the interpreter).  Views
+        share the session's result cache, so revisiting a parameter point
+        reuses the previous simulation.
         """
         return LocalView(
             self.sdfg,
@@ -87,7 +155,14 @@ class Session:
             line_size=line_size,
             capacity_lines=capacity_lines,
             include_transients=include_transients,
+            fast=fast,
+            cache=self.cache,
+            timings=self.timings,
         )
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/occupancy counters of the shared simulation cache."""
+        return self.cache.info()
 
     def report(self, title: str | None = None) -> ReportBuilder:
         """A fresh HTML report builder for this session."""
@@ -241,39 +316,93 @@ class LocalView:
         line_size: int = 64,
         capacity_lines: int = 512,
         include_transients: bool = False,
+        fast: bool = True,
+        cache: SimulationCache | None = None,
+        timings: StageTimings | None = None,
     ):
         self.sdfg = sdfg
         self.state = state
         self.symbols = {k: int(v) for k, v in symbols.items()}
         self.cache = CacheModel(line_size=line_size, capacity_lines=capacity_lines)
         self.include_transients = include_transients
+        self.fast = fast
+        self.session_cache = cache
+        self.timings = timings
         self._result: SimulationResult | None = None
         self._memory: MemoryModel | None = None
+
+    # -- shared-cache plumbing ---------------------------------------------------
+    def _sim_key(self) -> tuple:
+        """``(state id, frozen params, config)`` — the memoization key."""
+        return (
+            id(self.state),
+            frozenset(self.symbols.items()),
+            self.include_transients,
+            self.fast,
+        )
+
+    def _cached(self, key: tuple, compute):
+        """Memoize *compute()* in the session cache (when one is attached)."""
+        if self.session_cache is None:
+            return compute()
+        value = self.session_cache.get(key)
+        if value is None:
+            value = compute()
+            self.session_cache.put(key, value)
+        return value
 
     # -- simulation (cached) -----------------------------------------------------
     @property
     def result(self) -> SimulationResult:
         if self._result is None:
-            self._result = simulate_state(
-                self.sdfg,
-                self.symbols,
-                state=self.state,
-                include_transients=self.include_transients,
+            self._result = self._cached(
+                ("sim", self._sim_key()),
+                lambda: simulate_state(
+                    self.sdfg,
+                    self.symbols,
+                    state=self.state,
+                    include_transients=self.include_transients,
+                    fast=self.fast,
+                    timings=self.timings,
+                ),
             )
         return self._result
 
     @property
     def memory(self) -> MemoryModel:
         if self._memory is None:
-            self._memory = MemoryModel(
-                self.sdfg, self.symbols, line_size=self.cache.line_size
-            )
+            key = ("mem", id(self.sdfg), frozenset(self.symbols.items()),
+                   self.cache.line_size)
+            with maybe_span(self.timings, "layout"):
+                self._memory = self._cached(
+                    key,
+                    lambda: MemoryModel(
+                        self.sdfg, self.symbols, line_size=self.cache.line_size
+                    ),
+                )
         return self._memory
+
+    def _line_ids(self) -> list[int]:
+        """Cache-line id per event (vectorized when the trace allows it)."""
+        key = ("lines", self._sim_key(), self.cache.line_size)
+        with maybe_span(self.timings, "layout"):
+            return self._cached(
+                key, lambda: fast_line_trace(self.result, self.memory)
+            )
+
+    def _distances(self) -> list[float]:
+        """Per-event stack distances over the full interleaved trace."""
+        key = ("dist", self._sim_key(), self.cache.line_size)
+        lines = self._line_ids()
+        with maybe_span(self.timings, "stackdist"):
+            return self._cached(key, lambda: stack_distances(lines))
 
     def invalidate(self) -> None:
         """Drop cached simulation state (after mutating the SDFG)."""
         self._result = None
         self._memory = None
+        if self.session_cache is not None:
+            self.session_cache.clear()
 
     # -- access patterns ----------------------------------------------------------
     def access_heatmap(self, data: str) -> dict[tuple[int, ...], int]:
@@ -328,7 +457,9 @@ class LocalView:
 
     def reuse_distances(self, data: str | None = None):
         """Per-element stack-distance lists (Fig. 5b)."""
-        return element_stack_distances(self.result.events, self.memory, data=data)
+        return element_stack_distances(
+            self.result.events, self.memory, data=data, distances=self._distances()
+        )
 
     def reuse_heatmap(self, data: str, stat: str = "median") -> dict[tuple[int, ...], float]:
         """Per-element min/median/max reuse distance (finite values only;
@@ -345,18 +476,26 @@ class LocalView:
 
     def miss_counts(self, data: str | None = None):
         """Per-container (or one container's per-element) miss counts."""
-        if data is None:
-            return per_container_misses(self.result.events, self.memory, self.cache)
-        return per_element_misses(self.result.events, self.memory, self.cache, data)
+        distances = self._distances()
+        with maybe_span(self.timings, "classify"):
+            if data is None:
+                return per_container_misses(
+                    self.result.events, self.memory, self.cache, distances
+                )
+            return per_element_misses(
+                self.result.events, self.memory, self.cache, data, distances
+            )
 
     def miss_heatmap(self, data: str) -> dict[tuple[int, ...], int]:
         """Per-element total misses of one container (Fig. 5c)."""
-        return {
-            idx: counts.misses
-            for idx, counts in per_element_misses(
-                self.result.events, self.memory, self.cache, data
-            ).items()
-        }
+        distances = self._distances()
+        with maybe_span(self.timings, "classify"):
+            return {
+                idx: counts.misses
+                for idx, counts in per_element_misses(
+                    self.result.events, self.memory, self.cache, data, distances
+                ).items()
+            }
 
     def miss_counts_set_associative(self, num_sets: int, ways: int):
         """Per-container misses under a *set-associative* backend.
@@ -368,10 +507,10 @@ class LocalView:
         fully-associative assumption ignores).
         """
         from repro.simulation.cache import MissCounts, classify_three_way
-        from repro.simulation.stackdist import line_trace
 
-        lines = line_trace(self.result.events, self.memory)
-        kinds = classify_three_way(lines, num_sets, ways)
+        lines = self._line_ids()
+        with maybe_span(self.timings, "classify"):
+            kinds = classify_three_way(lines, num_sets, ways)
         out: dict[str, MissCounts] = {}
         from repro.simulation.cache import MissKind
 
@@ -389,13 +528,19 @@ class LocalView:
 
     def physical_movement(self) -> dict[str, int]:
         """Estimated bytes moved to/from memory per container (Fig. 7)."""
-        return container_physical_movement(self.result.events, self.memory, self.cache)
+        distances = self._distances()
+        with maybe_span(self.timings, "classify"):
+            return container_physical_movement(
+                self.result.events, self.memory, self.cache, distances
+            )
 
     def edge_movement(self):
         """Physical-movement estimate per dataflow edge (Fig. 5c overlay)."""
-        return edge_physical_movement(
-            self.state, self.result.events, self.memory, self.cache
-        )
+        distances = self._distances()
+        with maybe_span(self.timings, "classify"):
+            return edge_physical_movement(
+                self.state, self.result.events, self.memory, self.cache, distances
+            )
 
     # -- rendering ---------------------------------------------------------------
     def render_container(

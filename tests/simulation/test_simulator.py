@@ -157,3 +157,55 @@ class TestMultiKernel:
                    if e.data == "B" and e.kind == AccessKind.READ]
         assert max(b_writes) < min(b_reads)
         assert result.num_steps == 6
+
+
+class TestZeroStepSubset:
+    def build(self):
+        from repro.sdfg import dtypes
+        from repro.sdfg.memlet import Memlet
+        from repro.sdfg.sdfg import SDFG
+
+        sdfg = SDFG("zerostep")
+        sdfg.add_array("A", [8], dtypes.float64)
+        sdfg.add_array("B", [8], dtypes.float64)
+        state = sdfg.add_state("main")
+        state.add_mapped_tasklet(
+            "compute",
+            {"i": "0:2"},
+            inputs={"a": Memlet("A", "0:4:S")},
+            code="out = a",
+            outputs={"out": Memlet("B", "i")},
+        )
+        return sdfg
+
+    def test_interpreter_rejects_zero_step(self):
+        """A symbolic memlet step evaluating to 0 must raise, not loop."""
+        with pytest.raises(SimulationError, match="step evaluated to zero"):
+            simulate_state(self.build(), {"S": 0}, fast=False)
+
+    def test_fast_path_rejects_zero_step(self):
+        with pytest.raises(SimulationError, match="step evaluated to zero"):
+            simulate_state(self.build(), {"S": 0}, fast=True)
+
+    def test_nonzero_step_still_works(self):
+        result = simulate_state(self.build(), {"S": 2}, fast=False)
+        assert result.total_accesses("A") == 4  # 2 iterations x {0, 2}
+
+
+class TestFastFlag:
+    def test_fast_and_slow_agree(self):
+        sdfg = outer_product.to_sdfg()
+        slow = simulate_state(sdfg, {"I": 3, "J": 4}, fast=False)
+        fast = simulate_state(sdfg, {"I": 3, "J": 4}, fast=True)
+        assert [(e.data, e.indices, e.kind, e.step, e.execution, e.tasklet, e.point)
+                for e in slow.events] == \
+               [(e.data, e.indices, e.kind, e.step, e.execution, e.tasklet, e.point)
+                for e in fast.events]
+
+    def test_slow_path_records_no_vector_blocks(self):
+        result = simulate_state(outer_product.to_sdfg(), {"I": 2, "J": 2}, fast=False)
+        assert result.vector_blocks == []
+
+    def test_fast_path_records_vector_blocks(self):
+        result = simulate_state(outer_product.to_sdfg(), {"I": 2, "J": 2}, fast=True)
+        assert sum(b.count for b in result.vector_blocks) == len(result.events)

@@ -125,3 +125,49 @@ class TestLRUSimulator:
     def test_fully_associative_is_one_set(self):
         lines = [1, 5, 1, 9, 5, 1]
         assert simulate_set_associative(lines, 1, 3) == simulate_lru(lines, 3)
+
+    @given(
+        st.lists(st.integers(0, 15), max_size=150),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_one_set_equals_lru(self, lines, ways):
+        """A single set holding *ways* lines IS a fully-associative LRU
+        cache of that capacity — the set-associative backend must degrade
+        to ``simulate_lru`` exactly."""
+        assert simulate_set_associative(lines, 1, ways) == simulate_lru(lines, ways)
+
+
+class TestVectorizedLineTraces:
+    """``stack_distances`` on traces produced by the vectorized fast path."""
+
+    @given(
+        st.integers(1, 4),  # I extent
+        st.integers(1, 4),  # J extent
+        st.integers(1, 2),  # memlet coefficient on i
+        st.integers(8, 96),  # line size
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fenwick_matches_bruteforce_on_vectorized_traces(
+        self, ni, nj, coeff, line_size
+    ):
+        from repro.sdfg import dtypes
+        from repro.sdfg.memlet import Memlet
+        from repro.sdfg.sdfg import SDFG
+        from repro.simulation import MemoryModel, fast_line_trace, simulate_state
+
+        sdfg = SDFG("vectrace")
+        sdfg.add_array("A", [32, 32], dtypes.float64)
+        sdfg.add_array("B", [32, 32], dtypes.float64)
+        state = sdfg.add_state("main")
+        state.add_mapped_tasklet(
+            "compute",
+            {"i": f"0:{ni}", "j": f"0:{nj}"},
+            inputs={"a": Memlet("A", f"{coeff}*i, j"), "b": Memlet("A", "j, i")},
+            code="out = a + b",
+            outputs={"out": Memlet("B", "i, j")},
+        )
+        result = simulate_state(sdfg, {}, fast=True)
+        assert result.vector_blocks
+        lines = fast_line_trace(result, MemoryModel(sdfg, {}, line_size=line_size))
+        assert stack_distances(lines) == stack_distances_bruteforce(lines)

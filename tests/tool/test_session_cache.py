@@ -1,0 +1,108 @@
+"""Tests for the session-level simulation cache and stage timings."""
+
+from repro.apps import hdiff
+from repro.tool.session import Session, SimulationCache
+
+
+def make_session():
+    return Session(hdiff.build_sdfg())
+
+
+SIZES = {"I": 3, "J": 3, "K": 2}
+OTHER = {"I": 4, "J": 3, "K": 2}
+
+
+class TestSimulationCache:
+    def test_lru_eviction(self):
+        cache = SimulationCache(maxsize=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1  # refresh "a"
+        cache.put(("c",), 3)  # evicts "b", the least recently used
+        assert ("b",) not in cache
+        assert cache.get(("a",)) == 1 and cache.get(("c",)) == 3
+
+    def test_hit_miss_counters(self):
+        cache = SimulationCache()
+        assert cache.get(("x",)) is None
+        cache.put(("x",), 42)
+        assert cache.get(("x",)) == 42
+        assert cache.info()["hits"] == 1
+        assert cache.info()["misses"] == 1
+
+    def test_bounded(self):
+        cache = SimulationCache(maxsize=3)
+        for n in range(10):
+            cache.put((n,), n)
+        assert len(cache) == 3
+
+
+class TestSessionCaching:
+    def test_repeat_query_hits_cache(self):
+        session = make_session()
+        first = session.local_view(SIZES).result
+        second = session.local_view(SIZES).result
+        assert second is first  # the simulation was reused, not rerun
+        assert session.cache_info()["hits"] >= 1
+
+    def test_different_params_simulate_fresh(self):
+        session = make_session()
+        a = session.local_view(SIZES).result
+        b = session.local_view(OTHER).result
+        assert a is not b
+        assert len(a.events) != len(b.events)
+
+    def test_fast_and_slow_cached_separately(self):
+        session = make_session()
+        fast = session.local_view(SIZES, fast=True).result
+        slow = session.local_view(SIZES, fast=False).result
+        assert fast is not slow
+
+    def test_downstream_results_cached(self):
+        session = make_session()
+        lv1 = session.local_view(SIZES)
+        lv2 = session.local_view(SIZES)
+        d1 = lv1._distances()
+        d2 = lv2._distances()
+        assert d2 is d1
+
+    def test_invalidate_clears_shared_cache(self):
+        session = make_session()
+        lv = session.local_view(SIZES)
+        first = lv.result
+        lv.invalidate()
+        assert lv.result is not first
+        # A fresh view must not resurrect the stale entry either.
+        assert session.local_view(SIZES).result is lv.result
+
+    def test_standalone_local_view_unaffected(self):
+        from repro.tool.session import LocalView
+
+        sdfg = hdiff.build_sdfg()
+        lv = LocalView(sdfg, SIZES, sdfg.start_state)
+        assert lv.session_cache is None
+        assert lv.result.events  # simulates without a cache attached
+
+    def test_miss_counts_identical_across_paths(self):
+        session = make_session()
+        fast = session.local_view(SIZES, fast=True).miss_counts()
+        slow = session.local_view(SIZES, fast=False).miss_counts()
+        assert {k: (v.hits, v.cold, v.capacity) for k, v in fast.items()} == {
+            k: (v.hits, v.cold, v.capacity) for k, v in slow.items()
+        }
+
+
+class TestSessionTimings:
+    def test_stages_recorded(self):
+        session = make_session()
+        lv = session.local_view(SIZES)
+        lv.miss_counts()
+        recorded = set(session.timings.stages())
+        assert {"enumerate", "evaluate", "layout", "stackdist", "classify"} <= recorded
+        assert session.timings.total() > 0
+
+    def test_report_renders(self):
+        session = make_session()
+        session.local_view(SIZES).miss_counts()
+        report = session.timings.report()
+        assert "stackdist" in report and "ms" in report
