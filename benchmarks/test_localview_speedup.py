@@ -1,0 +1,160 @@
+"""Object pipeline vs. array-native pipeline on the hdiff local view.
+
+The tentpole acceptance row: carrying NumPy arrays end to end through
+layout → stack distances → miss classification → aggregation must beat
+the per-event object pipeline by >= 5x on the hdiff local view, with
+exactly equal results.  A second benchmark records the parametric-sweep
+fan-out: a worker-pool sweep over an 8-point grid must not lose to the
+serial loop (and must beat it when the machine has >1 core).
+
+Results are written to ``BENCH_localview.json`` at the repository root.
+"""
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.parametric import parameter_grid, sweep_local_views
+from repro.apps import hdiff
+from repro.simulation import (
+    CacheModel,
+    MemoryModel,
+    build_array_trace,
+    element_stack_distances,
+    per_container_misses,
+    per_container_misses_array,
+    per_element_misses,
+    per_element_misses_array,
+    simulate_state,
+    stack_distances,
+    stack_distances_array,
+)
+from repro.simulation.arrays import element_distance_lists
+from repro.simulation.stackdist import line_trace
+
+from conftest import print_table
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_localview.json"
+
+SIZES = [
+    ("paper local view", hdiff.LOCAL_VIEW_SIZES),
+    ("2x per axis", {"I": 16, "J": 16, "K": 8}),
+]
+
+SWEEP_GRID = parameter_grid({"I": [6, 8, 10, 12], "J": [6, 10], "K": [5]})
+
+
+def _best_of(callable_, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _record(payload):
+    existing = {}
+    if BENCH_JSON.exists():
+        existing = json.loads(BENCH_JSON.read_text())
+    existing.update(payload)
+    BENCH_JSON.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def test_array_pipeline_speedup():
+    sdfg = hdiff.build_sdfg()
+    model = CacheModel(line_size=64, capacity_lines=512)
+    rows, speedups, record = [], {}, {}
+    for label, sizes in SIZES:
+        result = simulate_state(sdfg, sizes, fast=True)
+        memory = MemoryModel(sdfg, sizes, line_size=64)
+        events = result.events  # materialize outside the timed region
+
+        def object_pipeline():
+            distances = stack_distances(line_trace(events, memory))
+            return (
+                per_container_misses(events, memory, model, distances),
+                per_element_misses(events, memory, model, "out_field", distances),
+                element_stack_distances(events, memory, distances=distances),
+            )
+
+        def array_pipeline():
+            trace = build_array_trace(result, memory)
+            distances = stack_distances_array(trace.lines)
+            return (
+                per_container_misses_array(trace, distances, model),
+                per_element_misses_array(trace, distances, model, "out_field"),
+                element_distance_lists(trace, distances),
+            )
+
+        t_obj, ref = _best_of(object_pipeline)
+        t_arr, out = _best_of(array_pipeline)
+        assert out == ref, f"array pipeline diverges at {label}"
+        speedups[label] = t_obj / t_arr
+        record[label] = {
+            "events": result.num_events,
+            "object_ms": round(t_obj * 1e3, 3),
+            "array_ms": round(t_arr * 1e3, 3),
+            "speedup": round(speedups[label], 2),
+        }
+        rows.append(
+            [
+                label,
+                result.num_events,
+                f"{t_obj * 1e3:.1f}",
+                f"{t_arr * 1e3:.1f}",
+                f"{speedups[label]:.1f}x",
+            ]
+        )
+    print_table(
+        "hdiff local view: object pipeline vs. array pipeline",
+        ["size", "events", "object [ms]", "array [ms]", "speedup"],
+        rows,
+    )
+    _record({"localview_pipeline": record})
+    if os.environ.get("REPRO_BENCH_RELAXED", "0") == "1":
+        # CI floor: the array pipeline must never lose to the object one
+        # (shared runners are too noisy for the full bar).
+        assert min(speedups.values()) >= 1.0, speedups
+    else:
+        # The acceptance bar: >= 5x on the hdiff local view.
+        assert max(speedups.values()) >= 5.0, speedups
+        assert min(speedups.values()) >= 3.0, speedups
+
+
+def test_sweep_scaling():
+    sdfg = hdiff.build_sdfg()
+    sweep_local_views(sdfg, SWEEP_GRID[:1])  # warm up
+    t_serial, serial = _best_of(
+        lambda: sweep_local_views(sdfg, SWEEP_GRID), repeats=2
+    )
+    t_par, parallel = _best_of(
+        lambda: sweep_local_views(sdfg, SWEEP_GRID, workers=4), repeats=2
+    )
+    assert parallel == serial
+    cores = os.cpu_count() or 1
+    print_table(
+        f"hdiff parametric sweep, {len(SWEEP_GRID)} points ({cores} cores)",
+        ["mode", "total [ms]", "per point [ms]"],
+        [
+            ["serial", f"{t_serial * 1e3:.1f}", f"{t_serial / len(SWEEP_GRID) * 1e3:.1f}"],
+            ["4 workers", f"{t_par * 1e3:.1f}", f"{t_par / len(SWEEP_GRID) * 1e3:.1f}"],
+        ],
+    )
+    _record(
+        {
+            "sweep_8pt": {
+                "points": len(SWEEP_GRID),
+                "cores": cores,
+                "serial_ms": round(t_serial * 1e3, 3),
+                "workers4_ms": round(t_par * 1e3, 3),
+                "speedup": round(t_serial / t_par, 2),
+            }
+        }
+    )
+    if cores >= 2:
+        # Fan-out must win once there is real parallelism to exploit.
+        assert t_par < t_serial, (t_par, t_serial)

@@ -27,7 +27,13 @@ from repro.analysis.opcount import (
     scope_ops,
     tasklet_ops,
 )
-from repro.analysis.parametric import ParameterSweep, evaluate_metrics
+from repro.analysis.parametric import (
+    LocalSweepPoint,
+    ParameterSweep,
+    evaluate_metrics,
+    parameter_grid,
+    sweep_local_views,
+)
 from repro.analysis.timing import STAGES, StageTimings
 
 __all__ = [
@@ -45,4 +51,7 @@ __all__ = [
     "program_intensity",
     "evaluate_metrics",
     "ParameterSweep",
+    "LocalSweepPoint",
+    "parameter_grid",
+    "sweep_local_views",
 ]

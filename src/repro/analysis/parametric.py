@@ -1,4 +1,4 @@
-"""Parametric scaling analysis (paper Section IV-D).
+"""Parametric scaling analysis (paper Section IV-D) and local-view sweeps.
 
 Symbolic metrics become concrete numbers under a symbol assignment; the
 global view "adapt[s] the heatmap visualizations on the fly by
@@ -6,16 +6,34 @@ re-evaluating symbolic expressions with the new values".  A
 :class:`ParameterSweep` automates the interactive what-if loop: vary one
 (or more) parameters and collect how a metric responds, exposing which
 input parameters dominate performance.
+
+:func:`sweep_local_views` extends the what-if loop to the *local* view:
+every point of a parameter grid runs the full simulation → layout →
+stack-distance → miss-classification pipeline and yields a
+:class:`LocalSweepPoint`.  Points are independent, so the sweep fans out
+over worker processes (the SDFG travels as its JSON serialization, each
+worker deserializes once and evaluates a batch); a serial path remains
+both as fallback and for ``workers=1``.
 """
 
 from __future__ import annotations
 
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
 from typing import Callable, Generic, Hashable, Iterable, Mapping, Sequence, TypeVar
 
 from repro.errors import AnalysisError, EvaluationError
 from repro.symbolic.expr import Expr
 
-__all__ = ["evaluate_metrics", "ParameterSweep", "SweepResult"]
+__all__ = [
+    "evaluate_metrics",
+    "ParameterSweep",
+    "SweepResult",
+    "LocalSweepPoint",
+    "parameter_grid",
+    "sweep_local_views",
+]
 
 K = TypeVar("K", bound=Hashable)
 
@@ -125,3 +143,195 @@ class ParameterSweep:
             ranking.append((name, float(metric.evaluate(env)) / base))
         ranking.sort(key=lambda pair: (-pair[1], pair[0]))
         return ranking
+
+
+# -- local-view parametric sweeps ---------------------------------------------
+
+
+def parameter_grid(spec: Mapping[str, Iterable[int]]) -> list[dict[str, int]]:
+    """Cross product of per-parameter value lists, as environment dicts.
+
+    ``parameter_grid({"I": [8, 16], "J": [8]})`` yields
+    ``[{"I": 8, "J": 8}, {"I": 16, "J": 8}]`` — points vary the *last*
+    parameter fastest, matching :func:`itertools.product`.
+    """
+    names = list(spec)
+    axes = [list(spec[name]) for name in names]
+    if not names:
+        return [{}]
+    return [dict(zip(names, combo)) for combo in itertools.product(*axes)]
+
+
+class LocalSweepPoint:
+    """Locality metrics of one parameter point of a local-view sweep.
+
+    Picklable (it crosses process boundaries when the sweep fans out):
+
+    - :attr:`params` — the evaluated symbol assignment;
+    - :attr:`misses` — per-container
+      :class:`~repro.simulation.cache.MissCounts`;
+    - :attr:`moved_bytes` — estimated physical movement per container;
+    - :attr:`total_accesses` — trace length;
+    - :attr:`seconds` — pipeline wall time for this point.
+    """
+
+    __slots__ = ("params", "misses", "moved_bytes", "total_accesses", "seconds")
+
+    def __init__(
+        self,
+        params: dict[str, int],
+        misses: dict,
+        moved_bytes: dict[str, int],
+        total_accesses: int,
+        seconds: float,
+    ):
+        self.params = params
+        self.misses = misses
+        self.moved_bytes = moved_bytes
+        self.total_accesses = total_accesses
+        self.seconds = seconds
+
+    @property
+    def total_misses(self) -> int:
+        return sum(counts.misses for counts in self.misses.values())
+
+    @property
+    def total_moved_bytes(self) -> int:
+        return sum(self.moved_bytes.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LocalSweepPoint):
+            return NotImplemented
+        return (
+            self.params == other.params
+            and self.misses == other.misses
+            and self.moved_bytes == other.moved_bytes
+            and self.total_accesses == other.total_accesses
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalSweepPoint({self.params}, accesses={self.total_accesses}, "
+            f"misses={self.total_misses}, moved={self.total_moved_bytes}B)"
+        )
+
+
+def _evaluate_point(
+    sdfg,
+    params: Mapping[str, int],
+    line_size: int,
+    capacity_lines: int,
+    include_transients: bool,
+    fast: bool,
+) -> LocalSweepPoint:
+    """Run the locality pipeline at one parameter point (array-first)."""
+    from repro.simulation import (
+        CacheModel,
+        MemoryModel,
+        build_array_trace,
+        per_container_misses,
+        per_container_misses_array,
+        simulate_state,
+        stack_distances,
+        stack_distances_array,
+    )
+    from repro.simulation.stackdist import line_trace
+
+    start = perf_counter()
+    result = simulate_state(
+        sdfg, params, include_transients=include_transients, fast=fast
+    )
+    memory = MemoryModel(sdfg, params, line_size=line_size)
+    model = CacheModel(line_size=line_size, capacity_lines=capacity_lines)
+    trace = build_array_trace(result, memory)
+    if trace is not None:
+        distances = stack_distances_array(trace.lines)
+        misses = per_container_misses_array(trace, distances, model)
+    else:
+        distances = stack_distances(line_trace(result.events, memory))
+        misses = per_container_misses(result.events, memory, model, distances)
+    moved = {name: counts.misses * line_size for name, counts in misses.items()}
+    return LocalSweepPoint(
+        params=dict(params),
+        misses=misses,
+        moved_bytes=moved,
+        total_accesses=result.num_events,
+        seconds=perf_counter() - start,
+    )
+
+
+def _sweep_batch(
+    sdfg_text: str,
+    batch: Sequence[Mapping[str, int]],
+    line_size: int,
+    capacity_lines: int,
+    include_transients: bool,
+    fast: bool,
+) -> list[LocalSweepPoint]:
+    """Worker entry point: deserialize the SDFG once, evaluate a batch."""
+    from repro.sdfg.serialize import loads
+
+    sdfg = loads(sdfg_text)
+    return [
+        _evaluate_point(
+            sdfg, params, line_size, capacity_lines, include_transients, fast
+        )
+        for params in batch
+    ]
+
+
+def sweep_local_views(
+    sdfg,
+    grid: Sequence[Mapping[str, int]],
+    workers: int | None = None,
+    line_size: int = 64,
+    capacity_lines: int = 512,
+    include_transients: bool = False,
+    fast: bool = True,
+) -> list[LocalSweepPoint]:
+    """Evaluate the local-view pipeline at every point of *grid*.
+
+    With ``workers > 1`` the grid is split round-robin into one batch per
+    worker and fanned out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+    (the SDFG is shipped as JSON and deserialized once per worker); the
+    result order always matches *grid*.  Any failure to spawn workers
+    falls back to the serial path, so callers never see a degraded
+    environment as an error.
+    """
+    grid = [dict(point) for point in grid]
+    serial = lambda: [
+        _evaluate_point(
+            sdfg, params, line_size, capacity_lines, include_transients, fast
+        )
+        for params in grid
+    ]
+    if workers is None or workers <= 1 or len(grid) <= 1:
+        return serial()
+    nbatches = min(int(workers), len(grid))
+    batches = [grid[i::nbatches] for i in range(nbatches)]
+    from repro.sdfg.serialize import dumps
+
+    sdfg_text = dumps(sdfg, indent=None)
+    out: list[LocalSweepPoint | None] = [None] * len(grid)
+    try:
+        with ProcessPoolExecutor(max_workers=nbatches) as pool:
+            futures = [
+                pool.submit(
+                    _sweep_batch,
+                    sdfg_text,
+                    batch,
+                    line_size,
+                    capacity_lines,
+                    include_transients,
+                    fast,
+                )
+                for batch in batches
+            ]
+            for index, future in enumerate(futures):
+                out[index::nbatches] = future.result()
+    except Exception:
+        # Process pools are unavailable in some sandboxes (no fork/spawn)
+        # and brittle under interpreter shutdown; the sweep itself is
+        # always serializable work.
+        return serial()
+    return out  # type: ignore[return-value]

@@ -10,7 +10,9 @@ stage of the pipeline records wall-time spans into a
   interpreted),
 - ``layout``    — physical layout construction and element→line mapping,
 - ``stackdist`` — reuse-distance computation,
-- ``classify``  — miss classification and movement estimation.
+- ``classify``  — miss classification and movement estimation,
+- ``fanout``    — dispatching parametric-sweep points to workers,
+- ``merge``     — folding worker results back into the session cache.
 
 The collector is queryable from :class:`~repro.tool.session.Session` and
 printed by the CLI under ``--timings``.
@@ -25,7 +27,7 @@ from typing import Iterator
 __all__ = ["STAGES", "StageTimings", "maybe_span"]
 
 #: Canonical pipeline stage names, in pipeline order.
-STAGES = ("enumerate", "evaluate", "layout", "stackdist", "classify")
+STAGES = ("enumerate", "evaluate", "layout", "stackdist", "classify", "fanout", "merge")
 
 
 class StageTimings:

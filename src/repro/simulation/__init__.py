@@ -20,15 +20,31 @@ parameterized with small concrete sizes, it
 
 Related-access derivation (which elements are touched by the same
 computations, Section V-C) lives in :mod:`~repro.simulation.related`.
+
+Stages 3–6 exist twice: as the per-event *object pipeline* (the modules
+above) and as the NumPy *array pipeline*
+(:mod:`~repro.simulation.arrays`), which runs whenever the trace was
+produced entirely by the vectorized fast path.  The two are
+differentially tested to agree exactly.
 """
 
+from repro.simulation.arrays import (
+    ArrayTrace,
+    build_array_trace,
+    container_physical_movement_array,
+    element_distance_lists,
+    per_container_misses_array,
+    per_element_misses_array,
+)
 from repro.simulation.cache import (
     CacheModel,
     MissKind,
     classify_accesses,
     classify_three_way,
     count_misses,
+    count_misses_array,
     count_three_way,
+    miss_masks,
     simulate_lru,
     simulate_set_associative,
 )
@@ -37,12 +53,15 @@ from repro.simulation.layout import MemoryModel, PhysicalLayout
 from repro.simulation.movement import (
     container_physical_movement,
     edge_physical_movement,
+    per_container_misses,
+    per_element_misses,
 )
 from repro.simulation.related import related_access_counts
 from repro.simulation.simulator import AccessPatternSimulator, SimulationResult, simulate_state
 from repro.simulation.stackdist import (
     element_stack_distances,
     stack_distances,
+    stack_distances_array,
     stack_distances_bruteforce,
 )
 from repro.simulation.trace import AccessEvent, AccessKind
@@ -64,6 +83,7 @@ __all__ = [
     "PhysicalLayout",
     "MemoryModel",
     "stack_distances",
+    "stack_distances_array",
     "stack_distances_bruteforce",
     "element_stack_distances",
     "CacheModel",
@@ -71,10 +91,20 @@ __all__ = [
     "classify_accesses",
     "classify_three_way",
     "count_misses",
+    "count_misses_array",
     "count_three_way",
+    "miss_masks",
     "simulate_lru",
     "simulate_set_associative",
     "container_physical_movement",
     "edge_physical_movement",
+    "per_container_misses",
+    "per_element_misses",
+    "ArrayTrace",
+    "build_array_trace",
+    "container_physical_movement_array",
+    "element_distance_lists",
+    "per_container_misses_array",
+    "per_element_misses_array",
     "related_access_counts",
 ]

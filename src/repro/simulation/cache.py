@@ -25,6 +25,8 @@ import math
 from collections import OrderedDict
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import SimulationError
 
 __all__ = [
@@ -33,7 +35,9 @@ __all__ = [
     "classify_accesses",
     "classify_three_way",
     "count_misses",
+    "count_misses_array",
     "count_three_way",
+    "miss_masks",
     "MissCounts",
     "simulate_lru",
     "simulate_set_associative",
@@ -154,6 +158,29 @@ def count_misses(distances: Sequence[float], model: CacheModel) -> MissCounts:
         else:
             counts.capacity += 1
     return counts
+
+
+def miss_masks(
+    distances: np.ndarray, model: CacheModel
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :meth:`CacheModel.classify`: boolean (cold, capacity) masks.
+
+    ``cold`` marks infinite distances; ``capacity`` marks finite distances
+    at or above the capacity threshold (``hit`` is the complement of
+    both).  Equals the per-access enum classification exactly.
+    """
+    d = np.asarray(distances, dtype=np.float64)
+    cold = np.isinf(d)
+    capacity = (d >= model.capacity_lines) & ~cold
+    return cold, capacity
+
+
+def count_misses_array(distances: np.ndarray, model: CacheModel) -> MissCounts:
+    """Vectorized :func:`count_misses` over a distance array."""
+    cold, capacity = miss_masks(distances, model)
+    k = int(np.count_nonzero(cold))
+    p = int(np.count_nonzero(capacity))
+    return MissCounts(hits=int(cold.size) - k - p, cold=k, capacity=p)
 
 
 def simulate_lru(lines: Sequence[int], capacity_lines: int) -> list[bool]:

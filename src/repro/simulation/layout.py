@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.sdfg.data import Array, Data, Scalar
 from repro.sdfg.sdfg import SDFG
@@ -63,6 +65,27 @@ class PhysicalLayout:
                 ) from exc
         else:  # pragma: no cover - descriptors are Scalar or Array
             raise SimulationError(f"unsupported descriptor {desc!r}")
+        # Element offsets span [start_offset + min_span, start_offset + max_span]
+        # where each dimension contributes (size-1)*stride of either sign.
+        # Negative strides walk *down* from the start offset, so the extent
+        # must grow by the |stride| span, not shrink (reversed layouts would
+        # otherwise overlap their neighbors in a MemoryModel).
+        min_span = sum(
+            min(0, (max(size, 1) - 1) * stride)
+            for size, stride in zip(self.shape, self.strides)
+        )
+        max_span = sum(
+            max(0, (max(size, 1) - 1) * stride)
+            for size, stride in zip(self.shape, self.strides)
+        )
+        self.min_offset = self.start_offset + min_span
+        self.max_offset = self.start_offset + max_span
+        if self.shape and self.min_offset < 0:
+            raise SimulationError(
+                f"layout places elements {-self.min_offset} elements before "
+                f"the allocation base (start offset {self.start_offset} does "
+                f"not compensate for negative strides {self.strides})"
+            )
 
     # -- addressing ------------------------------------------------------------
     def element_address(self, indices: Sequence[int]) -> int:
@@ -76,18 +99,46 @@ class PhysicalLayout:
             offset += i * stride
         return self.base_address + offset * self.itemsize
 
+    def element_addresses(self, indices: np.ndarray) -> np.ndarray:
+        """Byte addresses of a batch of elements (vectorized).
+
+        *indices* is an ``(n, ndims)`` integer matrix — one row per
+        element.  This is the array-native counterpart of
+        :meth:`element_address`; the locality pipeline projects whole
+        index matrices through it in one broadcast.
+        """
+        matrix = np.asarray(indices, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.shape):
+            raise SimulationError(
+                f"expected an (n, {len(self.shape)}) index matrix, "
+                f"got shape {matrix.shape}"
+            )
+        if matrix.shape[1]:
+            offsets = self.start_offset + matrix @ np.asarray(
+                self.strides, dtype=np.int64
+            )
+        else:
+            offsets = np.full(matrix.shape[0], self.start_offset, dtype=np.int64)
+        return self.base_address + offsets * self.itemsize
+
     def cache_line_of(self, indices: Sequence[int], line_size: int) -> int:
         """Cache-line id (global, address // line size) of an element."""
         return self.element_address(indices) // line_size
 
+    def cache_lines_of(self, indices: np.ndarray, line_size: int) -> np.ndarray:
+        """Cache-line ids of a batch of elements (vectorized)."""
+        return self.element_addresses(indices) // line_size
+
     def size_bytes(self) -> int:
-        """Allocated extent in bytes (including stride padding)."""
+        """Allocated extent in bytes (including stride padding).
+
+        Computed from the minimum and maximum element byte offsets, so
+        layouts with negative strides (reversed dimensions) claim their
+        full span instead of collapsing.
+        """
         if not self.shape:
             return self.itemsize
-        extent = 1
-        for size, stride in zip(self.shape, self.strides):
-            extent += (size - 1) * stride
-        return (self.start_offset + extent) * self.itemsize
+        return (self.max_offset + 1) * self.itemsize
 
     def end_address(self) -> int:
         return self.base_address + self.size_bytes()
@@ -118,12 +169,58 @@ class PhysicalLayout:
 
         This is the spatial-locality overlay of Fig. 5a: selecting an
         element highlights everything pulled into the cache with it.
+
+        Solved by direct address-range arithmetic: the line's byte range
+        is converted to an element-offset interval, and per dimension the
+        feasible index range is computed from the remaining dimensions'
+        minimum/maximum offset contributions — no scan over the whole
+        container.  Results are in row-major index order, exactly as the
+        old full scan produced them.
         """
-        return [
-            idx
-            for idx in self.iter_elements()
-            if self.cache_line_of(idx, line_size) == line
-        ]
+        lo = line * line_size - self.base_address
+        hi = lo + line_size - 1
+        # Element offsets whose *starting* byte falls inside the line.
+        lo_off = -((-lo) // self.itemsize)
+        hi_off = hi // self.itemsize
+        if hi_off < lo_off:
+            return []
+        if not self.shape:
+            return [()] if lo_off <= 0 <= hi_off else []
+        if any(s == 0 for s in self.shape):
+            return []
+        ndims = len(self.shape)
+        # Suffix min/max offset contributions of dimensions k..ndims-1.
+        rem_min = [0] * (ndims + 1)
+        rem_max = [0] * (ndims + 1)
+        for k in range(ndims - 1, -1, -1):
+            span = (self.shape[k] - 1) * self.strides[k]
+            rem_min[k] = rem_min[k + 1] + min(0, span)
+            rem_max[k] = rem_max[k + 1] + max(0, span)
+        out: list[tuple[int, ...]] = []
+        idx = [0] * ndims
+
+        def descend(k: int, cur: int) -> None:
+            if k == ndims:
+                out.append(tuple(idx))
+                return
+            stride = self.strides[k]
+            # Need cur + i*stride + [rem_min, rem_max] to meet [lo_off, hi_off].
+            a = lo_off - cur - rem_max[k + 1]
+            b = hi_off - cur - rem_min[k + 1]
+            if stride > 0:
+                i_min, i_max = -((-a) // stride), b // stride
+            elif stride < 0:
+                i_min, i_max = -((-b) // stride), a // stride
+            elif a <= 0 <= b:
+                i_min, i_max = 0, self.shape[k] - 1
+            else:
+                return
+            for i in range(max(i_min, 0), min(i_max, self.shape[k] - 1) + 1):
+                idx[k] = i
+                descend(k + 1, cur + i * stride)
+
+        descend(0, self.start_offset)
+        return out
 
     def neighbors_in_line(
         self, indices: Sequence[int], line_size: int
@@ -155,6 +252,7 @@ class MemoryModel:
         self.env = dict(env or {})
         self.line_size = int(line_size)
         self.layouts: dict[str, PhysicalLayout] = {}
+        self._line_cache: dict[int, dict[str, list[tuple[int, ...]]]] = {}
         cursor = int(base_address)
         names = list(include) if include is not None else list(sdfg.arrays)
         for name in names:
@@ -178,7 +276,15 @@ class MemoryModel:
         return self.address_of(data, indices) // self.line_size
 
     def elements_on_line(self, line: int) -> dict[str, list[tuple[int, ...]]]:
-        """All elements (of any container) on a cache line."""
+        """All elements (of any container) on a cache line.
+
+        Memoized per line: the spatial-locality overlay queries the same
+        line on every hover, and layouts are immutable once the model is
+        built.  Treat the returned mapping as read-only.
+        """
+        cached = self._line_cache.get(line)
+        if cached is not None:
+            return cached
         out: dict[str, list[tuple[int, ...]]] = {}
         for name, layout in self.layouts.items():
             start_line = layout.base_address // self.line_size
@@ -188,7 +294,12 @@ class MemoryModel:
             elements = layout.elements_on_line(line, self.line_size)
             if elements:
                 out[name] = elements
+        self._line_cache[line] = out
         return out
+
+    def lines_of_matrix(self, data: str, indices: np.ndarray) -> np.ndarray:
+        """Cache-line ids for a batch of one container's elements."""
+        return self.layout(data).cache_lines_of(indices, self.line_size)
 
     def total_lines(self) -> int:
         """Number of distinct cache lines spanned by all containers."""

@@ -101,19 +101,23 @@ def container_physical_movement(
 
 def edge_physical_movement(
     state: SDFGState,
-    events: Sequence[AccessEvent],
-    memory: MemoryModel,
+    events: Sequence[AccessEvent] | None,
+    memory: MemoryModel | None,
     model: CacheModel,
     distances: Sequence[float] | None = None,
+    container_misses: Mapping[str, MissCounts] | None = None,
 ) -> dict[object, int]:
     """Physical-movement estimate per dataflow edge.
 
     Each container-adjacent edge gets ``misses(container at source or
     destination) × line size``; edges touching containers on both ends
     (copies) get the sum of both sides.  Edges whose containers never
-    appear in the trace get zero.
+    appear in the trace get zero.  Pass precomputed *container_misses*
+    (e.g. from the array pipeline) to skip the per-event attribution;
+    *events* and *memory* are unused in that case.
     """
-    container_misses = per_container_misses(events, memory, model, distances)
+    if container_misses is None:
+        container_misses = per_container_misses(events, memory, model, distances)
 
     def node_misses(node) -> int:
         if isinstance(node, AccessNode) and node.data in container_misses:

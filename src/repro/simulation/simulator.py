@@ -89,18 +89,78 @@ class _CompiledSubset:
 
 
 class SimulationResult:
-    """The ordered access trace plus convenient aggregate views."""
+    """The ordered access trace plus convenient aggregate views.
+
+    Events are stored as a sequence of *segments*.  The interpreter
+    appends :class:`AccessEvent` objects eagerly; the vectorized fast
+    path registers *lazy* segments (deferred event blocks holding only
+    index matrices) so that no per-event Python object exists until a
+    consumer explicitly reads :attr:`events`.  Aggregate queries that
+    can be answered from the matrices (:meth:`containers`,
+    :meth:`access_counts`, :meth:`total_accesses`) never materialize.
+    """
 
     def __init__(self, sdfg: SDFG, env: dict[str, int]):
         self.sdfg = sdfg
         self.env = dict(env)
-        self.events: list[AccessEvent] = []
+        self.num_events = 0
         self.num_steps = 0
         self.num_executions = 0
         #: Index matrices recorded by the vectorized fast path; when they
         #: cover the whole trace, line ids can be computed by broadcast
         #: (see :func:`~repro.simulation.vectorized.fast_line_trace`).
         self.vector_blocks: list = []
+        self._segments: list = []  # sealed eager lists or lazy segments
+        self._tail: list[AccessEvent] = []  # open eager segment
+        self._flat: list[AccessEvent] | None = None
+
+    # -- trace construction ----------------------------------------------------
+    def append_event(self, event: AccessEvent) -> None:
+        """Append one eagerly-built event (the interpreter path)."""
+        self._flat = None
+        self._tail.append(event)
+        self.num_events += 1
+
+    def extend_events(self, events: Sequence[AccessEvent]) -> None:
+        """Append a batch of eagerly-built events."""
+        self._flat = None
+        self._tail.extend(events)
+        self.num_events += len(events)
+
+    def add_lazy_segment(self, segment) -> None:
+        """Append a deferred event block (``num_events`` + ``materialize()``)."""
+        self._flat = None
+        if self._tail:
+            self._segments.append(self._tail)
+            self._tail = []
+        self._segments.append(segment)
+        self.num_events += segment.num_events
+
+    def _iter_segments(self):
+        yield from self._segments
+        if self._tail:
+            yield self._tail
+
+    def events_materialized(self) -> bool:
+        """Whether the object trace exists (no pending lazy segments)."""
+        return not any(hasattr(seg, "materialize") for seg in self._segments)
+
+    @property
+    def events(self) -> list[AccessEvent]:
+        """The ordered object trace; materializes lazy segments on first use."""
+        if self._flat is None:
+            if self._segments:
+                flat: list[AccessEvent] = []
+                for seg in self._segments:
+                    if hasattr(seg, "materialize"):
+                        flat.extend(seg.materialize())
+                    else:
+                        flat.extend(seg)
+                flat.extend(self._tail)
+                self._segments = []
+                self._tail = flat
+            self._flat = self._tail
+        return self._flat
 
     # -- shapes --------------------------------------------------------------
     def shape(self, data: str) -> tuple[int, ...]:
@@ -111,8 +171,13 @@ class SimulationResult:
     def containers(self) -> list[str]:
         """Containers that appear in the trace, in first-access order."""
         seen: dict[str, None] = {}
-        for e in self.events:
-            seen.setdefault(e.data)
+        for seg in self._iter_segments():
+            if hasattr(seg, "container_order"):
+                for name in seg.container_order():
+                    seen.setdefault(name)
+            else:
+                for e in seg:
+                    seen.setdefault(e.data)
         return list(seen)
 
     # -- aggregate views ---------------------------------------------------------
@@ -124,18 +189,28 @@ class SimulationResult:
     ) -> dict[tuple[int, ...], int]:
         """Flattened time dimension: access count per element (Fig. 4b)."""
         counts: dict[tuple[int, ...], int] = {}
-        for e in self.events:
-            if e.data != data:
+        for seg in self._iter_segments():
+            if hasattr(seg, "accumulate_counts"):
+                seg.accumulate_counts(data, kind, counts)
                 continue
-            if kind is not None and e.kind != kind:
-                continue
-            counts[e.indices] = counts.get(e.indices, 0) + 1
+            for e in seg:
+                if e.data != data:
+                    continue
+                if kind is not None and e.kind != kind:
+                    continue
+                counts[e.indices] = counts.get(e.indices, 0) + 1
         return counts
 
     def total_accesses(self, data: str | None = None) -> int:
         if data is None:
-            return len(self.events)
-        return sum(1 for e in self.events if e.data == data)
+            return self.num_events
+        total = 0
+        for seg in self._iter_segments():
+            if hasattr(seg, "count_for"):
+                total += seg.count_for(data)
+            else:
+                total += sum(1 for e in seg if e.data == data)
+        return total
 
     def events_at_step(self, step: int) -> list[AccessEvent]:
         """Playback frame: all accesses of one timestep (Section V-C)."""
@@ -178,7 +253,7 @@ class SimulationResult:
 
     def __repr__(self) -> str:
         return (
-            f"SimulationResult(events={len(self.events)}, steps={self.num_steps}, "
+            f"SimulationResult(events={self.num_events}, steps={self.num_steps}, "
             f"containers={self.containers()})"
         )
 
@@ -334,7 +409,7 @@ class AccessPatternSimulator:
             if memlet is None or not self._tracked(memlet.data):
                 continue
             for indices in self._compiled(memlet).points(env):
-                result.events.append(
+                result.append_event(
                     AccessEvent(
                         memlet.data, indices, AccessKind.READ, step, execution,
                         tasklet.name, point,
@@ -345,7 +420,7 @@ class AccessPatternSimulator:
             if memlet is None or not self._tracked(memlet.data):
                 continue
             for indices in self._compiled(memlet).points(env):
-                result.events.append(
+                result.append_event(
                     AccessEvent(
                         memlet.data, indices, AccessKind.WRITE, step, execution,
                         tasklet.name, point,
@@ -407,7 +482,7 @@ class AccessPatternSimulator:
                     f"nested connector {event.data!r} rank mismatch"
                 )
             indices = tuple(i + o for i, o in zip(event.indices, offsets))
-            result.events.append(
+            result.append_event(
                 AccessEvent(
                     data, indices, event.kind, step_base + event.step,
                     execution_base + event.execution, event.tasklet,
@@ -436,7 +511,7 @@ class AccessPatternSimulator:
             result.num_executions += 1
             src_points = list(self._compiled(memlet).points(dict(self.symbols)))
             for indices in src_points:
-                result.events.append(
+                result.append_event(
                     AccessEvent(
                         memlet.data, indices, AccessKind.READ, step, execution,
                         f"copy_{node.data}_{edge.dst.data}", (),
@@ -450,7 +525,7 @@ class AccessPatternSimulator:
                     self.sdfg.arrays[memlet.data].shape
                 ):
                     for indices in src_points:
-                        result.events.append(
+                        result.append_event(
                             AccessEvent(
                                 edge.dst.data, indices, AccessKind.WRITE, step,
                                 execution, f"copy_{node.data}_{edge.dst.data}", (),

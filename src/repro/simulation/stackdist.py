@@ -6,10 +6,18 @@ the last reference to the requested data element.  We use the stack
 distance at a cache line granularity ...  If an element has not been
 referenced yet, its stack distance is set to infinity." (Section V-E)
 
-Two implementations are provided:
+Three implementations are provided:
 
-- :func:`stack_distances` — Olken's algorithm with a Fenwick (binary
-  indexed) tree over trace positions, O(N log N);
+- :func:`stack_distances_array` — the array-native production kernel:
+  Olken's counting argument reformulated as an offline prefix-dominance
+  count over ``np.unique``-factorized line ids, evaluated with a
+  binary-indexed merge tree held in one contiguous NumPy ``int64``
+  buffer (a chunk-batched Fenwick variant with ``np.add.at`` updates is
+  kept alongside for differential testing).  O(N log N) with all
+  per-event work inside NumPy;
+- :func:`stack_distances` — Olken's algorithm with a pure-Python Fenwick
+  (binary indexed) tree over trace positions, O(N log N); retained as the
+  differential oracle for the array kernel;
 - :func:`stack_distances_bruteforce` — the textbook O(N²) definition, kept
   as the property-test oracle.
 """
@@ -19,11 +27,14 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.simulation.layout import MemoryModel
 from repro.simulation.trace import AccessEvent
 
 __all__ = [
     "stack_distances",
+    "stack_distances_array",
     "stack_distances_bruteforce",
     "line_trace",
     "element_stack_distances",
@@ -98,6 +109,183 @@ def stack_distances(lines: Sequence[int]) -> list[float]:
             tree.add(prev, -1)
         tree.add(t, 1)
         last_position[line] = t
+    return out
+
+
+def _previous_occurrences(ids: np.ndarray) -> np.ndarray:
+    """Position of the previous access to each position's line (-1 = none).
+
+    A stable argsort groups positions by line id while preserving trace
+    order inside each group, so each position's predecessor in its group
+    is exactly its previous occurrence.
+    """
+    n = ids.size
+    order = np.argsort(ids, kind="stable")
+    prev_sorted = np.full(n, -1, dtype=np.int64)
+    if n > 1:
+        grouped = ids[order]
+        same = grouped[1:] == grouped[:-1]
+        prev_sorted[1:][same] = order[:-1][same]
+    prev = np.empty(n, dtype=np.int64)
+    prev[order] = prev_sorted
+    return prev
+
+
+def _prefix_dominance_counts(prev: np.ndarray) -> np.ndarray:
+    """``F[t] = #{s < t : 0 <= prev[s] <= prev[t]}`` for every position.
+
+    The counting core of the array kernel: a binary-indexed merge tree
+    over one contiguous ``int64`` buffer.  Level by level, adjacent
+    sorted runs of length ``h`` are merged (runs cover contiguous trace
+    ranges, so every left-run element *precedes* every right-run element
+    in trace order); the number of left-run values ``<=`` each right-run
+    value — one batched ``np.searchsorted`` over all runs at once, using
+    per-run key offsets — is exactly the pair count that run pair
+    contributes to ``F``.  Each ``(s, t)`` pair is counted at the unique
+    level where the two positions share a parent run, so the total is
+    exact.  Cold positions (``prev < 0``) are mapped to a sentinel above
+    every real value so they never count as sources; their own query
+    counts are discarded by the caller (positions whose count matters are
+    exactly those with ``prev >= 0``).
+
+    Counts are accumulated per *value* rather than per position: non-cold
+    ``prev`` values are distinct (two positions sharing a previous
+    occurrence would be two next-occurrences of one access), so a plain
+    fancy-indexed add is collision-free on every slot the caller reads,
+    and the slot permutation never has to be tracked through the merges.
+    The lowest four levels are collapsed into one dense broadcast
+    comparison over aligned runs of 16.
+    """
+    n = prev.size
+    sentinel = n  # > any real prev value, excluded by the <= comparison
+    size = 1 << max(int(n - 1).bit_length(), 0) if n > 1 else 1
+    buf = np.full(size, sentinel, dtype=np.int64)
+    np.copyto(buf[:n], prev)
+    buf[:n][prev < 0] = sentinel
+    # Slot `v` accumulates F for the position whose prev-value is v; slot
+    # `sentinel` (reached as index -1 by cold queries) absorbs the
+    # garbage counts of cold and padding positions.
+    counts_val = np.zeros(n + 1, dtype=np.int64)
+    # Dense base case: all in-run pairs for aligned runs of length `base`.
+    base = 16 if size >= 16 else size
+    if base > 1:
+        blocks = buf.reshape(-1, base)
+        cmp = blocks[:, :, None] <= blocks[:, None, :]
+        cmp &= np.arange(base)[:, None] < np.arange(base)[None, :]
+        counts_val[buf] += cmp.sum(axis=1).ravel()
+        buf = np.sort(blocks, axis=1).ravel()
+    segbits = int(sentinel + 1).bit_length()  # distinct key range per run
+    half = np.arange(size // 2, dtype=np.int64)
+    h = base
+    while h < size:
+        runs = buf.reshape(-1, 2, h)
+        left = runs[:, 0, :].ravel()
+        right = runs[:, 1, :].ravel()
+        # Per-run key offsets make the concatenated runs globally sorted,
+        # so one batched searchsorted ranks every run pair at once.
+        offsets = (half >> (h.bit_length() - 1)) << segbits
+        key_left = left + offsets
+        key_right = right + offsets
+        run_start = half & ~(h - 1)  # run index * h
+        # Left-run values <= each right-run value: the pair count this
+        # run pair contributes to F, and the right values' merge rank.
+        le_right = np.searchsorted(key_left, key_right, side="right") - run_start
+        # Right-run values strictly < each left value: left merge rank.
+        lt_left = np.searchsorted(key_right, key_left, side="left") - run_start
+        counts_val[right] += le_right
+        dest = half + run_start  # run base in the merged buffer + within
+        merged = np.empty_like(buf)
+        merged[dest + lt_left] = left
+        merged[dest + le_right] = right
+        buf = merged
+        h *= 2
+    # prev == -1 (cold) gathers the garbage slot `sentinel` as index -1.
+    return counts_val[prev]
+
+
+def _prefix_dominance_counts_fenwick(prev: np.ndarray, chunk: int = 1024) -> np.ndarray:
+    """Chunked-Fenwick reference implementation of :func:`_prefix_dominance_counts`.
+
+    A Fenwick tree over the value space of ``prev`` stored in one
+    contiguous ``int64`` buffer.  The trace is processed in chunks — each
+    chunk first answers its queries against the tree (batched prefix
+    sums: one gather per Fenwick level, all queries at once), resolves
+    pairs *inside* the chunk with a dense triangular comparison, and
+    finally inserts its own values in one batched update per level
+    (``np.add.at`` handles duplicate paths).  Slower than the merge tree
+    on small traces (per-chunk dispatch overhead); kept as a second,
+    structurally different implementation for differential testing.
+    """
+    n = prev.size
+    tree = np.zeros(n + 1, dtype=np.int64)
+    counts = np.zeros(n, dtype=np.int64)
+    for a in range(0, n, chunk):
+        b = min(a + chunk, n)
+        block = prev[a:b]
+        valid = block >= 0
+        if a and valid.any():
+            pos = block[valid] + 1
+            total = np.zeros(pos.size, dtype=np.int64)
+            live = np.arange(pos.size)
+            while pos.size:
+                total[live] += tree[pos]
+                pos = pos - (pos & -pos)
+                keep = pos > 0
+                pos, live = pos[keep], live[keep]
+            counts[a:b][valid] = total
+        m = b - a
+        if m > 1:
+            inside = (block[:, None] >= 0) & (block[:, None] <= block[None, :])
+            inside &= np.arange(m)[:, None] < np.arange(m)[None, :]
+            counts[a:b] += inside.sum(axis=0)
+        pos = block[valid] + 1
+        while pos.size:
+            np.add.at(tree, pos, 1)
+            pos = pos + (pos & -pos)
+            pos = pos[pos <= n]
+    return counts
+
+
+def stack_distances_array(
+    lines: Sequence[int] | np.ndarray, chunk: int | None = None
+) -> np.ndarray:
+    """Array-native stack distances — equals :func:`stack_distances`.
+
+    Olken's query "distinct lines since the previous access" is recast as
+    a fully offline counting problem.  With ``prev[t]`` the previous
+    occurrence of position *t*'s line and ``D[t]`` the number of distinct
+    lines in the prefix ``[0..t]``::
+
+        distance(t) = D[t] - prev[t] - 1 + F[t]
+        F[t] = #{s < t : 0 <= prev[s] <= prev[t]}
+
+    (the ``D`` term counts lines whose first occurrence falls inside the
+    reuse window; ``F`` corrects for lines re-entering the window from
+    before it).  All three arrays are computed with NumPy primitives:
+    line ids are factorized via ``np.unique``, ``prev`` comes from a
+    stable argsort, ``D`` is a cumulative sum, and ``F`` runs through a
+    binary-indexed merge tree (:func:`_prefix_dominance_counts`).  Pass
+    *chunk* to route ``F`` through the chunk-batched Fenwick tree
+    (:func:`_prefix_dominance_counts_fenwick`) instead — slower, kept as
+    a structurally independent implementation for differential tests.
+
+    Returns a ``float64`` array with ``inf`` for cold references.  The
+    pure-Python :func:`stack_distances` is the differential oracle; the
+    two must agree exactly on every trace.
+    """
+    arr = np.asarray(lines, dtype=np.int64).ravel()
+    n = arr.size
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    _, ids = np.unique(arr, return_inverse=True)
+    prev = _previous_occurrences(ids.astype(np.int64, copy=False))
+    distinct = np.cumsum(prev < 0)
+    if chunk is None:
+        dominated = _prefix_dominance_counts(prev)
+    else:
+        dominated = _prefix_dominance_counts_fenwick(prev, max(1, int(chunk)))
+    out = (distinct - prev - 1 + dominated).astype(np.float64)
+    out[prev < 0] = np.inf
     return out
 
 

@@ -74,16 +74,33 @@ class VectorBlock:
 
 
 class _VecPlan:
-    """A vectorized edge: prebuilt index tuples for the whole scope."""
+    """A vectorized edge: the scope-wide index matrix, tuples on demand.
 
-    __slots__ = ("data", "kind", "tuples", "width", "matrix")
+    The index tuples back the object trace only; they are built lazily
+    (first access) so the array pipeline, which consumes ``matrix``
+    directly, never pays the per-event tuple cost.
+    """
 
-    def __init__(self, data: str, kind: AccessKind, tuples: list, width: int, matrix: np.ndarray):
+    __slots__ = ("data", "kind", "width", "matrix", "_tuples")
+
+    def __init__(self, data: str, kind: AccessKind, width: int, matrix: np.ndarray):
         self.data = data
         self.kind = kind
-        self.tuples = tuples
         self.width = width
         self.matrix = matrix
+        self._tuples: list | None = None
+
+    @property
+    def tuples(self) -> list:
+        if self._tuples is None:
+            matrix = self.matrix
+            if matrix.shape[1] == 0:
+                self._tuples = [()] * matrix.shape[0]
+            else:
+                self._tuples = list(
+                    zip(*(matrix[:, d].tolist() for d in range(matrix.shape[1])))
+                )
+        return self._tuples
 
 
 class _InterpPlan:
@@ -136,8 +153,8 @@ def _materialize(
     niter: int,
     env: dict,
     param_index: dict[str, int],
-) -> tuple[list, int, np.ndarray]:
-    """Index tuples (iteration-major, subset-point-minor) for one memlet."""
+) -> tuple[int, np.ndarray]:
+    """Index matrix (iteration-major, subset-point-minor) for one memlet."""
     ndims = len(affine.dims)
     bases: list[np.ndarray] = []
     locals_per_dim: list[list[int]] = []
@@ -154,9 +171,9 @@ def _materialize(
     for offsets in locals_per_dim:
         width *= len(offsets)
     if width == 0:
-        return [], 0, np.empty((0, ndims), dtype=np.int64)
+        return 0, np.empty((0, ndims), dtype=np.int64)
     if ndims == 0:
-        return [()] * niter, 1, np.empty((niter, 0), dtype=np.int64)
+        return 1, np.empty((niter, 0), dtype=np.int64)
 
     flats: list[np.ndarray] = []
     suffix = width
@@ -167,8 +184,7 @@ def _materialize(
         prefix *= len(offsets)
         flats.append((bases[d][:, None] + pattern[None, :]).reshape(-1))
     matrix = np.stack(flats, axis=1)
-    tuples = list(zip(*(f.tolist() for f in flats)))
-    return tuples, width, matrix
+    return width, matrix
 
 
 def simulate_scope_vectorized(
@@ -222,11 +238,11 @@ def simulate_scope_vectorized(
                         )
                         has_fallback = True
                     else:
-                        tuples, width, matrix = _materialize(
+                        width, matrix = _materialize(
                             affine, cols, niter, env, param_index
                         )
                         edge_plans.append(
-                            _VecPlan(memlet.data, kind, tuples, width, matrix)
+                            _VecPlan(memlet.data, kind, width, matrix)
                         )
                         any_affine = True
             plans.append((tasklet.name, edge_plans))
@@ -239,29 +255,143 @@ def simulate_scope_vectorized(
     step_base = result.num_steps
     exec_base = result.num_executions
 
-    # Bulk-allocating hundreds of thousands of events triggers the cyclic
-    # collector over and over even though AccessEvent objects (ints,
-    # strings, tuples of ints) cannot form cycles; pausing it during
-    # assembly is worth ~8x on large scopes.
-    gc_was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        with maybe_span(timings, "evaluate"):
-            if has_fallback:
+    with maybe_span(timings, "evaluate"):
+        if has_fallback:
+            # Bulk-allocating hundreds of thousands of events triggers the
+            # cyclic collector over and over even though AccessEvent objects
+            # (ints, strings, tuples of ints) cannot form cycles; pausing it
+            # during assembly is worth ~8x on large scopes.
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
                 _assemble_mixed(
                     plans, map_obj.params, points, full_points, env, result,
                     step_base, exec_base, niter, ntasklets,
                 )
-            else:
-                _assemble_pure(
-                    plans, full_points, result, step_base, exec_base, niter, ntasklets,
-                )
-    finally:
-        if gc_was_enabled:
-            gc.enable()
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+        else:
+            _assemble_pure(
+                plans, full_points, result, step_base, exec_base, niter, ntasklets,
+            )
     result.num_steps += niter
     result.num_executions += niter * ntasklets
     return True
+
+
+class _LazyScopeEvents:
+    """Deferred event block of one fully-vectorized map scope.
+
+    Registered on the result instead of real events: the array pipeline
+    answers every locality query from the index matrices, so the
+    per-event :class:`AccessEvent` objects are only built if a consumer
+    reads the object trace (``result.events``).
+    """
+
+    __slots__ = (
+        "plans", "full_points", "step_base", "exec_base",
+        "niter", "ntasklets", "events_per_iter", "num_events",
+    )
+
+    def __init__(
+        self,
+        plans: list,
+        full_points: list,
+        step_base: int,
+        exec_base: int,
+        niter: int,
+        ntasklets: int,
+        events_per_iter: int,
+    ):
+        self.plans = plans
+        self.full_points = full_points
+        self.step_base = step_base
+        self.exec_base = exec_base
+        self.niter = niter
+        self.ntasklets = ntasklets
+        self.events_per_iter = events_per_iter
+        self.num_events = niter * events_per_iter
+
+    def materialize(self) -> list:
+        """Build the event block — identical to eager assembly.
+
+        Events per iteration are constant, so each (edge, subset-point)
+        column occupies a strided slice of the scope's event block — one
+        bulk ``map()`` per column, no per-iteration Python loop.
+        """
+        niter = self.niter
+        events_per_iter = self.events_per_iter
+        block = [None] * self.num_events
+        steps = range(self.step_base, self.step_base + niter)
+        full_points = self.full_points
+        # Bulk-allocating hundreds of thousands of events triggers the
+        # cyclic collector over and over even though AccessEvent objects
+        # (ints, strings, tuples of ints) cannot form cycles; pausing it
+        # during assembly is worth ~8x on large scopes.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            offset = 0
+            for t_idx, (tname, edge_plans) in enumerate(self.plans):
+                execs = range(
+                    self.exec_base + t_idx,
+                    self.exec_base + niter * self.ntasklets,
+                    self.ntasklets,
+                )
+                for plan in edge_plans:
+                    data, kind, width = plan.data, plan.kind, plan.width
+                    tuples = plan.tuples if width else []
+                    for r in range(width):
+                        # map() + repeat() keeps the per-event Python work
+                        # down to the AccessEvent constructor itself.
+                        block[offset::events_per_iter] = list(
+                            map(
+                                AccessEvent,
+                                repeat(data),
+                                tuples[r::width] if width > 1 else tuples,
+                                repeat(kind), steps, execs, repeat(tname),
+                                full_points,
+                            )
+                        )
+                        offset += 1
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return block
+
+    # -- matrix-answerable aggregates (no materialization) -------------------
+    def container_order(self) -> list:
+        """Containers in first-access order within this block."""
+        return [
+            p.data for _, edge_plans in self.plans for p in edge_plans if p.width
+        ]
+
+    def count_for(self, data: str) -> int:
+        """Number of events touching *data* in this block."""
+        return sum(
+            p.width * self.niter
+            for _, edge_plans in self.plans
+            for p in edge_plans
+            if p.data == data
+        )
+
+    def accumulate_counts(self, data: str, kind, counts: dict) -> None:
+        """Add this block's per-element access counts for *data*."""
+        for _, edge_plans in self.plans:
+            for plan in edge_plans:
+                if plan.data != data or not plan.width:
+                    continue
+                if kind is not None and plan.kind != kind:
+                    continue
+                matrix = plan.matrix
+                if matrix.shape[1] == 0:
+                    counts[()] = counts.get((), 0) + matrix.shape[0]
+                    continue
+                unique, freq = np.unique(matrix, axis=0, return_counts=True)
+                for row, count in zip(unique.tolist(), freq.tolist()):
+                    key = tuple(row)
+                    counts[key] = counts.get(key, 0) + count
 
 
 def _assemble_pure(
@@ -273,44 +403,36 @@ def _assemble_pure(
     niter: int,
     ntasklets: int,
 ) -> None:
-    """Bulk event assembly when every tracked memlet vectorized.
+    """Register the scope's events lazily when every memlet vectorized.
 
-    Events per iteration are constant, so each (edge, subset-point)
-    column occupies a strided slice of the scope's event block — one
-    list comprehension per column, no per-iteration Python loop.
+    Only the :class:`VectorBlock` index matrices and a deferred
+    :class:`_LazyScopeEvents` segment are recorded; no per-event Python
+    object is created here.
     """
     events_per_iter = sum(p.width for _, edge_plans in plans for p in edge_plans)
     if events_per_iter == 0:
         return
-    base_pos = len(result.events)
-    block = [None] * (niter * events_per_iter)
-    steps = range(step_base, step_base + niter)
+    base_pos = result.num_events
     offset = 0
-    for t_idx, (tname, edge_plans) in enumerate(plans):
-        execs = range(exec_base + t_idx, exec_base + niter * ntasklets, ntasklets)
+    for _, edge_plans in plans:
         for plan in edge_plans:
-            data, kind, tuples, width = plan.data, plan.kind, plan.tuples, plan.width
-            for r in range(width):
-                # map() + repeat() keeps the per-event Python work down to
-                # the AccessEvent constructor itself.
-                block[offset::events_per_iter] = list(
-                    map(
-                        AccessEvent,
-                        repeat(data), tuples[r::width] if width > 1 else tuples,
-                        repeat(kind), steps, execs, repeat(tname), full_points,
-                    )
-                )
+            for r in range(plan.width):
                 result.vector_blocks.append(
                     VectorBlock(
-                        data,
-                        plan.matrix[r::width],
+                        plan.data,
+                        plan.matrix[r::plan.width],
                         base_pos + offset,
                         events_per_iter,
                         niter,
                     )
                 )
                 offset += 1
-    result.events.extend(block)
+    result.add_lazy_segment(
+        _LazyScopeEvents(
+            plans, full_points, step_base, exec_base, niter, ntasklets,
+            events_per_iter,
+        )
+    )
 
 
 def _assemble_mixed(
@@ -333,7 +455,8 @@ def _assemble_mixed(
     compiled subsets for the rest.
     """
     local_env = dict(env)
-    append = result.events.append
+    block: list[AccessEvent] = []
+    append = block.append
     for it in range(niter):
         for name, value in zip(params, points[it]):
             local_env[name] = value
@@ -359,6 +482,7 @@ def _assemble_mixed(
                                 step, execution, tname, point,
                             )
                         )
+    result.extend_events(block)
 
 
 def fast_line_trace(result: "SimulationResult", memory: "MemoryModel") -> list[int]:
@@ -373,7 +497,7 @@ def fast_line_trace(result: "SimulationResult", memory: "MemoryModel") -> list[i
     from repro.simulation.stackdist import line_trace
 
     blocks = getattr(result, "vector_blocks", None)
-    n = len(result.events)
+    n = result.num_events
     if not blocks or sum(b.count for b in blocks) != n:
         return line_trace(result.events, memory)
     out = np.empty(n, dtype=np.int64)

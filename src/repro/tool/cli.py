@@ -47,6 +47,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--capacity", type=int, default=512, help="modeled cache capacity in lines"
     )
+    parser.add_argument(
+        "--sweep",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="sweep a local-view parameter over the listed values "
+        "(repeatable; axes combine as a cross product on top of --local)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --sweep evaluation (default: serial)",
+    )
     parser.add_argument("-o", "--output", default="report.html", help="output HTML path")
     parser.add_argument(
         "--timings",
@@ -59,6 +73,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the vectorized simulation fast path (use the interpreter)",
     )
     return parser
+
+
+def _parse_sweep_spec(items: list[str]) -> dict[str, list[int]]:
+    spec: dict[str, list[int]] = {}
+    for item in items:
+        if "=" not in item:
+            raise ReproError(
+                f"invalid sweep axis {item!r} (use NAME=V1,V2,...)"
+            )
+        name, values = item.split("=", 1)
+        try:
+            spec[name.strip()] = [int(v) for v in values.split(",") if v.strip()]
+        except ValueError as exc:
+            raise ReproError(f"invalid sweep values in {item!r}: {exc}") from exc
+        if not spec[name.strip()]:
+            raise ReproError(f"sweep axis {item!r} lists no values")
+    return spec
 
 
 def _parse_env(text: str) -> dict[str, int]:
@@ -158,6 +189,37 @@ def main(argv: list[str] | None = None) -> int:
                     f"cache model: {args.line_size}-byte lines, "
                     f"{args.capacity}-line capacity"
                 ),
+            )
+
+        if args.sweep:
+            from repro.analysis.parametric import parameter_grid
+
+            spec = _parse_sweep_spec(args.sweep)
+            grid = [
+                {**local_env, **point} for point in parameter_grid(spec)
+            ]
+            points = session.sweep(
+                grid,
+                workers=args.workers,
+                line_size=args.line_size,
+                capacity_lines=args.capacity,
+                fast=not args.no_fast,
+            )
+            report.add_heading("Parametric sweep")
+            report.add_table(
+                ["parameters", "accesses", "cold", "capacity", "est. moved bytes"],
+                [
+                    [
+                        ", ".join(f"{k}={v}" for k, v in point.params.items()),
+                        point.total_accesses,
+                        sum(c.cold for c in point.misses.values()),
+                        sum(c.capacity for c in point.misses.values()),
+                        point.total_moved_bytes,
+                    ]
+                    for point in points
+                ],
+                caption=f"{len(points)} sweep points"
+                + (f", {args.workers} workers" if args.workers else ""),
             )
 
         report.save(args.output)

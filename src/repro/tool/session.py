@@ -14,7 +14,12 @@ from repro.analysis import (
     scope_ops,
     total_movement_bytes,
 )
-from repro.analysis.parametric import evaluate_metrics
+from repro.analysis.parametric import (
+    LocalSweepPoint,
+    evaluate_metrics,
+    parameter_grid,
+    sweep_local_views,
+)
 from repro.analysis.timing import StageTimings, maybe_span
 from repro.errors import ReproError
 from repro.frontend.program import Program
@@ -27,6 +32,15 @@ from repro.simulation import (
     related_access_counts,
     simulate_state,
 )
+from repro.simulation.arrays import (
+    ArrayTrace,
+    build_array_trace,
+    container_physical_movement_array,
+    element_distance_lists,
+    per_container_misses_array,
+    per_container_outcomes,
+    per_element_misses_array,
+)
 from repro.simulation.movement import (
     container_physical_movement,
     edge_physical_movement,
@@ -34,7 +48,11 @@ from repro.simulation.movement import (
     per_element_misses,
 )
 from repro.simulation.simulator import SimulationResult
-from repro.simulation.stackdist import element_stack_distances, stack_distances
+from repro.simulation.stackdist import (
+    element_stack_distances,
+    stack_distances,
+    stack_distances_array,
+)
 from repro.simulation.vectorized import fast_line_trace
 from repro.viz.graphview import render_state
 from repro.viz.heatmap import Heatmap
@@ -159,6 +177,66 @@ class Session:
             cache=self.cache,
             timings=self.timings,
         )
+
+    def sweep(
+        self,
+        params_grid: Mapping[str, Iterable[int]] | Sequence[Mapping[str, int]],
+        workers: int | None = None,
+        line_size: int = 64,
+        capacity_lines: int = 512,
+        include_transients: bool = False,
+        fast: bool = True,
+    ) -> list[LocalSweepPoint]:
+        """Run the local-view locality pipeline over a parameter grid.
+
+        *params_grid* is either a mapping of per-parameter value lists
+        (expanded to their cross product) or an explicit sequence of
+        parameter points.  With ``workers > 1``, unevaluated points fan
+        out over worker processes; results always come back in grid
+        order.  Every evaluated point is memoized in the session cache,
+        so re-sweeping (or sweeping a refined grid) only pays for new
+        points.
+        """
+        if isinstance(params_grid, Mapping):
+            grid = parameter_grid(params_grid)
+        else:
+            grid = [dict(point) for point in params_grid]
+
+        def key_of(params: Mapping[str, int]) -> tuple:
+            return (
+                "sweep",
+                id(self.sdfg),
+                frozenset(params.items()),
+                line_size,
+                capacity_lines,
+                include_transients,
+                fast,
+            )
+
+        out: list[LocalSweepPoint | None] = [None] * len(grid)
+        missing: list[int] = []
+        for index, params in enumerate(grid):
+            point = self.cache.get(key_of(params))
+            if point is None:
+                missing.append(index)
+            else:
+                out[index] = point
+        if missing:
+            with maybe_span(self.timings, "fanout"):
+                fresh = sweep_local_views(
+                    self.sdfg,
+                    [grid[index] for index in missing],
+                    workers=workers,
+                    line_size=line_size,
+                    capacity_lines=capacity_lines,
+                    include_transients=include_transients,
+                    fast=fast,
+                )
+            with maybe_span(self.timings, "merge"):
+                for index, point in zip(missing, fresh):
+                    self.cache.put(key_of(grid[index]), point)
+                    out[index] = point
+        return out  # type: ignore[return-value]
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss/occupancy counters of the shared simulation cache."""
@@ -390,9 +468,31 @@ class LocalView:
                 key, lambda: fast_line_trace(self.result, self.memory)
             )
 
+    def _array_trace(self) -> ArrayTrace | None:
+        """Columnar trace, or None when the object pipeline must be used.
+
+        The cache stores ``False`` for "not array-traceable" so the miss
+        is only diagnosed once per parameter point.
+        """
+        key = ("atrace", self._sim_key(), self.cache.line_size)
+        with maybe_span(self.timings, "layout"):
+            value = self._cached(
+                key, lambda: build_array_trace(self.result, self.memory) or False
+            )
+        return value or None
+
+    def _distances_array(self, trace: ArrayTrace):
+        """Per-event stack distances as a float64 array (array pipeline)."""
+        key = ("dista", self._sim_key(), self.cache.line_size)
+        with maybe_span(self.timings, "stackdist"):
+            return self._cached(key, lambda: stack_distances_array(trace.lines))
+
     def _distances(self) -> list[float]:
         """Per-event stack distances over the full interleaved trace."""
         key = ("dist", self._sim_key(), self.cache.line_size)
+        trace = self._array_trace()
+        if trace is not None:
+            return self._cached(key, lambda: self._distances_array(trace).tolist())
         lines = self._line_ids()
         with maybe_span(self.timings, "stackdist"):
             return self._cached(key, lambda: stack_distances(lines))
@@ -457,6 +557,11 @@ class LocalView:
 
     def reuse_distances(self, data: str | None = None):
         """Per-element stack-distance lists (Fig. 5b)."""
+        trace = self._array_trace()
+        if trace is not None:
+            return element_distance_lists(
+                trace, self._distances_array(trace), data=data
+            )
         return element_stack_distances(
             self.result.events, self.memory, data=data, distances=self._distances()
         )
@@ -476,6 +581,13 @@ class LocalView:
 
     def miss_counts(self, data: str | None = None):
         """Per-container (or one container's per-element) miss counts."""
+        trace = self._array_trace()
+        if trace is not None:
+            distances = self._distances_array(trace)
+            with maybe_span(self.timings, "classify"):
+                if data is None:
+                    return per_container_misses_array(trace, distances, self.cache)
+                return per_element_misses_array(trace, distances, self.cache, data)
         distances = self._distances()
         with maybe_span(self.timings, "classify"):
             if data is None:
@@ -488,14 +600,9 @@ class LocalView:
 
     def miss_heatmap(self, data: str) -> dict[tuple[int, ...], int]:
         """Per-element total misses of one container (Fig. 5c)."""
-        distances = self._distances()
-        with maybe_span(self.timings, "classify"):
-            return {
-                idx: counts.misses
-                for idx, counts in per_element_misses(
-                    self.result.events, self.memory, self.cache, data, distances
-                ).items()
-            }
+        return {
+            idx: counts.misses for idx, counts in self.miss_counts(data).items()
+        }
 
     def miss_counts_set_associative(self, num_sets: int, ways: int):
         """Per-container misses under a *set-associative* backend.
@@ -511,6 +618,10 @@ class LocalView:
         lines = self._line_ids()
         with maybe_span(self.timings, "classify"):
             kinds = classify_three_way(lines, num_sets, ways)
+        trace = self._array_trace()
+        if trace is not None:
+            with maybe_span(self.timings, "classify"):
+                return per_container_outcomes(trace, kinds)
         out: dict[str, MissCounts] = {}
         from repro.simulation.cache import MissKind
 
@@ -528,6 +639,11 @@ class LocalView:
 
     def physical_movement(self) -> dict[str, int]:
         """Estimated bytes moved to/from memory per container (Fig. 7)."""
+        trace = self._array_trace()
+        if trace is not None:
+            distances = self._distances_array(trace)
+            with maybe_span(self.timings, "classify"):
+                return container_physical_movement_array(trace, distances, self.cache)
         distances = self._distances()
         with maybe_span(self.timings, "classify"):
             return container_physical_movement(
@@ -536,10 +652,14 @@ class LocalView:
 
     def edge_movement(self):
         """Physical-movement estimate per dataflow edge (Fig. 5c overlay)."""
-        distances = self._distances()
+        container_misses = self.miss_counts()
         with maybe_span(self.timings, "classify"):
             return edge_physical_movement(
-                self.state, self.result.events, self.memory, self.cache, distances
+                self.state,
+                None,
+                None,
+                self.cache,
+                container_misses=container_misses,
             )
 
     # -- rendering ---------------------------------------------------------------

@@ -1,0 +1,119 @@
+"""Tests for the local-view parametric sweep engine."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.analysis.parametric import (
+    LocalSweepPoint,
+    parameter_grid,
+    sweep_local_views,
+)
+from repro.apps import hdiff
+from repro.tool.session import Session
+
+GRID_SPEC = {"I": [3, 4], "J": [3, 4], "K": [2, 3]}  # 8 points
+
+
+@pytest.fixture(scope="module")
+def sdfg():
+    return hdiff.build_sdfg()
+
+
+class TestParameterGrid:
+    def test_cross_product_order(self):
+        grid = parameter_grid({"I": [8, 16], "J": [4]})
+        assert grid == [{"I": 8, "J": 4}, {"I": 16, "J": 4}]
+
+    def test_last_axis_varies_fastest(self):
+        grid = parameter_grid({"A": [0, 1], "B": [5, 6]})
+        assert [g["B"] for g in grid] == [5, 6, 5, 6]
+
+    def test_empty_spec(self):
+        assert parameter_grid({}) == [{}]
+
+
+class TestSweepLocalViews:
+    def test_serial_sweep_matches_local_view(self, sdfg):
+        grid = parameter_grid(GRID_SPEC)
+        points = sweep_local_views(sdfg, grid, capacity_lines=16)
+        assert [p.params for p in points] == grid
+        # Differential: each point equals the session's own pipeline.
+        session = Session(sdfg)
+        for point in points:
+            lv = session.local_view(point.params, capacity_lines=16)
+            assert point.misses == lv.miss_counts()
+            assert point.moved_bytes == lv.physical_movement()
+            assert point.total_accesses == lv.result.num_events
+            assert point.seconds >= 0
+
+    def test_parallel_equals_serial(self, sdfg):
+        grid = parameter_grid(GRID_SPEC)
+        serial = sweep_local_views(sdfg, grid, capacity_lines=16)
+        parallel = sweep_local_views(sdfg, grid, workers=4, capacity_lines=16)
+        assert parallel == serial
+        assert [p.params for p in parallel] == grid
+
+    def test_interpreter_path_agrees(self, sdfg):
+        grid = [{"I": 3, "J": 3, "K": 2}]
+        fast = sweep_local_views(sdfg, grid, fast=True)
+        slow = sweep_local_views(sdfg, grid, fast=False)
+        assert fast[0] == slow[0]
+
+    def test_point_is_picklable(self, sdfg):
+        point = sweep_local_views(sdfg, [{"I": 3, "J": 3, "K": 2}])[0]
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point
+        assert clone.total_misses == point.total_misses
+        assert clone.total_moved_bytes == point.total_moved_bytes
+
+
+class TestSessionSweep:
+    def test_mapping_expands_to_grid(self, sdfg):
+        session = Session(sdfg)
+        points = session.sweep(GRID_SPEC, capacity_lines=16)
+        assert len(points) == 8
+        assert [p.params for p in points] == parameter_grid(GRID_SPEC)
+
+    def test_explicit_point_list(self, sdfg):
+        session = Session(sdfg)
+        grid = [{"I": 3, "J": 3, "K": 2}, {"I": 4, "J": 4, "K": 3}]
+        points = session.sweep(grid)
+        assert [p.params for p in points] == grid
+
+    def test_resweep_hits_cache(self, sdfg):
+        session = Session(sdfg)
+        first = session.sweep(GRID_SPEC, capacity_lines=16)
+        hits_before = session.cache.hits
+        second = session.sweep(GRID_SPEC, capacity_lines=16)
+        assert session.cache.hits - hits_before == len(first)
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_refined_grid_only_pays_for_new_points(self, sdfg):
+        session = Session(sdfg, cache_size=64)
+        session.sweep({"I": [3], "J": [3], "K": [2]})
+        misses_before = session.cache.misses
+        session.sweep({"I": [3, 4], "J": [3], "K": [2]})
+        assert session.cache.misses - misses_before == 1  # only I=4 is new
+
+    def test_config_is_part_of_the_key(self, sdfg):
+        session = Session(sdfg, cache_size=64)
+        small = session.sweep({"I": [3], "J": [3], "K": [2]}, capacity_lines=2)
+        large = session.sweep({"I": [3], "J": [3], "K": [2]}, capacity_lines=4096)
+        assert small[0].total_misses > large[0].total_misses
+
+    def test_fanout_and_merge_timed(self, sdfg):
+        session = Session(sdfg)
+        session.sweep({"I": [3], "J": [3], "K": [2]})
+        assert session.timings.count("fanout") == 1
+        assert session.timings.count("merge") == 1
+
+    @pytest.mark.skipif(
+        not os.cpu_count() or os.cpu_count() < 2,
+        reason="parallel speedup needs multiple cores",
+    )
+    def test_parallel_sweep_usable_from_session(self, sdfg):
+        session = Session(sdfg)
+        points = session.sweep(GRID_SPEC, workers=2, capacity_lines=16)
+        assert len(points) == 8

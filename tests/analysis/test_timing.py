@@ -35,7 +35,15 @@ class TestStageTimings:
         t.add("enumerate", 1.0)
         t.add("stackdist", 1.0)
         assert t.stages() == ["enumerate", "stackdist", "custom"]
-        assert list(STAGES) == ["enumerate", "evaluate", "layout", "stackdist", "classify"]
+        assert list(STAGES) == [
+            "enumerate",
+            "evaluate",
+            "layout",
+            "stackdist",
+            "classify",
+            "fanout",
+            "merge",
+        ]
 
     def test_rows_and_report(self):
         t = StageTimings()

@@ -1,6 +1,9 @@
 """Tests for physical layout and the memory model."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.sdfg import SDFG, Array, Scalar, dtypes
@@ -88,6 +91,140 @@ class TestPhysicalLayout:
     def test_iter_elements_row_major(self):
         layout = PhysicalLayout(Array(dtypes.float64, [2, 2]))
         assert list(layout.iter_elements()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestNegativeStrides:
+    def test_reversed_vector_spans_full_extent(self):
+        # Regression: a reversed dimension used to contribute a *negative*
+        # span, collapsing size_bytes below the real allocation.
+        desc = Array(dtypes.float64, [4], strides=[-1], start_offset=3)
+        layout = PhysicalLayout(desc)
+        assert layout.size_bytes() == 4 * 8
+        assert layout.element_address((0,)) == 3 * 8
+        assert layout.element_address((3,)) == 0
+
+    def test_reversed_row_dimension(self):
+        desc = Array(dtypes.float64, [3, 4], strides=[-4, 1], start_offset=8)
+        layout = PhysicalLayout(desc)
+        addresses = sorted(
+            layout.element_address(idx) for idx in layout.iter_elements()
+        )
+        assert layout.size_bytes() == addresses[-1] + 8
+        assert addresses[0] == 0
+
+    def test_uncompensated_negative_stride_rejected(self):
+        with pytest.raises(SimulationError):
+            PhysicalLayout(Array(dtypes.float64, [4], strides=[-1]))
+
+    def test_no_overlap_in_memory_model(self):
+        sdfg = SDFG("rev")
+        sdfg.add_array("R", [4], dtypes.float64, strides=[-1], start_offset=3)
+        sdfg.add_array("B", [4], dtypes.float64)
+        mm = MemoryModel(sdfg, line_size=64)
+        r, b = mm.layout("R"), mm.layout("B")
+        r_addrs = {r.element_address((i,)) for i in range(4)}
+        b_addrs = {b.element_address((i,)) for i in range(4)}
+        assert b.base_address >= r.end_address()
+        assert not (r_addrs & b_addrs)
+
+
+class TestBatchAddressing:
+    def layouts(self):
+        yield PhysicalLayout(Array(dtypes.float32, [4, 5]))
+        yield PhysicalLayout(Array(dtypes.float64, [4, 5], strides=Array.f_strides([4, 5])))
+        yield PhysicalLayout(Array(dtypes.float64, [3, 5], strides=[8, 1]), base_address=96)
+        yield PhysicalLayout(Array(dtypes.float64, [4], strides=[-1], start_offset=3))
+
+    def test_matches_scalar_addressing(self):
+        for layout in self.layouts():
+            matrix = np.array(list(layout.iter_elements()), dtype=np.int64)
+            batch = layout.element_addresses(matrix)
+            assert batch.tolist() == [
+                layout.element_address(tuple(row)) for row in matrix.tolist()
+            ]
+            lines = layout.cache_lines_of(matrix, 64)
+            assert lines.tolist() == [
+                layout.cache_line_of(tuple(row), 64) for row in matrix.tolist()
+            ]
+
+    def test_scalar_container_batch(self):
+        layout = PhysicalLayout(Scalar(dtypes.float64), base_address=24)
+        out = layout.element_addresses(np.empty((3, 0), dtype=np.int64))
+        assert out.tolist() == [24, 24, 24]
+
+    def test_wrong_rank_rejected(self):
+        layout = PhysicalLayout(Array(dtypes.float64, [4, 4]))
+        with pytest.raises(SimulationError):
+            layout.element_addresses(np.zeros((2, 1), dtype=np.int64))
+
+
+class TestElementsOnLineArithmetic:
+    """The address-range solver vs. a brute-force scan over all elements."""
+
+    def brute_force(self, layout, line, line_size):
+        return [
+            idx
+            for idx in layout.iter_elements()
+            if layout.cache_line_of(idx, line_size) == line
+        ]
+
+    def all_lines(self, layout, line_size):
+        first = layout.base_address // line_size
+        last = (layout.end_address() - 1) // line_size
+        return range(first, last + 2)  # one past the end: must be empty
+
+    @pytest.mark.parametrize(
+        "desc, base",
+        [
+            (Array(dtypes.float64, [3, 5]), 0),
+            (Array(dtypes.float64, [3, 5], strides=[8, 1]), 0),
+            (Array(dtypes.float64, [4, 4], strides=Array.f_strides([4, 4])), 8),
+            (Array(dtypes.float32, [7], strides=[3]), 4),
+            (Array(dtypes.float64, [3, 4], strides=[-4, 1], start_offset=8), 0),
+        ],
+        ids=["row-major", "padded", "col-major", "strided", "reversed"],
+    )
+    def test_matches_brute_force(self, desc, base):
+        layout = PhysicalLayout(desc, base_address=base)
+        for line_size in (16, 32, 64):
+            for line in self.all_lines(layout, line_size):
+                assert layout.elements_on_line(line, line_size) == self.brute_force(
+                    layout, line, line_size
+                )
+
+    def test_empty_dimension_has_no_elements(self):
+        # iter_elements would yield phantom indices here; the arithmetic
+        # solver must report no resident elements for a zero-sized shape.
+        layout = PhysicalLayout(Array(dtypes.float64, [2, 0, 3]))
+        for line in self.all_lines(layout, 16):
+            assert layout.elements_on_line(line, 16) == []
+
+    @given(
+        st.lists(st.integers(1, 5), min_size=1, max_size=3),
+        st.integers(0, 3),
+        st.sampled_from([16, 32, 64]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_padded_layouts(self, shape, pad, line_size):
+        strides = [1] * len(shape)
+        for d in range(len(shape) - 2, -1, -1):
+            strides[d] = strides[d + 1] * (shape[d + 1] + (pad if d == 0 else 0))
+        layout = PhysicalLayout(Array(dtypes.float64, shape, strides=strides))
+        for line in self.all_lines(layout, line_size):
+            assert layout.elements_on_line(line, line_size) == self.brute_force(
+                layout, line, line_size
+            )
+
+
+class TestMemoryModelMemoization:
+    def test_line_queries_memoized(self):
+        sdfg = SDFG("memo")
+        sdfg.add_array("A", [4], dtypes.float64)
+        sdfg.add_array("B", [4], dtypes.float64)
+        mm = MemoryModel(sdfg, line_size=64)
+        first = mm.elements_on_line(0)
+        assert mm.elements_on_line(0) is first  # cached object comes back
+        assert set(first) == {"A", "B"}
 
 
 class TestMemoryModel:

@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -56,6 +57,133 @@ class TestBruteforceEquivalence:
     @settings(max_examples=100, deadline=None)
     def test_small_alphabet(self, lines):
         assert stack_distances(lines) == stack_distances_bruteforce(lines)
+
+
+class TestArrayKernel:
+    """The NumPy stack-distance kernel vs. the pure-Python oracle."""
+
+    @given(st.lists(st.integers(0, 9), max_size=300))
+    @settings(max_examples=200, deadline=None)
+    def test_merge_tree_matches_olken(self, lines):
+        from repro.simulation import stack_distances_array
+
+        arr = stack_distances_array(np.asarray(lines, dtype=np.int64))
+        assert arr.dtype == np.float64
+        assert arr.tolist() == stack_distances(lines)
+
+    @given(
+        st.lists(st.integers(-5, 5), max_size=200),
+        st.sampled_from([1, 2, 7, 64, 1024]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_chunked_fenwick_route_matches(self, lines, chunk):
+        from repro.simulation import stack_distances_array
+
+        arr = stack_distances_array(np.asarray(lines, dtype=np.int64), chunk=chunk)
+        assert arr.tolist() == stack_distances(lines)
+
+    def test_empty_trace(self):
+        from repro.simulation import stack_distances_array
+
+        out = stack_distances_array(np.array([], dtype=np.int64))
+        assert out.size == 0 and out.dtype == np.float64
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=256))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_tree_equals_fenwick_on_valid_positions(self, lines):
+        """The two private counting engines agree wherever the count is
+        used (cold positions gather don't-care values in the merge tree)."""
+        from repro.simulation.stackdist import (
+            _prefix_dominance_counts,
+            _prefix_dominance_counts_fenwick,
+            _previous_occurrences,
+        )
+
+        ids = np.unique(np.asarray(lines, dtype=np.int64), return_inverse=True)[1]
+        prev = _previous_occurrences(ids)
+        valid = prev >= 0
+        merge = _prefix_dominance_counts(prev)
+        fenwick = _prefix_dominance_counts_fenwick(prev, 16)
+        assert merge[valid].tolist() == fenwick[valid].tolist()
+
+
+class TestFenwickRangeSum:
+    def test_lo_zero_is_prefix_sum(self):
+        from repro.simulation.stackdist import _Fenwick
+
+        tree = _Fenwick(8)
+        for i, value in enumerate([3, 1, 4, 1, 5, 9, 2, 6]):
+            tree.add(i, value)
+        assert tree.range_sum(0, 7) == 31
+        assert tree.range_sum(0, 0) == 3
+        assert tree.range_sum(0, 2) == 8
+
+    def test_empty_range_is_zero(self):
+        from repro.simulation.stackdist import _Fenwick
+
+        tree = _Fenwick(4)
+        tree.add(2, 5)
+        assert tree.range_sum(3, 2) == 0
+        assert tree.range_sum(2, 1) == 0
+        assert tree.range_sum(0, -1) == 0
+
+    def test_interior_range(self):
+        from repro.simulation.stackdist import _Fenwick
+
+        tree = _Fenwick(6)
+        for i in range(6):
+            tree.add(i, i + 1)
+        assert tree.range_sum(2, 4) == 3 + 4 + 5
+
+
+class TestElementStackDistances:
+    def make_trace(self):
+        from repro.sdfg.sdfg import SDFG
+        from repro.sdfg import dtypes
+        from repro.sdfg.memlet import Memlet
+        from repro.simulation import MemoryModel, simulate_state
+
+        sdfg = SDFG("esd")
+        sdfg.add_array("A", [4, 4], dtypes.float64)
+        sdfg.add_array("B", [4, 4], dtypes.float64)
+        state = sdfg.add_state("main")
+        state.add_mapped_tasklet(
+            "compute",
+            {"i": "0:4", "j": "0:4"},
+            inputs={"a": Memlet("A", "i, j"), "b": Memlet("A", "j, i")},
+            code="out = a + b",
+            outputs={"out": Memlet("B", "i, j")},
+        )
+        result = simulate_state(sdfg, {}, fast=True)
+        return result, MemoryModel(sdfg, {}, line_size=32)
+
+    def test_precomputed_distances_reused(self):
+        from repro.simulation import element_stack_distances, stack_distances
+        from repro.simulation.stackdist import line_trace
+
+        result, memory = self.make_trace()
+        distances = stack_distances(line_trace(result.events, memory))
+        fresh = element_stack_distances(result.events, memory)
+        reused = element_stack_distances(result.events, memory, distances=distances)
+        assert reused == fresh
+        # Sentinel distances prove the precomputed values are actually used.
+        sentinel = [float(i) for i in range(len(result.events))]
+        tagged = element_stack_distances(result.events, memory, distances=sentinel)
+        assert sorted(v for vs in tagged.values() for v in vs) == sentinel
+
+    def test_data_filter_with_precomputed(self):
+        from repro.simulation import element_stack_distances, stack_distances
+        from repro.simulation.stackdist import line_trace
+
+        result, memory = self.make_trace()
+        distances = stack_distances(line_trace(result.events, memory))
+        only_a = element_stack_distances(
+            result.events, memory, data="A", distances=distances
+        )
+        assert only_a
+        assert all(name == "A" for name, _ in only_a)
+        full = element_stack_distances(result.events, memory, distances=distances)
+        assert only_a == {k: v for k, v in full.items() if k[0] == "A"}
 
 
 class TestCacheModel:

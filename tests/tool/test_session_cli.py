@@ -210,3 +210,36 @@ def demo(A: float64[I], B: float64[J], C: float64[I, J]):
         module = self.write_module(tmp_path)
         rc = cli_main([str(module), "--params", "I8"])
         assert rc == 1
+
+    def test_sweep_table(self, tmp_path):
+        module = self.write_module(tmp_path)
+        out = tmp_path / "sweep.html"
+        rc = cli_main([
+            str(module), "--local", "I=3,J=4",
+            "--sweep", "I=3,4", "--sweep", "J=2,4",
+            "-o", str(out),
+        ])
+        assert rc == 0
+        text = out.read_text()
+        assert "Parametric sweep" in text
+        assert "4 sweep points" in text
+        assert "I=4, J=2" in text
+
+    def test_sweep_with_workers(self, tmp_path):
+        module = self.write_module(tmp_path)
+        out = tmp_path / "sweep.html"
+        rc = cli_main([
+            str(module), "--local", "I=3,J=4",
+            "--sweep", "I=2,3,4", "--workers", "2",
+            "-o", str(out),
+        ])
+        assert rc == 0
+        assert "2 workers" in out.read_text()
+
+    def test_bad_sweep_axis(self, tmp_path, capsys):
+        module = self.write_module(tmp_path)
+        rc = cli_main([
+            str(module), "--local", "I=3,J=4", "--sweep", "I:3,4",
+        ])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
