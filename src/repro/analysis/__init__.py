@@ -9,8 +9,17 @@
 - :mod:`repro.analysis.parametric` — re-evaluation of symbolic metrics
   under concrete parameter values and parameter sweeps (the "parametric
   scaling analysis" of Section IV-D).
+- :mod:`repro.analysis.executor` — fault-tolerant parallel execution of
+  local-view sweeps with retries, timeouts and structured per-point
+  error records.
 """
 
+from repro.analysis.executor import (
+    CancelToken,
+    SweepExecutor,
+    SweepPointError,
+    SweepRun,
+)
 from repro.analysis.intensity import (
     program_intensity,
     scope_intensities,
@@ -54,4 +63,8 @@ __all__ = [
     "LocalSweepPoint",
     "parameter_grid",
     "sweep_local_views",
+    "CancelToken",
+    "SweepExecutor",
+    "SweepPointError",
+    "SweepRun",
 ]

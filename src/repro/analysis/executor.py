@@ -1,0 +1,699 @@
+"""Fault-tolerant execution of local-view parametric sweeps.
+
+:class:`SweepExecutor` runs the locality pipeline over a parameter grid
+with the error-handling contract a long-running analysis service needs:
+
+- **per-point outcomes** — a failing point yields a structured
+  :class:`SweepPointError` record instead of poisoning the whole grid;
+  every other point still completes, and results always come back in
+  grid order;
+- **retry with backoff** — transient, non-library failures (I/O errors,
+  worker hiccups) are retried up to ``retries`` times with exponential
+  backoff; deterministic library errors (:class:`~repro.errors.ReproError`
+  subclasses) are *never* retried — rerunning them only doubles the work;
+- **per-point timeouts** — a point that exceeds ``timeout`` seconds
+  (measured from submission) is recorded as a timeout and abandoned;
+- **process-pool crash recovery** — a worker killed mid-sweep breaks the
+  :class:`~concurrent.futures.ProcessPoolExecutor`; the executor
+  respawns the pool and resubmits *only the unfinished points*
+  (completed results are never recomputed);
+- **cooperative cancellation** — a :class:`CancelToken` stops the sweep
+  at the next point boundary, marking unfinished points as cancelled;
+- **narrow serial fallback** — only when the pool *cannot be spawned at
+  all* (no fork/spawn support, pickling of the payload impossible, or
+  the pool breaks before any point ever completed and respawning does
+  not help) does the executor fall back to in-process serial
+  evaluation.  Library errors never trigger the fallback.
+
+Every decision is observable: an attached
+:class:`~repro.obs.trace.Tracer` receives one span per evaluated point
+(with parameters, attempt count and status) and an attached
+:class:`~repro.obs.metrics.MetricsRegistry` counts submissions,
+completions, failures, retries, timeouts, cancellations, pool respawns
+and serial fallbacks, plus a latency histogram.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
+from time import perf_counter
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import AnalysisError, ReproError
+
+__all__ = ["CancelToken", "SweepExecutor", "SweepPointError", "SweepRun"]
+
+
+#: Worker-side cache: serialized SDFG text -> deserialized SDFG, so each
+#: worker process pays the JSON round-trip once per program, not per point.
+_SDFG_CACHE: dict[str, Any] = {}
+
+
+def _worker_evaluate(
+    sdfg_text: str,
+    params: Mapping[str, int],
+    line_size: int,
+    capacity_lines: int,
+    include_transients: bool,
+    fast: bool,
+):
+    """Default worker entry point: deserialize (cached) and evaluate."""
+    sdfg = _SDFG_CACHE.get(sdfg_text)
+    if sdfg is None:
+        from repro.sdfg.serialize import loads
+
+        if len(_SDFG_CACHE) >= 4:
+            _SDFG_CACHE.clear()
+        sdfg = _SDFG_CACHE[sdfg_text] = loads(sdfg_text)
+    from repro.analysis import parametric
+
+    return parametric._evaluate_point(
+        sdfg, params, line_size, capacity_lines, include_transients, fast
+    )
+
+
+class _PoolUnavailable(Exception):
+    """Internal: the process pool cannot be used at all; go serial."""
+
+    def __init__(self, message: str, outcomes: list | None = None):
+        super().__init__(message)
+        #: Partial outcomes gathered before the pool became unusable;
+        #: the serial fallback fills only the still-``None`` slots.
+        self.outcomes = outcomes
+
+
+class CancelToken:
+    """Thread-safe cooperative cancellation flag for a running sweep."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:
+        return f"CancelToken(cancelled={self.cancelled})"
+
+
+class SweepPointError:
+    """Structured record of one failed sweep point (picklable).
+
+    Attributes
+    ----------
+    params:
+        The parameter assignment of the failing point.
+    kind:
+        ``"error"`` (the evaluation raised), ``"timeout"``, ``"crash"``
+        (the worker process died) or ``"cancelled"``.
+    error_type:
+        Exception class name, when one was raised.
+    message:
+        Human-readable failure description.
+    attempts:
+        How many evaluation attempts were made before giving up.
+    """
+
+    __slots__ = ("params", "kind", "error_type", "message", "attempts")
+
+    KINDS = ("error", "timeout", "crash", "cancelled")
+
+    def __init__(
+        self,
+        params: Mapping[str, int],
+        kind: str,
+        error_type: str | None,
+        message: str,
+        attempts: int,
+    ):
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown failure kind {kind!r}")
+        self.params = dict(params)
+        self.kind = kind
+        self.error_type = error_type
+        self.message = message
+        self.attempts = attempts
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "params": dict(self.params),
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SweepPointError):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepPointError({self.params}, kind={self.kind!r}, "
+            f"{self.error_type}: {self.message!r}, attempts={self.attempts})"
+        )
+
+
+class SweepRun:
+    """Grid-ordered outcomes of one sweep: result points and/or errors.
+
+    :attr:`outcomes` has one entry per grid point, in grid order: either
+    the evaluated point (e.g. a
+    :class:`~repro.analysis.parametric.LocalSweepPoint`) or a
+    :class:`SweepPointError`.
+    """
+
+    def __init__(self, grid: Sequence[Mapping[str, int]], outcomes: Sequence[Any]):
+        self.grid = [dict(point) for point in grid]
+        self.outcomes = list(outcomes)
+
+    @property
+    def points(self) -> list[Any]:
+        """Successful results in grid order (``None`` where a point failed)."""
+        return [
+            None if isinstance(o, SweepPointError) else o for o in self.outcomes
+        ]
+
+    @property
+    def errors(self) -> list[SweepPointError]:
+        return [o for o in self.outcomes if isinstance(o, SweepPointError)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def completed(self) -> int:
+        return len(self.outcomes) - len(self.errors)
+
+    def raise_on_error(self) -> None:
+        """Raise :class:`~repro.errors.AnalysisError` naming the first failure."""
+        for outcome in self.outcomes:
+            if isinstance(outcome, SweepPointError):
+                raise AnalysisError(
+                    f"sweep point {outcome.params} failed "
+                    f"({outcome.kind}): {outcome.message}"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "points": len(self.grid),
+            "completed": self.completed,
+            "errors": [e.to_dict() for e in self.errors],
+        }
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __getitem__(self, index):
+        return self.outcomes[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepRun(points={len(self.grid)}, completed={self.completed}, "
+            f"failed={len(self.errors)})"
+        )
+
+
+class SweepExecutor:
+    """Fault-tolerant, observable sweep execution over a parameter grid.
+
+    Parameters
+    ----------
+    workers:
+        ``None`` or ``0`` evaluates serially in-process; ``n >= 1`` fans
+        out over a process pool of *n* workers (at most one in-flight
+        task per worker, so per-point timeouts track execution time).
+    retries:
+        Extra attempts for transient (non-library) failures per point.
+    backoff:
+        Base delay in seconds before a retry; doubles per attempt.
+    timeout:
+        Per-point wall-clock budget in seconds, measured from
+        submission to a worker (``None`` disables; serial evaluation is
+        not preemptible and ignores it).
+    max_respawns:
+        How many times a broken pool is respawned before giving up.
+    tracer / metrics:
+        Optional observability sinks (see :mod:`repro.obs`).
+    point_fn:
+        Evaluation callable ``(sdfg_text, params, line_size,
+        capacity_lines, include_transients, fast)``; defaults to the
+        locality pipeline.  Must be picklable for the pool path.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+        timeout: float | None = None,
+        max_respawns: int = 2,
+        tracer=None,
+        metrics=None,
+        point_fn: Callable | None = None,
+    ):
+        self.workers = workers
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.timeout = timeout
+        self.max_respawns = int(max_respawns)
+        self.tracer = tracer
+        self.metrics = metrics
+        self.point_fn = point_fn
+
+    # -- observability helpers ---------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.counter(name).inc(amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value)
+
+    def _record_point(
+        self,
+        params: Mapping[str, int],
+        index: int,
+        attempts: int,
+        seconds: float,
+        error: SweepPointError | None = None,
+    ) -> None:
+        if self.tracer is None:
+            return
+        span = self.tracer.record(
+            "sweep.point",
+            seconds,
+            params=dict(params),
+            index=index,
+            attempts=attempts,
+        )
+        if error is not None:
+            span.set(kind=error.kind)
+            span.fail(f"{error.error_type}: {error.message}")
+
+    # -- public API --------------------------------------------------------
+    def run(
+        self,
+        sdfg,
+        grid: Sequence[Mapping[str, int]],
+        line_size: int = 64,
+        capacity_lines: int = 512,
+        include_transients: bool = False,
+        fast: bool = True,
+        cancel: CancelToken | None = None,
+        on_result: Callable[[int, Any], None] | None = None,
+        fail_fast: bool = False,
+    ) -> SweepRun:
+        """Evaluate every grid point; return grid-ordered outcomes.
+
+        With ``fail_fast=True``, the first deterministic library error
+        (or exhausted-retry failure) cancels outstanding work and raises
+        :class:`~repro.errors.AnalysisError` naming the failing point.
+        *on_result* is called as ``on_result(index, outcome)`` for every
+        finished point (it may call ``cancel.cancel()``).
+        """
+        grid = [dict(point) for point in grid]
+        cfg = (line_size, capacity_lines, include_transients, fast)
+        self._count("sweep.points", len(grid))
+        span = (
+            self.tracer.span("sweep.run", points=len(grid), workers=self.workers)
+            if self.tracer is not None
+            else nullcontext()
+        )
+        with span:
+            if not grid:
+                return SweepRun([], [])
+            use_pool = (
+                self.workers is not None and self.workers >= 1 and len(grid) > 1
+            )
+            outcomes: list | None = None
+            if use_pool:
+                try:
+                    outcomes = self._run_pool(
+                        sdfg, grid, cfg, cancel, on_result, fail_fast
+                    )
+                except _PoolUnavailable as exc:
+                    # The narrow "pool cannot spawn" case — and only it.
+                    self._count("sweep.serial_fallbacks")
+                    outcomes = self._run_serial(
+                        sdfg, grid, cfg, cancel, on_result, fail_fast,
+                        outcomes=exc.outcomes,
+                    )
+            else:
+                outcomes = self._run_serial(
+                    sdfg, grid, cfg, cancel, on_result, fail_fast
+                )
+        return SweepRun(grid, outcomes)
+
+    # -- serial path -------------------------------------------------------
+    def _run_serial(
+        self,
+        sdfg,
+        grid: list[dict],
+        cfg: tuple,
+        cancel: CancelToken | None,
+        on_result,
+        fail_fast: bool,
+        outcomes: list | None = None,
+    ) -> list:
+        if outcomes is None:
+            outcomes = [None] * len(grid)
+        sdfg_text = None
+        if self.point_fn is not None:
+            from repro.sdfg.serialize import dumps
+
+            sdfg_text = dumps(sdfg, indent=None)
+        for index, params in enumerate(grid):
+            if outcomes[index] is not None:
+                continue  # already finished by a pool run that went away
+            if cancel is not None and cancel.cancelled:
+                remaining = [
+                    j for j in range(index, len(grid)) if outcomes[j] is None
+                ]
+                for j in remaining:
+                    outcomes[j] = SweepPointError(
+                        grid[j], "cancelled", None, "sweep cancelled", 0
+                    )
+                self._count("sweep.cancelled", len(remaining))
+                break
+            outcome = self._evaluate_serial(sdfg, sdfg_text, params, cfg, index, fail_fast)
+            outcomes[index] = outcome
+            if isinstance(outcome, SweepPointError):
+                self._count("sweep.failed")
+            else:
+                self._count("sweep.completed")
+            if on_result is not None:
+                on_result(index, outcome)
+        return outcomes
+
+    def _evaluate_serial(
+        self, sdfg, sdfg_text, params: dict, cfg: tuple, index: int, fail_fast: bool
+    ):
+        attempts = 0
+        while True:
+            attempts += 1
+            start = perf_counter()
+            try:
+                if self.point_fn is not None:
+                    point = self.point_fn(sdfg_text, params, *cfg)
+                else:
+                    from repro.analysis import parametric
+
+                    point = parametric._evaluate_point(
+                        sdfg, params, *cfg, timings=self.tracer
+                    )
+            except ReproError as exc:
+                # Deterministic library error: retrying only repeats the
+                # failure, so record (or raise) immediately.
+                error = SweepPointError(
+                    params, "error", type(exc).__name__, str(exc), attempts
+                )
+                self._record_point(params, index, attempts, perf_counter() - start, error)
+                if fail_fast:
+                    raise AnalysisError(
+                        f"sweep point {params} failed: {exc}"
+                    ) from exc
+                return error
+            except Exception as exc:  # noqa: BLE001 — fault barrier: unknown errors become records/retries
+                if attempts <= self.retries:
+                    self._count("sweep.retries")
+                    time.sleep(self.backoff * (2 ** (attempts - 1)))
+                    continue
+                error = SweepPointError(
+                    params, "error", type(exc).__name__, str(exc), attempts
+                )
+                self._record_point(params, index, attempts, perf_counter() - start, error)
+                if fail_fast:
+                    raise AnalysisError(
+                        f"sweep point {params} failed after {attempts} attempts: {exc}"
+                    ) from exc
+                return error
+            seconds = perf_counter() - start
+            self._record_point(params, index, attempts, seconds)
+            self._observe("sweep.point_seconds", seconds)
+            return point
+
+    # -- pool path ---------------------------------------------------------
+    def _spawn_pool(self, nworkers: int, outcomes: list | None) -> ProcessPoolExecutor:
+        try:
+            return ProcessPoolExecutor(max_workers=nworkers)
+        except (ImportError, NotImplementedError, OSError, PermissionError,
+                RuntimeError, ValueError) as exc:
+            raise _PoolUnavailable(f"cannot spawn worker pool: {exc}", outcomes) from exc
+
+    def _run_pool(
+        self,
+        sdfg,
+        grid: list[dict],
+        cfg: tuple,
+        cancel: CancelToken | None,
+        on_result,
+        fail_fast: bool,
+    ) -> list:
+        from repro.sdfg.serialize import dumps
+
+        fn = self.point_fn or _worker_evaluate
+        sdfg_text = dumps(sdfg, indent=None)
+        n = len(grid)
+        nworkers = min(int(self.workers), n)
+        outcomes: list = [None] * n
+        attempts = [0] * n
+        done_count = 0
+        todo: deque[int] = deque(range(n))
+        pending: dict[Future, tuple[int, float]] = {}
+        retry_at: list[tuple[float, int]] = []
+        respawns = 0
+        ever_completed = False
+        pool = self._spawn_pool(nworkers, None)
+
+        def finish(index: int, outcome, seconds: float = 0.0) -> None:
+            nonlocal done_count
+            outcomes[index] = outcome
+            done_count += 1
+            if isinstance(outcome, SweepPointError):
+                self._count("sweep.failed")
+                self._record_point(
+                    grid[index], index, attempts[index], seconds, outcome
+                )
+            else:
+                self._count("sweep.completed")
+                self._record_point(grid[index], index, attempts[index], seconds)
+                self._observe("sweep.point_seconds", seconds)
+            if on_result is not None:
+                on_result(index, outcome)
+
+        def unfinished_pending() -> list[int]:
+            indices = [index for index, _ in pending.values()]
+            pending.clear()
+            return indices
+
+        try:
+            while done_count < n:
+                now = time.monotonic()
+                # Cooperative cancellation at the next wave boundary.
+                if cancel is not None and cancel.cancelled:
+                    for future in pending:
+                        future.cancel()
+                    remaining = (
+                        unfinished_pending()
+                        + list(todo)
+                        + [index for _, index in retry_at]
+                    )
+                    todo.clear()
+                    retry_at.clear()
+                    for index in remaining:
+                        finish(
+                            index,
+                            SweepPointError(
+                                grid[index], "cancelled", None, "sweep cancelled",
+                                attempts[index],
+                            ),
+                        )
+                    self._count("sweep.cancelled", len(remaining))
+                    break
+                # Backoff delays that have elapsed become submittable again.
+                due = [index for when, index in retry_at if when <= now]
+                if due:
+                    retry_at = [(w, i) for w, i in retry_at if w > now]
+                    todo.extend(due)
+                # Keep at most one in-flight task per worker so a timeout
+                # measures execution, not queueing.
+                broken = False
+                while todo and len(pending) < nworkers:
+                    index = todo.popleft()
+                    attempts[index] += 1
+                    try:
+                        future = pool.submit(fn, sdfg_text, grid[index], *cfg)
+                    except (BrokenProcessPool, RuntimeError):
+                        attempts[index] -= 1
+                        todo.appendleft(index)
+                        broken = True
+                        break
+                    pending[future] = (index, time.monotonic())
+                if not broken:
+                    if not pending:
+                        if retry_at:
+                            time.sleep(
+                                max(0.0, min(w for w, _ in retry_at) - time.monotonic())
+                            )
+                            continue
+                        break  # nothing in flight and nothing to submit
+                    done, _ = wait(
+                        set(pending), timeout=0.05, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        index, submitted = pending.pop(future)
+                        try:
+                            point = future.result()
+                        except BrokenProcessPool as exc:
+                            broken = True
+                            if attempts[index] <= self.retries:
+                                self._count("sweep.retries")
+                                todo.append(index)
+                            else:
+                                finish(
+                                    index,
+                                    SweepPointError(
+                                        grid[index], "crash", type(exc).__name__,
+                                        str(exc) or "worker process died",
+                                        attempts[index],
+                                    ),
+                                )
+                        except pickle.PicklingError as exc:
+                            raise _PoolUnavailable(
+                                f"sweep payload does not pickle: {exc}", outcomes
+                            ) from exc
+                        except ReproError as exc:
+                            error = SweepPointError(
+                                grid[index], "error", type(exc).__name__,
+                                str(exc), attempts[index],
+                            )
+                            if fail_fast:
+                                for other in pending:
+                                    other.cancel()
+                                raise AnalysisError(
+                                    f"sweep point {grid[index]} failed: {exc}"
+                                ) from exc
+                            finish(index, error, time.monotonic() - submitted)
+                        except Exception as exc:  # noqa: BLE001 — fault barrier: unknown errors become records/retries
+                            if attempts[index] <= self.retries:
+                                self._count("sweep.retries")
+                                retry_at.append((
+                                    time.monotonic()
+                                    + self.backoff * (2 ** (attempts[index] - 1)),
+                                    index,
+                                ))
+                            else:
+                                error = SweepPointError(
+                                    grid[index], "error", type(exc).__name__,
+                                    str(exc), attempts[index],
+                                )
+                                if fail_fast:
+                                    for other in pending:
+                                        other.cancel()
+                                    raise AnalysisError(
+                                        f"sweep point {grid[index]} failed after "
+                                        f"{attempts[index]} attempts: {exc}"
+                                    ) from exc
+                                finish(index, error, time.monotonic() - submitted)
+                        else:
+                            ever_completed = True
+                            finish(index, point, time.monotonic() - submitted)
+                # A broken pool poisons every in-flight future: drain them,
+                # respawn, and resubmit only the unfinished points.
+                if broken:
+                    self._count("sweep.pool_respawns")
+                    respawns += 1
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    for future, (index, submitted) in list(pending.items()):
+                        del pending[future]
+                        # Salvage results that completed before the break so
+                        # finished points are never recomputed.
+                        if future.done() and not future.cancelled():
+                            exc = future.exception()
+                            if exc is None:
+                                ever_completed = True
+                                finish(
+                                    index, future.result(),
+                                    time.monotonic() - submitted,
+                                )
+                                continue
+                            if isinstance(exc, ReproError):
+                                if fail_fast:
+                                    raise AnalysisError(
+                                        f"sweep point {grid[index]} failed: {exc}"
+                                    ) from exc
+                                finish(
+                                    index,
+                                    SweepPointError(
+                                        grid[index], "error", type(exc).__name__,
+                                        str(exc), attempts[index],
+                                    ),
+                                    time.monotonic() - submitted,
+                                )
+                                continue
+                        if attempts[index] <= self.retries:
+                            self._count("sweep.retries")
+                            todo.append(index)
+                        else:
+                            finish(
+                                index,
+                                SweepPointError(
+                                    grid[index], "crash", "BrokenProcessPool",
+                                    "worker process died", attempts[index],
+                                ),
+                            )
+                    if respawns > self.max_respawns:
+                        if not ever_completed:
+                            # The pool never produced a single result:
+                            # indistinguishable from "cannot spawn".
+                            raise _PoolUnavailable(
+                                "worker pool never became operational", outcomes
+                            )
+                        remaining = list(todo) + [i for _, i in retry_at]
+                        todo.clear()
+                        retry_at.clear()
+                        for index in remaining:
+                            finish(
+                                index,
+                                SweepPointError(
+                                    grid[index], "crash", "BrokenProcessPool",
+                                    "worker pool kept dying", attempts[index],
+                                ),
+                            )
+                        continue
+                    pool = self._spawn_pool(nworkers, outcomes)
+                # Per-point timeout: abandon futures past their budget.
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    for future, (index, submitted) in list(pending.items()):
+                        if now - submitted > self.timeout:
+                            future.cancel()
+                            del pending[future]
+                            self._count("sweep.timeouts")
+                            finish(
+                                index,
+                                SweepPointError(
+                                    grid[index], "timeout", "TimeoutError",
+                                    f"point exceeded {self.timeout:g}s",
+                                    attempts[index],
+                                ),
+                                now - submitted,
+                            )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return outcomes

@@ -11,15 +11,16 @@ input parameters dominate performance.
 every point of a parameter grid runs the full simulation → layout →
 stack-distance → miss-classification pipeline and yields a
 :class:`LocalSweepPoint`.  Points are independent, so the sweep fans out
-over worker processes (the SDFG travels as its JSON serialization, each
-worker deserializes once and evaluates a batch); a serial path remains
-both as fallback and for ``workers=1``.
+over worker processes via the fault-tolerant
+:class:`~repro.analysis.executor.SweepExecutor` (the SDFG travels as its
+JSON serialization, each worker deserializes once); a serial path
+remains both as the narrow pool-cannot-spawn fallback and for
+``workers<=1``.
 """
 
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor
 from time import perf_counter
 from typing import Callable, Generic, Hashable, Iterable, Mapping, Sequence, TypeVar
 
@@ -223,8 +224,16 @@ def _evaluate_point(
     capacity_lines: int,
     include_transients: bool,
     fast: bool,
+    timings=None,
 ) -> LocalSweepPoint:
-    """Run the locality pipeline at one parameter point (array-first)."""
+    """Run the locality pipeline at one parameter point (array-first).
+
+    *timings* is an optional span collector (a
+    :class:`~repro.analysis.timing.StageTimings` or
+    :class:`~repro.obs.trace.Tracer`) receiving the per-stage spans of
+    this point's pipeline run.
+    """
+    from repro.analysis.timing import maybe_span
     from repro.simulation import (
         CacheModel,
         MemoryModel,
@@ -239,17 +248,23 @@ def _evaluate_point(
 
     start = perf_counter()
     result = simulate_state(
-        sdfg, params, include_transients=include_transients, fast=fast
+        sdfg, params, include_transients=include_transients, fast=fast,
+        timings=timings,
     )
-    memory = MemoryModel(sdfg, params, line_size=line_size)
+    with maybe_span(timings, "layout"):
+        memory = MemoryModel(sdfg, params, line_size=line_size)
+        trace = build_array_trace(result, memory)
     model = CacheModel(line_size=line_size, capacity_lines=capacity_lines)
-    trace = build_array_trace(result, memory)
     if trace is not None:
-        distances = stack_distances_array(trace.lines)
-        misses = per_container_misses_array(trace, distances, model)
+        with maybe_span(timings, "stackdist"):
+            distances = stack_distances_array(trace.lines)
+        with maybe_span(timings, "classify"):
+            misses = per_container_misses_array(trace, distances, model)
     else:
-        distances = stack_distances(line_trace(result.events, memory))
-        misses = per_container_misses(result.events, memory, model, distances)
+        with maybe_span(timings, "stackdist"):
+            distances = stack_distances(line_trace(result.events, memory))
+        with maybe_span(timings, "classify"):
+            misses = per_container_misses(result.events, memory, model, distances)
     moved = {name: counts.misses * line_size for name, counts in misses.items()}
     return LocalSweepPoint(
         params=dict(params),
@@ -260,26 +275,6 @@ def _evaluate_point(
     )
 
 
-def _sweep_batch(
-    sdfg_text: str,
-    batch: Sequence[Mapping[str, int]],
-    line_size: int,
-    capacity_lines: int,
-    include_transients: bool,
-    fast: bool,
-) -> list[LocalSweepPoint]:
-    """Worker entry point: deserialize the SDFG once, evaluate a batch."""
-    from repro.sdfg.serialize import loads
-
-    sdfg = loads(sdfg_text)
-    return [
-        _evaluate_point(
-            sdfg, params, line_size, capacity_lines, include_transients, fast
-        )
-        for params in batch
-    ]
-
-
 def sweep_local_views(
     sdfg,
     grid: Sequence[Mapping[str, int]],
@@ -288,50 +283,41 @@ def sweep_local_views(
     capacity_lines: int = 512,
     include_transients: bool = False,
     fast: bool = True,
+    tracer=None,
+    metrics=None,
 ) -> list[LocalSweepPoint]:
     """Evaluate the local-view pipeline at every point of *grid*.
 
-    With ``workers > 1`` the grid is split round-robin into one batch per
-    worker and fanned out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-    (the SDFG is shipped as JSON and deserialized once per worker); the
-    result order always matches *grid*.  Any failure to spawn workers
-    falls back to the serial path, so callers never see a degraded
-    environment as an error.
-    """
-    grid = [dict(point) for point in grid]
-    serial = lambda: [
-        _evaluate_point(
-            sdfg, params, line_size, capacity_lines, include_transients, fast
-        )
-        for params in grid
-    ]
-    if workers is None or workers <= 1 or len(grid) <= 1:
-        return serial()
-    nbatches = min(int(workers), len(grid))
-    batches = [grid[i::nbatches] for i in range(nbatches)]
-    from repro.sdfg.serialize import dumps
+    With ``workers > 1`` the points fan out over a worker-process pool
+    managed by :class:`~repro.analysis.executor.SweepExecutor` (the SDFG
+    is shipped as JSON and deserialized once per worker); the result
+    order always matches *grid*.
 
-    sdfg_text = dumps(sdfg, indent=None)
-    out: list[LocalSweepPoint | None] = [None] * len(grid)
-    try:
-        with ProcessPoolExecutor(max_workers=nbatches) as pool:
-            futures = [
-                pool.submit(
-                    _sweep_batch,
-                    sdfg_text,
-                    batch,
-                    line_size,
-                    capacity_lines,
-                    include_transients,
-                    fast,
-                )
-                for batch in batches
-            ]
-            for index, future in enumerate(futures):
-                out[index::nbatches] = future.result()
-    except Exception:
-        # Process pools are unavailable in some sandboxes (no fork/spawn)
-        # and brittle under interpreter shutdown; the sweep itself is
-        # always serializable work.
-        return serial()
-    return out  # type: ignore[return-value]
+    Error-handling contract: only the narrow "pool cannot be spawned"
+    case (no fork/spawn support, unpicklable payload, or a pool that
+    dies before producing a single result) falls back to serial
+    evaluation.  A deterministic library error at one point — e.g. an
+    :class:`~repro.errors.AnalysisError` from the pipeline — propagates
+    immediately as :class:`~repro.errors.AnalysisError` naming the
+    failing point's parameters; completed points are never re-run.  For
+    partial results with structured per-point error records, use
+    :class:`~repro.analysis.executor.SweepExecutor` (or
+    ``Session.sweep(on_error="record")``) directly.
+    """
+    from repro.analysis.executor import SweepExecutor
+
+    executor = SweepExecutor(
+        workers=None if workers is None or workers <= 1 else workers,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    run = executor.run(
+        sdfg,
+        grid,
+        line_size=line_size,
+        capacity_lines=capacity_lines,
+        include_transients=include_transients,
+        fast=fast,
+        fail_fast=True,
+    )
+    return run.points

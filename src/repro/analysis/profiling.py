@@ -22,6 +22,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.analysis.opcount import tasklet_ops
+from repro.errors import EvaluationError
 from repro.sdfg.nodes import Node, Tasklet
 from repro.sdfg.sdfg import SDFG
 
@@ -71,7 +72,7 @@ class ProfileReport:
             per_execution = memlet.subset.num_elements()
             try:
                 volume = float(per_execution.evaluate({}))
-            except Exception:
+            except EvaluationError:
                 continue  # symbolic per-execution subsets need env context
             out[edge] = volume * self.tasklet_executions[tasklet]
         return out

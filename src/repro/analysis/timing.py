@@ -16,6 +16,14 @@ stage of the pipeline records wall-time spans into a
 
 The collector is queryable from :class:`~repro.tool.session.Session` and
 printed by the CLI under ``--timings``.
+
+The hierarchical :class:`~repro.obs.trace.Tracer` generalizes this
+collector: it exposes the same ``span``/``add`` recording interface, so
+every ``timings=`` parameter in the simulation and analysis layers
+accepts either.  Span context managers yield an attribute sink — a real
+:class:`~repro.obs.trace.Span` from a tracer, a no-op
+:class:`~repro.obs.trace.NullSpan` here — so instrumented code can
+attach metadata (event counts, point parameters) unconditionally.
 """
 
 from __future__ import annotations
@@ -23,6 +31,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Iterator
+
+from repro.obs.trace import NULL_SPAN
 
 __all__ = ["STAGES", "StageTimings", "maybe_span"]
 
@@ -41,11 +51,15 @@ class StageTimings:
         self._spans.setdefault(stage, []).append(float(seconds))
 
     @contextmanager
-    def span(self, stage: str) -> Iterator[None]:
-        """Context manager recording one wall-time span for *stage*."""
+    def span(self, stage: str):
+        """Context manager recording one wall-time span for *stage*.
+
+        Yields a no-op attribute sink; the hierarchical tracer yields a
+        real span whose ``set()`` attaches attributes.
+        """
         start = perf_counter()
         try:
-            yield
+            yield NULL_SPAN
         finally:
             self.add(stage, perf_counter() - start)
 
@@ -72,6 +86,13 @@ class StageTimings:
         """``(stage, span count, total seconds)`` per recorded stage."""
         return [(s, self.count(s), self.total(s)) for s in self.stages()]
 
+    def to_dict(self) -> dict[str, dict[str, float]]:
+        """``{stage: {count, seconds}}`` for JSON export."""
+        return {
+            stage: {"count": count, "seconds": total}
+            for stage, count, total in self.rows()
+        }
+
     def report(self) -> str:
         """A small fixed-width table of the recorded stages."""
         rows = self.rows()
@@ -92,10 +113,15 @@ class StageTimings:
 
 
 @contextmanager
-def maybe_span(timings: StageTimings | None, stage: str) -> Iterator[None]:
-    """Record a span when *timings* is provided; otherwise a no-op."""
+def maybe_span(timings, stage: str) -> Iterator:
+    """Record a span when *timings* is provided; otherwise a no-op.
+
+    *timings* is any collector with a ``span(name)`` context manager —
+    a :class:`StageTimings` or a :class:`~repro.obs.trace.Tracer`.
+    Always yields an attribute sink supporting ``set(**attrs)``.
+    """
     if timings is None:
-        yield
+        yield NULL_SPAN
         return
-    with timings.span(stage):
-        yield
+    with timings.span(stage) as span:
+        yield span if span is not None else NULL_SPAN

@@ -178,7 +178,7 @@ def _run_tasklet(
         namespace[edge.data.dst_conn] = _read(sdfg, memlet, storage, env)
     try:
         exec(tasklet.code, _TASKLET_GLOBALS, namespace)  # noqa: S102
-    except Exception as exc:
+    except Exception as exc:  # noqa: BLE001 — converted to CodegenError
         raise CodegenError(
             f"tasklet {tasklet.name!r} failed: {exc} (code: {tasklet.code!r})"
         ) from exc

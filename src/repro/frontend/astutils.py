@@ -68,7 +68,7 @@ def index_expressions(node: ast.Subscript) -> tuple[Expr, ...]:
             )
         try:
             out.append(parse_expr(unparse(dim)))
-        except Exception as exc:
+        except Exception as exc:  # noqa: BLE001 — converted to FrontendError
             raise FrontendError(
                 f"index {unparse(dim)!r} in {unparse(node)!r} is not an "
                 f"affine expression: {exc}"

@@ -72,7 +72,7 @@ def _declare_arguments(sdfg: SDFG, funcdef: ast.FunctionDef, prog: "Program") ->
                 compile(ast.Expression(arg.annotation), filename="<annotation>", mode="eval"),
                 closure,
             )
-        except Exception as exc:
+        except Exception as exc:  # noqa: BLE001 — converted to FrontendError
             raise FrontendError(
                 f"cannot evaluate annotation of parameter {arg.arg!r}: {exc}"
             ) from exc
@@ -225,7 +225,7 @@ class _StateContext:
             return Range.from_string(node.value)
         try:
             end = parse_expr(unparse(node))
-        except Exception as exc:
+        except Exception as exc:  # noqa: BLE001 — converted to FrontendError
             raise FrontendError(
                 f"invalid pmap bound {unparse(node)!r}: {exc}"
             ) from exc

@@ -1,0 +1,35 @@
+"""Observability layer: hierarchical tracing and a metrics registry.
+
+The interactive workflow of the paper only works when the analysis
+backend is *trusted* — a re-evaluation that silently degraded (serial
+fallback, dropped sweep points, stale cache entries) shows the engineer
+a wrong heatmap with full confidence.  This package gives every
+pipeline run an inspectable execution record:
+
+- :mod:`repro.obs.trace` — hierarchical wall-time spans generalizing
+  the flat :class:`~repro.analysis.timing.StageTimings` collector.  A
+  :class:`~repro.obs.trace.Tracer` is duck-compatible with
+  ``StageTimings`` (``span``/``add``), so it threads through the
+  simulation and analysis layers unchanged while additionally
+  recording parent/child structure, per-span attributes, and error
+  status — exportable as JSON.
+- :mod:`repro.obs.metrics` — a registry of named counters, gauges and
+  histograms (sweep retries, timeouts, pool respawns, cache hits,
+  per-point latencies), also exportable as JSON.
+
+Both are owned by :class:`~repro.tool.session.Session` and written by
+the CLI under ``--trace`` / ``--metrics-out``.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NullSpan, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullSpan",
+    "Span",
+    "Tracer",
+]

@@ -124,7 +124,7 @@ def validate_state(state: SDFGState, sdfg: SDFG | None = None) -> None:
     # Scope balance: every map entry reachable set must close at its exit.
     try:
         state.scope_dict()
-    except Exception as exc:  # scope computation signals imbalance
+    except Exception as exc:  # noqa: BLE001 — scope computation signals imbalance
         raise InvalidSDFGError(f"invalid scope structure: {exc}", state) from exc
 
     # Tasklet connector/edge agreement.

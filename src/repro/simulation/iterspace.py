@@ -23,7 +23,7 @@ def iteration_points(
     """Yield concrete iteration points in loop-nest order (last param fastest)."""
     try:
         concrete = [r.concretize(env) for r in map_obj.ranges]
-    except Exception as exc:
+    except Exception as exc:  # noqa: BLE001 — converted to SimulationError
         raise SimulationError(
             f"cannot concretize map {map_obj.label!r}: {exc}; provide values "
             f"for {sorted(set().union(*(r.free_symbols() for r in map_obj.ranges)))}"

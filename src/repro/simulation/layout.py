@@ -59,7 +59,7 @@ class PhysicalLayout:
                 self.shape = tuple(int(s.evaluate(self.env)) for s in desc.shape)
                 self.strides = tuple(int(s.evaluate(self.env)) for s in desc.strides)
                 self.start_offset = int(desc.start_offset.evaluate(self.env))
-            except Exception as exc:
+            except Exception as exc:  # noqa: BLE001 — converted to SimulationError
                 raise SimulationError(
                     f"cannot concretize layout: {exc}"
                 ) from exc

@@ -368,7 +368,8 @@ class AccessPatternSimulator:
 
         # Only the outermost scope records a span: recursive calls for
         # nested maps run inside it and must not double-count.
-        with maybe_span(self.timings if not outer_point else None, "evaluate"):
+        events_before = result.num_events
+        with maybe_span(self.timings if not outer_point else None, "evaluate") as span:
             for point in iteration_points(entry.map, env):
                 for name, value in zip(params, point):
                     env[name] = value
@@ -387,6 +388,7 @@ class AccessPatternSimulator:
                     )
             for name in params:
                 env.pop(name, None)
+            span.set(scope=entry.map.label, events=result.num_events - events_before)
 
     def _next_step(self, result: SimulationResult) -> int:
         step = result.num_steps

@@ -125,7 +125,7 @@ def _iteration_grids(
     map_obj = entry.map
     try:
         concrete = [r.concretize(env) for r in map_obj.ranges]
-    except Exception as exc:
+    except Exception as exc:  # noqa: BLE001 — converted to SimulationError
         raise SimulationError(
             f"cannot concretize map {map_obj.label!r}: {exc}; provide values "
             f"for {sorted(set().union(*(r.free_symbols() for r in map_obj.ranges)))}"
@@ -255,7 +255,8 @@ def simulate_scope_vectorized(
     step_base = result.num_steps
     exec_base = result.num_executions
 
-    with maybe_span(timings, "evaluate"):
+    events_before = result.num_events
+    with maybe_span(timings, "evaluate") as span:
         if has_fallback:
             # Bulk-allocating hundreds of thousands of events triggers the
             # cyclic collector over and over even though AccessEvent objects
@@ -275,6 +276,11 @@ def simulate_scope_vectorized(
             _assemble_pure(
                 plans, full_points, result, step_base, exec_base, niter, ntasklets,
             )
+        span.set(
+            scope=map_obj.label,
+            events=result.num_events - events_before,
+            vectorized=not has_fallback,
+        )
     result.num_steps += niter
     result.num_executions += niter * ntasklets
     return True

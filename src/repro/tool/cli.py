@@ -68,6 +68,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-stage wall-time spans of the analysis pipeline",
     )
     parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write the hierarchical span trace of the run as JSON to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write run metrics (counters/gauges/histograms) as JSON to PATH",
+    )
+    parser.add_argument(
         "--no-fast",
         action="store_true",
         help="disable the vectorized simulation fast path (use the interpreter)",
@@ -192,34 +202,58 @@ def main(argv: list[str] | None = None) -> int:
             )
 
         if args.sweep:
+            from repro.analysis.executor import SweepPointError
             from repro.analysis.parametric import parameter_grid
 
             spec = _parse_sweep_spec(args.sweep)
             grid = [
                 {**local_env, **point} for point in parameter_grid(spec)
             ]
-            points = session.sweep(
+            run = session.sweep(
                 grid,
                 workers=args.workers,
                 line_size=args.line_size,
                 capacity_lines=args.capacity,
                 fast=not args.no_fast,
+                on_error="record",
             )
+            rows = []
+            for outcome in run.outcomes:
+                label = ", ".join(f"{k}={v}" for k, v in (
+                    outcome.params.items()
+                ))
+                if isinstance(outcome, SweepPointError):
+                    rows.append([
+                        label,
+                        f"failed ({outcome.kind})",
+                        outcome.message,
+                        "",
+                        "",
+                    ])
+                else:
+                    rows.append([
+                        label,
+                        outcome.total_accesses,
+                        sum(c.cold for c in outcome.misses.values()),
+                        sum(c.capacity for c in outcome.misses.values()),
+                        outcome.total_moved_bytes,
+                    ])
+            caption = f"{len(run)} sweep points"
+            if args.workers:
+                caption += f", {args.workers} workers"
+            if run.errors:
+                caption += f", {len(run.errors)} failed"
+                print(
+                    f"warning: {len(run.errors)} of {len(run)} sweep points "
+                    f"failed (first: {run.errors[0].params}: "
+                    f"{run.errors[0].message})",
+                    file=sys.stderr,
+                )
             report.add_heading("Parametric sweep")
             report.add_table(
                 ["parameters", "accesses", "cold", "capacity", "est. moved bytes"],
-                [
-                    [
-                        ", ".join(f"{k}={v}" for k, v in point.params.items()),
-                        point.total_accesses,
-                        sum(c.cold for c in point.misses.values()),
-                        sum(c.capacity for c in point.misses.values()),
-                        point.total_moved_bytes,
-                    ]
-                    for point in points
-                ],
-                caption=f"{len(points)} sweep points"
-                + (f", {args.workers} workers" if args.workers else ""),
+                rows,
+                caption=caption,
             )
 
         report.save(args.output)
@@ -227,6 +261,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.timings:
             print("pipeline stage timings:")
             print(session.timings.report())
+        if args.trace:
+            session.export_trace(args.trace)
+            print(f"trace written to {args.trace}")
+        if args.metrics_out:
+            session.export_metrics(args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

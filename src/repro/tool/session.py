@@ -14,14 +14,20 @@ from repro.analysis import (
     scope_ops,
     total_movement_bytes,
 )
+from repro.analysis.executor import (
+    CancelToken,
+    SweepExecutor,
+    SweepPointError,
+    SweepRun,
+)
 from repro.analysis.parametric import (
     LocalSweepPoint,
     evaluate_metrics,
     parameter_grid,
-    sweep_local_views,
 )
 from repro.analysis.timing import StageTimings, maybe_span
-from repro.errors import ReproError
+from repro.errors import AnalysisError, ReproError
+from repro.obs import MetricsRegistry, Tracer
 from repro.frontend.program import Program
 from repro.sdfg.nodes import MapEntry
 from repro.sdfg.sdfg import SDFG
@@ -70,8 +76,8 @@ class SimulationCache:
     """Bounded LRU cache of simulation and locality-pipeline results.
 
     Slider interactions in the paper's interactive loop revisit parameter
-    points constantly; memoizing per ``(state id, frozen params,
-    memory-model config)`` makes revisits O(1).  The cache is owned by the
+    points constantly; memoizing per ``(cache scope, state label, frozen
+    params, memory-model config)`` makes revisits O(1).  The cache is owned by the
     :class:`Session` and shared by every :class:`LocalView` it opens, with
     least-recently-used eviction bounding memory.
     """
@@ -127,22 +133,61 @@ class Session:
 
     Accepts either a :class:`~repro.frontend.program.Program` (translated
     on construction) or a ready SDFG.  The session owns a
-    :class:`SimulationCache` shared by all local views it opens, and a
-    :class:`~repro.analysis.timing.StageTimings` collector recording
-    per-stage wall time of the locality pipeline.
+    :class:`SimulationCache` shared by all local views it opens, a
+    hierarchical :class:`~repro.obs.trace.Tracer` (mirrored into the
+    flat :class:`~repro.analysis.timing.StageTimings` collector exposed
+    as :attr:`timings`), and a
+    :class:`~repro.obs.metrics.MetricsRegistry` counting cache and
+    sweep activity.
+
+    Cache entries are keyed by *content* — SDFG name, state label and a
+    per-session generation counter bumped by :meth:`load` — never by
+    ``id()``.  CPython reuses object ids after garbage collection, so an
+    id-keyed cache in a long-lived session that loads a second program
+    can silently serve results computed for the previous one.
     """
 
     def __init__(self, program_or_sdfg: Program | SDFG, cache_size: int = 32):
-        if isinstance(program_or_sdfg, Program):
-            self.sdfg = program_or_sdfg.to_sdfg()
-        elif isinstance(program_or_sdfg, SDFG):
-            self.sdfg = program_or_sdfg
-        else:
-            raise ReproError(
-                f"Session expects a Program or SDFG, got {type(program_or_sdfg).__name__}"
-            )
+        self._generation = 0
+        self._sdfg = self._coerce(program_or_sdfg)
         self.cache = SimulationCache(maxsize=cache_size)
         self.timings = StageTimings()
+        self.tracer = Tracer(timings=self.timings)
+        self.metrics = MetricsRegistry()
+
+    @staticmethod
+    def _coerce(program_or_sdfg: Program | SDFG) -> SDFG:
+        if isinstance(program_or_sdfg, Program):
+            return program_or_sdfg.to_sdfg()
+        if isinstance(program_or_sdfg, SDFG):
+            return program_or_sdfg
+        raise ReproError(
+            f"Session expects a Program or SDFG, got {type(program_or_sdfg).__name__}"
+        )
+
+    @property
+    def sdfg(self) -> SDFG:
+        return self._sdfg
+
+    @sdfg.setter
+    def sdfg(self, program_or_sdfg: Program | SDFG) -> None:
+        self.load(program_or_sdfg)
+
+    def load(self, program_or_sdfg: Program | SDFG) -> SDFG:
+        """Load another program into this session.
+
+        Bumps the cache generation, so entries computed for the previous
+        program can never be served for the new one — even when CPython
+        hands the new SDFG (or its states) the recycled ``id`` of the
+        old one.
+        """
+        self._sdfg = self._coerce(program_or_sdfg)
+        self._generation += 1
+        return self._sdfg
+
+    def _cache_scope(self) -> tuple:
+        """Stable, content-based key prefix for session cache entries."""
+        return (self._sdfg.name, self._generation)
 
     def global_view(self, state: SDFGState | None = None) -> "GlobalView":
         """Open the global (whole-program) analysis view."""
@@ -175,7 +220,8 @@ class Session:
             include_transients=include_transients,
             fast=fast,
             cache=self.cache,
-            timings=self.timings,
+            timings=self.tracer,
+            scope=self._cache_scope(),
         )
 
     def sweep(
@@ -186,17 +232,41 @@ class Session:
         capacity_lines: int = 512,
         include_transients: bool = False,
         fast: bool = True,
-    ) -> list[LocalSweepPoint]:
+        on_error: str = "raise",
+        retries: int = 2,
+        timeout: float | None = None,
+        cancel: CancelToken | None = None,
+    ) -> list[LocalSweepPoint] | SweepRun:
         """Run the local-view locality pipeline over a parameter grid.
 
         *params_grid* is either a mapping of per-parameter value lists
         (expanded to their cross product) or an explicit sequence of
         parameter points.  With ``workers > 1``, unevaluated points fan
-        out over worker processes; results always come back in grid
-        order.  Every evaluated point is memoized in the session cache,
-        so re-sweeping (or sweeping a refined grid) only pays for new
-        points.
+        out over worker processes via the fault-tolerant
+        :class:`~repro.analysis.executor.SweepExecutor`; results always
+        come back in grid order.  Every successfully evaluated point is
+        memoized in the session cache, so re-sweeping (or sweeping a
+        refined grid) only pays for new points — including after a
+        partial failure, where completed points are never re-run.
+
+        *on_error* selects the failure contract:
+
+        - ``"raise"`` (default) — any failed point raises
+          :class:`~repro.errors.AnalysisError` naming its parameters
+          (after the rest of the grid finished and was cached);
+        - ``"record"`` — return a
+          :class:`~repro.analysis.executor.SweepRun` whose grid-ordered
+          outcomes mix evaluated points with structured
+          :class:`~repro.analysis.executor.SweepPointError` records.
+
+        *retries*, *timeout* and *cancel* are forwarded to the executor
+        (transient-failure retries, per-point timeout in seconds, and a
+        cooperative :class:`~repro.analysis.executor.CancelToken`).
         """
+        if on_error not in ("raise", "record"):
+            raise ReproError(
+                f"unknown on_error mode {on_error!r}; choose 'raise' or 'record'"
+            )
         if isinstance(params_grid, Mapping):
             grid = parameter_grid(params_grid)
         else:
@@ -205,7 +275,7 @@ class Session:
         def key_of(params: Mapping[str, int]) -> tuple:
             return (
                 "sweep",
-                id(self.sdfg),
+                self._cache_scope(),
                 frozenset(params.items()),
                 line_size,
                 capacity_lines,
@@ -213,34 +283,61 @@ class Session:
                 fast,
             )
 
-        out: list[LocalSweepPoint | None] = [None] * len(grid)
-        missing: list[int] = []
-        for index, params in enumerate(grid):
-            point = self.cache.get(key_of(params))
-            if point is None:
-                missing.append(index)
-            else:
-                out[index] = point
-        if missing:
-            with maybe_span(self.timings, "fanout"):
-                fresh = sweep_local_views(
-                    self.sdfg,
-                    [grid[index] for index in missing],
-                    workers=workers,
-                    line_size=line_size,
-                    capacity_lines=capacity_lines,
-                    include_transients=include_transients,
-                    fast=fast,
-                )
-            with maybe_span(self.timings, "merge"):
-                for index, point in zip(missing, fresh):
-                    self.cache.put(key_of(grid[index]), point)
+        out: list[LocalSweepPoint | SweepPointError | None] = [None] * len(grid)
+        with self.tracer.span("sweep", points=len(grid)):
+            missing: list[int] = []
+            for index, params in enumerate(grid):
+                point = self.cache.get(key_of(params))
+                if point is None:
+                    missing.append(index)
+                else:
                     out[index] = point
+            self.metrics.counter("sweep.cache_hits").inc(len(grid) - len(missing))
+            if missing:
+                executor = SweepExecutor(
+                    workers=None if workers is None or workers <= 1 else workers,
+                    retries=retries,
+                    timeout=timeout,
+                    tracer=self.tracer,
+                    metrics=self.metrics,
+                )
+                with maybe_span(self.tracer, "fanout"):
+                    run = executor.run(
+                        self.sdfg,
+                        [grid[index] for index in missing],
+                        line_size=line_size,
+                        capacity_lines=capacity_lines,
+                        include_transients=include_transients,
+                        fast=fast,
+                        cancel=cancel,
+                    )
+                with maybe_span(self.tracer, "merge"):
+                    for index, outcome in zip(missing, run.outcomes):
+                        if not isinstance(outcome, SweepPointError):
+                            self.cache.put(key_of(grid[index]), outcome)
+                        out[index] = outcome
+            self.metrics.gauge("cache.entries").set(len(self.cache))
+        if on_error == "record":
+            return SweepRun(grid, out)
+        for outcome in out:
+            if isinstance(outcome, SweepPointError):
+                raise AnalysisError(
+                    f"sweep point {outcome.params} failed "
+                    f"({outcome.kind}): {outcome.message}"
+                )
         return out  # type: ignore[return-value]
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss/occupancy counters of the shared simulation cache."""
         return self.cache.info()
+
+    def export_trace(self, path: str) -> None:
+        """Write the session's hierarchical span trace as JSON to *path*."""
+        self.tracer.export(path)
+
+    def export_metrics(self, path: str) -> None:
+        """Write the session's metrics registry as JSON to *path*."""
+        self.metrics.export(path)
 
     def report(self, title: str | None = None) -> ReportBuilder:
         """A fresh HTML report builder for this session."""
@@ -396,7 +493,8 @@ class LocalView:
         include_transients: bool = False,
         fast: bool = True,
         cache: SimulationCache | None = None,
-        timings: StageTimings | None = None,
+        timings=None,
+        scope: tuple | None = None,
     ):
         self.sdfg = sdfg
         self.state = state
@@ -406,14 +504,24 @@ class LocalView:
         self.fast = fast
         self.session_cache = cache
         self.timings = timings
+        #: Content-based cache-key prefix.  The session passes its
+        #: ``(sdfg name, generation)`` scope; standalone views derive one
+        #: from the SDFG name alone (they have no shared cache anyway).
+        self._scope = scope if scope is not None else (sdfg.name, 0)
         self._result: SimulationResult | None = None
         self._memory: MemoryModel | None = None
 
     # -- shared-cache plumbing ---------------------------------------------------
     def _sim_key(self) -> tuple:
-        """``(state id, frozen params, config)`` — the memoization key."""
+        """``(scope, state label, frozen params, config)`` memoization key.
+
+        Deliberately content-based: an ``id()``-based key can alias two
+        different states once CPython recycles the id of a freed one,
+        silently serving a stale simulation for a different program.
+        """
         return (
-            id(self.state),
+            self._scope,
+            self.state.name,
             frozenset(self.symbols.items()),
             self.include_transients,
             self.fast,
@@ -449,7 +557,7 @@ class LocalView:
     @property
     def memory(self) -> MemoryModel:
         if self._memory is None:
-            key = ("mem", id(self.sdfg), frozenset(self.symbols.items()),
+            key = ("mem", self._scope, frozenset(self.symbols.items()),
                    self.cache.line_size)
             with maybe_span(self.timings, "layout"):
                 self._memory = self._cached(

@@ -81,24 +81,37 @@ class Scaling:
 
 
 class _CenteredScale(Scaling):
-    """Shared implementation: scale over [0, 2c] for a center statistic c."""
+    """Shared implementation: scale over [0, 2c] for a center statistic c.
+
+    A zero center (e.g. the median of a movement heatmap where most
+    edges move nothing) would map *every* value — including the only
+    hot spots — to position 0, rendering bottlenecks as coolest green
+    and inverting the Section IV-C intent.  In that case the scale
+    falls back to max-based linear interpolation over ``[0, max]`` so
+    the nonzero outliers still saturate the warm end.
+    """
 
     def __init__(self, values: Sequence[float]):
         super().__init__(values)
         if any(v < 0 for v in self.values):
             raise VisualizationError("centered scales require nonnegative values")
         self.center = self._center(sorted(self.values))
+        self._max = max(self.values)
 
     def _center(self, ordered: list[float]) -> float:
         raise NotImplementedError
 
     def normalize(self, value: float) -> float:
         if self.center == 0:
-            return 0.0
+            if self._max == 0:
+                return 0.0  # every observation is zero: nothing to rank
+            return min(1.0, max(0.0, value / self._max))
         # Observations above 2c clamp to 1 ("clamped to 2c").
         return min(1.0, max(0.0, value / (2.0 * self.center)))
 
     def domain(self) -> tuple[float, float]:
+        if self.center == 0:
+            return (0.0, self._max)
         return (0.0, 2.0 * self.center)
 
 

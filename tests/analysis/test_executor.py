@@ -1,0 +1,380 @@
+"""Fault-injection tests for the fault-tolerant sweep executor.
+
+The point functions used with worker pools live at module level so they
+pickle across process boundaries.  Fault injection is driven through the
+parameter dicts themselves (marker/log file paths in ``tmp_path``), which
+keeps every scenario deterministic: with ``workers=1`` at most one point
+is ever in flight, so kill/retry interleavings cannot race.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.analysis.executor import (
+    CancelToken,
+    SweepExecutor,
+    SweepPointError,
+    SweepRun,
+)
+from repro.analysis.parametric import parameter_grid, sweep_local_views
+from repro.apps import hdiff
+from repro.errors import AnalysisError, SimulationError
+from repro.obs import MetricsRegistry, Tracer
+
+GRID = [{"idx": i} for i in range(4)]
+
+
+@pytest.fixture(scope="module")
+def sdfg():
+    return hdiff.build_sdfg()
+
+
+# -- module-level point functions (picklable) ---------------------------------
+
+
+def _echo_point(sdfg_text, params, *cfg):
+    return dict(params)
+
+
+def _poison_point(sdfg_text, params, *cfg):
+    if params.get("poison"):
+        raise AnalysisError(f"bad point {params['idx']}")
+    return dict(params)
+
+
+def _sleepy_point(sdfg_text, params, *cfg):
+    time.sleep(params.get("sleep", 0))
+    return dict(params)
+
+
+def _logged_kill_once_point(sdfg_text, params, *cfg):
+    """Log every attempt; SIGKILL the worker on the first killer attempt."""
+    with open(params["log"], "a") as handle:
+        handle.write(f"{params['idx']}\n")
+    if params.get("kill"):
+        marker = params["marker"]
+        if not os.path.exists(marker):
+            with open(marker, "w") as handle:
+                handle.write("killed once")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return dict(params)
+
+
+def _flaky_point(sdfg_text, params, *cfg):
+    """Raise a transient OSError on the first attempt of each point."""
+    marker = params["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("failed once")
+        raise OSError("transient hiccup")
+    return dict(params)
+
+
+# -- SweepRun / SweepPointError data model ------------------------------------
+
+
+class TestSweepRun:
+    def test_partitions_outcomes_in_grid_order(self):
+        error = SweepPointError({"idx": 1}, "error", "ValueError", "boom", 1)
+        run = SweepRun(GRID[:3], [{"idx": 0}, error, {"idx": 2}])
+        assert run.points == [{"idx": 0}, None, {"idx": 2}]
+        assert run.errors == [error]
+        assert not run.ok
+        assert run.completed == 2
+        assert len(run) == 3
+        assert run[1] is error
+        assert list(run) == run.outcomes
+
+    def test_raise_on_error_names_first_failure(self):
+        error = SweepPointError({"idx": 1}, "timeout", None, "too slow", 2)
+        run = SweepRun(GRID[:2], [{"idx": 0}, error])
+        with pytest.raises(AnalysisError, match=r"\{'idx': 1\}.*timeout"):
+            run.raise_on_error()
+        SweepRun(GRID[:1], [{"idx": 0}]).raise_on_error()  # no-op when ok
+
+    def test_to_dict(self):
+        error = SweepPointError({"idx": 0}, "crash", "BrokenProcessPool", "died", 3)
+        doc = SweepRun(GRID[:1], [error]).to_dict()
+        assert doc["points"] == 1
+        assert doc["completed"] == 0
+        assert doc["errors"][0]["kind"] == "crash"
+        assert doc["errors"][0]["attempts"] == 3
+
+    def test_error_kinds_validated(self):
+        with pytest.raises(ValueError):
+            SweepPointError({}, "mystery", None, "?", 1)
+
+
+# -- serial path --------------------------------------------------------------
+
+
+class TestSerialExecution:
+    def test_partial_results_with_poisoned_point(self, sdfg):
+        grid = [dict(p, poison=(p["idx"] == 2)) for p in GRID]
+        metrics = MetricsRegistry()
+        executor = SweepExecutor(point_fn=_poison_point, metrics=metrics)
+        run = executor.run(sdfg, grid)
+        assert run.completed == 3
+        [error] = run.errors
+        assert error.kind == "error"
+        assert error.error_type == "AnalysisError"
+        assert error.params["idx"] == 2
+        assert error.attempts == 1  # library errors are never retried
+        assert run.points[2] is None
+        assert metrics.counter("sweep.failed").value == 1
+        assert metrics.counter("sweep.completed").value == 3
+        assert metrics.counter("sweep.retries").value == 0
+
+    def test_fail_fast_raises_naming_the_point(self, sdfg):
+        grid = [dict(p, poison=(p["idx"] == 1)) for p in GRID]
+        executor = SweepExecutor(point_fn=_poison_point)
+        with pytest.raises(AnalysisError, match="'idx': 1"):
+            executor.run(sdfg, grid, fail_fast=True)
+
+    def test_transient_errors_retry_with_backoff(self, sdfg, tmp_path):
+        grid = [
+            dict(p, marker=str(tmp_path / f"flaky-{p['idx']}")) for p in GRID
+        ]
+        metrics = MetricsRegistry()
+        executor = SweepExecutor(
+            retries=2, backoff=0.001, point_fn=_flaky_point, metrics=metrics
+        )
+        run = executor.run(sdfg, grid)
+        assert run.ok
+        assert metrics.counter("sweep.retries").value == len(grid)
+
+    def test_exhausted_retries_become_error_records(self, sdfg):
+        def always_fails(sdfg_text, params, *cfg):
+            raise OSError("permanently flaky")
+
+        executor = SweepExecutor(retries=1, backoff=0.001, point_fn=always_fails)
+        run = executor.run(sdfg, GRID[:2])
+        assert [e.kind for e in run.errors] == ["error", "error"]
+        assert all(e.attempts == 2 for e in run.errors)  # 1 try + 1 retry
+
+    def test_cancellation_mid_sweep(self, sdfg):
+        token = CancelToken()
+
+        def cancel_after_first(index, outcome):
+            token.cancel()
+
+        executor = SweepExecutor(point_fn=_echo_point)
+        run = executor.run(sdfg, GRID, cancel=token, on_result=cancel_after_first)
+        assert run.outcomes[0] == {"idx": 0}
+        assert [e.kind for e in run.errors] == ["cancelled"] * 3
+
+    def test_empty_grid(self, sdfg):
+        run = SweepExecutor(point_fn=_echo_point).run(sdfg, [])
+        assert len(run) == 0 and run.ok
+
+
+# -- pool path ----------------------------------------------------------------
+
+
+class TestPoolExecution:
+    def test_results_come_back_in_grid_order(self, sdfg):
+        grid = [
+            {"idx": i, "sleep": 0.2 if i == 0 else 0.0} for i in range(4)
+        ]
+        executor = SweepExecutor(workers=2, point_fn=_sleepy_point)
+        run = executor.run(sdfg, grid)
+        assert run.ok
+        assert [p["idx"] for p in run.points] == [0, 1, 2, 3]
+
+    def test_poisoned_point_yields_partial_results(self, sdfg):
+        grid = [dict(p, poison=(p["idx"] == 2)) for p in GRID]
+        executor = SweepExecutor(workers=2, point_fn=_poison_point)
+        run = executor.run(sdfg, grid)
+        assert run.completed == 3
+        [error] = run.errors
+        assert error.params["idx"] == 2 and error.kind == "error"
+
+    def test_worker_kill_recovers_and_retries_only_unfinished(self, sdfg, tmp_path):
+        log = tmp_path / "attempts.log"
+        log.touch()
+        grid = [
+            {
+                "idx": i,
+                "kill": i == 1,
+                "log": str(log),
+                "marker": str(tmp_path / "killed"),
+            }
+            for i in range(4)
+        ]
+        metrics = MetricsRegistry()
+        # One worker => at most one point in flight, so the kill cannot
+        # take completed neighbours down with it.
+        executor = SweepExecutor(
+            workers=1, retries=2, backoff=0.001,
+            point_fn=_logged_kill_once_point, metrics=metrics,
+        )
+        run = executor.run(sdfg, grid)
+        assert run.ok
+        assert [p["idx"] for p in run.points] == [0, 1, 2, 3]
+        attempts = [int(line) for line in log.read_text().split()]
+        # The killer point ran twice (kill + retry); everyone else exactly
+        # once — completed points are never recomputed after the respawn.
+        assert sorted(attempts) == [0, 1, 1, 2, 3]
+        assert metrics.counter("sweep.pool_respawns").value == 1
+        assert metrics.counter("sweep.retries").value == 1
+        assert metrics.counter("sweep.serial_fallbacks").value == 0
+
+    def test_per_point_timeout_expires(self, sdfg):
+        grid = [
+            {"idx": i, "sleep": 1.5 if i == 1 else 0.0} for i in range(3)
+        ]
+        metrics = MetricsRegistry()
+        executor = SweepExecutor(
+            workers=2, timeout=0.25, point_fn=_sleepy_point, metrics=metrics
+        )
+        run = executor.run(sdfg, grid)
+        [error] = run.errors
+        assert error.kind == "timeout"
+        assert error.params["idx"] == 1
+        assert run.completed == 2
+        assert metrics.counter("sweep.timeouts").value == 1
+
+    def test_cancellation_mid_sweep(self, sdfg):
+        token = CancelToken()
+
+        def cancel_after_first(index, outcome):
+            token.cancel()
+
+        grid = [{"idx": i, "sleep": 0.05} for i in range(6)]
+        executor = SweepExecutor(workers=1, point_fn=_sleepy_point)
+        run = executor.run(sdfg, grid, cancel=token, on_result=cancel_after_first)
+        cancelled = [e for e in run.errors if e.kind == "cancelled"]
+        assert run.completed >= 1
+        assert cancelled and run.completed + len(cancelled) == len(grid)
+
+    def test_spawn_failure_falls_back_to_serial(self, sdfg, monkeypatch):
+        import repro.analysis.executor as executor_module
+
+        def no_pool(*args, **kwargs):
+            raise OSError("fork unavailable")
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", no_pool)
+        metrics = MetricsRegistry()
+        executor = SweepExecutor(workers=4, point_fn=_echo_point, metrics=metrics)
+        run = executor.run(sdfg, GRID)
+        assert run.ok
+        assert [p["idx"] for p in run.points] == [0, 1, 2, 3]
+        assert metrics.counter("sweep.serial_fallbacks").value == 1
+
+    def test_unpicklable_payload_falls_back_to_serial(self, sdfg, monkeypatch):
+        # A payload that cannot pickle surfaces as PicklingError on the
+        # future; stub the pool so the scenario is deterministic (a real
+        # pool with a dead queue-feeder thread can hang at shutdown).
+        import pickle
+        from concurrent.futures import Future
+
+        import repro.analysis.executor as executor_module
+
+        class PicklingFailurePool:
+            def __init__(self, max_workers):
+                pass
+
+            def submit(self, fn, *args):
+                future = Future()
+                future.set_exception(
+                    pickle.PicklingError("payload does not pickle")
+                )
+                return future
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(
+            executor_module, "ProcessPoolExecutor", PicklingFailurePool
+        )
+        metrics = MetricsRegistry()
+        executor = SweepExecutor(workers=2, point_fn=_echo_point, metrics=metrics)
+        run = executor.run(sdfg, GRID)
+        assert run.ok
+        assert [p["idx"] for p in run.points] == [0, 1, 2, 3]
+        assert metrics.counter("sweep.serial_fallbacks").value == 1
+
+    def test_single_point_grid_stays_serial(self, sdfg, monkeypatch):
+        import repro.analysis.executor as executor_module
+
+        def no_pool(*args, **kwargs):
+            raise AssertionError("a 1-point grid must not spawn a pool")
+
+        monkeypatch.setattr(executor_module, "ProcessPoolExecutor", no_pool)
+        run = SweepExecutor(workers=4, point_fn=_echo_point).run(sdfg, GRID[:1])
+        assert run.ok and run.points == [{"idx": 0}]
+
+
+# -- observability ------------------------------------------------------------
+
+
+class TestObservability:
+    def test_point_spans_and_latency_histogram(self, sdfg):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        executor = SweepExecutor(
+            point_fn=_echo_point, tracer=tracer, metrics=metrics
+        )
+        executor.run(sdfg, GRID)
+        [root] = tracer.spans("sweep.run")
+        assert root.attributes["points"] == 4
+        points = tracer.spans("sweep.point")
+        assert len(points) == 4
+        assert all(p.parent_id == root.span_id for p in points)
+        assert sorted(p.attributes["index"] for p in points) == [0, 1, 2, 3]
+        assert metrics.histogram("sweep.point_seconds").count == 4
+
+    def test_failed_point_span_records_error(self, sdfg):
+        tracer = Tracer()
+        grid = [dict(p, poison=(p["idx"] == 0)) for p in GRID[:2]]
+        SweepExecutor(point_fn=_poison_point, tracer=tracer).run(sdfg, grid)
+        failed = [s for s in tracer.spans("sweep.point") if s.status == "error"]
+        assert len(failed) == 1
+        assert failed[0].attributes["kind"] == "error"
+        assert "bad point 0" in failed[0].error
+
+
+# -- the silent-fallback bugfix: sweep_local_views ----------------------------
+
+
+class TestSweepLocalViewsContract:
+    def test_poisoned_grid_fails_fast_and_names_the_point(self, sdfg, monkeypatch):
+        """Regression: a library error used to silently re-run the whole
+        grid serially; now it propagates naming the failing point, and
+        evaluation stops there instead of re-running everything."""
+        from repro.analysis import parametric
+
+        calls = []
+        real = parametric._evaluate_point
+
+        def counting_poison(sdfg_arg, params, *args, **kwargs):
+            calls.append(dict(params))
+            if params["I"] == 4:
+                raise SimulationError(f"injected failure at {dict(params)}")
+            return real(sdfg_arg, params, *args, **kwargs)
+
+        monkeypatch.setattr(parametric, "_evaluate_point", counting_poison)
+        grid = parameter_grid({"I": [3, 4, 5], "J": [3], "K": [2]})
+        with pytest.raises(AnalysisError, match="'I': 4"):
+            sweep_local_views(sdfg, grid)
+        # Points up to and including the poisoned one ran; nothing after.
+        assert [c["I"] for c in calls] == [3, 4]
+
+    def test_real_pipeline_error_names_the_point(self, sdfg):
+        # The second point misses the K symbol entirely: a deterministic
+        # SimulationError, not a reason to fall back to anything.
+        grid = [{"I": 3, "J": 3, "K": 2}, {"I": 3, "J": 3}]
+        with pytest.raises(AnalysisError, match="'I': 3"):
+            sweep_local_views(sdfg, grid)
+
+    def test_real_pipeline_error_in_pool_mode(self, sdfg):
+        grid = [
+            {"I": 3, "J": 3, "K": 2},
+            {"I": 3, "J": 3},
+            {"I": 4, "J": 3, "K": 2},
+        ]
+        with pytest.raises(AnalysisError):
+            sweep_local_views(sdfg, grid, workers=2)

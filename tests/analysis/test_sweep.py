@@ -5,12 +5,14 @@ import pickle
 
 import pytest
 
+from repro.analysis.executor import CancelToken, SweepRun
 from repro.analysis.parametric import (
     LocalSweepPoint,
     parameter_grid,
     sweep_local_views,
 )
 from repro.apps import hdiff
+from repro.errors import AnalysisError, ReproError
 from repro.tool.session import Session
 
 GRID_SPEC = {"I": [3, 4], "J": [3, 4], "K": [2, 3]}  # 8 points
@@ -117,3 +119,101 @@ class TestSessionSweep:
         session = Session(sdfg)
         points = session.sweep(GRID_SPEC, workers=2, capacity_lines=16)
         assert len(points) == 8
+
+
+class TestSessionSweepFaultTolerance:
+    BAD_GRID = [
+        {"I": 3, "J": 3, "K": 2},
+        {"I": 3, "J": 3},  # K missing: deterministic SimulationError
+        {"I": 4, "J": 3, "K": 2},
+    ]
+
+    def test_raise_mode_names_the_failing_point(self, sdfg):
+        session = Session(sdfg)
+        with pytest.raises(AnalysisError, match="'I': 3"):
+            session.sweep(self.BAD_GRID)
+
+    def test_record_mode_returns_partial_results(self, sdfg):
+        session = Session(sdfg)
+        run = session.sweep(self.BAD_GRID, on_error="record")
+        assert isinstance(run, SweepRun)
+        assert run.completed == 2
+        [error] = run.errors
+        assert error.params == {"I": 3, "J": 3}
+        assert error.kind == "error"
+        assert error.error_type == "SimulationError"
+        # Grid order is preserved around the failure.
+        assert run.points[0].params == self.BAD_GRID[0]
+        assert run.points[1] is None
+        assert run.points[2].params == self.BAD_GRID[2]
+
+    def test_completed_points_cached_across_a_failure(self, sdfg):
+        """Re-sweeping after a partial failure never re-runs completed
+        points: only the failed point is evaluated again."""
+        session = Session(sdfg)
+        session.sweep(self.BAD_GRID, on_error="record")
+        misses_before = session.cache.misses
+        run = session.sweep(self.BAD_GRID, on_error="record")
+        assert session.cache.misses - misses_before == 1  # only the bad point
+        assert run.completed == 2
+
+    def test_raise_mode_still_caches_the_good_points(self, sdfg):
+        session = Session(sdfg)
+        with pytest.raises(AnalysisError):
+            session.sweep(self.BAD_GRID)
+        misses_before = session.cache.misses
+        good = [p for p in self.BAD_GRID if "K" in p]
+        points = session.sweep(good)
+        assert session.cache.misses == misses_before  # all served from cache
+        assert [p.params for p in points] == good
+
+    def test_unknown_on_error_mode_rejected(self, sdfg):
+        with pytest.raises(ReproError):
+            Session(sdfg).sweep(GRID_SPEC, on_error="ignore")
+
+    def test_cancellation_marks_remaining_points(self, sdfg):
+        session = Session(sdfg)
+        token = CancelToken()
+        token.cancel()  # cancelled before the sweep even starts
+        run = session.sweep(GRID_SPEC, on_error="record", cancel=token)
+        assert run.completed == 0
+        assert all(e.kind == "cancelled" for e in run.errors)
+
+
+class TestSessionSweepObservability:
+    def test_trace_spans_cover_the_sweep(self, sdfg):
+        session = Session(sdfg)
+        session.sweep({"I": [3, 4], "J": [3], "K": [2]})
+        [sweep_span] = session.tracer.spans("sweep")
+        assert sweep_span.attributes == {"points": 2}
+        [fanout] = session.tracer.spans("fanout")
+        assert fanout.parent_id == sweep_span.span_id
+        assert session.tracer.count("sweep.point") == 2
+        # The flat StageTimings mirror keeps working alongside the tree.
+        assert session.timings.count("fanout") == 1
+
+    def test_metrics_count_points_and_cache_hits(self, sdfg):
+        session = Session(sdfg)
+        grid = {"I": [3, 4], "J": [3], "K": [2]}
+        session.sweep(grid)
+        session.sweep(grid)  # second run: all points from cache
+        counters = session.metrics.to_dict()["counters"]
+        assert counters["sweep.points"] == 2  # only uncached points dispatched
+        assert counters["sweep.completed"] == 2
+        assert counters["sweep.cache_hits"] == 2
+        assert session.metrics.to_dict()["gauges"]["cache.entries"] >= 2
+
+    def test_exports_write_valid_json(self, sdfg, tmp_path):
+        import json
+
+        session = Session(sdfg)
+        session.sweep({"I": [3], "J": [3], "K": [2]})
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        session.export_trace(str(trace_path))
+        session.export_metrics(str(metrics_path))
+        trace = json.loads(trace_path.read_text())
+        assert any(s["name"] == "sweep" for s in trace["spans"])
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["sweep.points"] == 1
+        assert metrics["histograms"]["sweep.point_seconds"]["count"] == 1

@@ -1,0 +1,88 @@
+"""Tests for the in-process metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        metrics = MetricsRegistry()
+        counter = metrics.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_get_or_create_by_name(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("x") is metrics.counter("x")
+        assert metrics.counter("x") is not metrics.counter("y")
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("down").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("occupancy")
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == pytest.approx(11.5)
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = MetricsRegistry().histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(10.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["p50"] in (2.0, 3.0)
+
+    def test_percentiles(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(100) == 100.0
+        assert 90.0 <= hist.percentile(95) <= 100.0
+
+    def test_empty_summary_and_percentile(self):
+        hist = MetricsRegistry().histogram("empty")
+        assert hist.summary() == {"count": 0, "sum": 0.0}
+        with pytest.raises(ValueError):
+            hist.percentile(50)
+
+
+class TestRegistryExport:
+    def test_to_dict_groups_instruments(self):
+        metrics = MetricsRegistry()
+        metrics.counter("retries").inc(3)
+        metrics.gauge("pool").set(2)
+        metrics.histogram("seconds").observe(0.5)
+        doc = metrics.to_dict()
+        assert doc["counters"] == {"retries": 3}
+        assert doc["gauges"] == {"pool": 2.0}
+        assert doc["histograms"]["seconds"]["count"] == 1
+
+    def test_export_writes_json_file(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.counter("done").inc()
+        path = tmp_path / "metrics.json"
+        metrics.export(str(path))
+        assert json.loads(path.read_text())["counters"] == {"done": 1}
+
+    def test_reset(self):
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc()
+        metrics.reset()
+        assert metrics.to_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert metrics.counter("c").value == 0  # fresh instrument

@@ -1,7 +1,12 @@
 """Tests for the session-level simulation cache and stage timings."""
 
 from repro.apps import hdiff
+from repro.frontend import pmap, program
+from repro.sdfg.dtypes import float64
+from repro.symbolic import symbols
 from repro.tool.session import Session, SimulationCache
+
+I, J = symbols("I J")
 
 
 def make_session():
@@ -106,3 +111,77 @@ class TestSessionTimings:
         session.local_view(SIZES).miss_counts()
         report = session.timings.report()
         assert "stackdist" in report and "ms" in report
+
+
+def _make_kernel(variant: int):
+    """Two same-named, same-signature programs with different access
+    patterns — the shape of workload where an ``id()``-keyed cache can
+    serve stale results once CPython recycles object ids."""
+    if variant == 0:
+
+        @program
+        def kernel(A: float64[I], B: float64[J], C: float64[I, J]):
+            for i, j in pmap(I, J):
+                C[i, j] = A[i] * B[j]
+
+    else:
+
+        @program
+        def kernel(A: float64[I], B: float64[J], C: float64[I, J]):
+            for i, j in pmap(I, J):
+                C[i, j] = C[i, j] + A[i] * B[j]  # also *reads* C
+
+    return kernel
+
+
+class TestContentBasedCacheKeys:
+    """Regression tests for the stale-cache bug: session cache keys used
+    ``id(state)`` / ``id(sdfg)``, which CPython reuses after garbage
+    collection, so a long-lived session that loads a second program could
+    silently serve the first program's results."""
+
+    KERNEL_SIZES = {"I": 3, "J": 4}
+
+    def test_sim_key_is_content_based(self):
+        session = make_session()
+        key = session.local_view(SIZES)._sim_key()
+        assert key[0] == (session.sdfg.name, 0)  # (scope, ...) prefix
+        assert key[1] == session.sdfg.start_state.name
+        assert id(session.sdfg) not in key
+        assert id(session.sdfg.start_state) not in key
+
+    def test_load_bumps_the_cache_generation(self):
+        session = make_session()
+        before = session.local_view(SIZES)._sim_key()
+        session.load(hdiff.build_sdfg())
+        after = session.local_view(SIZES)._sim_key()
+        assert before != after  # same name, same params — new generation
+
+    def test_reload_never_serves_stale_results(self):
+        session = Session(_make_kernel(0))
+        first = session.local_view(self.KERNEL_SIZES)
+        accesses_v0 = first.result.num_events
+
+        # Same SDFG name, same state labels, same parameters — only the
+        # access pattern differs.  Content-based keys must still miss.
+        session.load(_make_kernel(1))
+        second = session.local_view(self.KERNEL_SIZES)
+        accesses_v1 = second.result.num_events
+        assert accesses_v1 != accesses_v0  # v1 also reads C: more accesses
+        assert second.result is not first.result
+
+    def test_reload_invalidates_sweep_cache_too(self):
+        session = Session(_make_kernel(0))
+        v0 = session.sweep([self.KERNEL_SIZES])
+        session.load(_make_kernel(1))
+        misses_before = session.cache.misses
+        v1 = session.sweep([self.KERNEL_SIZES])
+        assert session.cache.misses > misses_before  # not served from cache
+        assert v1[0].total_accesses != v0[0].total_accesses
+
+    def test_sdfg_setter_is_equivalent_to_load(self):
+        session = Session(_make_kernel(0))
+        session.local_view(self.KERNEL_SIZES).result
+        session.sdfg = _make_kernel(1)
+        lv = session.local_view(self.KERNEL_SIZES)
+        assert lv._sim_key()[0] == (session.sdfg.name, 1)

@@ -243,3 +243,48 @@ def demo(A: float64[I], B: float64[J], C: float64[I, J]):
         ])
         assert rc == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestCLIObservability:
+    def write_module(self, tmp_path):
+        module = tmp_path / "demo_prog.py"
+        module.write_text(TestCLI.PROGRAM_SOURCE)
+        return module
+
+    def test_trace_and_metrics_exports(self, tmp_path, capsys):
+        import json
+
+        module = self.write_module(tmp_path)
+        out = tmp_path / "report.html"
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = cli_main([
+            str(module), "--local", "I=3,J=4", "--sweep", "I=3,4",
+            "-o", str(out), "--trace", str(trace), "--metrics-out", str(metrics),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert f"trace written to {trace}" in captured
+        assert f"metrics written to {metrics}" in captured
+        trace_doc = json.loads(trace.read_text())
+        names = {span["name"] for span in trace_doc["spans"]}
+        assert "sweep" in names and "sweep.point" in names
+        metrics_doc = json.loads(metrics.read_text())
+        assert metrics_doc["counters"]["sweep.points"] == 2
+        assert metrics_doc["histograms"]["sweep.point_seconds"]["count"] == 2
+
+    def test_failed_sweep_points_are_reported_not_fatal(self, tmp_path, capsys):
+        # Sweeping only I leaves J unassigned at every point: each point
+        # fails deterministically, the report records the failures and
+        # the command still succeeds with a warning.
+        module = self.write_module(tmp_path)
+        out = tmp_path / "report.html"
+        rc = cli_main([
+            str(module), "--sweep", "I=3,4", "-o", str(out),
+        ])
+        assert rc == 0
+        text = out.read_text()
+        assert "failed (error)" in text
+        assert "2 failed" in text
+        err = capsys.readouterr().err
+        assert "warning: 2 of 2 sweep points failed" in err

@@ -240,3 +240,49 @@ class TestHeatmap:
     def test_empty_rejected(self):
         with pytest.raises(VisualizationError):
             Heatmap({})
+
+
+class TestZeroCenterFallback:
+    """Regression tests for the zero-center bug: with ``center == 0``
+    (e.g. the median of a movement heatmap where most edges move
+    nothing), ``value / (2 * center)`` used to clamp *every* value to
+    position 0.0, so the only hot spots rendered as the coolest color —
+    inverting the Section IV-C intent.  The scale must fall back to
+    max-based linear interpolation instead."""
+
+    def test_outliers_still_saturate_when_median_is_zero(self):
+        scale = MedianCenteredScale([0.0, 0.0, 0.0, 5.0, 10.0])
+        assert scale.center == 0
+        assert scale.normalize(10.0) == 1.0  # the hottest edge is red
+        assert scale.normalize(5.0) == 0.5
+        assert scale.normalize(0.0) == 0.0
+
+    def test_domain_matches_the_fallback_scale(self):
+        scale = MedianCenteredScale([0.0, 0.0, 0.0, 5.0, 10.0])
+        assert scale.domain() == (0.0, 10.0)
+        # Legend ticks stay consistent with normalize().
+        ticks = scale.ticks(3)
+        assert ticks[0] == (0.0, 0.0)
+        assert ticks[-1] == (10.0, 1.0)
+
+    def test_all_zero_values_stay_flat(self):
+        scale = MedianCenteredScale([0.0, 0.0, 0.0])
+        assert scale.normalize(0.0) == 0.0
+        assert scale.normalize(123.0) == 0.0  # nothing observed to rank
+        assert scale.domain() == (0.0, 0.0)
+
+    def test_mean_scale_gets_the_same_fallback(self):
+        scale = MeanCenteredScale([0.0, 0.0, 0.0, 0.0])
+        assert scale.center == 0
+        assert scale.normalize(1.0) == 0.0
+        assert scale.domain() == (0.0, 0.0)
+
+    def test_heatmap_with_zero_median_highlights_hot_edges(self):
+        hm = Heatmap(
+            {"cold1": 0.0, "cold2": 0.0, "cold3": 0.0, "hot": 8.0},
+            method="median",
+        )
+        hot = hm.color("hot")
+        cold = hm.color("cold1")
+        assert hot.r > hot.g  # warm end of the scale
+        assert cold.g > cold.r  # cool end
