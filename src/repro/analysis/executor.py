@@ -253,6 +253,13 @@ class SweepExecutor:
         Evaluation callable ``(sdfg_text, params, line_size,
         capacity_lines, include_transients, fast)``; defaults to the
         locality pipeline.  Must be picklable for the pool path.
+    serial_fn:
+        In-process evaluation callable ``(sdfg, params, line_size,
+        capacity_lines, include_transients, fast)`` used on the serial
+        path (``workers`` unset and the pool-unavailable fallback).  A
+        session injects its incremental pass pipeline here, so serial
+        sweeps reuse memoized pass results; workers cannot (they live in
+        other processes) and always evaluate from scratch.
     """
 
     def __init__(
@@ -265,6 +272,7 @@ class SweepExecutor:
         tracer=None,
         metrics=None,
         point_fn: Callable | None = None,
+        serial_fn: Callable | None = None,
     ):
         self.workers = workers
         self.retries = int(retries)
@@ -274,6 +282,7 @@ class SweepExecutor:
         self.tracer = tracer
         self.metrics = metrics
         self.point_fn = point_fn
+        self.serial_fn = serial_fn
 
     # -- observability helpers ---------------------------------------------
     def _count(self, name: str, amount: int = 1) -> None:
@@ -410,6 +419,8 @@ class SweepExecutor:
             try:
                 if self.point_fn is not None:
                     point = self.point_fn(sdfg_text, params, *cfg)
+                elif self.serial_fn is not None:
+                    point = self.serial_fn(sdfg, params, *cfg)
                 else:
                     from repro.analysis import parametric
 

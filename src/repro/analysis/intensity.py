@@ -57,9 +57,16 @@ def scope_intensities(
     sdfg: SDFG,
     state: SDFGState,
     call_weights: Mapping[str, int] | None = None,
+    ops: Mapping[Node, Expr] | None = None,
 ) -> dict[Node, Expr]:
-    """Arithmetic intensity (ops/byte, symbolic) per tasklet and map scope."""
-    ops = scope_ops(state, call_weights)
+    """Arithmetic intensity (ops/byte, symbolic) per tasklet and map scope.
+
+    *ops* accepts a precomputed :func:`~repro.analysis.opcount.scope_ops`
+    map so an incremental pipeline can reuse the operation-count product
+    instead of recounting; when omitted it is computed here.
+    """
+    if ops is None:
+        ops = scope_ops(state, call_weights)
     movement = scope_movement_bytes(sdfg, state)
     out: dict[Node, Expr] = {}
     for node, op_count in ops.items():

@@ -16,6 +16,7 @@ __all__ = [
     "InvalidSDFGError",
     "FrontendError",
     "AnalysisError",
+    "PipelineError",
     "SimulationError",
     "TransformError",
     "CodegenError",
@@ -63,6 +64,12 @@ class FrontendError(ReproError):
 
 class AnalysisError(ReproError):
     """A static analysis failed."""
+
+
+class PipelineError(ReproError):
+    """The analysis-pass pipeline is misconfigured (unknown product,
+    missing dependency, dependency cycle) or a pass was run without the
+    context it requires."""
 
 
 class SimulationError(ReproError):

@@ -1,0 +1,228 @@
+"""The local view's locality pipeline as five chained passes.
+
+Simulation trace → physical layout → stack distances → miss
+classification → physical movement, each stage a
+:class:`~repro.passes.base.Pass` with its own content key.  The split
+follows the invalidation boundaries that matter in the interactive loop:
+
+- changing *strides* (e.g. :func:`~repro.transforms.layout.pad_strides_to_multiple`)
+  re-runs layout and everything after it, but the simulation trace —
+  keyed by **logical** descriptors only — is a cache hit;
+- changing the modeled cache *capacity* re-runs only classification and
+  movement: the expensive stack-distance computation is reused;
+- changing a *symbol value* re-runs the whole chain, since the trace
+  itself depends on the concrete sizes.
+
+Each pass replays the legacy stage spans (``layout``, ``stackdist``,
+``classify``) into the context's timings collector, so stage-level
+timing consumers keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any
+
+from repro.analysis.parametric import LocalSweepPoint
+from repro.analysis.timing import maybe_span
+from repro.passes.base import Pass, PassContext
+from repro.simulation import (
+    CacheModel,
+    MemoryModel,
+    simulate_state,
+)
+from repro.simulation.arrays import (
+    ArrayTrace,
+    build_array_trace,
+    per_container_misses_array,
+)
+from repro.simulation.movement import per_container_misses
+from repro.simulation.simulator import SimulationResult
+from repro.simulation.stackdist import stack_distances, stack_distances_array
+from repro.simulation.vectorized import fast_line_trace
+
+__all__ = [
+    "LayoutProduct",
+    "DistanceProduct",
+    "TracePass",
+    "LayoutPass",
+    "StackDistancePass",
+    "ClassifyPass",
+    "PhysicalMovementPass",
+    "SweepPointPass",
+    "local_passes",
+]
+
+
+class LayoutProduct:
+    """Physical-layout stage output: memory model plus columnar trace.
+
+    :attr:`trace` is the columnar :class:`ArrayTrace` when the access
+    trace is array-representable, else ``None`` (object pipeline).
+    :meth:`line_ids` materializes the per-event cache-line ids lazily —
+    the array pipeline never needs them.
+    """
+
+    __slots__ = ("result", "memory", "trace", "_line_ids")
+
+    def __init__(self, result: SimulationResult, memory: MemoryModel):
+        self.result = result
+        self.memory = memory
+        self.trace: ArrayTrace | None = build_array_trace(result, memory)
+        self._line_ids: list[int] | None = None
+
+    def line_ids(self) -> list[int]:
+        if self._line_ids is None:
+            self._line_ids = fast_line_trace(self.result, self.memory)
+        return self._line_ids
+
+
+class DistanceProduct:
+    """Stack-distance stage output, in array or list representation.
+
+    :attr:`array` is a float64 NumPy array in the array pipeline, else
+    ``None``.  :meth:`as_list` converts (and memoizes) a Python list, so
+    repeated consumers observe the *same* list object — the identity
+    contract the session cache always had.
+    """
+
+    __slots__ = ("array", "_list")
+
+    def __init__(self, array=None, values: list[float] | None = None):
+        self.array = array
+        self._list = values
+
+    def as_list(self) -> list[float]:
+        if self._list is None:
+            self._list = self.array.tolist()
+        return self._list
+
+
+class TracePass(Pass):
+    """Access-trace simulation at the context's concrete sizes.
+
+    Keyed by **logical** descriptors: which elements a program touches,
+    and in what order, is independent of how arrays are laid out in
+    memory — so layout transforms leave this (dominant-cost) stage cached.
+    """
+
+    name = "local.trace"
+    uses = ("scope", "state", "arrays.logical", "env", "sim")
+
+    def run(self, ctx: PassContext, inputs: dict[str, Any]) -> SimulationResult:
+        env = ctx.require_env(self.name)
+        return simulate_state(
+            ctx.sdfg,
+            env,
+            state=ctx.state,
+            include_transients=ctx.include_transients,
+            fast=ctx.fast,
+            timings=ctx.timings,
+        )
+
+
+class LayoutPass(Pass):
+    """Physical memory layout + columnar trace over the simulated events."""
+
+    name = "local.layout"
+    depends_on = ("local.trace",)
+    uses = ("arrays", "env", "line")
+
+    def run(self, ctx: PassContext, inputs: dict[str, Any]) -> LayoutProduct:
+        env = ctx.require_env(self.name)
+        with maybe_span(ctx.timings, "layout"):
+            memory = MemoryModel(ctx.sdfg, env, line_size=ctx.line_size)
+            return LayoutProduct(inputs["local.trace"], memory)
+
+
+class StackDistancePass(Pass):
+    """LRU stack distances over the interleaved line trace.
+
+    No components of its own: the layout product's key already embeds
+    everything the distances depend on.
+    """
+
+    name = "local.stackdist"
+    depends_on = ("local.layout",)
+
+    def run(self, ctx: PassContext, inputs: dict[str, Any]) -> DistanceProduct:
+        layout: LayoutProduct = inputs["local.layout"]
+        with maybe_span(ctx.timings, "stackdist"):
+            if layout.trace is not None:
+                return DistanceProduct(array=stack_distances_array(layout.trace.lines))
+            return DistanceProduct(values=stack_distances(layout.line_ids()))
+
+
+class ClassifyPass(Pass):
+    """Per-container miss classification under the modeled capacity.
+
+    Adding ``capacity`` here (and nowhere upstream) is what makes a
+    capacity re-sweep reuse the stack distances: only this pass and its
+    downstream re-run.
+    """
+
+    name = "local.classify"
+    depends_on = ("local.trace", "local.layout", "local.stackdist")
+    uses = ("line", "capacity")
+
+    def run(self, ctx: PassContext, inputs: dict[str, Any]) -> dict:
+        layout: LayoutProduct = inputs["local.layout"]
+        distances: DistanceProduct = inputs["local.stackdist"]
+        model = CacheModel(
+            line_size=ctx.line_size, capacity_lines=ctx.capacity_lines
+        )
+        with maybe_span(ctx.timings, "classify"):
+            if layout.trace is not None:
+                return per_container_misses_array(
+                    layout.trace, distances.array, model
+                )
+            return per_container_misses(
+                inputs["local.trace"].events,
+                layout.memory,
+                model,
+                distances.as_list(),
+            )
+
+
+class PhysicalMovementPass(Pass):
+    """Estimated physical traffic per container: misses × line size."""
+
+    name = "local.physmove"
+    depends_on = ("local.classify",)
+    uses = ("line",)
+
+    def run(self, ctx: PassContext, inputs: dict[str, Any]) -> dict[str, int]:
+        return {
+            name: counts.misses * ctx.line_size
+            for name, counts in inputs["local.classify"].items()
+        }
+
+
+class SweepPointPass(Pass):
+    """Assemble one :class:`LocalSweepPoint` from the chain's products."""
+
+    name = "local.point"
+    depends_on = ("local.trace", "local.classify", "local.physmove")
+    uses = ("env",)
+
+    def run(self, ctx: PassContext, inputs: dict[str, Any]) -> LocalSweepPoint:
+        env = ctx.require_env(self.name)
+        return LocalSweepPoint(
+            params=dict(env),
+            misses=inputs["local.classify"],
+            moved_bytes=inputs["local.physmove"],
+            total_accesses=inputs["local.trace"].num_events,
+            seconds=perf_counter() - ctx.created_at,
+        )
+
+
+def local_passes() -> tuple[Pass, ...]:
+    """One fresh instance of every local-view pass."""
+    return (
+        TracePass(),
+        LayoutPass(),
+        StackDistancePass(),
+        ClassifyPass(),
+        PhysicalMovementPass(),
+        SweepPointPass(),
+    )

@@ -1,0 +1,103 @@
+"""Content-addressed result store for the analysis-pass pipeline.
+
+Pass results are memoized under *content keys* — tuples built from the
+pass name, the content fingerprints of everything the pass reads, and
+(recursively) its dependencies' keys.  A key therefore changes exactly
+when some input content changes; invalidation is never an explicit event,
+it is the absence of the new key in the store.
+
+The store wraps every value in a cell so that ``None`` (or any falsy
+product) is a legal cached result, and delegates storage to a pluggable
+*backing* cache — any object with the ``get``/``put``/``clear``/``info``
+protocol of :class:`~repro.tool.session.SimulationCache` — so a session
+can keep exposing one shared LRU with one set of hit/miss counters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+__all__ = ["ResultStore"]
+
+_MISS = object()
+
+
+class _LRUBacking:
+    """Minimal bounded LRU used when no external backing cache is given."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[tuple, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Any:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: tuple, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def info(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+class ResultStore:
+    """Cell-wrapping facade over a bounded LRU of pass results."""
+
+    def __init__(self, backing=None, maxsize: int = 256):
+        self.backing = backing if backing is not None else _LRUBacking(maxsize)
+
+    def get(self, key: tuple, default: Any = _MISS) -> Any:
+        """The stored value, or *default* (a private sentinel) on a miss."""
+        cell = self.backing.get(key)
+        if cell is None:
+            return default
+        return cell[0]
+
+    def contains(self, key: tuple) -> bool:
+        """Key presence without touching the hit/miss counters."""
+        return key in self.backing
+
+    def put(self, key: tuple, value: Any) -> None:
+        self.backing.put(key, (value,))
+
+    def clear(self) -> None:
+        self.backing.clear()
+
+    def __len__(self) -> int:
+        return len(self.backing)
+
+    def info(self) -> dict[str, int]:
+        return self.backing.info()
+
+    @staticmethod
+    def is_miss(value: Any) -> bool:
+        return value is _MISS
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.info()})"

@@ -1,13 +1,27 @@
-"""JSON serialization of SDFGs.
+"""JSON serialization and content hashing of SDFGs.
 
 The paper's tool ships SDFGs from the analysis backend to the renderer as
 JSON documents; this module provides the equivalent round-trippable format.
 All symbolic expressions serialize as strings (re-parsed on load), node
 cross-references serialize as per-state indices.
+
+The same canonical documents double as *content fingerprints* for the
+incremental analysis pipeline (:mod:`repro.passes`): every node, edge,
+state, data descriptor and whole SDFG hashes to a stable hex digest.
+Digests are SHA-256 over canonical JSON — dictionary keys sorted, compact
+separators — so they are independent of dict construction order, process
+hash seeds, and round trips through :func:`dumps`/:func:`loads`.  Two
+orderings *are* semantic and therefore preserved in the hash document:
+
+- graph (node/edge) order, which fixes the simulated execution sequence;
+- container registration order, which fixes the physical allocation
+  order :class:`~repro.simulation.layout.MemoryModel` assigns addresses by
+  (hashed as an ordered name/descriptor pair list, not a JSON object).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -20,7 +34,19 @@ from repro.sdfg.sdfg import SDFG
 from repro.sdfg.state import SDFGState
 from repro.symbolic.ranges import Range, Subset
 
-__all__ = ["to_json", "from_json", "dumps", "loads"]
+__all__ = [
+    "to_json",
+    "from_json",
+    "dumps",
+    "loads",
+    "canonical_json",
+    "data_fingerprint",
+    "node_fingerprint",
+    "edge_fingerprint",
+    "state_fingerprint",
+    "arrays_fingerprint",
+    "sdfg_fingerprint",
+]
 
 
 # -- serialization -----------------------------------------------------------
@@ -238,3 +264,133 @@ def from_json(doc: dict[str, Any]) -> SDFG:
 def loads(text: str) -> SDFG:
     """Deserialize an SDFG from a JSON string."""
     return from_json(json.loads(text))
+
+
+# -- content hashing -----------------------------------------------------------
+
+
+def canonical_json(doc: Any) -> str:
+    """Deterministic JSON text of *doc*: sorted keys, compact separators.
+
+    Dict key order is normalized away (it is presentation, not content);
+    list order is preserved (graph order and container registration order
+    are semantic — see the module docstring).
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def _digest(doc: Any) -> str:
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()[:16]
+
+
+def data_fingerprint(desc: Data, logical: bool = False) -> str:
+    """Stable digest of one data descriptor.
+
+    With ``logical=True``, only the fields that determine the *logical*
+    access pattern contribute (dtype, shape, transience) — physical layout
+    fields (strides, start offset, alignment) are excluded, so e.g. stride
+    padding does not perturb logical fingerprints.
+    """
+    doc = _data_to_json(desc)
+    if logical:
+        doc.pop("strides", None)
+        doc.pop("start_offset", None)
+        doc.pop("alignment", None)
+    return _digest(doc)
+
+
+def node_fingerprint(node: Node) -> str:
+    """Stable digest of one graph node's content.
+
+    Self-contained (no per-state index table): a :class:`MapExit` hashes
+    its entry's map content instead of a node index, so the digest does
+    not depend on the node's position in a particular state.
+    """
+    if isinstance(node, MapExit):
+        doc: dict[str, Any] = {
+            "type": "MapExit",
+            "label": node.map.label,
+            "params": list(node.map.params),
+            "ranges": [
+                [str(r.begin), str(r.end), str(r.step)] for r in node.map.ranges
+            ],
+        }
+    else:
+        doc = _node_to_json(node, {})
+    return _digest(doc)
+
+
+def edge_fingerprint(edge, node_ids: dict[Node, int]) -> str:
+    """Stable digest of one dataflow edge (endpoints by state-local index)."""
+    conn = edge.data
+    doc = {
+        "src": node_ids[edge.src],
+        "dst": node_ids[edge.dst],
+        "src_conn": None if conn is None else conn.src_conn,
+        "dst_conn": None if conn is None else conn.dst_conn,
+        "memlet": None if conn is None else _memlet_to_json(conn.memlet),
+    }
+    return _digest(doc)
+
+
+def state_fingerprint(state: SDFGState) -> str:
+    """Stable digest of one state: Merkle over node and edge fingerprints."""
+    nodes = state.nodes()
+    node_ids = {n: i for i, n in enumerate(nodes)}
+    doc = {
+        "name": state.name,
+        "nodes": [node_fingerprint(n) for n in nodes],
+        "edges": [edge_fingerprint(e, node_ids) for e in state.edges()],
+    }
+    return _digest(doc)
+
+
+def arrays_fingerprint(sdfg: SDFG, logical: bool = False) -> str:
+    """Stable digest of the SDFG's data descriptors.
+
+    The full (physical) fingerprint hashes descriptors as an *ordered*
+    pair list — registration order determines allocation order and thus
+    physical addresses.  The ``logical=True`` variant drops layout fields
+    and sorts by name, since the logical access pattern is insensitive to
+    both.
+    """
+    if logical:
+        pairs = sorted(
+            (name, data_fingerprint(desc, logical=True))
+            for name, desc in sdfg.arrays.items()
+        )
+    else:
+        pairs = [
+            (name, data_fingerprint(desc)) for name, desc in sdfg.arrays.items()
+        ]
+    return _digest(pairs)
+
+
+def sdfg_fingerprint(sdfg: SDFG) -> str:
+    """Stable digest of the whole SDFG's content.
+
+    Invariant under process restarts and :func:`dumps`/:func:`loads`
+    round trips; changes whenever any state graph, data descriptor,
+    symbol set or interstate structure changes.
+    """
+    states = sdfg.states()
+    state_ids = {s: i for i, s in enumerate(states)}
+    doc = {
+        "name": sdfg.name,
+        "symbols": sorted(sdfg.symbols),
+        "arrays": [
+            [name, _data_to_json(desc)] for name, desc in sdfg.arrays.items()
+        ],
+        "states": [state_fingerprint(s) for s in states],
+        "start_state": state_ids[sdfg.start_state] if states else None,
+        "interstate_edges": [
+            {
+                "src": state_ids[e.src],
+                "dst": state_ids[e.dst],
+                "condition": e.data.condition,
+                "assignments": dict(e.data.assignments),
+            }
+            for e in sdfg.interstate_edges()
+        ],
+    }
+    return _digest(doc)

@@ -82,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the vectorized simulation fast path (use the interpreter)",
     )
+    parser.add_argument(
+        "--explain-cache",
+        action="store_true",
+        help="print the per-pass cache report (runs, hits, timings, and why "
+        "each pass last recomputed)",
+    )
     return parser
 
 
@@ -261,6 +267,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.timings:
             print("pipeline stage timings:")
             print(session.timings.report())
+        if args.explain_cache:
+            print("analysis-pass cache report:")
+            print(session.pass_report())
         if args.trace:
             session.export_trace(args.trace)
             print(f"trace written to {args.trace}")

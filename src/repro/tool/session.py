@@ -1,4 +1,14 @@
-"""Session: the top-level object tying analyses and views together."""
+"""Session: thin facades over the incremental analysis-pass pipeline.
+
+Since the pass refactor, :class:`Session`, :class:`GlobalView` and
+:class:`LocalView` hold no analysis logic of their own: every metric
+query builds a :class:`~repro.passes.base.PassContext` over the current
+graph content and asks the session's
+:class:`~repro.passes.pipeline.Pipeline` for the product.  Results are
+memoized under content-addressed keys, so in-place transformations are
+picked up automatically — the next query fingerprints the mutated graph,
+misses, and recomputes exactly the affected passes.
+"""
 
 from __future__ import annotations
 
@@ -6,14 +16,7 @@ import statistics
 from collections import OrderedDict
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.analysis import (
-    ParameterSweep,
-    edge_movement_bytes,
-    program_ops,
-    scope_intensities,
-    scope_ops,
-    total_movement_bytes,
-)
+from repro.analysis import ParameterSweep
 from repro.analysis.executor import (
     CancelToken,
     SweepExecutor,
@@ -22,44 +25,37 @@ from repro.analysis.executor import (
 )
 from repro.analysis.parametric import (
     LocalSweepPoint,
-    evaluate_metrics,
     parameter_grid,
 )
 from repro.analysis.timing import StageTimings, maybe_span
 from repro.errors import AnalysisError, ReproError
 from repro.obs import MetricsRegistry, Tracer
 from repro.frontend.program import Program
+from repro.passes import (
+    DistanceProduct,
+    LayoutProduct,
+    PassContext,
+    Pipeline,
+    ResultStore,
+    build_pipeline,
+)
 from repro.sdfg.nodes import MapEntry
 from repro.sdfg.sdfg import SDFG
+from repro.sdfg.serialize import data_fingerprint, state_fingerprint
 from repro.sdfg.state import SDFGState
-from repro.simulation import (
-    CacheModel,
-    MemoryModel,
-    related_access_counts,
-    simulate_state,
-)
+from repro.simulation import CacheModel, MemoryModel, related_access_counts
 from repro.simulation.arrays import (
-    ArrayTrace,
-    build_array_trace,
-    container_physical_movement_array,
     element_distance_lists,
-    per_container_misses_array,
     per_container_outcomes,
     per_element_misses_array,
 )
 from repro.simulation.movement import (
-    container_physical_movement,
     edge_physical_movement,
-    per_container_misses,
     per_element_misses,
 )
 from repro.simulation.simulator import SimulationResult
-from repro.simulation.stackdist import (
-    element_stack_distances,
-    stack_distances,
-    stack_distances_array,
-)
-from repro.simulation.vectorized import fast_line_trace
+from repro.simulation.stackdist import element_stack_distances
+from repro.transforms.report import TransformReport
 from repro.viz.graphview import render_state
 from repro.viz.heatmap import Heatmap
 from repro.viz.interaction import ParameterSliders
@@ -154,6 +150,13 @@ class Session:
         self.timings = StageTimings()
         self.tracer = Tracer(timings=self.timings)
         self.metrics = MetricsRegistry()
+        #: Content-addressed store of pass results, separate from the
+        #: legacy :attr:`cache` so pass-level memoization never skews the
+        #: coarse simulation-cache hit/miss counters.
+        self.store = ResultStore(maxsize=max(cache_size * 8, 256))
+        self.pipeline = build_pipeline(
+            store=self.store, tracer=self.tracer, metrics=self.metrics
+        )
 
     @staticmethod
     def _coerce(program_or_sdfg: Program | SDFG) -> SDFG:
@@ -183,6 +186,7 @@ class Session:
         """
         self._sdfg = self._coerce(program_or_sdfg)
         self._generation += 1
+        self.store.clear()
         return self._sdfg
 
     def _cache_scope(self) -> tuple:
@@ -191,7 +195,13 @@ class Session:
 
     def global_view(self, state: SDFGState | None = None) -> "GlobalView":
         """Open the global (whole-program) analysis view."""
-        return GlobalView(self.sdfg, state or self.sdfg.start_state)
+        return GlobalView(
+            self.sdfg,
+            state or self.sdfg.start_state,
+            pipeline=self.pipeline,
+            scope=self._cache_scope(),
+            timings=self.tracer,
+        )
 
     def local_view(
         self,
@@ -222,6 +232,7 @@ class Session:
             cache=self.cache,
             timings=self.tracer,
             scope=self._cache_scope(),
+            pipeline=self.pipeline,
         )
 
     def sweep(
@@ -272,16 +283,37 @@ class Session:
         else:
             grid = [dict(point) for point in params_grid]
 
-        def key_of(params: Mapping[str, int]) -> tuple:
-            return (
-                "sweep",
-                self._cache_scope(),
-                frozenset(params.items()),
-                line_size,
-                capacity_lines,
-                include_transients,
-                fast,
+        # All points share the graph fingerprints; only ``env`` differs.
+        base_ctx: PassContext | None = None
+
+        def ctx_of(params: Mapping[str, int]) -> PassContext:
+            nonlocal base_ctx
+            ctx = PassContext(
+                self.sdfg,
+                state=None,
+                env=params,
+                line_size=line_size,
+                capacity_lines=capacity_lines,
+                include_transients=include_transients,
+                fast=fast,
+                scope=self._cache_scope(),
+                timings=self.tracer,
             )
+            if base_ctx is None:
+                base_ctx = ctx
+            else:
+                ctx.adopt_components(base_ctx)
+            return ctx
+
+        def key_of(params: Mapping[str, int]) -> tuple:
+            # Content-addressed: embeds the graph/descriptor fingerprints,
+            # so an in-place transform can never serve a stale point.
+            return ("sweep", self.pipeline.key("local.point", ctx_of(params)))
+
+        def evaluate_inproc(
+            sdfg, params, line_size, capacity_lines, include_transients, fast
+        ) -> LocalSweepPoint:
+            return self.pipeline.run("local.point", ctx_of(params))
 
         out: list[LocalSweepPoint | SweepPointError | None] = [None] * len(grid)
         with self.tracer.span("sweep", points=len(grid)):
@@ -300,6 +332,7 @@ class Session:
                     timeout=timeout,
                     tracer=self.tracer,
                     metrics=self.metrics,
+                    serial_fn=evaluate_inproc,
                 )
                 with maybe_span(self.tracer, "fanout"):
                     run = executor.run(
@@ -315,6 +348,14 @@ class Session:
                     for index, outcome in zip(missing, run.outcomes):
                         if not isinstance(outcome, SweepPointError):
                             self.cache.put(key_of(grid[index]), outcome)
+                            # Pool-evaluated points enter the pass store
+                            # too, so later pipeline queries reuse them.
+                            self.store.put(
+                                self.pipeline.key(
+                                    "local.point", ctx_of(grid[index])
+                                ),
+                                outcome,
+                            )
                         out[index] = outcome
             self.metrics.gauge("cache.entries").set(len(self.cache))
         if on_error == "record":
@@ -326,6 +367,88 @@ class Session:
                     f"({outcome.kind}): {outcome.message}"
                 )
         return out  # type: ignore[return-value]
+
+    def apply(self, transform: Any, *args, **kwargs) -> TransformReport:
+        """Apply a transformation and report what it modified.
+
+        *transform* is either an object with an ``apply()`` method (e.g. a
+        matched :class:`~repro.transforms.map_fusion.MapFusion`) or any
+        callable that mutates the SDFG; positional/keyword arguments are
+        forwarded.  When the transform does not return a
+        :class:`~repro.transforms.report.TransformReport` itself, one is
+        derived by diffing content fingerprints around the call.
+
+        Correctness never depends on going through this method — the
+        content-addressed pass store observes mutations on the next query
+        regardless — but reports applied here are attached to the
+        pipeline's invalidation records, so :meth:`pass_report` can name
+        the transform that caused each recomputation.
+        """
+        states_before = {
+            s.name: state_fingerprint(s) for s in self._sdfg.states()
+        }
+        arrays_before = {
+            n: data_fingerprint(d) for n, d in self._sdfg.arrays.items()
+        }
+        logical_before = {
+            n: data_fingerprint(d, logical=True)
+            for n, d in self._sdfg.arrays.items()
+        }
+        if hasattr(transform, "apply"):
+            name = type(transform).__name__
+            outcome = transform.apply(*args, **kwargs)
+        else:
+            name = getattr(transform, "__name__", type(transform).__name__)
+            outcome = transform(*args, **kwargs)
+        if isinstance(outcome, TransformReport):
+            report = outcome
+        else:
+            states_after = {
+                s.name: state_fingerprint(s) for s in self._sdfg.states()
+            }
+            arrays_after = {
+                n: data_fingerprint(d) for n, d in self._sdfg.arrays.items()
+            }
+            logical_after = {
+                n: data_fingerprint(d, logical=True)
+                for n, d in self._sdfg.arrays.items()
+            }
+            changed_states = tuple(sorted(
+                n
+                for n in set(states_before) | set(states_after)
+                if states_before.get(n) != states_after.get(n)
+            ))
+            changed_arrays = tuple(sorted(
+                n
+                for n in set(arrays_before) | set(arrays_after)
+                if arrays_before.get(n) != arrays_after.get(n)
+            ))
+            layout_only = (
+                bool(changed_arrays)
+                and not changed_states
+                and all(
+                    logical_before.get(n) == logical_after.get(n)
+                    for n in changed_arrays
+                )
+            )
+            report = TransformReport(
+                name,
+                modified_states=changed_states,
+                modified_arrays=changed_arrays,
+                layout_only=layout_only,
+            )
+        self.pipeline.note_transform(report.describe())
+        return report
+
+    def pass_report(self) -> str:
+        """Per-pass timings, cache hits/misses, and invalidation reasons."""
+        lines = [self.pipeline.report()]
+        info = self.cache.info()
+        lines.append(
+            f"simulation cache: {info['entries']}/{info['maxsize']} entries, "
+            f"{info['hits']} hits, {info['misses']} misses"
+        )
+        return "\n".join(lines)
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss/occupancy counters of the shared simulation cache."""
@@ -345,12 +468,45 @@ class Session:
 
 
 class GlobalView:
-    """The global view (Section IV): whole-program metrics and overlays."""
+    """The global view (Section IV): whole-program metrics and overlays.
 
-    def __init__(self, sdfg: SDFG, state: SDFGState):
+    A thin facade: every metric is a pipeline product.  Queries build a
+    fresh :class:`~repro.passes.base.PassContext`, so the view always
+    reflects the *current* graph content — applying a transformation and
+    re-querying yields updated heatmaps with no explicit invalidation.
+    """
+
+    def __init__(
+        self,
+        sdfg: SDFG,
+        state: SDFGState,
+        pipeline: Pipeline | None = None,
+        scope: tuple = (),
+        timings=None,
+    ):
         self.sdfg = sdfg
         self.state = state
         self.folds = FoldState(state)
+        self.pipeline = pipeline if pipeline is not None else build_pipeline()
+        self._scope = scope if scope else (sdfg.name, 0)
+        self._timings = timings
+
+    def _context(self, env: Mapping[str, int] | None = None) -> PassContext:
+        return PassContext(
+            self.sdfg,
+            state=self.state,
+            env=env,
+            scope=self._scope,
+            timings=self._timings,
+        )
+
+    def _whole_program_context(
+        self, env: Mapping[str, int] | None = None
+    ) -> PassContext:
+        return PassContext(
+            self.sdfg, state=None, env=env, scope=self._scope,
+            timings=self._timings,
+        )
 
     # -- metrics ---------------------------------------------------------------
     def movement_heatmap(
@@ -360,28 +516,29 @@ class GlobalView:
         unique: bool = True,
     ) -> Heatmap:
         """Edge heatmap of logical data-movement volumes."""
-        volumes = evaluate_metrics(
-            edge_movement_bytes(self.sdfg, self.state, unique=unique), env
-        )
-        return Heatmap(volumes, method=method)
+        volumes = self.pipeline.run("global.movement.eval", self._context(env))
+        return Heatmap(volumes["unique" if unique else "counted"], method=method)
 
     def opcount_heatmap(self, env: Mapping[str, int], method: str = "median") -> Heatmap:
         """Node heatmap of arithmetic-operation counts."""
-        ops = evaluate_metrics(scope_ops(self.state), env)
+        ops = self.pipeline.run("global.opcount.eval", self._context(env))
         return Heatmap(ops, method=method)
 
     def intensity_heatmap(self, env: Mapping[str, int], method: str = "median") -> Heatmap:
         """Node heatmap of arithmetic intensity (ops per byte)."""
-        intensity = evaluate_metrics(scope_intensities(self.sdfg, self.state), env)
+        intensity = self.pipeline.run("global.intensity.eval", self._context(env))
         return Heatmap(intensity, method=method)
+
+    def _totals(self) -> dict[str, Any]:
+        return self.pipeline.run("global.totals", self._whole_program_context())
 
     def total_movement(self, env: Mapping[str, int] | None = None, unique: bool = True):
         """Whole-program logical movement (symbolic, or evaluated)."""
-        expr = total_movement_bytes(self.sdfg, unique=unique)
+        expr = self._totals()["movement_unique" if unique else "movement_counted"]
         return expr if env is None else float(expr.evaluate(env))
 
     def total_ops(self, env: Mapping[str, int] | None = None):
-        expr = program_ops(self.sdfg)
+        expr = self._totals()["ops"]
         return expr if env is None else float(expr.evaluate(env))
 
     def scaling_sweep(
@@ -392,10 +549,11 @@ class GlobalView:
         metric: str = "movement",
     ):
         """Parametric scaling analysis of a global metric (Section IV-D)."""
+        totals = self._totals()
         metrics = {
-            "movement": total_movement_bytes(self.sdfg, unique=True),
-            "accesses": total_movement_bytes(self.sdfg, unique=False),
-            "ops": program_ops(self.sdfg),
+            "movement": totals["movement_unique"],
+            "accesses": totals["movement_counted"],
+            "ops": totals["ops"],
         }
         if metric not in metrics:
             raise ReproError(f"unknown metric {metric!r}; choose from {sorted(metrics)}")
@@ -403,11 +561,8 @@ class GlobalView:
 
     def rank_parameters(self, base_env: Mapping[str, int], metric: str = "movement"):
         """Which parameters dominate the chosen metric when scaled."""
-        expr = (
-            total_movement_bytes(self.sdfg, unique=True)
-            if metric == "movement"
-            else program_ops(self.sdfg)
-        )
+        totals = self._totals()
+        expr = totals["movement_unique"] if metric == "movement" else totals["ops"]
         return ParameterSweep(base_env).rank_parameters(expr)
 
     # -- navigation -----------------------------------------------------------
@@ -481,7 +636,15 @@ class GlobalView:
 
 
 class LocalView:
-    """The local view (Section V): parameterized simulation and locality."""
+    """The local view (Section V): parameterized simulation and locality.
+
+    A thin facade: every query resolves through the five chained local
+    passes (trace → layout → stack distance → classification → physical
+    movement).  Each pipeline product is additionally memoized in the
+    session's :class:`SimulationCache` under a key that embeds the
+    *content-addressed* pipeline key, so mutating the SDFG makes the
+    next query miss and recompute — no explicit invalidation needed.
+    """
 
     def __init__(
         self,
@@ -495,6 +658,7 @@ class LocalView:
         cache: SimulationCache | None = None,
         timings=None,
         scope: tuple | None = None,
+        pipeline: Pipeline | None = None,
     ):
         self.sdfg = sdfg
         self.state = state
@@ -508,6 +672,7 @@ class LocalView:
         #: ``(sdfg name, generation)`` scope; standalone views derive one
         #: from the SDFG name alone (they have no shared cache anyway).
         self._scope = scope if scope is not None else (sdfg.name, 0)
+        self._pipeline = pipeline if pipeline is not None else build_pipeline()
         self._result: SimulationResult | None = None
         self._memory: MemoryModel | None = None
 
@@ -527,13 +692,34 @@ class LocalView:
             self.fast,
         )
 
-    def _cached(self, key: tuple, compute):
-        """Memoize *compute()* in the session cache (when one is attached)."""
+    def _context(self) -> PassContext:
+        return PassContext(
+            self.sdfg,
+            state=self.state,
+            env=self.symbols,
+            line_size=self.cache.line_size,
+            capacity_lines=self.cache.capacity_lines,
+            include_transients=self.include_transients,
+            fast=self.fast,
+            scope=self._scope,
+            timings=self.timings,
+        )
+
+    def _product(self, product: str, ctx: PassContext | None = None) -> Any:
+        """Resolve one pipeline product, memoized in the session cache.
+
+        The session-cache key embeds the pipeline's content key, so a
+        graph mutation changes the key and the stale entry is simply
+        never addressed again.
+        """
+        if ctx is None:
+            ctx = self._context()
         if self.session_cache is None:
-            return compute()
+            return self._pipeline.run(product, ctx)
+        key = ("pass", product, self._sim_key(), self._pipeline.key(product, ctx))
         value = self.session_cache.get(key)
         if value is None:
-            value = compute()
+            value = self._pipeline.run(product, ctx)
             self.session_cache.put(key, value)
         return value
 
@@ -541,76 +727,38 @@ class LocalView:
     @property
     def result(self) -> SimulationResult:
         if self._result is None:
-            self._result = self._cached(
-                ("sim", self._sim_key()),
-                lambda: simulate_state(
-                    self.sdfg,
-                    self.symbols,
-                    state=self.state,
-                    include_transients=self.include_transients,
-                    fast=self.fast,
-                    timings=self.timings,
-                ),
-            )
+            self._result = self._product("local.trace")
         return self._result
 
     @property
     def memory(self) -> MemoryModel:
         if self._memory is None:
-            key = ("mem", self._scope, frozenset(self.symbols.items()),
-                   self.cache.line_size)
-            with maybe_span(self.timings, "layout"):
-                self._memory = self._cached(
-                    key,
-                    lambda: MemoryModel(
-                        self.sdfg, self.symbols, line_size=self.cache.line_size
-                    ),
-                )
+            self._memory = self._product("local.layout").memory
         return self._memory
 
-    def _line_ids(self) -> list[int]:
-        """Cache-line id per event (vectorized when the trace allows it)."""
-        key = ("lines", self._sim_key(), self.cache.line_size)
-        with maybe_span(self.timings, "layout"):
-            return self._cached(
-                key, lambda: fast_line_trace(self.result, self.memory)
-            )
+    def _layout(self) -> LayoutProduct:
+        return self._product("local.layout")
 
-    def _array_trace(self) -> ArrayTrace | None:
-        """Columnar trace, or None when the object pipeline must be used.
-
-        The cache stores ``False`` for "not array-traceable" so the miss
-        is only diagnosed once per parameter point.
-        """
-        key = ("atrace", self._sim_key(), self.cache.line_size)
-        with maybe_span(self.timings, "layout"):
-            value = self._cached(
-                key, lambda: build_array_trace(self.result, self.memory) or False
-            )
-        return value or None
-
-    def _distances_array(self, trace: ArrayTrace):
-        """Per-event stack distances as a float64 array (array pipeline)."""
-        key = ("dista", self._sim_key(), self.cache.line_size)
-        with maybe_span(self.timings, "stackdist"):
-            return self._cached(key, lambda: stack_distances_array(trace.lines))
+    def _stackdist(self) -> DistanceProduct:
+        return self._product("local.stackdist")
 
     def _distances(self) -> list[float]:
         """Per-event stack distances over the full interleaved trace."""
-        key = ("dist", self._sim_key(), self.cache.line_size)
-        trace = self._array_trace()
-        if trace is not None:
-            return self._cached(key, lambda: self._distances_array(trace).tolist())
-        lines = self._line_ids()
-        with maybe_span(self.timings, "stackdist"):
-            return self._cached(key, lambda: stack_distances(lines))
+        return self._stackdist().as_list()
 
     def invalidate(self) -> None:
-        """Drop cached simulation state (after mutating the SDFG)."""
+        """Drop cached simulation state (after mutating the SDFG).
+
+        Content-addressed keys make this unnecessary for *content*
+        mutations, which new fingerprints pick up automatically; clearing
+        is still the right tool when results must be recomputed without
+        any content change (e.g. to force fresh timing measurements).
+        """
         self._result = None
         self._memory = None
         if self.session_cache is not None:
             self.session_cache.clear()
+        self._pipeline.store.clear()
 
     # -- access patterns ----------------------------------------------------------
     def access_heatmap(self, data: str) -> dict[tuple[int, ...], int]:
@@ -665,13 +813,15 @@ class LocalView:
 
     def reuse_distances(self, data: str | None = None):
         """Per-element stack-distance lists (Fig. 5b)."""
-        trace = self._array_trace()
-        if trace is not None:
-            return element_distance_lists(
-                trace, self._distances_array(trace), data=data
-            )
+        layout = self._layout()
+        distances = self._stackdist()
+        if layout.trace is not None:
+            return element_distance_lists(layout.trace, distances.array, data=data)
         return element_stack_distances(
-            self.result.events, self.memory, data=data, distances=self._distances()
+            layout.result.events,
+            layout.memory,
+            data=data,
+            distances=distances.as_list(),
         )
 
     def reuse_heatmap(self, data: str, stat: str = "median") -> dict[tuple[int, ...], float]:
@@ -689,21 +839,21 @@ class LocalView:
 
     def miss_counts(self, data: str | None = None):
         """Per-container (or one container's per-element) miss counts."""
-        trace = self._array_trace()
-        if trace is not None:
-            distances = self._distances_array(trace)
-            with maybe_span(self.timings, "classify"):
-                if data is None:
-                    return per_container_misses_array(trace, distances, self.cache)
-                return per_element_misses_array(trace, distances, self.cache, data)
-        distances = self._distances()
+        if data is None:
+            return self._product("local.classify")
+        layout = self._layout()
+        distances = self._stackdist()
         with maybe_span(self.timings, "classify"):
-            if data is None:
-                return per_container_misses(
-                    self.result.events, self.memory, self.cache, distances
+            if layout.trace is not None:
+                return per_element_misses_array(
+                    layout.trace, distances.array, self.cache, data
                 )
             return per_element_misses(
-                self.result.events, self.memory, self.cache, data, distances
+                layout.result.events,
+                layout.memory,
+                self.cache,
+                data,
+                distances.as_list(),
             )
 
     def miss_heatmap(self, data: str) -> dict[tuple[int, ...], int]:
@@ -723,17 +873,16 @@ class LocalView:
         """
         from repro.simulation.cache import MissCounts, classify_three_way
 
-        lines = self._line_ids()
+        layout = self._layout()
         with maybe_span(self.timings, "classify"):
-            kinds = classify_three_way(lines, num_sets, ways)
-        trace = self._array_trace()
-        if trace is not None:
+            kinds = classify_three_way(layout.line_ids(), num_sets, ways)
+        if layout.trace is not None:
             with maybe_span(self.timings, "classify"):
-                return per_container_outcomes(trace, kinds)
+                return per_container_outcomes(layout.trace, kinds)
         out: dict[str, MissCounts] = {}
         from repro.simulation.cache import MissKind
 
-        for event, kind in zip(self.result.events, kinds):
+        for event, kind in zip(layout.result.events, kinds):
             counts = out.setdefault(event.data, MissCounts())
             if kind is MissKind.HIT:
                 counts.hits += 1
@@ -747,16 +896,7 @@ class LocalView:
 
     def physical_movement(self) -> dict[str, int]:
         """Estimated bytes moved to/from memory per container (Fig. 7)."""
-        trace = self._array_trace()
-        if trace is not None:
-            distances = self._distances_array(trace)
-            with maybe_span(self.timings, "classify"):
-                return container_physical_movement_array(trace, distances, self.cache)
-        distances = self._distances()
-        with maybe_span(self.timings, "classify"):
-            return container_physical_movement(
-                self.result.events, self.memory, self.cache, distances
-            )
+        return self._product("local.physmove")
 
     def edge_movement(self):
         """Physical-movement estimate per dataflow edge (Fig. 5c overlay)."""

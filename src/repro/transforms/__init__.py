@@ -16,9 +16,11 @@ themselves are standard dataflow transformations:
 from repro.transforms.layout import pad_strides_to_multiple, permute_array_layout
 from repro.transforms.loop_reorder import reorder_map
 from repro.transforms.map_fusion import MapFusion, fuse_all_maps
+from repro.transforms.report import TransformReport
 
 __all__ = [
     "MapFusion",
+    "TransformReport",
     "fuse_all_maps",
     "permute_array_layout",
     "pad_strides_to_multiple",

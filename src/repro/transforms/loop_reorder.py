@@ -13,17 +13,21 @@ from typing import Sequence
 
 from repro.errors import TransformError
 from repro.sdfg.nodes import MapEntry
+from repro.transforms.report import TransformReport
 
 __all__ = ["reorder_map"]
 
 
-def reorder_map(entry: MapEntry, order: Sequence[int] | Sequence[str]) -> None:
+def reorder_map(
+    entry: MapEntry, order: Sequence[int] | Sequence[str]
+) -> TransformReport:
     """Permute the parameter order of a map scope, in place.
 
     *order* is either a permutation of indices (``[2, 0, 1]``) or the
     parameter names in their new order (``["k", "i", "j"]``).  The map
     object is shared by the entry and exit, so both see the change; no
     memlet is touched (accesses are unchanged, only their sequence).
+    Returns a report of the modified scope.
     """
     map_obj = entry.map
     if order and isinstance(order[0], str):
@@ -39,3 +43,7 @@ def reorder_map(entry: MapEntry, order: Sequence[int] | Sequence[str]) -> None:
         )
     map_obj.params = [map_obj.params[i] for i in indices]
     map_obj.ranges = [map_obj.ranges[i] for i in indices]
+    return TransformReport(
+        "reorder_map",
+        detail=f"map {map_obj.label!r} -> params {map_obj.params}",
+    )

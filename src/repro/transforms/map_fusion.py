@@ -26,6 +26,7 @@ from repro.sdfg.memlet import Memlet
 from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Tasklet
 from repro.sdfg.sdfg import SDFG
 from repro.sdfg.state import SDFGState
+from repro.transforms.report import TransformReport
 
 __all__ = ["MapFusion", "fuse_all_maps"]
 
@@ -117,7 +118,8 @@ class MapFusion:
         ]
 
     # -- application --------------------------------------------------------
-    def apply(self) -> None:
+    def apply(self) -> TransformReport:
+        """Apply the fusion; returns a report of the modified elements."""
         state, sdfg = self.state, self.sdfg
         exit_a = self.producer_exit
         entry_a = exit_a.entry_node
@@ -201,6 +203,12 @@ class MapFusion:
         state.remove_node(exit_b)
         state.remove_node(self.intermediate)
         sdfg.remove_data(t_name)
+        return TransformReport(
+            "MapFusion",
+            modified_states=(state.name,),
+            modified_arrays=(t_name, scalar_name),
+            detail=f"fused {a_map.label} <- {b_map.label} through {t_name}",
+        )
 
     def _fresh_scalar_name(self, base: str) -> str:
         candidate = f"__fused_{base}"

@@ -1,0 +1,76 @@
+"""Structured reports of what a transformation modified.
+
+Content-addressed caching never *needs* these reports — a mutated graph
+hashes differently, so stale results are unreachable by construction —
+but they make invalidation *explainable*: the pipeline attaches the
+reports to its recomputation records (``--explain-cache``), and callers
+can see at a glance whether a transform touched graph structure, data
+descriptors, or only physical layout (the last leaves the simulation
+trace reusable).
+
+Reports come from two places: pattern transforms
+(:meth:`~repro.transforms.map_fusion.MapFusion.apply`,
+:func:`~repro.transforms.loop_reorder.reorder_map`) build them directly
+from what they rewired, and :meth:`Session.apply
+<repro.tool.session.Session.apply>` derives one for arbitrary mutating
+callables by diffing content fingerprints around the call.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TransformReport"]
+
+
+class TransformReport:
+    """What one applied transformation changed.
+
+    - :attr:`transform` — the transform's name;
+    - :attr:`modified_states` — names of states whose graph content
+      changed;
+    - :attr:`modified_arrays` — containers whose descriptors were added,
+      removed, or replaced;
+    - :attr:`layout_only` — ``True`` when only physical-layout fields
+      (strides, offsets, alignment) changed, so every analysis keyed by
+      *logical* content remains valid;
+    - :attr:`detail` — free-form description of the rewrite.
+    """
+
+    __slots__ = (
+        "transform",
+        "modified_states",
+        "modified_arrays",
+        "layout_only",
+        "detail",
+    )
+
+    def __init__(
+        self,
+        transform: str,
+        modified_states: tuple[str, ...] = (),
+        modified_arrays: tuple[str, ...] = (),
+        layout_only: bool = False,
+        detail: str = "",
+    ):
+        self.transform = transform
+        self.modified_states = tuple(modified_states)
+        self.modified_arrays = tuple(modified_arrays)
+        self.layout_only = bool(layout_only)
+        self.detail = detail
+
+    def describe(self) -> str:
+        parts = [self.transform]
+        if self.detail:
+            parts.append(f"({self.detail})")
+        touched = []
+        if self.modified_states:
+            touched.append(f"states: {', '.join(self.modified_states)}")
+        if self.modified_arrays:
+            touched.append(f"arrays: {', '.join(self.modified_arrays)}")
+        if touched:
+            parts.append(f"[{'; '.join(touched)}]")
+        if self.layout_only:
+            parts.append("[layout only]")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"TransformReport({self.describe()})"

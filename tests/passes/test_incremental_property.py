@@ -1,0 +1,141 @@
+"""Property test: incremental analysis exactly equals from-scratch analysis.
+
+For every example application, after an arbitrary interleaving of symbol
+rebinds and graph transformations, the incremental session — which mixes
+cached and recomputed pass products — must produce exactly the results a
+cold pipeline computes over the same (serialized round-tripped) graph.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import bert, conv, hdiff, linalg
+from repro.sdfg.serialize import dumps, loads
+from repro.tool.session import Session
+from repro.transforms import (
+    fuse_all_maps,
+    pad_strides_to_multiple,
+    permute_array_layout,
+    reorder_map,
+)
+
+#: app name -> (builder, candidate symbol environments)
+APPS = {
+    "hdiff": (
+        hdiff.build_sdfg,
+        [
+            {"I": 4, "J": 4, "K": 3},
+            {"I": 5, "J": 4, "K": 3},
+            {"I": 4, "J": 5, "K": 4},
+        ],
+    ),
+    "conv": (
+        conv.build_conv,
+        [
+            {"Cout": 2, "Cin": 2, "H": 7, "W": 7, "KY": 3, "KX": 3},
+            {"Cout": 3, "Cin": 2, "H": 7, "W": 7, "KY": 3, "KX": 3},
+            {"Cout": 2, "Cin": 2, "H": 8, "W": 7, "KY": 3, "KX": 3},
+        ],
+    ),
+    "linalg": (
+        linalg.build_matmul,
+        [
+            {"I": 4, "J": 4, "K": 4},
+            {"I": 6, "J": 4, "K": 4},
+            {"I": 4, "J": 4, "K": 6},
+        ],
+    ),
+    "bert": (
+        bert.build_sdfg,
+        [
+            {"B": 1, "H": 2, "SM": 4, "EMB": 8, "FF": 8, "P": 4},
+            {"B": 1, "H": 2, "SM": 6, "EMB": 8, "FF": 8, "P": 4},
+        ],
+    ),
+}
+
+OPS = ("pad", "permute", "reorder", "fuse", "query")
+
+
+def _multidim_arrays(sdfg):
+    return sorted(
+        name for name, desc in sdfg.arrays.items() if len(desc.shape) >= 2
+    )
+
+
+def _apply_op(session, sdfg, op, env):
+    """Apply one random mutation/query; skip gracefully when inapplicable."""
+    kind, choice = op
+    if kind == "pad":
+        names = _multidim_arrays(sdfg)
+        if names:
+            session.apply(
+                pad_strides_to_multiple, sdfg, names[choice % len(names)], 8
+            )
+    elif kind == "permute":
+        names = _multidim_arrays(sdfg)
+        if names:
+            name = names[choice % len(names)]
+            ndim = len(sdfg.arrays[name].shape)
+            session.apply(
+                permute_array_layout, sdfg, name, list(reversed(range(ndim)))
+            )
+    elif kind == "reorder":
+        entries = [
+            e
+            for e in sdfg.start_state.map_entries()
+            if len(e.map.params) >= 2
+        ]
+        if entries:
+            entry = entries[choice % len(entries)]
+            order = list(reversed(range(len(entry.map.params))))
+            session.apply(reorder_map, entry, order)
+    elif kind == "fuse":
+        session.apply(fuse_all_maps, sdfg)
+    elif kind == "query":
+        # Interleaved queries (possibly at a rebound environment) populate
+        # the caches the later operations must not be allowed to corrupt.
+        session.local_view(env, line_size=16, capacity_lines=8).miss_counts()
+        session.global_view().total_movement(env)
+
+
+def _snapshot(session, env):
+    lv = session.local_view(env, line_size=16, capacity_lines=8)
+    misses = {
+        k: (v.hits, v.cold, v.capacity) for k, v in lv.miss_counts().items()
+    }
+    gv = session.global_view()
+    return {
+        "misses": misses,
+        "moved": lv.physical_movement(),
+        "total_movement": gv.total_movement(env),
+        "total_ops": gv.total_ops(env),
+        "heat": sorted(gv.movement_heatmap(env).values.values()),
+    }
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+@settings(max_examples=6, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(OPS), st.integers(min_value=0, max_value=3)),
+        max_size=5,
+    ),
+    env_choice=st.integers(min_value=0, max_value=1),
+)
+def test_incremental_equals_from_scratch(app, ops, env_choice):
+    builder, envs = APPS[app]
+    sdfg = builder()
+    session = Session(sdfg)
+    session.local_view(envs[0], line_size=16, capacity_lines=8).miss_counts()
+
+    for op in ops:
+        _apply_op(session, sdfg, op, envs[(env_choice + 1) % len(envs)])
+
+    env = envs[env_choice]
+    incremental = _snapshot(session, env)
+
+    cold = Session(loads(dumps(sdfg)))
+    from_scratch = _snapshot(cold, env)
+
+    assert incremental == from_scratch

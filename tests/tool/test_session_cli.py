@@ -273,6 +273,20 @@ class TestCLIObservability:
         assert metrics_doc["counters"]["sweep.points"] == 2
         assert metrics_doc["histograms"]["sweep.point_seconds"]["count"] == 2
 
+    def test_explain_cache_prints_pass_report(self, tmp_path, capsys):
+        module = self.write_module(tmp_path)
+        out = tmp_path / "report.html"
+        rc = cli_main([
+            str(module), "--params", "I=8,J=8", "--local", "I=3,J=4",
+            "-o", str(out), "--explain-cache",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "analysis-pass cache report:" in captured
+        assert "local.trace" in captured
+        assert "first run" in captured
+        assert "simulation cache:" in captured
+
     def test_failed_sweep_points_are_reported_not_fatal(self, tmp_path, capsys):
         # Sweeping only I leaves J unassigned at every point: each point
         # fails deterministically, the report records the failures and

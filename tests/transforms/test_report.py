@@ -1,0 +1,59 @@
+"""Tests for transformation modification reports."""
+
+from repro.apps import linalg
+from repro.tool.session import Session
+from repro.transforms import MapFusion, TransformReport, reorder_map
+from repro.transforms.report import TransformReport as DirectImport
+
+
+def test_exported_from_package():
+    assert TransformReport is DirectImport
+
+
+class TestDescribe:
+    def test_bare(self):
+        assert TransformReport("X").describe() == "X"
+
+    def test_full(self):
+        report = TransformReport(
+            "MapFusion",
+            modified_states=("main",),
+            modified_arrays=("B", "t"),
+            detail="fused a <- b",
+        )
+        text = report.describe()
+        assert "MapFusion" in text and "fused a <- b" in text
+        assert "main" in text and "B" in text
+
+    def test_layout_only_flagged(self):
+        report = TransformReport("pad", modified_arrays=("A",), layout_only=True)
+        assert "layout only" in report.describe()
+
+
+class TestTransformsReturnReports:
+    def test_reorder_map(self):
+        sdfg = linalg.build_matmul()
+        entry = sdfg.start_state.map_entries()[0]
+        report = reorder_map(entry, list(reversed(range(len(entry.map.params)))))
+        assert isinstance(report, TransformReport)
+        assert report.transform == "reorder_map"
+
+    def test_map_fusion_names_modified_sets(self):
+        from tests.passes.test_incremental import build_fusable_chain
+
+        sdfg = build_fusable_chain()
+        match = MapFusion.find_matches(sdfg, sdfg.start_state)[0]
+        report = match.apply()
+        assert isinstance(report, TransformReport)
+        assert report.modified_states == ("main",)
+        assert "B" in report.modified_arrays
+
+    def test_session_apply_derives_report_for_plain_callables(self):
+        from repro.transforms import pad_strides_to_multiple
+
+        sdfg = linalg.build_matmul()
+        session = Session(sdfg)
+        report = session.apply(pad_strides_to_multiple, sdfg, "A", 8)
+        assert report.modified_arrays == ("A",)
+        assert report.layout_only
+        assert not report.modified_states
