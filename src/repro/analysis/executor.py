@@ -259,7 +259,9 @@ class SweepExecutor:
         path (``workers`` unset and the pool-unavailable fallback).  A
         session injects its incremental pass pipeline here, so serial
         sweeps reuse memoized pass results; workers cannot (they live in
-        other processes) and always evaluate from scratch.
+        other processes) and always evaluate from scratch.  When both
+        *point_fn* and *serial_fn* are given, the pool uses *point_fn*
+        and the serial path prefers *serial_fn*.
     """
 
     def __init__(
@@ -382,7 +384,7 @@ class SweepExecutor:
         if outcomes is None:
             outcomes = [None] * len(grid)
         sdfg_text = None
-        if self.point_fn is not None:
+        if self.point_fn is not None and self.serial_fn is None:
             from repro.sdfg.serialize import dumps
 
             sdfg_text = dumps(sdfg, indent=None)
@@ -417,10 +419,12 @@ class SweepExecutor:
             attempts += 1
             start = perf_counter()
             try:
-                if self.point_fn is not None:
-                    point = self.point_fn(sdfg_text, params, *cfg)
-                elif self.serial_fn is not None:
+                # An injected in-process evaluator wins over the worker
+                # entry point: it reuses the caller's memoized pipeline.
+                if self.serial_fn is not None:
                     point = self.serial_fn(sdfg, params, *cfg)
+                elif self.point_fn is not None:
+                    point = self.point_fn(sdfg_text, params, *cfg)
                 else:
                     from repro.analysis import parametric
 
@@ -574,7 +578,15 @@ class SweepExecutor:
                             broken = True
                             if attempts[index] <= self.retries:
                                 self._count("sweep.retries")
-                                todo.append(index)
+                                # Crash retries back off like any other
+                                # transient failure: a point that keeps
+                                # killing its worker should not hammer
+                                # the freshly respawned pool.
+                                retry_at.append((
+                                    time.monotonic()
+                                    + self.backoff * (2 ** (attempts[index] - 1)),
+                                    index,
+                                ))
                             else:
                                 finish(
                                     index,
@@ -659,7 +671,11 @@ class SweepExecutor:
                                 continue
                         if attempts[index] <= self.retries:
                             self._count("sweep.retries")
-                            todo.append(index)
+                            retry_at.append((
+                                time.monotonic()
+                                + self.backoff * (2 ** (attempts[index] - 1)),
+                                index,
+                            ))
                         else:
                             finish(
                                 index,

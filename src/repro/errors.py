@@ -17,6 +17,8 @@ __all__ = [
     "FrontendError",
     "AnalysisError",
     "PipelineError",
+    "StorageError",
+    "LockTimeout",
     "SimulationError",
     "TransformError",
     "CodegenError",
@@ -70,6 +72,20 @@ class PipelineError(ReproError):
     """The analysis-pass pipeline is misconfigured (unknown product,
     missing dependency, dependency cycle) or a pass was run without the
     context it requires."""
+
+
+class StorageError(ReproError):
+    """The persistent storage layer failed internally.
+
+    Never raised into an analysis: the disk cache converts every storage
+    failure into a miss (recompute) or a degradation to memory-only
+    operation.  The class exists so storage-internal control flow (lock
+    timeouts, protocol violations) stays inside the library hierarchy.
+    """
+
+
+class LockTimeout(StorageError):
+    """An advisory file lock could not be acquired within its timeout."""
 
 
 class SimulationError(ReproError):

@@ -24,18 +24,26 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    Updates are guarded by a per-instrument lock: executor callback
+    threads and the main thread increment the same instruments, and an
+    unguarded read-modify-write of :attr:`value` can drop increments
+    when the interpreter preempts between the read and the store.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, {self.value})"
@@ -44,20 +52,24 @@ class Counter:
 class Gauge:
     """A value that can go up and down (pool size, cache occupancy)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, {self.value:g})"
@@ -66,14 +78,16 @@ class Gauge:
 class Histogram:
     """An observed value distribution with summary statistics."""
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.values: list[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        with self._lock:
+            self.values.append(float(value))
 
     @property
     def count(self) -> int:
@@ -83,25 +97,38 @@ class Histogram:
     def total(self) -> float:
         return sum(self.values)
 
+    def _snapshot(self) -> list[float]:
+        with self._lock:
+            return list(self.values)
+
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile of the observed values (q in [0, 100])."""
-        if not self.values:
+        ordered = sorted(self._snapshot())
+        if not ordered:
             raise ValueError(f"histogram {self.name!r} has no observations")
-        ordered = sorted(self.values)
         rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
 
     def summary(self) -> dict[str, float]:
-        if not self.values:
+        values = self._snapshot()
+        if not values:
             return {"count": 0, "sum": 0.0}
+        ordered = sorted(values)
+
+        def rank(q: float) -> float:
+            return ordered[
+                min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+            ]
+
+        total = sum(values)
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": min(self.values),
-            "max": max(self.values),
-            "mean": self.total / self.count,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
+            "count": len(values),
+            "sum": total,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": total / len(values),
+            "p50": rank(50),
+            "p95": rank(95),
         }
 
     def __repr__(self) -> str:

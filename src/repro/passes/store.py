@@ -16,7 +16,9 @@ can keep exposing one shared LRU with one set of hit/miss counters.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any
+from typing import Any, Callable
+
+from repro.storage.sizing import approx_sizeof
 
 __all__ = ["ResultStore"]
 
@@ -24,11 +26,26 @@ _MISS = object()
 
 
 class _LRUBacking:
-    """Minimal bounded LRU used when no external backing cache is given."""
+    """Minimal bounded LRU used when no external backing cache is given.
 
-    def __init__(self, maxsize: int):
+    Bounded two ways: by entry *count* (``maxsize``) and — because a few
+    large local-view products can dwarf hundreds of tiny symbolic
+    entries — by approximate *bytes* (``max_bytes``, measured with
+    *sizeof*, default :func:`~repro.storage.sizing.approx_sizeof`).
+    """
+
+    def __init__(
+        self,
+        maxsize: int,
+        max_bytes: int | None = None,
+        sizeof: Callable[[Any], int] | None = None,
+    ):
         self.maxsize = int(maxsize)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self._sizeof = sizeof if sizeof is not None else approx_sizeof
         self._entries: "OrderedDict[tuple, Any]" = OrderedDict()
+        self._sizes: dict[tuple, int] = {}
+        self.approx_bytes = 0
         self.hits = 0
         self.misses = 0
 
@@ -42,14 +59,35 @@ class _LRUBacking:
         self.hits += 1
         return value
 
+    def _measure(self, value: Any) -> int:
+        try:
+            return int(self._sizeof(value))
+        except Exception:  # noqa: BLE001 — fault barrier: sizing must never break caching
+            return 0
+
+    def _over_budget(self) -> bool:
+        if len(self._entries) > self.maxsize:
+            return True
+        return self.max_bytes is not None and self.approx_bytes > self.max_bytes
+
     def put(self, key: tuple, value: Any) -> None:
+        if key in self._entries:
+            self.approx_bytes -= self._sizes.pop(key, 0)
         self._entries[key] = value
         self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        size = self._measure(value)
+        self._sizes[key] = size
+        self.approx_bytes += size
+        # The just-inserted entry is exempt: evicting a single oversized
+        # product would only buy a put/miss recompute loop.
+        while len(self._entries) > 1 and self._over_budget():
+            evicted, _ = self._entries.popitem(last=False)
+            self.approx_bytes -= self._sizes.pop(evicted, 0)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._sizes.clear()
+        self.approx_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -63,14 +101,25 @@ class _LRUBacking:
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
+            "approx_bytes": self.approx_bytes,
+            "max_bytes": 0 if self.max_bytes is None else self.max_bytes,
         }
 
 
 class ResultStore:
     """Cell-wrapping facade over a bounded LRU of pass results."""
 
-    def __init__(self, backing=None, maxsize: int = 256):
-        self.backing = backing if backing is not None else _LRUBacking(maxsize)
+    def __init__(
+        self,
+        backing=None,
+        maxsize: int = 256,
+        max_bytes: int | None = None,
+    ):
+        self.backing = (
+            backing
+            if backing is not None
+            else _LRUBacking(maxsize, max_bytes=max_bytes)
+        )
 
     def get(self, key: tuple, default: Any = _MISS) -> Any:
         """The stored value, or *default* (a private sentinel) on a miss."""

@@ -1,0 +1,121 @@
+"""Advisory cross-process file locks with timeouts.
+
+Concurrent sessions and sweep pool workers sharing one on-disk cache
+coordinate through a :class:`FileLock`: an advisory ``flock``-based
+exclusive lock with a bounded acquisition timeout, so a crashed or
+wedged holder can never stall another process forever — the waiter
+raises :class:`~repro.errors.LockTimeout` and its caller degrades
+gracefully instead of blocking an interactive analysis.
+
+``flock`` locks are released by the kernel when the holding process
+dies, so crash recovery needs no stale-lock cleanup.  On platforms
+without :mod:`fcntl` the lock falls back to an ``O_EXCL`` lock file
+(best-effort; a crashed holder is detected by lock-file age).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.errors import LockTimeout
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock"]
+
+#: Age in seconds after which an ``O_EXCL`` fallback lock file left by a
+#: crashed process is considered stale and broken.  Unused on POSIX.
+_STALE_LOCKFILE_SECONDS = 30.0
+
+
+class FileLock:
+    """An advisory exclusive lock on *path* with an acquisition timeout.
+
+    Usable as a context manager::
+
+        with FileLock(cache_dir / ".lock", timeout=2.0):
+            ...  # exclusive section
+
+    Acquisition polls every *poll* seconds until *timeout* elapses, then
+    raises :class:`~repro.errors.LockTimeout`.  The lock is advisory:
+    only cooperating processes (other :class:`FileLock` users) observe
+    it.  Not reentrant.
+    """
+
+    def __init__(self, path: str | os.PathLike, timeout: float = 5.0, poll: float = 0.01):
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        self.poll = float(poll)
+        self._fd: int | None = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> "FileLock":
+        if self._fd is not None:
+            raise LockTimeout(f"lock {self.path} is not reentrant")
+        deadline = time.monotonic() + self.timeout
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    self._fd = fd
+                    return self
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        os.close(fd)
+                        raise LockTimeout(
+                            f"could not acquire {self.path} within "
+                            f"{self.timeout:g}s"
+                        ) from None
+                    time.sleep(self.poll)
+        # O_EXCL fallback: create-or-wait on a marker file.
+        while True:
+            try:
+                self._fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644
+                )
+                return self
+            except FileExistsError:
+                self._break_stale()
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        f"could not acquire {self.path} within {self.timeout:g}s"
+                    ) from None
+                time.sleep(self.poll)
+
+    def _break_stale(self) -> None:
+        """Remove an ``O_EXCL`` marker abandoned by a crashed process."""
+        try:
+            if time.time() - self.path.stat().st_mtime > _STALE_LOCKFILE_SECONDS:
+                self.path.unlink(missing_ok=True)
+        except OSError:
+            pass  # the holder released it concurrently; retry the open
+
+    def release(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            else:
+                self.path.unlink(missing_ok=True)
+        finally:
+            os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"FileLock({str(self.path)!r}, held={self.held})"

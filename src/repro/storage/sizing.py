@@ -1,0 +1,61 @@
+"""Approximate in-memory sizing of cached analysis products.
+
+Entry-*count* bounds alone cannot keep a cache's footprint predictable:
+a handful of large local-view products (traces, layout matrices) can
+dwarf hundreds of tiny symbolic results.  :func:`approx_sizeof` gives a
+cheap, recursive :func:`sys.getsizeof`-based estimate that the bounded
+caches use as a secondary, byte-denominated eviction bound.
+
+The estimate is deliberately approximate: recursion is depth-limited,
+shared sub-objects are counted once, and objects that resist
+``getsizeof`` fall back to a flat default.  Callers that know their
+payloads better can pass their own ``sizeof`` callable to the caches.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+__all__ = ["approx_sizeof"]
+
+#: Flat fallback for objects whose ``__sizeof__`` misbehaves.
+_DEFAULT_OBJECT_SIZE = 64
+
+
+def approx_sizeof(obj: Any, depth: int = 4) -> int:
+    """Approximate recursive byte size of *obj*.
+
+    Containers (and instance ``__dict__``/``__slots__``) are walked up
+    to *depth* levels; each distinct object is counted once.  NumPy
+    arrays report their buffer through ``__sizeof__`` and need no
+    special-casing.
+    """
+    seen: set[int] = set()
+
+    def walk(value: Any, remaining: int) -> int:
+        if id(value) in seen:
+            return 0
+        seen.add(id(value))
+        try:
+            size = sys.getsizeof(value, _DEFAULT_OBJECT_SIZE)
+        except TypeError:  # a misdeclared __sizeof__
+            size = _DEFAULT_OBJECT_SIZE
+        if remaining <= 0:
+            return size
+        if isinstance(value, dict):
+            for key, item in value.items():
+                size += walk(key, remaining - 1)
+                size += walk(item, remaining - 1)
+        elif isinstance(value, (list, tuple, set, frozenset)):
+            for item in value:
+                size += walk(item, remaining - 1)
+        else:
+            attrs = getattr(value, "__dict__", None)
+            if attrs is not None:
+                size += walk(attrs, remaining - 1)
+            for slot in getattr(type(value), "__slots__", ()):
+                size += walk(getattr(value, slot, None), remaining - 1)
+        return size
+
+    return walk(obj, depth)

@@ -1,0 +1,64 @@
+"""Two-tier (memory over disk) backing for the content-addressed store.
+
+:class:`TieredBacking` layers a bounded in-memory LRU over a
+:class:`~repro.storage.diskcache.DiskCache`, implementing the same
+``get``/``put``/``clear``/``info`` backing protocol both tiers speak —
+so a :class:`~repro.passes.store.ResultStore` gains persistence without
+knowing it, and the pipeline's ``runs``/``hits`` accounting keeps
+working unchanged (a disk hit is a store hit).
+
+Reads go memory-first and promote disk hits into memory; writes go
+through to both tiers.  ``clear()`` empties only the memory tier: the
+disk directory is shared with other processes, and content-addressed
+keys make stale serving impossible — a session that reloads a program
+changes its key scope instead of wiping shared state.  Use
+:meth:`DiskCache.clear` for an explicit on-disk wipe.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.storage.diskcache import DiskCache
+
+__all__ = ["TieredBacking"]
+
+
+class TieredBacking:
+    """Memory-LRU-over-disk composition of two backing caches."""
+
+    def __init__(self, memory, disk: DiskCache):
+        self.memory = memory
+        self.disk = disk
+
+    def get(self, key: tuple) -> Any:
+        value = self.memory.get(key)
+        if value is not None:
+            return value
+        value = self.disk.get(key)
+        if value is None:
+            return None
+        self.memory.put(key, value)  # promote for repeat queries
+        return value
+
+    def put(self, key: tuple, value: Any) -> None:
+        self.memory.put(key, value)
+        self.disk.put(key, value)
+
+    def clear(self) -> None:
+        """Drop the memory tier only (the disk tier is shared state)."""
+        self.memory.clear()
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self.memory or key in self.disk
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    def info(self) -> dict[str, Any]:
+        info = dict(self.memory.info())
+        info["disk"] = self.disk.info()
+        return info
+
+    def __repr__(self) -> str:
+        return f"TieredBacking(memory={self.memory!r}, disk={self.disk!r})"

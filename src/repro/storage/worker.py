@@ -1,0 +1,101 @@
+"""Sweep-pool worker integration: warm the shared disk cache from workers.
+
+When a session sweeps a parameter grid over worker processes, the
+workers cannot see the parent's in-memory store — but they *can* share
+its disk cache.  :class:`DiskCachedPointFn` is a picklable pool entry
+point that wraps the default point evaluation with a read-through /
+write-through of the shared cache directory: a point whose
+content-addressed key is already on disk is served without simulating,
+and every freshly evaluated point is published for other workers,
+future sweeps, and future processes.
+
+The parent computes the content keys (it owns the pipeline) and ships
+them alongside the grid; workers never fingerprint anything.  All
+cross-process coordination — atomic publication, advisory locking,
+corruption quarantine — is the :class:`~repro.storage.diskcache.DiskCache`'s
+job; a worker whose disk degrades silently evaluates everything itself.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping
+
+from repro.storage.diskcache import DiskCache
+
+__all__ = ["DiskCachedPointFn"]
+
+#: Per-worker-process store cache, keyed by cache directory: one
+#: ``DiskCache`` per directory per process, reused across tasks.
+_WORKER_STORES: dict[str, Any] = {}
+
+
+def _freeze(params: Mapping[str, int]) -> tuple:
+    return tuple(sorted(params.items()))
+
+
+def _worker_store(cache_dir: str, max_bytes: int):
+    """The per-process ResultStore over the shared disk directory."""
+    store = _WORKER_STORES.get(cache_dir)
+    if store is None:
+        from repro.passes.store import ResultStore
+
+        store = ResultStore(
+            backing=DiskCache(cache_dir, max_bytes=max_bytes)
+        )
+        if len(_WORKER_STORES) >= 4:
+            _WORKER_STORES.clear()
+        _WORKER_STORES[cache_dir] = store
+    return store
+
+
+class DiskCachedPointFn:
+    """Picklable sweep-point evaluator with shared-disk memoization.
+
+    Parameters
+    ----------
+    cache_dir:
+        The session's cache directory.
+    keys:
+        ``frozen-params -> content key`` for every point the parent
+        submits; the keys match what the parent's pipeline would use,
+        so parent and workers address the same entries.
+    max_bytes:
+        Byte budget forwarded to each worker's :class:`DiskCache`.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike, keys: dict[tuple, tuple], max_bytes: int):
+        self.cache_dir = str(cache_dir)
+        self.keys = dict(keys)
+        self.max_bytes = int(max_bytes)
+
+    def __call__(
+        self,
+        sdfg_text: str,
+        params: Mapping[str, int],
+        line_size: int,
+        capacity_lines: int,
+        include_transients: bool,
+        fast: bool,
+    ):
+        from repro.analysis.executor import _worker_evaluate
+        from repro.passes.store import ResultStore
+
+        store = _worker_store(self.cache_dir, self.max_bytes)
+        key = self.keys.get(_freeze(params))
+        if key is not None:
+            value = store.get(key)
+            if not ResultStore.is_miss(value):
+                return value
+        point = _worker_evaluate(
+            sdfg_text, params, line_size, capacity_lines,
+            include_transients, fast,
+        )
+        if key is not None:
+            store.put(key, point)
+        return point
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskCachedPointFn({self.cache_dir!r}, points={len(self.keys)})"
+        )

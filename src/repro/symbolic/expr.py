@@ -137,6 +137,32 @@ class Expr:
             object.__setattr__(self, "_hash", h)
         return h
 
+    # -- pickling ---------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Slot values, minus the memoized ``_hash``.
+
+        ``_hash`` derives from string hashes, which are salted per
+        process (``PYTHONHASHSEED``); persisting it would make an
+        unpickled expression hash differently from an equal one built
+        fresh in the receiving process.
+        """
+        state: dict = {}
+        for cls in type(self).__mro__:
+            for slot in getattr(cls, "__slots__", ()):
+                if slot == "_hash":
+                    continue
+                try:
+                    state[slot] = getattr(self, slot)
+                except AttributeError:
+                    pass
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Immutability is enforced through ``__setattr__``; restore the
+        # raw slots the way the constructors do.
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     # -- core protocol ----------------------------------------------------
     def free_symbols(self) -> frozenset[str]:
         """Names of all symbols occurring in the expression."""

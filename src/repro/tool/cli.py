@@ -88,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-pass cache report (runs, hits, timings, and why "
         "each pass last recomputed)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist analysis results to this directory and reuse them "
+        "across runs and processes (default: $REPRO_CACHE_DIR if set, "
+        "else memory-only)",
+    )
     return parser
 
 
@@ -155,7 +163,7 @@ def main(argv: list[str] | None = None) -> int:
         env = _parse_env(args.params)
         local_env = _parse_env(args.local)
 
-        session = Session(program)
+        session = Session(program, cache_dir=args.cache_dir)
         report = session.report(f"Analysis of {program.name}")
 
         gv = session.global_view()

@@ -12,9 +12,10 @@ misses, and recomputes exactly the affected passes.
 
 from __future__ import annotations
 
+import os
 import statistics
 from collections import OrderedDict
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.analysis import ParameterSweep
 from repro.analysis.executor import (
@@ -39,8 +40,16 @@ from repro.passes import (
     ResultStore,
     build_pipeline,
 )
+from repro.passes.store import _LRUBacking
 from repro.sdfg.nodes import MapEntry
 from repro.sdfg.sdfg import SDFG
+from repro.storage import (
+    DEFAULT_MAX_BYTES,
+    DiskCache,
+    DiskCachedPointFn,
+    TieredBacking,
+    approx_sizeof,
+)
 from repro.sdfg.serialize import data_fingerprint, state_fingerprint
 from repro.sdfg.state import SDFGState
 from repro.simulation import CacheModel, MemoryModel, related_access_counts
@@ -76,11 +85,26 @@ class SimulationCache:
     params, memory-model config)`` makes revisits O(1).  The cache is owned by the
     :class:`Session` and shared by every :class:`LocalView` it opens, with
     least-recently-used eviction bounding memory.
+
+    Eviction is bounded two ways: by entry count (*maxsize*) and by
+    approximate bytes (*max_bytes*) — a few large local-view products
+    can dwarf hundreds of tiny symbolic entries, so entry count alone
+    is not a memory bound.  Sizes come from *sizeof* (default
+    :func:`~repro.storage.sizing.approx_sizeof`).
     """
 
-    def __init__(self, maxsize: int = 32):
+    def __init__(
+        self,
+        maxsize: int = 32,
+        max_bytes: int | None = None,
+        sizeof: Callable[[Any], int] | None = None,
+    ):
         self.maxsize = int(maxsize)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self._sizeof = sizeof if sizeof is not None else approx_sizeof
         self._entries: "OrderedDict[tuple, Any]" = OrderedDict()
+        self._sizes: dict[tuple, int] = {}
+        self.approx_bytes = 0
         self.hits = 0
         self.misses = 0
 
@@ -94,14 +118,35 @@ class SimulationCache:
         self.hits += 1
         return value
 
+    def _measure(self, value: Any) -> int:
+        try:
+            return int(self._sizeof(value))
+        except Exception:  # noqa: BLE001 — fault barrier: sizing must never break caching
+            return 0
+
+    def _over_budget(self) -> bool:
+        if len(self._entries) > self.maxsize:
+            return True
+        return self.max_bytes is not None and self.approx_bytes > self.max_bytes
+
     def put(self, key: tuple, value: Any) -> None:
+        if key in self._entries:
+            self.approx_bytes -= self._sizes.pop(key, 0)
         self._entries[key] = value
         self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        size = self._measure(value)
+        self._sizes[key] = size
+        self.approx_bytes += size
+        # The just-inserted entry is exempt: evicting a single oversized
+        # product would only buy a put/miss recompute loop.
+        while len(self._entries) > 1 and self._over_budget():
+            evicted, _ = self._entries.popitem(last=False)
+            self.approx_bytes -= self._sizes.pop(evicted, 0)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._sizes.clear()
+        self.approx_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -115,6 +160,8 @@ class SimulationCache:
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
+            "approx_bytes": self.approx_bytes,
+            "max_bytes": 0 if self.max_bytes is None else self.max_bytes,
         }
 
     def __repr__(self) -> str:
@@ -141,19 +188,50 @@ class Session:
     ``id()``.  CPython reuses object ids after garbage collection, so an
     id-keyed cache in a long-lived session that loads a second program
     can silently serve results computed for the previous one.
+
+    With *cache_dir* (or the ``REPRO_CACHE_DIR`` environment variable)
+    set, the pass store becomes persistent: results are written through
+    to a crash-safe on-disk :class:`~repro.storage.diskcache.DiskCache`
+    shared across processes, so a fresh session over an unchanged
+    program re-analyzes from disk instead of recomputing.  Storage
+    failures never break analysis — corrupt entries are quarantined and
+    recomputed, and an unusable directory degrades the session to
+    memory-only with one warning.
     """
 
-    def __init__(self, program_or_sdfg: Program | SDFG, cache_size: int = 32):
+    def __init__(
+        self,
+        program_or_sdfg: Program | SDFG,
+        cache_size: int = 32,
+        cache_dir: str | os.PathLike | None = None,
+        cache_bytes: int | None = None,
+    ):
         self._generation = 0
         self._sdfg = self._coerce(program_or_sdfg)
         self.cache = SimulationCache(maxsize=cache_size)
         self.timings = StageTimings()
         self.tracer = Tracer(timings=self.timings)
         self.metrics = MetricsRegistry()
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        if cache_bytes is None:
+            env_bytes = os.environ.get("REPRO_CACHE_BYTES", "")
+            cache_bytes = int(env_bytes) if env_bytes.isdigit() else DEFAULT_MAX_BYTES
+        #: The persistent tier (``None`` when the session is memory-only).
+        self.disk: DiskCache | None = None
+        backing = _LRUBacking(max(cache_size * 8, 256))
+        if cache_dir is not None:
+            self.disk = DiskCache(
+                cache_dir,
+                max_bytes=cache_bytes,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+            backing = TieredBacking(backing, self.disk)
         #: Content-addressed store of pass results, separate from the
         #: legacy :attr:`cache` so pass-level memoization never skews the
         #: coarse simulation-cache hit/miss counters.
-        self.store = ResultStore(maxsize=max(cache_size * 8, 256))
+        self.store = ResultStore(backing=backing)
         self.pipeline = build_pipeline(
             store=self.store, tracer=self.tracer, metrics=self.metrics
         )
@@ -182,11 +260,15 @@ class Session:
         Bumps the cache generation, so entries computed for the previous
         program can never be served for the new one — even when CPython
         hands the new SDFG (or its states) the recycled ``id`` of the
-        old one.
+        old one.  The generation is part of every content key's scope,
+        so the bump also invalidates *disk*-cache hits: entries written
+        before the load are simply never addressed again (the shared
+        directory itself is left untouched — other processes may still
+        be using it).
         """
         self._sdfg = self._coerce(program_or_sdfg)
         self._generation += 1
-        self.store.clear()
+        self.store.clear()  # memory tier only; disk invalidates by scope
         return self._sdfg
 
     def _cache_scope(self) -> tuple:
@@ -320,18 +402,47 @@ class Session:
             missing: list[int] = []
             for index, params in enumerate(grid):
                 point = self.cache.get(key_of(params))
+                if point is None and self.disk is not None:
+                    # A fresh session over a warm cache directory serves
+                    # the whole grid from disk without spawning a pool.
+                    stored = self.store.get(
+                        self.pipeline.key("local.point", ctx_of(params))
+                    )
+                    if not ResultStore.is_miss(stored):
+                        point = stored
+                        self.cache.put(key_of(params), point)
                 if point is None:
                     missing.append(index)
                 else:
                     out[index] = point
             self.metrics.counter("sweep.cache_hits").inc(len(grid) - len(missing))
             if missing:
+                pool_workers = (
+                    None if workers is None or workers <= 1 else workers
+                )
+                # With a persistent cache attached, pool workers read and
+                # write the shared disk directory themselves: a re-run of
+                # the grid in any process is then served from disk, and
+                # every worker's fresh evaluation warms it for the others.
+                point_fn = None
+                if pool_workers is not None and self.disk is not None and not self.disk.disabled:
+                    point_fn = DiskCachedPointFn(
+                        self.disk.root,
+                        {
+                            tuple(sorted(grid[index].items())): self.pipeline.key(
+                                "local.point", ctx_of(grid[index])
+                            )
+                            for index in missing
+                        },
+                        max_bytes=self.disk.max_bytes,
+                    )
                 executor = SweepExecutor(
-                    workers=None if workers is None or workers <= 1 else workers,
+                    workers=pool_workers,
                     retries=retries,
                     timeout=timeout,
                     tracer=self.tracer,
                     metrics=self.metrics,
+                    point_fn=point_fn,
                     serial_fn=evaluate_inproc,
                 )
                 with maybe_span(self.tracer, "fanout"):

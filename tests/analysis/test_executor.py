@@ -378,3 +378,62 @@ class TestSweepLocalViewsContract:
         ]
         with pytest.raises(AnalysisError):
             sweep_local_views(sdfg, grid, workers=2)
+
+
+def _timed_kill_once_point(sdfg_text, params, *cfg):
+    """Log (idx, wall time) per attempt; SIGKILL on the first killer try."""
+    with open(params["log"], "a") as handle:
+        handle.write(f"{params['idx']} {time.time()}\n")
+    if params.get("kill"):
+        marker = params["marker"]
+        if not os.path.exists(marker):
+            with open(marker, "w") as handle:
+                handle.write("killed once")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return dict(params)
+
+
+class TestCrashRetryBackoff:
+    def test_crash_retry_waits_out_the_backoff(self, sdfg, tmp_path):
+        """A pool crash retries like a transient error: after a backoff.
+
+        Regression for the crash path resubmitting the killed point
+        immediately — with ``workers=1`` the attempt log gives exact
+        per-attempt timestamps, so the delay between the two attempts of
+        the killer point must show the configured backoff, while every
+        other point runs exactly once on the respawned pool.
+        """
+        log = tmp_path / "attempts.log"
+        log.touch()
+        backoff = 0.4
+        grid = [
+            {
+                "idx": i,
+                "kill": i == 1,
+                "log": str(log),
+                "marker": str(tmp_path / "killed"),
+            }
+            for i in range(3)
+        ]
+        metrics = MetricsRegistry()
+        executor = SweepExecutor(
+            workers=1, retries=2, backoff=backoff,
+            point_fn=_timed_kill_once_point, metrics=metrics,
+        )
+        run = executor.run(sdfg, grid)
+        assert run.ok
+        assert [p["idx"] for p in run.points] == [0, 1, 2]
+
+        attempts: dict[int, list[float]] = {}
+        for line in log.read_text().splitlines():
+            idx, stamp = line.split()
+            attempts.setdefault(int(idx), []).append(float(stamp))
+        # Crash on attempt 1, success on attempt 2 — nobody else reran.
+        assert sorted(len(stamps) for stamps in attempts.values()) == [1, 1, 2]
+        first, second = sorted(attempts[1])
+        # The resubmission waited out the (first-retry) backoff.  Allow
+        # generous slack below the nominal value: the attempt timestamp
+        # is taken at worker entry, not at resubmission.
+        assert second - first >= backoff * 0.6
+        assert metrics.counter("sweep.pool_respawns").value == 1
+        assert metrics.counter("sweep.retries").value == 1

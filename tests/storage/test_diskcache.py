@@ -1,0 +1,259 @@
+"""Tests for the crash-safe persistent cache: normal operation.
+
+Fault injection (corruption, degradation, races) lives in
+``test_fault_injection.py``; session-level wiring in
+``test_session_disk.py``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import LockTimeout
+from repro.obs import MetricsRegistry, Tracer
+from repro.passes.store import ResultStore, _LRUBacking
+from repro.storage import (
+    DiskCache,
+    FileLock,
+    TieredBacking,
+    approx_sizeof,
+    key_digest,
+)
+
+
+class TestKeyDigest:
+    def test_stable_across_instances(self):
+        key = ("local.trace", ("fp", "abc123"), (("env", (("I", 8),)),))
+        assert key_digest(key) == key_digest(key)
+        assert len(key_digest(key)) == 64
+
+    def test_distinct_keys_distinct_digests(self):
+        assert key_digest(("a", 1)) != key_digest(("a", 2))
+        assert key_digest(("a",)) != key_digest(("b",))
+
+    def test_set_order_canonicalized(self):
+        assert key_digest(frozenset({"x", "y", "z"})) == key_digest(
+            frozenset({"z", "x", "y"})
+        )
+
+    def test_dict_order_canonicalized(self):
+        assert key_digest({"a": 1, "b": 2}) == key_digest({"b": 2, "a": 1})
+
+    def test_str_int_not_conflated(self):
+        assert key_digest(("1",)) != key_digest((1,))
+
+
+class TestDiskCacheRoundtrip:
+    def test_roundtrip_same_instance(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(("k", 1), {"result": [1, 2, 3]})
+        assert cache.get(("k", 1)) == {"result": [1, 2, 3]}
+
+    def test_roundtrip_across_instances(self, tmp_path):
+        DiskCache(tmp_path).put(("k", 1), ("value", 42))
+        fresh = DiskCache(tmp_path)
+        assert fresh.get(("k", 1)) == ("value", 42)
+
+    def test_miss_returns_none(self, tmp_path):
+        assert DiskCache(tmp_path).get(("absent",)) is None
+
+    def test_none_is_a_legal_value_via_result_store(self, tmp_path):
+        # The backing protocol reserves None for misses; the cell
+        # convention of ResultStore makes None a storable product.
+        store = ResultStore(backing=DiskCache(tmp_path))
+        store.put(("k",), None)
+        fresh = ResultStore(backing=DiskCache(tmp_path))
+        assert fresh.get(("k",)) is None
+        assert not ResultStore.is_miss(fresh.get(("k",)))
+
+    def test_existing_entry_not_rewritten(self, tmp_path):
+        metrics = MetricsRegistry()
+        cache = DiskCache(tmp_path, metrics=metrics)
+        cache.put(("k",), "v")
+        cache.put(("k",), "v")
+        assert metrics.counter("disk.writes").value == 1
+
+    def test_contains_len_clear(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert ("a",) in cache
+        assert ("c",) not in cache
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(("a",)) is None
+
+    def test_info(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=12345)
+        cache.put(("a",), "x" * 100)
+        info = cache.info()
+        assert info["entries"] == 1
+        assert info["bytes"] > 100
+        assert info["max_bytes"] == 12345
+        assert info["disabled"] is False
+        assert info["degraded_reason"] is None
+
+
+class TestCountersAndSpans:
+    def test_hit_miss_counters(self, tmp_path):
+        metrics = MetricsRegistry()
+        cache = DiskCache(tmp_path, metrics=metrics)
+        cache.get(("absent",))
+        cache.put(("k",), 1)
+        cache.get(("k",))
+        cache.get(("k",))
+        assert metrics.counter("disk.misses").value == 1
+        assert metrics.counter("disk.hits").value == 2
+
+    def test_storage_spans_emitted(self, tmp_path):
+        tracer = Tracer()
+        cache = DiskCache(tmp_path, tracer=tracer)
+        cache.put(("k",), "payload")
+        cache.get(("k",))
+        assert tracer.count("storage:write") == 1
+        assert tracer.count("storage:read") == 1
+        (write,) = tracer.spans("storage:write")
+        assert write.attributes["bytes"] > 0
+
+    def test_no_collectors_is_fine(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(("k",), 1)
+        assert cache.get(("k",)) == 1
+
+
+class TestEviction:
+    def test_byte_budget_evicts_oldest(self, tmp_path):
+        metrics = MetricsRegistry()
+        cache = DiskCache(tmp_path, max_bytes=4096, metrics=metrics)
+        blob = "x" * 1500
+        for index in range(4):
+            cache.put(("k", index), blob)
+            time.sleep(0.01)  # distinct mtimes for deterministic LRU order
+        assert cache.total_bytes() <= 4096
+        assert metrics.counter("disk.evictions").value >= 1
+        assert metrics.counter("disk.evicted_bytes").value > 0
+        # The newest entry always survives (the keep exemption).
+        assert ("k", 3) in cache
+        assert ("k", 0) not in cache
+
+    def test_read_refreshes_lru_position(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=4096)
+        blob = "x" * 1500
+        cache.put(("old",), blob)
+        time.sleep(0.01)
+        cache.put(("mid",), blob)
+        time.sleep(0.01)
+        cache.get(("old",))  # touch: now newer than ("mid",)
+        time.sleep(0.01)
+        cache.put(("new",), blob)  # pushes past budget
+        assert ("old",) in cache
+        assert ("mid",) not in cache
+
+    def test_oversized_single_entry_survives(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=64)
+        cache.put(("big",), "x" * 1000)
+        assert cache.get(("big",)) == "x" * 1000
+
+    def test_eviction_span(self, tmp_path):
+        tracer = Tracer()
+        cache = DiskCache(tmp_path, max_bytes=2048, tracer=tracer)
+        for index in range(3):
+            cache.put(("k", index), "x" * 1500)
+            time.sleep(0.01)
+        assert tracer.count("storage:evict") >= 1
+
+
+class TestFileLock:
+    def test_mutual_exclusion_times_out(self, tmp_path):
+        path = tmp_path / "x.lock"
+        first = FileLock(path, timeout=5.0)
+        second = FileLock(path, timeout=0.1)
+        with first:
+            with pytest.raises(LockTimeout):
+                second.acquire()
+
+    def test_release_allows_reacquire(self, tmp_path):
+        path = tmp_path / "x.lock"
+        lock = FileLock(path, timeout=0.5)
+        with lock:
+            pass
+        with FileLock(path, timeout=0.5):
+            pass
+
+    def test_contended_threads_serialize(self, tmp_path):
+        path = tmp_path / "x.lock"
+        active = []
+        overlap = []
+
+        def worker():
+            with FileLock(path, timeout=10.0):
+                active.append(1)
+                overlap.append(len(active))
+                time.sleep(0.01)
+                active.pop()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert max(overlap) == 1
+
+
+class TestTieredBacking:
+    def _tiers(self, tmp_path):
+        memory = _LRUBacking(maxsize=8)
+        disk = DiskCache(tmp_path)
+        return memory, disk, TieredBacking(memory, disk)
+
+    def test_write_through_both_tiers(self, tmp_path):
+        memory, disk, tiered = self._tiers(tmp_path)
+        tiered.put(("k",), ("cell",))
+        assert memory.get(("k",)) == ("cell",)
+        assert disk.get(("k",)) == ("cell",)
+
+    def test_disk_hit_promoted_to_memory(self, tmp_path):
+        memory, disk, tiered = self._tiers(tmp_path)
+        disk.put(("k",), ("cell",))
+        assert tiered.get(("k",)) == ("cell",)
+        assert ("k",) in memory
+
+    def test_clear_drops_memory_only(self, tmp_path):
+        memory, disk, tiered = self._tiers(tmp_path)
+        tiered.put(("k",), ("cell",))
+        tiered.clear()
+        assert ("k",) not in memory
+        assert disk.get(("k",)) == ("cell",)
+        # ... and the tiered view still serves it (via promotion).
+        assert tiered.get(("k",)) == ("cell",)
+
+    def test_info_merges_disk_stats(self, tmp_path):
+        _, _, tiered = self._tiers(tmp_path)
+        tiered.put(("k",), ("cell",))
+        info = tiered.info()
+        assert info["entries"] == 1
+        assert info["disk"]["entries"] == 1
+
+
+class TestApproxSizeof:
+    def test_scales_with_content(self):
+        assert approx_sizeof("x" * 10000) > approx_sizeof("x")
+        assert approx_sizeof(list(range(1000))) > approx_sizeof([1])
+
+    def test_walks_containers_and_objects(self):
+        class Holder:
+            def __init__(self):
+                self.payload = "y" * 5000
+
+        assert approx_sizeof({"k": Holder()}) > 5000
+
+    def test_shared_substructure_counted_once(self):
+        shared = "z" * 10000
+        assert approx_sizeof([shared, shared]) < 2 * approx_sizeof(shared)
+
+    def test_self_reference_terminates(self):
+        loop: list = []
+        loop.append(loop)
+        assert approx_sizeof(loop) > 0

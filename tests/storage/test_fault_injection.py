@@ -1,0 +1,320 @@
+"""Fault injection for the persistent cache.
+
+Every failure mode the storage layer claims to survive is exercised
+here: truncated entries, bit-flipped payloads, stale version headers,
+concurrent writer races, disk-full, unwritable directories, unpicklable
+products, and lock starvation.  The invariant under test is always the
+same — **no failure corrupts a result or raises into an analysis**; the
+worst case is a recompute, and the incident is visible in metrics.
+
+The test process runs as root in CI, so "unwritable" cannot be staged
+with chmod; I/O failures are injected by monkeypatching ``os.replace``.
+"""
+
+import errno
+import os
+import pickle
+import struct
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.storage import DiskCache, FileLock, StorageDegradedWarning
+from repro.storage.diskcache import _HEADER, FORMAT_VERSION, MAGIC, SCHEMA_VERSION
+
+
+def _entry_file(cache: DiskCache, key) -> "os.PathLike":
+    path = cache._entry_path(key)
+    assert path.exists(), "test setup: entry must exist before corruption"
+    return path
+
+
+def _fresh(tmp_path, **kwargs) -> tuple[DiskCache, MetricsRegistry]:
+    metrics = MetricsRegistry()
+    return DiskCache(tmp_path, metrics=metrics, **kwargs), metrics
+
+
+class TestCorruptionQuarantine:
+    def _assert_quarantined(self, cache, metrics, key):
+        assert cache.get(key) is None  # reported as a miss, never raised
+        assert metrics.counter("disk.corrupt").value == 1
+        quarantined = list((cache.root / "quarantine").iterdir())
+        assert len(quarantined) == 1  # kept for postmortems
+        # The slot is reusable: a recompute repopulates it cleanly.
+        cache.put(key, "recomputed")
+        assert cache.get(key) == "recomputed"
+
+    def test_truncated_header(self, tmp_path):
+        cache, metrics = _fresh(tmp_path)
+        cache.put(("k",), "value")
+        path = _entry_file(cache, ("k",))
+        path.write_bytes(path.read_bytes()[: _HEADER.size // 2])
+        self._assert_quarantined(cache, metrics, ("k",))
+
+    def test_truncated_payload(self, tmp_path):
+        cache, metrics = _fresh(tmp_path)
+        cache.put(("k",), "value" * 100)
+        path = _entry_file(cache, ("k",))
+        path.write_bytes(path.read_bytes()[:-20])
+        self._assert_quarantined(cache, metrics, ("k",))
+
+    def test_bit_flipped_payload(self, tmp_path):
+        cache, metrics = _fresh(tmp_path)
+        cache.put(("k",), "value" * 100)
+        path = _entry_file(cache, ("k",))
+        blob = bytearray(path.read_bytes())
+        blob[_HEADER.size + 10] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        self._assert_quarantined(cache, metrics, ("k",))
+
+    def test_bad_magic(self, tmp_path):
+        cache, metrics = _fresh(tmp_path)
+        cache.put(("k",), "value")
+        path = _entry_file(cache, ("k",))
+        blob = path.read_bytes()
+        path.write_bytes(b"JUNK" + blob[4:])
+        self._assert_quarantined(cache, metrics, ("k",))
+
+    def test_stale_format_version(self, tmp_path):
+        cache, metrics = _fresh(tmp_path)
+        cache.put(("k",), "value")
+        path = _entry_file(cache, ("k",))
+        payload = path.read_bytes()[_HEADER.size:]
+        import hashlib
+
+        header = _HEADER.pack(
+            MAGIC, FORMAT_VERSION + 1, SCHEMA_VERSION,
+            len(payload), hashlib.sha256(payload).digest(),
+        )
+        path.write_bytes(header + payload)
+        self._assert_quarantined(cache, metrics, ("k",))
+
+    def test_stale_schema_version(self, tmp_path):
+        cache, metrics = _fresh(tmp_path)
+        cache.put(("k",), "value")
+        path = _entry_file(cache, ("k",))
+        payload = path.read_bytes()[_HEADER.size:]
+        import hashlib
+
+        header = _HEADER.pack(
+            MAGIC, FORMAT_VERSION, SCHEMA_VERSION + 7,
+            len(payload), hashlib.sha256(payload).digest(),
+        )
+        path.write_bytes(header + payload)
+        self._assert_quarantined(cache, metrics, ("k",))
+
+    def test_checksummed_garbage_payload(self, tmp_path):
+        # Valid framing, valid checksum, but the payload is not a pickle.
+        import hashlib
+
+        cache, metrics = _fresh(tmp_path)
+        payload = b"\x00not a pickle at all"
+        header = _HEADER.pack(
+            MAGIC, FORMAT_VERSION, SCHEMA_VERSION,
+            len(payload), hashlib.sha256(payload).digest(),
+        )
+        path = cache._entry_path(("k",))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(header + payload)
+        self._assert_quarantined(cache, metrics, ("k",))
+
+    def test_key_mismatch_hash_collision_defense(self, tmp_path):
+        # An entry stored under the wrong file name (as a sha-256
+        # collision would produce) must never serve the wrong value.
+        cache, metrics = _fresh(tmp_path)
+        cache.put(("honest",), "honest value")
+        src = _entry_file(cache, ("honest",))
+        dst = cache._entry_path(("victim",))
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_bytes(src.read_bytes())
+        self._assert_quarantined(cache, metrics, ("victim",))
+        assert cache.get(("honest",)) == "honest value"
+
+    def test_empty_file(self, tmp_path):
+        cache, metrics = _fresh(tmp_path)
+        cache.put(("k",), "value")
+        _entry_file(cache, ("k",)).write_bytes(b"")
+        self._assert_quarantined(cache, metrics, ("k",))
+
+
+class TestUnpicklableProduct:
+    def test_skips_entry_without_degrading(self, tmp_path):
+        cache, metrics = _fresh(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would fail
+            cache.put(("bad",), lambda x: x)  # lambdas don't pickle
+        assert metrics.counter("disk.unpicklable").value == 1
+        assert not cache.disabled
+        cache.put(("good",), "fine")
+        assert cache.get(("good",)) == "fine"
+
+
+class TestGracefulDegradation:
+    def test_unwritable_directory_degrades_once(self, tmp_path, monkeypatch):
+        cache, metrics = _fresh(tmp_path)
+
+        def denied(src, dst, **kwargs):
+            raise PermissionError(errno.EACCES, "read-only filesystem", str(dst))
+
+        monkeypatch.setattr(os, "replace", denied)
+        with pytest.warns(StorageDegradedWarning, match="memory-only"):
+            cache.put(("k",), "value")
+        assert cache.disabled
+        assert metrics.counter("disk.degraded").value == 1
+        # Degradation is terminal and silent from here on.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cache.put(("k2",), "value")
+            assert cache.get(("k",)) is None
+        assert metrics.counter("disk.degraded").value == 1
+
+    def test_disk_full_degrades(self, tmp_path, monkeypatch):
+        cache, metrics = _fresh(tmp_path)
+
+        def full(src, dst, **kwargs):
+            raise OSError(errno.ENOSPC, "no space left on device", str(dst))
+
+        monkeypatch.setattr(os, "replace", full)
+        with pytest.warns(StorageDegradedWarning, match="disk full"):
+            cache.put(("k",), "value")
+        assert cache.disabled
+        assert metrics.counter("disk.degraded").value == 1
+
+    def test_failed_write_leaves_no_temp_files(self, tmp_path, monkeypatch):
+        cache, _ = _fresh(tmp_path)
+
+        def denied(src, dst, **kwargs):
+            raise PermissionError(errno.EACCES, "denied", str(dst))
+
+        monkeypatch.setattr(os, "replace", denied)
+        with pytest.warns(StorageDegradedWarning):
+            cache.put(("k",), "value")
+        strays = [
+            p for p in tmp_path.rglob("*")
+            if p.is_file() and p.name.startswith(".tmp-")
+        ]
+        assert strays == []
+
+    def test_uncreatable_root_degrades_at_construction(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        with pytest.warns(StorageDegradedWarning):
+            cache = DiskCache(blocker / "cache")
+        assert cache.disabled
+        cache.put(("k",), "value")  # all no-ops, nothing raises
+        assert cache.get(("k",)) is None
+        assert len(cache) == 0
+
+    def test_lock_starvation_degrades(self, tmp_path):
+        cache, metrics = _fresh(tmp_path, lock_timeout=0.05)
+        holder = FileLock(tmp_path / ".lock", timeout=5.0)
+        with holder:
+            with pytest.warns(StorageDegradedWarning, match="lock starvation"):
+                cache.put(("k",), "value")
+        assert cache.disabled
+        assert metrics.counter("disk.lock_timeouts").value == 1
+
+    def test_reads_stay_lock_free_under_held_lock(self, tmp_path):
+        cache, metrics = _fresh(tmp_path, lock_timeout=0.05)
+        cache.put(("k",), "value")
+        with FileLock(tmp_path / ".lock", timeout=5.0):
+            assert cache.get(("k",)) == "value"  # no lock needed, no wait
+        assert not cache.disabled
+
+
+def _hammer(args):
+    """Worker: racing writers + readers over one shared directory."""
+    root, worker_id, rounds = args
+    cache = DiskCache(root, metrics=None)
+    anomalies = []
+    for round_no in range(rounds):
+        key = ("shared", round_no % 5)
+        expected = f"value-{round_no % 5}" * 50
+        cache.put(key, expected)
+        observed = cache.get(key)
+        if observed is not None and observed != expected:
+            anomalies.append((worker_id, round_no, observed[:40]))
+    return anomalies
+
+
+class TestConcurrentWriters:
+    def test_racing_processes_never_corrupt(self, tmp_path):
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            results = list(
+                pool.map(_hammer, [(str(tmp_path), w, 25) for w in range(4)])
+            )
+        assert [a for worker in results for a in worker] == []
+        # Afterwards every entry verifies from a fresh instance.
+        cache, metrics = _fresh(tmp_path)
+        for round_no in range(5):
+            assert cache.get(("shared", round_no)) == f"value-{round_no}" * 50
+        assert metrics.counter("disk.corrupt").value == 0
+        quarantine = tmp_path / "quarantine"
+        assert not quarantine.exists() or not list(quarantine.iterdir())
+
+
+class TestEndToEndSessionFaults:
+    """A session over a damaged cache never crashes or changes results."""
+
+    PARAMS = {"I": 8, "J": 8, "K": 4}
+
+    def _analyze(self, session):
+        lv = session.local_view(dict(self.PARAMS))
+        return (lv.miss_counts(), lv.physical_movement())
+
+    def test_fully_corrupted_cache_recomputes_identically(self, tmp_path):
+        from repro.apps import hdiff
+        from repro.tool.session import Session
+
+        cold = Session(hdiff.build_sdfg(), cache_dir=tmp_path)
+        expected = self._analyze(cold)
+        entries = [
+            path
+            for shard in tmp_path.iterdir()
+            if shard.is_dir() and len(shard.name) == 2
+            for path in shard.glob("*.rpc")
+        ]
+        assert entries
+        for path in entries:
+            blob = bytearray(path.read_bytes())
+            blob[len(blob) // 2] ^= 0xFF
+            path.write_bytes(bytes(blob))
+
+        warm = Session(hdiff.build_sdfg(), cache_dir=tmp_path)
+        assert self._analyze(warm) == expected
+        corrupt = warm.metrics.counter("disk.corrupt").value
+        assert corrupt >= len(entries) - 1  # visible in exported metrics
+        assert warm.metrics.counter("disk.hits").value == 0
+
+    def test_degraded_session_still_analyzes(self, tmp_path, monkeypatch):
+        from repro.apps import hdiff
+        from repro.tool.session import Session
+
+        def denied(src, dst, **kwargs):
+            raise PermissionError(errno.EACCES, "denied", str(dst))
+
+        monkeypatch.setattr(os, "replace", denied)
+        with pytest.warns(StorageDegradedWarning):
+            session = Session(hdiff.build_sdfg(), cache_dir=tmp_path)
+            results = self._analyze(session)
+        assert results[0]  # analysis produced real miss counts
+        assert session.metrics.counter("disk.degraded").value == 1
+        assert session.disk is not None and session.disk.disabled
+
+    def test_entry_format_is_self_describing(self, tmp_path):
+        # Documented invariant: header fields parse independently of
+        # the payload, so future readers can reject incompatibilities.
+        cache, _ = _fresh(tmp_path)
+        cache.put(("k",), "value")
+        blob = _entry_file(cache, ("k",)).read_bytes()
+        magic, fmt, schema, length, _digest = struct.unpack_from(
+            "<4sHHQ32s", blob
+        )
+        assert magic == MAGIC
+        assert (fmt, schema) == (FORMAT_VERSION, SCHEMA_VERSION)
+        assert length == len(blob) - _HEADER.size
+        stored_key, value = pickle.loads(blob[_HEADER.size:])
+        assert stored_key == ("k",)
+        assert value == "value"

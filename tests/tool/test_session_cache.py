@@ -185,3 +185,50 @@ class TestContentBasedCacheKeys:
         session.sdfg = _make_kernel(1)
         lv = session.local_view(self.KERNEL_SIZES)
         assert lv._sim_key()[0] == (session.sdfg.name, 1)
+
+
+class TestSimulationCacheByteBudget:
+    def test_byte_bound_evicts_before_count_bound(self):
+        cache = SimulationCache(maxsize=100, max_bytes=400, sizeof=len)
+        for n in range(6):
+            cache.put((n,), "x" * 100)
+        assert len(cache) < 6  # count bound alone would keep all six
+        assert cache.approx_bytes <= 400
+        assert (5,) in cache  # newest survives
+
+    def test_lru_order_respected_by_byte_eviction(self):
+        cache = SimulationCache(maxsize=100, max_bytes=250, sizeof=len)
+        cache.put(("a",), "x" * 100)
+        cache.put(("b",), "x" * 100)
+        cache.get(("a",))  # refresh: "b" is now least recently used
+        cache.put(("c",), "x" * 100)
+        assert ("a",) in cache and ("c",) in cache
+        assert ("b",) not in cache
+
+    def test_overwrite_replaces_size(self):
+        cache = SimulationCache(maxsize=8, max_bytes=10_000, sizeof=len)
+        cache.put(("k",), "x" * 5000)
+        cache.put(("k",), "x" * 10)
+        assert cache.approx_bytes == 10
+
+    def test_info_reports_bytes(self):
+        cache = SimulationCache(maxsize=8, max_bytes=1234, sizeof=len)
+        cache.put(("k",), "x" * 10)
+        info = cache.info()
+        assert info["approx_bytes"] == 10
+        assert info["max_bytes"] == 1234
+
+    def test_unbounded_bytes_by_default(self):
+        cache = SimulationCache(maxsize=3)
+        cache.put(("k",), "x" * 100_000)
+        assert ("k",) in cache
+        assert cache.info()["max_bytes"] == 0  # 0 means "no byte bound"
+
+    def test_sizing_failure_never_breaks_caching(self):
+        def broken(value):
+            raise RuntimeError("sizeof exploded")
+
+        cache = SimulationCache(maxsize=4, max_bytes=100, sizeof=broken)
+        cache.put(("k",), "value")
+        assert cache.get(("k",)) == "value"
+        assert cache.approx_bytes == 0  # unmeasurable counts as zero
