@@ -35,6 +35,8 @@ and serial fallbacks, plus a latency histogram.
 
 from __future__ import annotations
 
+import math
+import os
 import pickle
 import threading
 import time
@@ -262,6 +264,21 @@ class SweepExecutor:
         other processes) and always evaluate from scratch.  When both
         *point_fn* and *serial_fn* are given, the pool uses *point_fn*
         and the serial path prefers *serial_fn*.
+    adaptive:
+        With ``adaptive=True`` (and ``workers`` set), the executor
+        measures the first grid point in-process and only spawns a pool
+        when the predicted pool time — ``pool_overhead`` plus the
+        per-point cost over the effectively usable workers — beats
+        finishing the remaining points serially.  Cheap grids therefore
+        never pay pool startup + pickling (the ``sweep_8pt`` regression:
+        pooled sweeps *losing* 0.91x to serial).  Off by default so
+        direct executor users keep deterministic pool behaviour.
+    pool_overhead:
+        Estimated one-time pool cost in seconds (spawn + SDFG
+        serialization + worker warmup) used by the adaptive decision.
+    cores:
+        Physical parallelism assumed by the adaptive decision; defaults
+        to ``os.cpu_count()``.  Injectable for tests.
     """
 
     def __init__(
@@ -275,6 +292,9 @@ class SweepExecutor:
         metrics=None,
         point_fn: Callable | None = None,
         serial_fn: Callable | None = None,
+        adaptive: bool = False,
+        pool_overhead: float = 0.35,
+        cores: int | None = None,
     ):
         self.workers = workers
         self.retries = int(retries)
@@ -285,6 +305,9 @@ class SweepExecutor:
         self.metrics = metrics
         self.point_fn = point_fn
         self.serial_fn = serial_fn
+        self.adaptive = bool(adaptive)
+        self.pool_overhead = float(pool_overhead)
+        self.cores = cores
 
     # -- observability helpers ---------------------------------------------
     def _count(self, name: str, amount: int = 1) -> None:
@@ -345,17 +368,35 @@ class SweepExecutor:
             if self.tracer is not None
             else nullcontext()
         )
-        with span:
+        with span as active_span:
             if not grid:
                 return SweepRun([], [])
             use_pool = (
                 self.workers is not None and self.workers >= 1 and len(grid) > 1
             )
             outcomes: list | None = None
+            if use_pool and self.adaptive and not (
+                cancel is not None and cancel.cancelled
+            ):
+                # Probe: evaluate the first point in-process (it counts as
+                # a real result) and decide from its measured cost whether
+                # the pool can possibly pay for itself.
+                outcomes = [None] * len(grid)
+                use_pool = self._probe_and_choose(
+                    sdfg, grid, cfg, on_result, fail_fast, outcomes
+                )
+                if active_span is not None:
+                    active_span.set(adaptive="pool" if use_pool else "serial")
+                self._count(
+                    "sweep.adaptive.pool_chosen"
+                    if use_pool
+                    else "sweep.adaptive.serial_chosen"
+                )
             if use_pool:
                 try:
                     outcomes = self._run_pool(
-                        sdfg, grid, cfg, cancel, on_result, fail_fast
+                        sdfg, grid, cfg, cancel, on_result, fail_fast,
+                        outcomes=outcomes,
                     )
                 except _PoolUnavailable as exc:
                     # The narrow "pool cannot spawn" case — and only it.
@@ -366,9 +407,50 @@ class SweepExecutor:
                     )
             else:
                 outcomes = self._run_serial(
-                    sdfg, grid, cfg, cancel, on_result, fail_fast
+                    sdfg, grid, cfg, cancel, on_result, fail_fast,
+                    outcomes=outcomes,
                 )
         return SweepRun(grid, outcomes)
+
+    # -- adaptive serial-vs-pool choice -------------------------------------
+    def _probe_and_choose(
+        self, sdfg, grid, cfg, on_result, fail_fast, outcomes
+    ) -> bool:
+        """Evaluate ``grid[0]`` serially into ``outcomes[0]``; return
+        whether the remaining points should go to a pool."""
+        sdfg_text = None
+        if self.point_fn is not None and self.serial_fn is None:
+            from repro.sdfg.serialize import dumps
+
+            sdfg_text = dumps(sdfg, indent=None)
+        start = perf_counter()
+        outcome = self._evaluate_serial(
+            sdfg, sdfg_text, grid[0], cfg, 0, fail_fast
+        )
+        t_point = perf_counter() - start
+        outcomes[0] = outcome
+        self._count(
+            "sweep.failed" if isinstance(outcome, SweepPointError)
+            else "sweep.completed"
+        )
+        if on_result is not None:
+            on_result(0, outcome)
+        if self.metrics is not None:
+            self.metrics.gauge("sweep.adaptive.point_seconds").set(t_point)
+        return self._choose_pool(t_point, len(grid) - 1)
+
+    def _choose_pool(self, t_point: float, remaining: int) -> bool:
+        """Predicted-cost comparison: is a pool worth it for *remaining*
+        points that each take ``t_point`` seconds serially?"""
+        if remaining <= 0 or self.workers is None or self.workers < 1:
+            return False
+        cores = self.cores if self.cores is not None else (os.cpu_count() or 1)
+        effective = max(1, min(int(self.workers), cores, remaining))
+        if effective <= 1:
+            return False  # no real parallelism: the pool only adds overhead
+        serial_s = t_point * remaining
+        pool_s = self.pool_overhead + t_point * math.ceil(remaining / effective)
+        return pool_s < serial_s
 
     # -- serial path -------------------------------------------------------
     def _run_serial(
@@ -465,10 +547,12 @@ class SweepExecutor:
     # -- pool path ---------------------------------------------------------
     def _spawn_pool(self, nworkers: int, outcomes: list | None) -> ProcessPoolExecutor:
         try:
-            return ProcessPoolExecutor(max_workers=nworkers)
+            pool = ProcessPoolExecutor(max_workers=nworkers)
         except (ImportError, NotImplementedError, OSError, PermissionError,
                 RuntimeError, ValueError) as exc:
             raise _PoolUnavailable(f"cannot spawn worker pool: {exc}", outcomes) from exc
+        self._count("sweep.pool_spawns")
+        return pool
 
     def _run_pool(
         self,
@@ -478,17 +562,23 @@ class SweepExecutor:
         cancel: CancelToken | None,
         on_result,
         fail_fast: bool,
+        outcomes: list | None = None,
     ) -> list:
         from repro.sdfg.serialize import dumps
 
         fn = self.point_fn or _worker_evaluate
         sdfg_text = dumps(sdfg, indent=None)
         n = len(grid)
-        nworkers = min(int(self.workers), n)
-        outcomes: list = [None] * n
+        # Slots already filled (e.g. the adaptive probe) are kept as-is
+        # and never resubmitted.
+        if outcomes is None:
+            outcomes = [None] * n
         attempts = [0] * n
-        done_count = 0
-        todo: deque[int] = deque(range(n))
+        done_count = sum(1 for o in outcomes if o is not None)
+        todo: deque[int] = deque(
+            i for i in range(n) if outcomes[i] is None
+        )
+        nworkers = min(int(self.workers), max(1, len(todo)))
         pending: dict[Future, tuple[int, float]] = {}
         retry_at: list[tuple[float, int]] = []
         respawns = 0

@@ -29,6 +29,7 @@ from repro.symbolic.expr import Expr
 
 __all__ = [
     "evaluate_metrics",
+    "evaluate_metrics_grid",
     "ParameterSweep",
     "SweepResult",
     "LocalSweepPoint",
@@ -52,6 +53,42 @@ def evaluate_metrics(
         try:
             out[key] = float(expr.evaluate(env))
         except EvaluationError as exc:
+            raise AnalysisError(
+                f"metric for {key!r} cannot be evaluated: {exc}"
+            ) from exc
+    return out
+
+
+def evaluate_metrics_grid(
+    metrics: Mapping[K, Expr],
+    envs: Sequence[Mapping[str, int | float]],
+    *,
+    metrics_registry=None,
+    tracer=None,
+) -> dict[K, list[float]]:
+    """Batched :func:`evaluate_metrics`: all of *envs* in one compiled call.
+
+    Each metric expression is compiled once (hash-consed and cached
+    process-wide, see :mod:`repro.symbolic.compiled`) and evaluated over
+    the whole grid as vectorized array ops.  Returns one value list per
+    metric, ordered like *envs*.  Raises
+    :class:`~repro.errors.AnalysisError` naming the first metric that
+    cannot be evaluated, matching :func:`evaluate_metrics`.
+    """
+    from repro.symbolic.compiled import compile_expr
+    from repro.symbolic.expr import Number
+
+    out: dict[K, list[float]] = {}
+    for key, expr in metrics.items():
+        # Constant metrics (common: fixed-size edges) skip the compile
+        # machinery entirely — a broadcast beats any program.
+        if isinstance(expr, Number):
+            out[key] = [float(expr.value)] * len(envs)
+            continue
+        try:
+            fn = compile_expr(expr, metrics=metrics_registry, tracer=tracer)
+            out[key] = [float(v) for v in fn.eval_points(envs)]
+        except (EvaluationError, KeyError) as exc:
             raise AnalysisError(
                 f"metric for {key!r} cannot be evaluated: {exc}"
             ) from exc
@@ -90,8 +127,16 @@ class ParameterSweep:
         result = sweep.run("I", [64, 128, 256], total_movement)
     """
 
-    def __init__(self, base_env: Mapping[str, int | float]):
+    def __init__(
+        self,
+        base_env: Mapping[str, int | float],
+        *,
+        metrics_registry=None,
+        tracer=None,
+    ):
         self.base_env = dict(base_env)
+        self.metrics_registry = metrics_registry
+        self.tracer = tracer
 
     def run(
         self,
@@ -103,8 +148,21 @@ class ParameterSweep:
 
         *metric* is a symbolic expression or a callable receiving the full
         environment (for metrics that are not a single expression).
+        Symbolic metrics are compiled once and evaluated over all points
+        in a single batched call (:mod:`repro.symbolic.compiled`).
         """
         result = SweepResult(parameter, list(points))
+        if isinstance(metric, Expr):
+            envs = [
+                {**self.base_env, parameter: point} for point in result.points
+            ]
+            try:
+                result.values = self._eval_grid(metric, envs)
+                return result
+            except EvaluationError:
+                # Re-run point by point so the error names the first
+                # offending sweep point, like the serial path always did.
+                pass
         for point in result.points:
             env = dict(self.base_env)
             env[parameter] = point
@@ -118,6 +176,16 @@ class ParameterSweep:
             result.values.append(value)
         return result
 
+    def _eval_grid(
+        self, metric: Expr, envs: Sequence[Mapping[str, int | float]]
+    ) -> list[float]:
+        from repro.symbolic.compiled import compile_expr
+
+        fn = compile_expr(
+            metric, metrics=self.metrics_registry, tracer=self.tracer
+        )
+        return [float(v) for v in fn.eval_points(envs)]
+
     def rank_parameters(
         self,
         metric: Expr,
@@ -127,21 +195,30 @@ class ParameterSweep:
 
         Returns ``(parameter, growth)`` pairs sorted by descending growth —
         the "which input parameters are crucial factors" question of the
-        paper, answered without program execution.
+        paper, answered without program execution.  All scaled
+        environments (plus the base point) evaluate as one batched call.
         """
-        ranking: list[tuple[str, float]] = []
-        try:
-            base = float(metric.evaluate(self.base_env))
-        except EvaluationError as exc:
-            raise AnalysisError(f"cannot evaluate metric at the base point: {exc}") from exc
-        if base == 0:
-            raise AnalysisError("metric evaluates to zero at the base point")
-        for name in sorted(metric.free_symbols()):
+        names = sorted(metric.free_symbols())
+        for name in names:
             if name not in self.base_env:
                 raise AnalysisError(f"no base value for parameter {name!r}")
+        envs: list[Mapping[str, int | float]] = [self.base_env]
+        for name in names:
             env = dict(self.base_env)
             env[name] = env[name] * scale_factor
-            ranking.append((name, float(metric.evaluate(env)) / base))
+            envs.append(env)
+        try:
+            values = self._eval_grid(metric, envs)
+        except EvaluationError as exc:
+            raise AnalysisError(
+                f"cannot evaluate metric at the base point: {exc}"
+            ) from exc
+        base = values[0]
+        if base == 0:
+            raise AnalysisError("metric evaluates to zero at the base point")
+        ranking = [
+            (name, scaled / base) for name, scaled in zip(names, values[1:])
+        ]
         ranking.sort(key=lambda pair: (-pair[1], pair[0]))
         return ranking
 
@@ -285,13 +362,16 @@ def sweep_local_views(
     fast: bool = True,
     tracer=None,
     metrics=None,
+    adaptive: bool = False,
 ) -> list[LocalSweepPoint]:
     """Evaluate the local-view pipeline at every point of *grid*.
 
     With ``workers > 1`` the points fan out over a worker-process pool
     managed by :class:`~repro.analysis.executor.SweepExecutor` (the SDFG
     is shipped as JSON and deserialized once per worker); the result
-    order always matches *grid*.
+    order always matches *grid*.  With ``adaptive=True`` the executor
+    first times one point serially and only spawns the pool when the
+    measured cost predicts a wall-clock win.
 
     Error-handling contract: only the narrow "pool cannot be spawned"
     case (no fork/spawn support, unpicklable payload, or a pool that
@@ -310,6 +390,7 @@ def sweep_local_views(
         workers=None if workers is None or workers <= 1 else workers,
         tracer=tracer,
         metrics=metrics,
+        adaptive=adaptive,
     )
     run = executor.run(
         sdfg,

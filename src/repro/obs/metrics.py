@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import json
 import threading
+from contextlib import contextmanager
+from time import perf_counter
 from typing import Any
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
@@ -164,6 +166,20 @@ class MetricsRegistry:
             if instrument is None:
                 instrument = self._histograms[name] = Histogram(name)
         return instrument
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time a block and observe the elapsed seconds into histogram
+        *name*::
+
+            with metrics.timer("expr.compile.seconds"):
+                lower(...)
+        """
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(perf_counter() - start)
 
     # -- export ------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:

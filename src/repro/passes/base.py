@@ -68,6 +68,7 @@ class PassContext:
         fast: bool = True,
         scope: tuple = (),
         timings=None,
+        metrics=None,
     ):
         self.sdfg = sdfg
         self.state = state
@@ -78,6 +79,7 @@ class PassContext:
         self.fast = bool(fast)
         self.scope = tuple(scope)
         self.timings = timings
+        self.metrics = metrics
         self.created_at = perf_counter()
         self._components: dict[str, Hashable] = {}
 

@@ -16,7 +16,7 @@ from typing import Any
 from repro.analysis.intensity import scope_intensities
 from repro.analysis.movement import edge_movement_bytes, total_movement_bytes
 from repro.analysis.opcount import program_ops, scope_ops
-from repro.analysis.parametric import evaluate_metrics
+from repro.analysis.parametric import evaluate_metrics_grid
 from repro.passes.base import Pass, PassContext
 
 __all__ = [
@@ -102,17 +102,43 @@ class _EvalPass(Pass):
     Keyed only by ``env`` plus the upstream pass's key (embedded in this
     pass's own key), so a slider move re-runs just this evaluation while
     an unchanged environment over unchanged content is a pure cache hit.
+
+    Evaluation goes through the compiled engine
+    (:mod:`repro.symbolic.compiled`): each metric expression is lowered
+    once per distinct structure and cached process-wide, so repeated
+    slider moves over the same product pay only the vectorized
+    evaluation.  :meth:`evaluate_grid` exposes the batched form — one
+    compiled call for a whole parameter grid.
     """
 
     source = ""
 
     def run(self, ctx: PassContext, inputs: dict[str, Any]) -> Any:
         env = ctx.require_env(self.name)
-        return self._evaluate(inputs[self.source], env)
+        grid = self.evaluate_grid(
+            inputs[self.source],
+            [env],
+            metrics=ctx.metrics,
+            tracer=ctx.timings,
+        )
+        return self._first_point(grid)
+
+    @classmethod
+    def evaluate_grid(
+        cls, product: Any, envs, *, metrics=None, tracer=None
+    ) -> Any:
+        """Evaluate *product* at every environment of *envs*, batched.
+
+        Mirrors the shape of the single-point product, with each scalar
+        replaced by a list ordered like *envs*.
+        """
+        return evaluate_metrics_grid(
+            product, envs, metrics_registry=metrics, tracer=tracer
+        )
 
     @staticmethod
-    def _evaluate(product: Any, env: dict[str, int]) -> Any:
-        return evaluate_metrics(product, env)
+    def _first_point(grid: Any) -> Any:
+        return {key: values[0] for key, values in grid.items()}
 
 
 class MovementEvalPass(_EvalPass):
@@ -121,11 +147,22 @@ class MovementEvalPass(_EvalPass):
     uses = ("env",)
     source = "global.movement"
 
-    @staticmethod
-    def _evaluate(product: Any, env: dict[str, int]) -> Any:
+    @classmethod
+    def evaluate_grid(
+        cls, product: Any, envs, *, metrics=None, tracer=None
+    ) -> Any:
         return {
-            mode: evaluate_metrics(metrics, env)
-            for mode, metrics in product.items()
+            mode: evaluate_metrics_grid(
+                mode_metrics, envs, metrics_registry=metrics, tracer=tracer
+            )
+            for mode, mode_metrics in product.items()
+        }
+
+    @staticmethod
+    def _first_point(grid: Any) -> Any:
+        return {
+            mode: {key: values[0] for key, values in per_mode.items()}
+            for mode, per_mode in grid.items()
         }
 
 
@@ -148,10 +185,6 @@ class ProgramTotalsEvalPass(_EvalPass):
     depends_on = ("global.totals",)
     uses = ("env",)
     source = "global.totals"
-
-    @staticmethod
-    def _evaluate(product: Any, env: dict[str, int]) -> Any:
-        return {name: float(expr.evaluate(env)) for name, expr in product.items()}
 
 
 def global_passes() -> tuple[Pass, ...]:

@@ -16,8 +16,22 @@ This subpackage implements that engine from scratch:
 - :mod:`repro.symbolic.ranges` — inclusive integer ranges and
   multi-dimensional subsets with symbolic bounds, the building block of
   memlet subsets and map iteration spaces.
+- :mod:`repro.symbolic.compiled` — hash-consed DAG interning
+  (:func:`intern`) and batched compilation (:func:`compile_expr`):
+  evaluate a symbolic metric over a whole parameter grid with one
+  sequence of vectorized NumPy ops, proven equal to the tree
+  interpreter by the differential suite in ``tests/test_compiled_expr.py``.
 """
 
+from repro.symbolic.compiled import (
+    GridFn,
+    clear_compile_cache,
+    compile_cache_info,
+    compile_expr,
+    evaluate_grid,
+    intern,
+    interned_count,
+)
 from repro.symbolic.expr import (
     Add,
     Div,
@@ -79,4 +93,11 @@ __all__ = [
     "parse_expr",
     "Range",
     "Subset",
+    "GridFn",
+    "intern",
+    "interned_count",
+    "compile_expr",
+    "evaluate_grid",
+    "compile_cache_info",
+    "clear_compile_cache",
 ]

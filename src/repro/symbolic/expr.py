@@ -98,7 +98,10 @@ class Expr:
     :meth:`subs`.
     """
 
-    __slots__ = ("_hash",)
+    #: ``__weakref__`` lets the hash-consing intern table
+    #: (:mod:`repro.symbolic.compiled`) hold canonical nodes weakly, so
+    #: interning never leaks expressions that nothing else references.
+    __slots__ = ("_hash", "__weakref__")
 
     #: Rank used for canonical ordering between node classes.
     _sort_class: int = 99
@@ -139,17 +142,18 @@ class Expr:
 
     # -- pickling ---------------------------------------------------------
     def __getstate__(self) -> dict:
-        """Slot values, minus the memoized ``_hash``.
+        """Slot values, minus the memoized ``_hash`` and ``__weakref__``.
 
         ``_hash`` derives from string hashes, which are salted per
         process (``PYTHONHASHSEED``); persisting it would make an
         unpickled expression hash differently from an equal one built
-        fresh in the receiving process.
+        fresh in the receiving process.  ``__weakref__`` (the intern
+        table's hook) is per-object bookkeeping and not picklable.
         """
         state: dict = {}
         for cls in type(self).__mro__:
             for slot in getattr(cls, "__slots__", ()):
-                if slot == "_hash":
+                if slot in ("_hash", "__weakref__"):
                     continue
                 try:
                     state[slot] = getattr(self, slot)
@@ -803,6 +807,25 @@ def pow_(base: ExprLike, exp: ExprLike) -> Expr:
     return Pow(base, exp)
 
 
+def _provably_nonzero(e: Expr) -> bool:
+    """True when *e* can be shown to never evaluate to zero.
+
+    Uses the size-symbol bounds (:func:`int_lower_bound` /
+    :func:`int_upper_bound`): an expression bounded away from zero on
+    either side cannot vanish.  Folds that divide by a sub-expression
+    (``x / x -> 1``, ``0 // d -> 0``) are only sound under this check —
+    without it they would silently erase a division-by-zero error the
+    evaluator is contractually required to raise.
+    """
+    if isinstance(e, Number):
+        return e.value != 0
+    lb = int_lower_bound(e)
+    if lb is not None and lb >= 1:
+        return True
+    ub = int_upper_bound(e)
+    return ub is not None and ub <= -1
+
+
 def div(a: ExprLike, b: ExprLike) -> Expr:
     """True division ``a / b`` with cancellation of exact constants."""
     a, b = sympify(a), sympify(b)
@@ -810,29 +833,33 @@ def div(a: ExprLike, b: ExprLike) -> Expr:
         return a
     if isinstance(b, Integer) and b.value == 0:
         raise SymbolicError(f"symbolic division by zero: {a} / 0")
-    if isinstance(a, Integer) and a.value == 0:
+    if isinstance(a, Integer) and a.value == 0 and _provably_nonzero(b):
         return ZERO
     if isinstance(a, Number) and isinstance(b, Number):
         if isinstance(a, Integer) and isinstance(b, Integer) and a.value % b.value == 0:
             return Integer(a.value // b.value)
         return _const(a.value / b.value)
-    if a == b:
+    if a == b and _provably_nonzero(b):
         return ONE
     return Div(a, b)
 
 
 def floor_div(a: ExprLike, b: ExprLike) -> Expr:
-    """Floor division ``a // b`` with integer constant folding."""
+    """Floor division ``a // b`` with integer constant folding.
+
+    Constant folding uses Python's floor semantics (``(-7) // 2 == -4``),
+    matching both the tree evaluator and the compiled grid evaluator.
+    """
     a, b = sympify(a), sympify(b)
     if isinstance(b, Integer) and b.value == 1:
         return a
     if isinstance(b, Integer) and b.value == 0:
         raise SymbolicError(f"symbolic floor division by zero: {a} // 0")
-    if isinstance(a, Integer) and a.value == 0:
+    if isinstance(a, Integer) and a.value == 0 and _provably_nonzero(b):
         return ZERO
     if isinstance(a, Integer) and isinstance(b, Integer):
         return Integer(a.value // b.value)
-    if a == b:
+    if a == b and _provably_nonzero(b):
         return ONE
     return FloorDiv(a, b)
 
@@ -847,17 +874,21 @@ def ceiling_div(a: ExprLike, b: ExprLike) -> Expr:
 
 
 def mod(a: ExprLike, b: ExprLike) -> Expr:
-    """Modulo ``a % b`` (Python semantics) with integer constant folding."""
+    """Modulo ``a % b`` (Python semantics) with integer constant folding.
+
+    Constant folding follows Python's floored modulo, where the sign of
+    the result tracks the divisor (``(-7) % 2 == 1``, ``7 % -2 == -1``).
+    """
     a, b = sympify(a), sympify(b)
     if isinstance(b, Integer) and b.value == 0:
         raise SymbolicError(f"symbolic modulo by zero: {a} % 0")
     if isinstance(b, Integer) and b.value == 1:
         return ZERO
-    if isinstance(a, Integer) and a.value == 0:
+    if isinstance(a, Integer) and a.value == 0 and _provably_nonzero(b):
         return ZERO
     if isinstance(a, Integer) and isinstance(b, Integer):
         return Integer(a.value % b.value)
-    if a == b:
+    if a == b and _provably_nonzero(b):
         return ZERO
     return Mod(a, b)
 

@@ -61,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for --sweep evaluation (default: serial)",
     )
+    parser.add_argument(
+        "--no-adaptive",
+        action="store_true",
+        help="always honour --workers instead of measuring the first sweep "
+        "point and choosing serial when the pool cannot win",
+    )
     parser.add_argument("-o", "--output", default="report.html", help="output HTML path")
     parser.add_argument(
         "--timings",
@@ -230,6 +236,7 @@ def main(argv: list[str] | None = None) -> int:
                 capacity_lines=args.capacity,
                 fast=not args.no_fast,
                 on_error="record",
+                adaptive=not args.no_adaptive,
             )
             rows = []
             for outcome in run.outcomes:
@@ -278,6 +285,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.explain_cache:
             print("analysis-pass cache report:")
             print(session.pass_report())
+            from repro.symbolic.compiled import compile_cache_info
+
+            info = compile_cache_info()
+            print(
+                "expression compile cache: "
+                f"{info['hits']} hits, {info['misses']} misses, "
+                f"{info['entries']} entries"
+            )
         if args.trace:
             session.export_trace(args.trace)
             print(f"trace written to {args.trace}")

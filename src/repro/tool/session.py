@@ -329,6 +329,7 @@ class Session:
         retries: int = 2,
         timeout: float | None = None,
         cancel: CancelToken | None = None,
+        adaptive: bool = True,
     ) -> list[LocalSweepPoint] | SweepRun:
         """Run the local-view locality pipeline over a parameter grid.
 
@@ -355,6 +356,12 @@ class Session:
         *retries*, *timeout* and *cancel* are forwarded to the executor
         (transient-failure retries, per-point timeout in seconds, and a
         cooperative :class:`~repro.analysis.executor.CancelToken`).
+
+        ``adaptive=True`` (default) times the first unevaluated point
+        serially and only spawns a worker pool when the measured
+        per-point cost predicts a wall-clock win over finishing
+        serially — cheap grids never pay pool startup.  Pass
+        ``adaptive=False`` to restore the unconditional pool behaviour.
         """
         if on_error not in ("raise", "record"):
             raise ReproError(
@@ -380,6 +387,7 @@ class Session:
                 fast=fast,
                 scope=self._cache_scope(),
                 timings=self.tracer,
+                metrics=self.metrics,
             )
             if base_ctx is None:
                 base_ctx = ctx
@@ -444,6 +452,7 @@ class Session:
                     metrics=self.metrics,
                     point_fn=point_fn,
                     serial_fn=evaluate_inproc,
+                    adaptive=adaptive,
                 )
                 with maybe_span(self.tracer, "fanout"):
                     run = executor.run(
@@ -609,6 +618,7 @@ class GlobalView:
             env=env,
             scope=self._scope,
             timings=self._timings,
+            metrics=self.pipeline.metrics,
         )
 
     def _whole_program_context(
@@ -616,7 +626,7 @@ class GlobalView:
     ) -> PassContext:
         return PassContext(
             self.sdfg, state=None, env=env, scope=self._scope,
-            timings=self._timings,
+            timings=self._timings, metrics=self.pipeline.metrics,
         )
 
     # -- metrics ---------------------------------------------------------------
@@ -668,13 +678,20 @@ class GlobalView:
         }
         if metric not in metrics:
             raise ReproError(f"unknown metric {metric!r}; choose from {sorted(metrics)}")
-        return ParameterSweep(base_env).run(parameter, points, metrics[metric])
+        return self._sweeper(base_env).run(parameter, points, metrics[metric])
 
     def rank_parameters(self, base_env: Mapping[str, int], metric: str = "movement"):
         """Which parameters dominate the chosen metric when scaled."""
         totals = self._totals()
         expr = totals["movement_unique"] if metric == "movement" else totals["ops"]
-        return ParameterSweep(base_env).rank_parameters(expr)
+        return self._sweeper(base_env).rank_parameters(expr)
+
+    def _sweeper(self, base_env: Mapping[str, int]) -> ParameterSweep:
+        return ParameterSweep(
+            base_env,
+            metrics_registry=self.pipeline.metrics,
+            tracer=self._timings,
+        )
 
     # -- navigation -----------------------------------------------------------
     def outline(self):
@@ -814,6 +831,7 @@ class LocalView:
             fast=self.fast,
             scope=self._scope,
             timings=self.timings,
+            metrics=self._pipeline.metrics,
         )
 
     def _product(self, product: str, ctx: PassContext | None = None) -> Any:

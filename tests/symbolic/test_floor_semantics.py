@@ -1,0 +1,87 @@
+"""Regressions: FloorDiv/Mod constant folding uses Python floor semantics.
+
+Python's ``//`` rounds toward negative infinity and ``%`` takes the sign
+of the divisor — ``(-7) // 2 == -4`` and ``(-7) % 2 == 1``, unlike
+C-style truncation.  The constant folder, the tree interpreter, and the
+compiled engine must all agree on these, including for negative
+operands.
+
+Also pinned here: the zero-soundness gating of the algebraic folds.
+``0 / b``, ``0 % b`` and ``a / a`` style rewrites are only applied when
+the denominator is *provably* nonzero (a nonzero constant, or an
+expression whose integer bounds exclude zero); otherwise the fold would
+silently erase a division-by-zero error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.symbolic import (
+    Integer,
+    compile_expr,
+    div,
+    floor_div,
+    mod,
+    sympify,
+)
+
+X = sympify("X")
+
+
+class TestNegativeConstantFolding:
+    @pytest.mark.parametrize(
+        "a, b, quotient, remainder",
+        [
+            (-7, 2, -4, 1),
+            (7, -2, -4, -1),
+            (-7, -2, 3, -1),
+            (7, 2, 3, 1),
+            (-1, 3, -1, 2),
+            (-6, 3, -2, 0),
+        ],
+    )
+    def test_constant_folds_match_python(self, a, b, quotient, remainder):
+        folded_q = floor_div(sympify(a), sympify(b))
+        folded_r = mod(sympify(a), sympify(b))
+        assert isinstance(folded_q, Integer) and folded_q.value == a // b == quotient
+        assert isinstance(folded_r, Integer) and folded_r.value == a % b == remainder
+
+    @pytest.mark.parametrize("a, b", [(-7, 2), (7, -2), (-7, -2), (-1, 3)])
+    def test_tree_and_compiled_agree_on_negatives(self, a, b):
+        q = floor_div(X, sympify("Y"))
+        r = mod(X, sympify("Y"))
+        env = {"X": a, "Y": b}
+        assert q.evaluate(env) == a // b
+        assert r.evaluate(env) == a % b
+        assert int(compile_expr(q).eval_points([env])[0]) == a // b
+        assert int(compile_expr(r).eval_points([env])[0]) == a % b
+
+
+class TestZeroSoundFoldGating:
+    def test_self_division_folds_only_for_nonzero_denominators(self):
+        # A bare size symbol is documented as >= 1, so X // X folds...
+        assert floor_div(X, X) == sympify(1)
+        assert mod(X, X) == sympify(0)
+        # ...but X - 1 can be zero, so the fold must not fire.
+        risky = floor_div(X - 1, X - 1)
+        assert risky != sympify(1)
+        with pytest.raises(EvaluationError, match="floor division by zero"):
+            risky.evaluate({"X": 1})
+        assert risky.evaluate({"X": 3}) == 1
+
+    def test_zero_numerator_fold_gated_the_same_way(self):
+        assert div(sympify(0), X) == sympify(0)
+        risky = div(sympify(0), X - 1)
+        assert risky != sympify(0)
+        with pytest.raises(EvaluationError, match="division by zero"):
+            risky.evaluate({"X": 1})
+        assert risky.evaluate({"X": 5}) == 0
+
+    def test_compiled_path_preserves_the_gated_error(self):
+        risky = mod(sympify(0), X - 1)
+        fn = compile_expr(risky)
+        with pytest.raises(EvaluationError, match="modulo by zero"):
+            fn.eval_points([{"X": 3}, {"X": 1}])
+        assert int(fn.eval_points([{"X": 3}])[0]) == 0

@@ -1,0 +1,117 @@
+"""Invariants of the hash-consing intern table (repro.symbolic.compiled).
+
+Interning maps every distinct subexpression to exactly one canonical
+node, so equality between interned expressions is pointer identity and
+a compiled program can key its value-numbering on ``id()``.  These tests
+pin the invariants the compiler relies on:
+
+- one canonical node per distinct structure, across separately built
+  trees (identity equality);
+- idempotence, and reuse of already-canonical nodes;
+- ``Integer(2)`` and ``Number(2.0)`` stay distinct (they evaluate with
+  different types);
+- pickle round-trips re-intern to the *same* canonical node (the
+  ``__getstate__`` slot filtering keeps memoized hashes and weakrefs
+  out of the payload);
+- interning never mutates its input;
+- the table holds nodes weakly: dropping the last strong reference
+  frees the entry.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+
+from repro.symbolic import Add, Mul, Number, intern, interned_count, smin, sympify
+
+I = sympify("I")
+J = sympify("J")
+K = sympify("K")
+
+
+class TestCanonicalIdentity:
+    def test_equal_trees_intern_to_one_node(self):
+        a = (I + J) * K
+        b = (I + J) * K
+        assert a == b
+        assert intern(a) is intern(b)
+
+    def test_commuted_construction_interns_to_one_node(self):
+        # The smart constructors canonicalize operand order, so J + I
+        # and I + J are already structurally equal.
+        assert intern(J + I) is intern(I + J)
+
+    def test_shared_subexpressions_are_one_node(self):
+        left = (I + J) * K
+        right = smin(I + J, K)
+        cl, cr = intern(left), intern(right)
+        assert isinstance(cl, Mul)
+        [add_in_mul] = [f for f in cl.args if isinstance(f, Add)]
+        [add_in_min] = [a for a in cr.args if isinstance(a, Add)]
+        assert add_in_mul is add_in_min
+
+    def test_idempotent(self):
+        c = intern((I + 4) * (J + 4))
+        assert intern(c) is c
+        assert intern(intern(c)) is c
+
+    def test_distinct_structures_stay_distinct(self):
+        assert intern(I + J) is not intern(I + K)
+        assert intern(I + J) is not intern(I * J)
+
+    def test_integer_and_float_constants_distinct(self):
+        # sympify normalizes integral floats to Integer, so build the
+        # float node directly: the table must still keep the two node
+        # types (and value types) apart.
+        two_int = sympify(2)
+        two_float = Number(2.0)
+        assert intern(two_int) is not intern(two_float)
+        # ...but each is canonical on its own.
+        assert intern(sympify(2)) is intern(two_int)
+        assert intern(Number(2.0)) is intern(two_float)
+        assert intern(Number(2.5)) is intern(Number(2.5))
+
+
+class TestRoundTripsAndImmutability:
+    def test_pickle_round_trip_reinterns_to_same_node(self):
+        canonical = intern((I + 4) * (J + 4) + smin(I, K))
+        loaded = pickle.loads(pickle.dumps(canonical))
+        assert loaded == canonical
+        assert intern(loaded) is canonical
+
+    def test_interning_never_mutates_input(self):
+        a = (I + J) * K
+        before_str = str(a)
+        before_children = tuple(a.args)
+        intern(a)
+        assert str(a) == before_str
+        assert tuple(a.args) == before_children
+        assert all(x is y for x, y in zip(a.args, before_children))
+
+    def test_canonical_node_survives_equal_tree_interning(self):
+        # Interning a structural twin must return the existing canonical
+        # node, not replace it.
+        c1 = intern((I + 1) * (J + 2))
+        c2 = intern((I + 1) * (J + 2))
+        assert c2 is c1
+
+
+class TestWeakCleanup:
+    def test_unreferenced_nodes_are_dropped(self):
+        # Unique symbol names so no other test pins these entries.
+        expr = (sympify("UNIQ_A") + sympify("UNIQ_B")) * sympify("UNIQ_C")
+        canonical = intern(expr)
+        gc.collect()
+        baseline = interned_count()
+        del expr, canonical
+        gc.collect()
+        assert interned_count() < baseline
+
+    def test_live_references_keep_entries(self):
+        canonical = intern(sympify("UNIQ_LIVE") + 1)
+        gc.collect()
+        count = interned_count()
+        gc.collect()
+        assert interned_count() == count
+        assert intern(sympify("UNIQ_LIVE") + 1) is canonical
