@@ -80,6 +80,37 @@ def _worker_evaluate(
     )
 
 
+def _worker_evaluate_batch(
+    fn: Callable,
+    sdfg_text: str,
+    params_list: Sequence[Mapping[str, int]],
+    line_size: int,
+    capacity_lines: int,
+    include_transients: bool,
+    fast: bool,
+) -> list[tuple]:
+    """Evaluate a chunk of grid points in one worker task.
+
+    Returns one tuple per point, aligned with *params_list*:
+    ``("ok", point)`` or ``("error", type_name, message)`` for
+    deterministic library errors.  Any other exception propagates and
+    fails the whole chunk (the scheduler then splits it into
+    singletons, so one bad point cannot take down its chunk-mates).
+    """
+    out: list[tuple] = []
+    for params in params_list:
+        try:
+            point = fn(
+                sdfg_text, params, line_size, capacity_lines,
+                include_transients, fast,
+            )
+        except ReproError as exc:
+            out.append(("error", type(exc).__name__, str(exc)))
+        else:
+            out.append(("ok", point))
+    return out
+
+
 class _PoolUnavailable(Exception):
     """Internal: the process pool cannot be used at all; go serial."""
 
@@ -279,6 +310,18 @@ class SweepExecutor:
     cores:
         Physical parallelism assumed by the adaptive decision; defaults
         to ``os.cpu_count()``.  Injectable for tests.
+    batch:
+        Points per worker task on the pool path.  ``None`` (default)
+        auto-chunks: roughly four tasks per worker, capped at 32 points
+        per chunk — large grids amortize submission, pickling and
+        result-shipping over whole chunks instead of paying them per
+        point, while grids smaller than ``4 × workers`` keep chunk size
+        1 and behave exactly as before.  ``1`` forces per-point tasks.
+        Per-point failure isolation is preserved: a deterministic
+        library error inside a chunk is recorded for that point only,
+        and a chunk that fails wholesale is split into singletons and
+        re-run.  The per-point ``timeout`` budget scales with chunk
+        length.
     """
 
     def __init__(
@@ -295,6 +338,7 @@ class SweepExecutor:
         adaptive: bool = False,
         pool_overhead: float = 0.35,
         cores: int | None = None,
+        batch: int | None = None,
     ):
         self.workers = workers
         self.retries = int(retries)
@@ -308,6 +352,9 @@ class SweepExecutor:
         self.adaptive = bool(adaptive)
         self.pool_overhead = float(pool_overhead)
         self.cores = cores
+        if batch is not None and int(batch) < 1:
+            raise ValueError("batch must be >= 1")
+        self.batch = None if batch is None else int(batch)
 
     # -- observability helpers ---------------------------------------------
     def _count(self, name: str, amount: int = 1) -> None:
@@ -578,8 +625,20 @@ class SweepExecutor:
         todo: deque[int] = deque(
             i for i in range(n) if outcomes[i] is None
         )
+        # Points per worker task: explicit `batch`, else ~4 tasks per
+        # worker capped at 32 — small grids get chunk 1 (per-point
+        # semantics), large grids amortize per-task overhead.
+        if self.batch is not None:
+            chunk_size = self.batch
+        else:
+            chunk_size = max(
+                1, min(32, math.ceil(len(todo) / (int(self.workers) * 4)))
+            )
+        #: Indices that must run alone: members of a chunk that failed
+        #: wholesale, re-run as singletons to isolate the bad point.
+        solo: set[int] = set()
         nworkers = min(int(self.workers), max(1, len(todo)))
-        pending: dict[Future, tuple[int, float]] = {}
+        pending: dict[Future, tuple[list[int], float]] = {}
         retry_at: list[tuple[float, int]] = []
         respawns = 0
         ever_completed = False
@@ -602,8 +661,22 @@ class SweepExecutor:
                 on_result(index, outcome)
 
         def unfinished_pending() -> list[int]:
-            indices = [index for index, _ in pending.values()]
+            indices = [
+                index for chunk, _ in pending.values() for index in chunk
+            ]
             pending.clear()
+            return indices
+
+        def take_chunk() -> list[int]:
+            """Pop the next worker task's indices off ``todo``: a single
+            solo index, or up to ``chunk_size`` non-solo indices."""
+            indices = [todo.popleft()]
+            if indices[0] in solo:
+                return indices
+            while (
+                todo and len(indices) < chunk_size and todo[0] not in solo
+            ):
+                indices.append(todo.popleft())
             return indices
 
         try:
@@ -639,16 +712,23 @@ class SweepExecutor:
                 # measures execution, not queueing.
                 broken = False
                 while todo and len(pending) < nworkers:
-                    index = todo.popleft()
-                    attempts[index] += 1
+                    indices = take_chunk()
+                    for index in indices:
+                        attempts[index] += 1
                     try:
-                        future = pool.submit(fn, sdfg_text, grid[index], *cfg)
+                        future = pool.submit(
+                            _worker_evaluate_batch, fn, sdfg_text,
+                            [grid[index] for index in indices], *cfg,
+                        )
                     except (BrokenProcessPool, RuntimeError):
-                        attempts[index] -= 1
-                        todo.appendleft(index)
+                        for index in reversed(indices):
+                            attempts[index] -= 1
+                            todo.appendleft(index)
                         broken = True
                         break
-                    pending[future] = (index, time.monotonic())
+                    self._count("sweep.batch.chunks")
+                    self._count("sweep.batch.points", len(indices))
+                    pending[future] = (indices, time.monotonic())
                 if not broken:
                     if not pending:
                         if retry_at:
@@ -661,119 +741,146 @@ class SweepExecutor:
                         set(pending), timeout=0.05, return_when=FIRST_COMPLETED
                     )
                     for future in done:
-                        index, submitted = pending.pop(future)
+                        chunk, submitted = pending.pop(future)
                         try:
-                            point = future.result()
+                            results = future.result()
                         except BrokenProcessPool as exc:
                             broken = True
-                            if attempts[index] <= self.retries:
-                                self._count("sweep.retries")
-                                # Crash retries back off like any other
-                                # transient failure: a point that keeps
-                                # killing its worker should not hammer
-                                # the freshly respawned pool.
-                                retry_at.append((
-                                    time.monotonic()
-                                    + self.backoff * (2 ** (attempts[index] - 1)),
-                                    index,
-                                ))
-                            else:
-                                finish(
-                                    index,
-                                    SweepPointError(
-                                        grid[index], "crash", type(exc).__name__,
-                                        str(exc) or "worker process died",
-                                        attempts[index],
-                                    ),
-                                )
+                            for index in chunk:
+                                if attempts[index] <= self.retries:
+                                    self._count("sweep.retries")
+                                    # Crash retries back off like any other
+                                    # transient failure: a point that keeps
+                                    # killing its worker should not hammer
+                                    # the freshly respawned pool.
+                                    retry_at.append((
+                                        time.monotonic()
+                                        + self.backoff * (2 ** (attempts[index] - 1)),
+                                        index,
+                                    ))
+                                else:
+                                    finish(
+                                        index,
+                                        SweepPointError(
+                                            grid[index], "crash", type(exc).__name__,
+                                            str(exc) or "worker process died",
+                                            attempts[index],
+                                        ),
+                                    )
                         except pickle.PicklingError as exc:
                             raise _PoolUnavailable(
                                 f"sweep payload does not pickle: {exc}", outcomes
                             ) from exc
-                        except ReproError as exc:
-                            error = SweepPointError(
-                                grid[index], "error", type(exc).__name__,
-                                str(exc), attempts[index],
-                            )
-                            if fail_fast:
-                                for other in pending:
-                                    other.cancel()
-                                raise AnalysisError(
-                                    f"sweep point {grid[index]} failed: {exc}"
-                                ) from exc
-                            finish(index, error, time.monotonic() - submitted)
                         except Exception as exc:  # noqa: BLE001 — fault barrier: unknown errors become records/retries
-                            if attempts[index] <= self.retries:
-                                self._count("sweep.retries")
-                                retry_at.append((
-                                    time.monotonic()
-                                    + self.backoff * (2 ** (attempts[index] - 1)),
-                                    index,
-                                ))
+                            # Library errors are captured per point inside
+                            # the chunk; an exception here failed the whole
+                            # task.  A multi-point chunk is split into
+                            # singletons (the chunk attempt does not count
+                            # against its members) so the bad point is
+                            # isolated; a singleton follows retry/backoff.
+                            if len(chunk) > 1:
+                                self._count("sweep.batch.splits")
+                                solo.update(chunk)
+                                for index in chunk:
+                                    attempts[index] -= 1
+                                    todo.append(index)
                             else:
-                                error = SweepPointError(
-                                    grid[index], "error", type(exc).__name__,
-                                    str(exc), attempts[index],
-                                )
+                                index = chunk[0]
+                                if attempts[index] <= self.retries:
+                                    self._count("sweep.retries")
+                                    retry_at.append((
+                                        time.monotonic()
+                                        + self.backoff * (2 ** (attempts[index] - 1)),
+                                        index,
+                                    ))
+                                else:
+                                    error = SweepPointError(
+                                        grid[index], "error", type(exc).__name__,
+                                        str(exc), attempts[index],
+                                    )
+                                    if fail_fast:
+                                        for other in pending:
+                                            other.cancel()
+                                        raise AnalysisError(
+                                            f"sweep point {grid[index]} failed after "
+                                            f"{attempts[index]} attempts: {exc}"
+                                        ) from exc
+                                    finish(index, error, time.monotonic() - submitted)
+                        else:
+                            seconds = (time.monotonic() - submitted) / len(chunk)
+                            for index, result in zip(chunk, results):
+                                if result[0] == "ok":
+                                    ever_completed = True
+                                    finish(index, result[1], seconds)
+                                    continue
+                                _, error_type, message = result
                                 if fail_fast:
                                     for other in pending:
                                         other.cancel()
                                     raise AnalysisError(
-                                        f"sweep point {grid[index]} failed after "
-                                        f"{attempts[index]} attempts: {exc}"
-                                    ) from exc
-                                finish(index, error, time.monotonic() - submitted)
-                        else:
-                            ever_completed = True
-                            finish(index, point, time.monotonic() - submitted)
+                                        f"sweep point {grid[index]} failed: "
+                                        f"{message}"
+                                    )
+                                finish(
+                                    index,
+                                    SweepPointError(
+                                        grid[index], "error", error_type,
+                                        message, attempts[index],
+                                    ),
+                                    seconds,
+                                )
                 # A broken pool poisons every in-flight future: drain them,
                 # respawn, and resubmit only the unfinished points.
                 if broken:
                     self._count("sweep.pool_respawns")
                     respawns += 1
                     pool.shutdown(wait=False, cancel_futures=True)
-                    for future, (index, submitted) in list(pending.items()):
+                    for future, (chunk, submitted) in list(pending.items()):
                         del pending[future]
                         # Salvage results that completed before the break so
                         # finished points are never recomputed.
-                        if future.done() and not future.cancelled():
-                            exc = future.exception()
-                            if exc is None:
-                                ever_completed = True
-                                finish(
-                                    index, future.result(),
-                                    time.monotonic() - submitted,
-                                )
-                                continue
-                            if isinstance(exc, ReproError):
+                        if (
+                            future.done()
+                            and not future.cancelled()
+                            and future.exception() is None
+                        ):
+                            seconds = (time.monotonic() - submitted) / len(chunk)
+                            for index, result in zip(chunk, future.result()):
+                                if result[0] == "ok":
+                                    ever_completed = True
+                                    finish(index, result[1], seconds)
+                                    continue
+                                _, error_type, message = result
                                 if fail_fast:
                                     raise AnalysisError(
-                                        f"sweep point {grid[index]} failed: {exc}"
-                                    ) from exc
+                                        f"sweep point {grid[index]} failed: "
+                                        f"{message}"
+                                    )
                                 finish(
                                     index,
                                     SweepPointError(
-                                        grid[index], "error", type(exc).__name__,
-                                        str(exc), attempts[index],
+                                        grid[index], "error", error_type,
+                                        message, attempts[index],
                                     ),
-                                    time.monotonic() - submitted,
+                                    seconds,
                                 )
-                                continue
-                        if attempts[index] <= self.retries:
-                            self._count("sweep.retries")
-                            retry_at.append((
-                                time.monotonic()
-                                + self.backoff * (2 ** (attempts[index] - 1)),
-                                index,
-                            ))
-                        else:
-                            finish(
-                                index,
-                                SweepPointError(
-                                    grid[index], "crash", "BrokenProcessPool",
-                                    "worker process died", attempts[index],
-                                ),
-                            )
+                            continue
+                        for index in chunk:
+                            if attempts[index] <= self.retries:
+                                self._count("sweep.retries")
+                                retry_at.append((
+                                    time.monotonic()
+                                    + self.backoff * (2 ** (attempts[index] - 1)),
+                                    index,
+                                ))
+                            else:
+                                finish(
+                                    index,
+                                    SweepPointError(
+                                        grid[index], "crash", "BrokenProcessPool",
+                                        "worker process died", attempts[index],
+                                    ),
+                                )
                     if respawns > self.max_respawns:
                         if not ever_completed:
                             # The pool never produced a single result:
@@ -797,20 +904,23 @@ class SweepExecutor:
                 # Per-point timeout: abandon futures past their budget.
                 if self.timeout is not None:
                     now = time.monotonic()
-                    for future, (index, submitted) in list(pending.items()):
-                        if now - submitted > self.timeout:
+                    for future, (chunk, submitted) in list(pending.items()):
+                        # The wall-clock budget scales with chunk length:
+                        # a chunk is len(chunk) points of sequential work.
+                        if now - submitted > self.timeout * len(chunk):
                             future.cancel()
                             del pending[future]
-                            self._count("sweep.timeouts")
-                            finish(
-                                index,
-                                SweepPointError(
-                                    grid[index], "timeout", "TimeoutError",
-                                    f"point exceeded {self.timeout:g}s",
-                                    attempts[index],
-                                ),
-                                now - submitted,
-                            )
+                            self._count("sweep.timeouts", len(chunk))
+                            for index in chunk:
+                                finish(
+                                    index,
+                                    SweepPointError(
+                                        grid[index], "timeout", "TimeoutError",
+                                        f"point exceeded {self.timeout:g}s",
+                                        attempts[index],
+                                    ),
+                                    (now - submitted) / len(chunk),
+                                )
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         return outcomes

@@ -311,6 +311,8 @@ def _evaluate_point(
     this point's pipeline run.
     """
     from repro.analysis.timing import maybe_span
+    from repro.errors import ReproError
+    from repro.locality import analyze_locality
     from repro.simulation import (
         CacheModel,
         MemoryModel,
@@ -324,6 +326,30 @@ def _evaluate_point(
     from repro.simulation.stackdist import line_trace
 
     start = perf_counter()
+    # Analytic-first: the closed-form engine answers exactly when it
+    # applies; any engine failure falls back to plain enumeration.
+    try:
+        with maybe_span(timings, "locality:analytic"):
+            analytic = analyze_locality(
+                sdfg, params, line_size=line_size,
+                include_transients=include_transients, fast=fast,
+                timings=timings,
+            )
+    except ReproError:
+        analytic = None
+    if analytic is not None:
+        with maybe_span(timings, "classify"):
+            misses = analytic.miss_counts(capacity_lines)
+        moved = {
+            name: counts.misses * line_size for name, counts in misses.items()
+        }
+        return LocalSweepPoint(
+            params=dict(params),
+            misses=misses,
+            moved_bytes=moved,
+            total_accesses=analytic.total_events,
+            seconds=perf_counter() - start,
+        )
     result = simulate_state(
         sdfg, params, include_transients=include_transients, fast=fast,
         timings=timings,
@@ -363,6 +389,7 @@ def sweep_local_views(
     tracer=None,
     metrics=None,
     adaptive: bool = False,
+    batch: int | None = None,
 ) -> list[LocalSweepPoint]:
     """Evaluate the local-view pipeline at every point of *grid*.
 
@@ -391,6 +418,7 @@ def sweep_local_views(
         tracer=tracer,
         metrics=metrics,
         adaptive=adaptive,
+        batch=batch,
     )
     run = executor.run(
         sdfg,

@@ -1,0 +1,467 @@
+"""The analytic locality engine: per-region analysis plus exact stitching.
+
+:func:`analyze_locality` decomposes a state into regions
+(:mod:`repro.locality.regions`), window-folds the single-region affine
+case (:mod:`repro.locality.fold`) and enumerates everything else region
+by region through the regular simulator.  Region results are stitched
+with a *reduced-trace* composition: per region only each line's first
+and last occurrence enter a global stack-distance pass, which resolves
+every region-first access to its true cross-region reuse distance (or a
+global cold miss) — provably equal to running stack distances over the
+whole concatenated trace, at the cost of the distinct-line count instead
+of the event count.
+
+The :class:`AnalyticLocality` product answers the enumeration pipeline's
+queries (``miss_counts``, ``per_element_misses``, ``histogram``) with
+exactly equal results, and carries a :class:`SymbolicLocality` when the
+region folded — per-container count expressions over the outer extent,
+evaluable on whole grids via :func:`repro.symbolic.compiled.compile_expr`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.locality.fold import FoldedSummary, _hist_add, _scatter, try_build_fold
+from repro.locality.regions import (
+    RegionColumns,
+    extract_regions,
+    fold_statics,
+    region_columns,
+)
+from repro.sdfg.nodes import MapEntry
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+from repro.simulation.cache import MissCounts
+from repro.simulation.layout import MemoryModel
+from repro.simulation.simulator import simulate_region
+from repro.simulation.stackdist import stack_distances_array
+from repro.symbolic.expr import Expr, Integer, add, floor_div, mul, smax, sub
+
+__all__ = [
+    "AnalyticLocality",
+    "EnumeratedSummary",
+    "SymbolicLocality",
+    "analyze_locality",
+]
+
+
+class EnumeratedSummary:
+    """One region enumerated exactly, with composition hooks.
+
+    Within-region stack distances are exact for every non-first access
+    (its reuse window lies inside the region).  Region-first accesses —
+    the ``inf`` entries — are resolved by the engine's reduced-trace
+    composition; until then they default to cold, which is exact for
+    single-region programs and for the first region of any program.
+    """
+
+    kind = "enumerated"
+
+    __slots__ = ("cols", "distances", "first_positions", "reduced_positions",
+                 "resolved")
+
+    def __init__(self, cols: RegionColumns):
+        self.cols = cols
+        self.distances = stack_distances_array(cols.lines)
+        lines = cols.lines
+        _, first_idx = np.unique(lines, return_index=True)
+        _, reversed_idx = np.unique(lines[::-1], return_index=True)
+        last_idx = lines.size - 1 - reversed_idx
+        self.first_positions = np.sort(first_idx)
+        self.reduced_positions = np.unique(np.concatenate([first_idx, last_idx]))
+        #: Resolved distance per region-first access (position order);
+        #: ``inf`` = globally cold.  Filled by the engine's composition.
+        self.resolved = np.full(self.first_positions.size, np.inf)
+
+    # -- aggregate interface (shared with FoldedSummary) -------------------
+    @property
+    def total_events(self) -> int:
+        return self.cols.num_events
+
+    def events_per_container(self) -> dict[str, int]:
+        return {
+            name: int(self.cols.positions[name].size)
+            for name in self.cols.containers
+        }
+
+    def hist_into(self, acc: dict[str, dict[int, int]]) -> None:
+        _hist_add(acc, self.cols, self.distances)
+        finite = np.isfinite(self.resolved)
+        if not finite.any():
+            return
+        first_cids = self.cols.container_ids[self.first_positions]
+        for cid, name in enumerate(self.cols.containers):
+            member = (first_cids == cid) & finite
+            if not member.any():
+                continue
+            values, counts = np.unique(self.resolved[member], return_counts=True)
+            bucket = acc.setdefault(name, {})
+            for v, c in zip(values.tolist(), counts.tolist()):
+                bucket[int(v)] = bucket.get(int(v), 0) + int(c)
+
+    def cold_into(self, acc: dict[str, int]) -> None:
+        cold = np.isinf(self.resolved)
+        if not cold.any():
+            return
+        first_cids = self.cols.container_ids[self.first_positions]
+        for cid, name in enumerate(self.cols.containers):
+            count = int((cold & (first_cids == cid)).sum())
+            if count:
+                acc[name] = acc.get(name, 0) + count
+
+    def has_container(self, container: str) -> bool:
+        return container in self.cols.positions
+
+    def index_span(self, container: str) -> tuple[int, ...]:
+        matrix = self.cols.index_matrices[container]
+        return tuple(
+            int(matrix[:, d].max()) + 1 for d in range(matrix.shape[1])
+        )
+
+    def per_element_into(
+        self,
+        container: str,
+        capacity: int,
+        mult: np.ndarray,
+        dense_total: np.ndarray,
+        dense_cold: np.ndarray,
+        dense_cap: np.ndarray,
+    ) -> None:
+        pos = self.cols.positions.get(container)
+        if pos is None or not pos.size:
+            return
+        keys = self.cols.index_matrices[container] @ mult
+        _scatter(dense_total, keys)
+        d = self.distances[pos]
+        cap = np.isfinite(d) & (d >= capacity)
+        if cap.any():
+            _scatter(dense_cap, keys[cap])
+        first = np.isinf(d)
+        if not first.any():
+            return
+        # Each in-region inf is a region-first; look up its resolution.
+        j = np.searchsorted(self.first_positions, pos[first])
+        resolved = self.resolved[j]
+        first_keys = keys[first]
+        cold = np.isinf(resolved)
+        if cold.any():
+            _scatter(dense_cold, first_keys[cold])
+        late = np.isfinite(resolved) & (resolved >= capacity)
+        if late.any():
+            _scatter(dense_cap, first_keys[late])
+
+
+def _compose(summaries: list[EnumeratedSummary]) -> None:
+    """Resolve region-first accesses across regions via the reduced trace.
+
+    Per region, each line's first and last occurrence (in order) stand
+    in for all its occurrences; one stack-distance pass over the
+    concatenation yields, at every first entry, the exact number of
+    distinct lines since that line's previous (cross-region) occurrence:
+    any line with a true access inside the reuse window also has a
+    retained first-or-last entry inside it, and retained entries are
+    true accesses — so the reduced count equals the true count.
+    """
+    reduced = np.concatenate(
+        [s.cols.lines[s.reduced_positions] for s in summaries]
+    )
+    distances = stack_distances_array(reduced)
+    offset = 0
+    for s in summaries:
+        m = s.reduced_positions.size
+        is_first = np.isin(s.reduced_positions, s.first_positions)
+        s.resolved = distances[offset:offset + m][is_first]
+        offset += m
+
+
+class SymbolicLocality:
+    """Per-container count expressions over the folded outer extent.
+
+    ``total``/``cold`` map containers to :class:`~repro.symbolic.expr.Expr`
+    trees in the program parameters; ``hist`` maps containers to
+    ``{distance: count-Expr}``.  Exact for extents ≥ :attr:`valid_from`
+    of the analyzed program family (same inner sizes and layouts, outer
+    extent varying); evaluable point-wise or batched over grids with
+    :func:`repro.symbolic.compiled.compile_expr`.
+    """
+
+    __slots__ = ("outer_param", "n_expr", "valid_from", "total", "cold", "hist")
+
+    def __init__(
+        self,
+        outer_param: str,
+        n_expr: Expr,
+        valid_from: int,
+        total: dict[str, Expr],
+        cold: dict[str, Expr],
+        hist: dict[str, dict[int, Expr]],
+    ):
+        self.outer_param = outer_param
+        self.n_expr = n_expr
+        self.valid_from = valid_from
+        self.total = total
+        self.cold = cold
+        self.hist = hist
+
+    def capacity_misses(self, capacity_lines: int) -> dict[str, Expr]:
+        """Capacity-miss count expressions under a modeled capacity."""
+        out: dict[str, Expr] = {}
+        for name, bucket in self.hist.items():
+            terms = [
+                expr for distance, expr in bucket.items()
+                if distance >= capacity_lines
+            ]
+            out[name] = add(*terms) if terms else Integer(0)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SymbolicLocality(outer={self.outer_param!r}, "
+            f"valid_from={self.valid_from}, containers={sorted(self.total)})"
+        )
+
+
+def _build_symbolic(fold: FoldedSummary) -> SymbolicLocality:
+    """Lift a folded summary's counts to expressions over the extent."""
+    n_expr = fold.n_expr
+    # Blocks of phase r: m_r(n) = max(0, (n - 1 - t_r) // P + 1).
+    phase_counts = [
+        smax(0, add(floor_div(sub(n_expr, 1 + phase.t), fold.p_joint), 1))
+        for phase in fold.phases
+    ]
+    total: dict[str, Expr] = {}
+    cold: dict[str, Expr] = {}
+    hist: dict[str, dict[int, Expr]] = {}
+    steady = sub(n_expr, fold.delta_max)
+    for name in fold.block.containers:
+        per_block = int(fold.block.positions[name].size)
+        prefix_pos = fold.prefix.positions.get(name)
+        prefix_d = (
+            fold.prefix_distances[prefix_pos]
+            if prefix_pos is not None
+            else np.empty(0)
+        )
+        total[name] = add(
+            int(prefix_d.size), mul(per_block, steady)
+        )
+        cold_terms: list[Expr] = [Integer(int(np.isinf(prefix_d).sum()))]
+        bucket: dict[int, Expr] = {}
+        finite = np.isfinite(prefix_d)
+        values, counts = np.unique(prefix_d[finite], return_counts=True)
+        for v, c in zip(values.tolist(), counts.tolist()):
+            bucket[int(v)] = Integer(int(c))
+        block_pos = fold.block.positions[name]
+        for phase, m_expr in zip(fold.phases, phase_counts):
+            d = phase.distances[block_pos]
+            new = int(np.isinf(d).sum())
+            if new:
+                cold_terms.append(mul(new, m_expr))
+            values, counts = np.unique(d[np.isfinite(d)], return_counts=True)
+            for v, c in zip(values.tolist(), counts.tolist()):
+                term = mul(int(c), m_expr)
+                key = int(v)
+                bucket[key] = add(bucket[key], term) if key in bucket else term
+        cold[name] = add(*cold_terms)
+        hist[name] = bucket
+    valid_from = fold.delta_max + fold.p_joint * (fold.delta_max + 1)
+    return SymbolicLocality(
+        fold.outer_param, n_expr, valid_from, total, cold, hist
+    )
+
+
+class AnalyticLocality:
+    """The engine's product: exact locality aggregates without full traces.
+
+    Picklable (plain data and NumPy arrays only), so it caches and ships
+    through sweep worker pools like any other pass product.
+    """
+
+    __slots__ = (
+        "complete", "reason", "containers", "events_per_container",
+        "total_events", "analytic_regions", "fallback_regions", "symbolic",
+        "line_size", "_summaries", "_hist", "_cold", "_element_cache",
+    )
+
+    def __init__(
+        self,
+        summaries: list,
+        analytic_regions: int,
+        fallback_regions: int,
+        symbolic: SymbolicLocality | None,
+        line_size: int,
+    ):
+        self.complete = True
+        self.reason = ""
+        self._summaries = summaries
+        self.analytic_regions = analytic_regions
+        self.fallback_regions = fallback_regions
+        self.symbolic = symbolic
+        self.line_size = line_size
+        self.containers: list[str] = []
+        self.events_per_container: dict[str, int] = {}
+        for summary in summaries:
+            for name, count in summary.events_per_container().items():
+                if name not in self.events_per_container:
+                    self.containers.append(name)
+                    self.events_per_container[name] = 0
+                self.events_per_container[name] += count
+        self.total_events = sum(s.total_events for s in summaries)
+        self._hist: dict[str, dict[int, int]] | None = None
+        self._cold: dict[str, int] | None = None
+        self._element_cache: dict = {}
+
+    # -- aggregates --------------------------------------------------------
+    def _aggregates(self) -> tuple[dict[str, dict[int, int]], dict[str, int]]:
+        if self._hist is None:
+            hist: dict[str, dict[int, int]] = {}
+            cold: dict[str, int] = {name: 0 for name in self.containers}
+            for summary in self._summaries:
+                summary.hist_into(hist)
+                summary.cold_into(cold)
+            self._hist = hist
+            self._cold = cold
+        return self._hist, self._cold
+
+    def histogram(self, container: str) -> dict[int, int]:
+        """Reuse-distance histogram (finite distances) of one container."""
+        hist, _ = self._aggregates()
+        return dict(hist.get(container, {}))
+
+    def cold_misses(self) -> dict[str, int]:
+        _, cold = self._aggregates()
+        return dict(cold)
+
+    def miss_counts(self, capacity_lines: int) -> dict[str, MissCounts]:
+        """Per-container miss classification — equals the enumeration
+        pipeline's ``local.classify`` product."""
+        hist, cold = self._aggregates()
+        out: dict[str, MissCounts] = {}
+        for name in self.containers:
+            total = self.events_per_container[name]
+            k = cold.get(name, 0)
+            p = sum(
+                count for distance, count in hist.get(name, {}).items()
+                if distance >= capacity_lines
+            )
+            out[name] = MissCounts(hits=total - k - p, cold=k, capacity=p)
+        return out
+
+    # -- per-element aggregates --------------------------------------------
+    def _element_shape(self, container: str) -> tuple[int, ...] | None:
+        spans = [
+            s.index_span(container)
+            for s in self._summaries
+            if s.has_container(container)
+        ]
+        if not spans:
+            return None
+        return tuple(max(dims) for dims in zip(*spans)) if spans[0] else ()
+
+    def per_element_misses(
+        self, container: str, capacity_lines: int
+    ) -> dict[tuple[int, ...], MissCounts]:
+        """Per-element miss counts — equals
+        :func:`~repro.simulation.arrays.per_element_misses_array`."""
+        key = (container, capacity_lines)
+        cached = self._element_cache.get(key)
+        if cached is not None:
+            return cached
+        shape = self._element_shape(container)
+        if shape is None:
+            return {}
+        size = 1
+        for extent in shape:
+            size *= extent
+        mult = np.ones(len(shape), dtype=np.int64)
+        for d in range(len(shape) - 2, -1, -1):
+            mult[d] = mult[d + 1] * shape[d + 1]
+        dense_total = np.zeros(size, dtype=np.int64)
+        dense_cold = np.zeros(size, dtype=np.int64)
+        dense_cap = np.zeros(size, dtype=np.int64)
+        for summary in self._summaries:
+            if summary.has_container(container):
+                summary.per_element_into(
+                    container, capacity_lines, mult,
+                    dense_total, dense_cold, dense_cap,
+                )
+        present = np.flatnonzero(dense_total)
+        out: dict[tuple[int, ...], MissCounts] = {}
+        if shape:
+            columns = np.unravel_index(present, shape)
+            indices = list(zip(*(c.tolist() for c in columns)))
+        else:
+            indices = [()] * present.size
+        for element, t, k, p in zip(
+            indices,
+            dense_total[present].tolist(),
+            dense_cold[present].tolist(),
+            dense_cap[present].tolist(),
+        ):
+            out[element] = MissCounts(hits=t - k - p, cold=k, capacity=p)
+        self._element_cache[key] = out
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalyticLocality(events={self.total_events}, "
+            f"folded={self.analytic_regions}, "
+            f"enumerated={self.fallback_regions})"
+        )
+
+
+def analyze_locality(
+    sdfg: SDFG,
+    symbols: Mapping[str, int],
+    state: SDFGState | None = None,
+    line_size: int = 64,
+    include_transients: bool = False,
+    fast: bool = True,
+    timings=None,
+) -> AnalyticLocality:
+    """Run the analytic locality engine over a parameterized program.
+
+    Single-region affine maps with uniform outer shift fold to a
+    constant number of enumerated blocks; every other region enumerates
+    through the simulator and the per-region results stitch exactly.
+    The returned product equals the enumeration pipeline on every query.
+    """
+    env = {k: int(v) for k, v in symbols.items()}
+    memory = MemoryModel(sdfg, env, line_size=line_size)
+    regions = extract_regions(sdfg, state)
+    single = len(regions) == 1
+    summaries: list = []
+    folded = 0
+    enumerated = 0
+    symbolic: SymbolicLocality | None = None
+    for region in regions:
+        summary = None
+        if single and isinstance(region.node, MapEntry):
+            candidate = fold_statics(
+                sdfg, region.state, region.node, env,
+                include_transients=include_transients,
+            )
+            if candidate is not None:
+                summary = try_build_fold(
+                    sdfg, env, region.state, candidate, memory,
+                    include_transients=include_transients,
+                    fast=fast, timings=timings,
+                )
+        if summary is not None:
+            folded += 1
+            symbolic = _build_symbolic(summary)
+            summaries.append(summary)
+            continue
+        enumerated += 1
+        result = simulate_region(
+            sdfg, env, region.state, region.node,
+            include_transients=include_transients, fast=fast, timings=timings,
+        )
+        cols = region_columns(result, memory)
+        if cols.num_events:
+            summaries.append(EnumeratedSummary(cols))
+    if len(summaries) > 1:
+        _compose(summaries)
+    return AnalyticLocality(summaries, folded, enumerated, symbolic, line_size)

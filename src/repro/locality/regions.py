@@ -1,0 +1,267 @@
+"""Region decomposition and static fold analysis for the analytic engine.
+
+A *region* is one top-level node of a state — a map scope, a bare
+tasklet, a nested SDFG, or an access-node copy — exactly the units the
+access-pattern simulator's state walk dispatches on.  Simulating regions
+independently through
+:func:`~repro.simulation.simulator.simulate_region` and concatenating
+the traces in walk order reproduces
+:func:`~repro.simulation.simulator.simulate_state` event-for-event;
+that invariant is what lets the engine analyze each region on its own
+and stitch the results exactly.
+
+:func:`fold_statics` is the static half of the window-fold analysis: it
+checks that a flat affine map region has *uniform outer shift* — every
+access to a container moves by the same per-dimension index delta per
+outer-loop iteration — which is the property that makes the reuse
+pattern of the steady state periodic in the outer loop
+(:mod:`repro.locality.fold`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.sdfg.data import Array
+from repro.sdfg.nodes import AccessNode, MapEntry, NestedSDFG, Node, Tasklet
+from repro.sdfg.sdfg import SDFG
+from repro.sdfg.state import SDFGState
+from repro.simulation.affine import AffineSubset
+from repro.simulation.arrays import build_array_trace
+from repro.simulation.layout import MemoryModel
+from repro.simulation.simulator import SimulationResult
+from repro.simulation.stackdist import line_trace
+from repro.symbolic.expr import Expr
+
+__all__ = [
+    "Region",
+    "RegionColumns",
+    "FoldCandidate",
+    "extract_regions",
+    "region_columns",
+    "fold_statics",
+]
+
+
+class Region:
+    """One top-level node of a state, simulated as an independent unit."""
+
+    __slots__ = ("state", "node")
+
+    def __init__(self, state: SDFGState, node: Node):
+        self.state = state
+        self.node = node
+
+    def __repr__(self) -> str:
+        return f"Region({self.state.name}, {type(self.node).__name__})"
+
+
+def extract_regions(sdfg: SDFG, state: SDFGState | None = None) -> list[Region]:
+    """Top-level regions of *state* (or all states), in simulation order.
+
+    Mirrors the simulator's walk: topological node order, scoped nodes
+    handled by their scope, and the same four dispatchable node kinds.
+    Access nodes only form a region when they source a copy edge — a
+    bare access node emits no events.
+    """
+    states = [state] if state is not None else list(sdfg.all_states_topological())
+    regions: list[Region] = []
+    for st in states:
+        sdict = st.scope_dict()
+        for node in st.topological_nodes():
+            if sdict[node] is not None:
+                continue
+            if isinstance(node, (MapEntry, Tasklet, NestedSDFG)):
+                regions.append(Region(st, node))
+            elif isinstance(node, AccessNode) and any(
+                isinstance(edge.dst, AccessNode) and edge.data.memlet is not None
+                for edge in st.out_edges(node)
+            ):
+                regions.append(Region(st, node))
+    return regions
+
+
+class RegionColumns:
+    """Columnar view of one region's trace.
+
+    Parallel per-event arrays (trace order): region-local container ids
+    and global cache-line ids; plus, per container, the positions of its
+    events and the matching element-index matrix.  Containers are listed
+    in first-access order.
+    """
+
+    __slots__ = ("num_events", "containers", "container_ids", "lines",
+                 "positions", "index_matrices")
+
+    def __init__(
+        self,
+        num_events: int,
+        containers: list[str],
+        container_ids: np.ndarray,
+        lines: np.ndarray,
+        positions: dict[str, np.ndarray],
+        index_matrices: dict[str, np.ndarray],
+    ):
+        self.num_events = num_events
+        self.containers = containers
+        self.container_ids = container_ids
+        self.lines = lines
+        self.positions = positions
+        self.index_matrices = index_matrices
+
+
+def region_columns(result: SimulationResult, memory: MemoryModel) -> RegionColumns:
+    """Build the columnar view of a region's simulation result.
+
+    Array-representable traces come straight from the vector blocks;
+    interpreted traces fall back to the (batched) object-event path.
+    Both produce identical columns.
+    """
+    n = result.num_events
+    if n == 0:
+        return RegionColumns(0, [], np.empty(0, np.int64), np.empty(0, np.int64), {}, {})
+    trace = build_array_trace(result, memory)
+    if trace is not None:
+        containers = list(trace.containers)
+        container_ids = trace.container_ids
+        lines = trace.lines
+        positions: dict[str, np.ndarray] = {}
+        index_matrices: dict[str, np.ndarray] = {}
+        for cid, name in enumerate(containers):
+            pos = np.flatnonzero(container_ids == cid)
+            positions[name] = pos
+            shape = trace.key_shapes[cid]
+            if shape:
+                cols = np.unravel_index(trace.element_keys[pos], shape)
+                index_matrices[name] = np.column_stack(
+                    [c.astype(np.int64, copy=False) for c in cols]
+                )
+            else:
+                index_matrices[name] = np.empty((pos.size, 0), dtype=np.int64)
+        return RegionColumns(n, containers, container_ids, lines, positions, index_matrices)
+    events = result.events
+    lines = np.asarray(line_trace(events, memory), dtype=np.int64)
+    containers = []
+    index_of: dict[str, int] = {}
+    container_ids = np.empty(n, dtype=np.int64)
+    rows: dict[str, list[tuple[int, ...]]] = {}
+    for t, event in enumerate(events):
+        cid = index_of.get(event.data)
+        if cid is None:
+            cid = index_of[event.data] = len(containers)
+            containers.append(event.data)
+        container_ids[t] = cid
+        rows.setdefault(event.data, []).append(event.indices)
+    positions = {
+        name: np.flatnonzero(container_ids == cid)
+        for name, cid in index_of.items()
+    }
+    index_matrices = {}
+    for name, tuples in rows.items():
+        ndims = len(tuples[0])
+        if ndims:
+            index_matrices[name] = np.array(tuples, dtype=np.int64)
+        else:
+            index_matrices[name] = np.empty((len(tuples), 0), dtype=np.int64)
+    return RegionColumns(n, containers, container_ids, lines, positions, index_matrices)
+
+
+class FoldCandidate:
+    """Static description of a window-foldable map region.
+
+    ``container_shifts[c]`` is the per-dimension element-index delta of
+    every access to container *c* per outer-loop iteration (uniform by
+    the statics guard); ``n`` is the concrete outer extent and
+    ``n_expr`` the same extent as a symbolic expression over the program
+    parameters.
+    """
+
+    __slots__ = ("entry", "n", "step0", "outer_param", "container_shifts", "n_expr")
+
+    def __init__(
+        self,
+        entry: MapEntry,
+        n: int,
+        step0: int,
+        outer_param: str,
+        container_shifts: dict[str, tuple[int, ...]],
+        n_expr: Expr,
+    ):
+        self.entry = entry
+        self.n = n
+        self.step0 = step0
+        self.outer_param = outer_param
+        self.container_shifts = container_shifts
+        self.n_expr = n_expr
+
+
+def _tracked(sdfg: SDFG, data: str, include_transients: bool) -> bool:
+    if include_transients:
+        return True
+    desc = sdfg.arrays.get(data)
+    return desc is None or isinstance(desc, Array)
+
+
+def fold_statics(
+    sdfg: SDFG,
+    state: SDFGState,
+    entry: MapEntry,
+    env: Mapping[str, int],
+    include_transients: bool = False,
+) -> FoldCandidate | None:
+    """Check the static fold preconditions of a map region.
+
+    Returns ``None`` (→ enumerate the region instead) unless
+
+    - the scope is flat: tasklets only, no nested maps or nested SDFGs;
+    - the outer extent has ≥ 2 iterations and no range depends on any
+      map parameter (triangular nests decline naturally);
+    - every tracked memlet subset is affine in the map parameters; and
+    - each container's outer shift (per-dimension index delta per outer
+      iteration) is identical across all accesses to it.
+    """
+    params = entry.map.params
+    if not params:
+        return None
+    pset = frozenset(params)
+    ranges = entry.map.ranges
+    for r in ranges:
+        if r.free_symbols() & pset:
+            return None
+    try:
+        outer = list(ranges[0].concretize(env))
+    except Exception:  # noqa: BLE001 — undecidable extent: enumerate instead
+        return None
+    n = len(outer)
+    if n < 2:
+        return None
+    step0 = outer[1] - outer[0]
+    children = state.scope_children().get(entry, [])
+    if any(isinstance(node, (MapEntry, NestedSDFG)) for node in children):
+        return None
+    container_shifts: dict[str, tuple[int, ...]] = {}
+    for node in children:
+        if not isinstance(node, Tasklet):
+            continue
+        for edge in list(state.in_edges(node)) + list(state.out_edges(node)):
+            memlet = edge.data.memlet
+            if memlet is None or not _tracked(sdfg, memlet.data, include_transients):
+                continue
+            subset = AffineSubset.from_memlet(memlet, pset)
+            if subset is None:
+                return None
+            shifts = []
+            for dim in subset.dims:
+                _, coeffs = dim.begin.concretize(env)
+                shifts.append(coeffs.get(params[0], 0) * step0)
+            shift = tuple(shifts)
+            previous = container_shifts.setdefault(memlet.data, shift)
+            if previous != shift:
+                return None
+    if not container_shifts:
+        return None
+    return FoldCandidate(
+        entry, n, step0, params[0], container_shifts, ranges[0].num_elements()
+    )

@@ -1,9 +1,12 @@
-"""The local view's locality pipeline as five chained passes.
+"""The local view's locality pipeline as chained passes.
 
 Simulation trace → physical layout → stack distances → miss
 classification → physical movement, each stage a
-:class:`~repro.passes.base.Pass` with its own content key.  The split
-follows the invalidation boundaries that matter in the interactive loop:
+:class:`~repro.passes.base.Pass` with its own content key — plus
+``local.analytic``, the closed-form engine (:mod:`repro.locality`) that
+classification consults first and that short-circuits the enumeration
+chain entirely whenever it applies.  The split follows the invalidation
+boundaries that matter in the interactive loop:
 
 - changing *strides* (e.g. :func:`~repro.transforms.layout.pad_strides_to_multiple`)
   re-runs layout and everything after it, but the simulation trace —
@@ -25,6 +28,8 @@ from typing import Any
 
 from repro.analysis.parametric import LocalSweepPoint
 from repro.analysis.timing import maybe_span
+from repro.errors import ReproError
+from repro.locality import AnalyticLocality, analyze_locality
 from repro.passes.base import Pass, PassContext
 from repro.simulation import (
     CacheModel,
@@ -44,6 +49,7 @@ from repro.simulation.vectorized import fast_line_trace
 __all__ = [
     "LayoutProduct",
     "DistanceProduct",
+    "AnalyticPass",
     "TracePass",
     "LayoutPass",
     "StackDistancePass",
@@ -96,6 +102,50 @@ class DistanceProduct:
         if self._list is None:
             self._list = self.array.tolist()
         return self._list
+
+
+class AnalyticPass(Pass):
+    """Closed-form locality analysis — the enumeration chain's fast path.
+
+    Runs the analytic engine (:mod:`repro.locality`) up front; when it
+    produces a product, ``local.classify`` and ``local.point`` answer
+    from it and — thanks to lazily materialized pass inputs — the
+    enumeration chain (trace → layout → stackdist) never executes.
+    Returns ``None`` when the engine declines (→ downstream passes fall
+    back to enumeration).  ``capacity`` is deliberately *not* a key
+    component: the product carries full histograms, so a capacity
+    re-sweep reuses it.
+    """
+
+    name = "local.analytic"
+    uses = ("scope", "state", "arrays", "env", "sim", "line")
+
+    def run(self, ctx: PassContext, inputs: dict[str, Any]) -> AnalyticLocality | None:
+        env = ctx.require_env(self.name)
+        try:
+            with maybe_span(ctx.timings, "locality:analytic"):
+                product = analyze_locality(
+                    ctx.sdfg,
+                    env,
+                    state=ctx.state,
+                    line_size=ctx.line_size,
+                    include_transients=ctx.include_transients,
+                    fast=ctx.fast,
+                    timings=ctx.timings,
+                )
+        except ReproError:
+            product = None
+        if ctx.metrics is not None:
+            if product is not None:
+                ctx.metrics.counter("locality.analytic.hits").inc(
+                    product.analytic_regions
+                )
+                ctx.metrics.counter("locality.analytic.fallbacks").inc(
+                    product.fallback_regions
+                )
+            else:
+                ctx.metrics.counter("locality.analytic.fallbacks").inc()
+        return product
 
 
 class TracePass(Pass):
@@ -162,10 +212,16 @@ class ClassifyPass(Pass):
     """
 
     name = "local.classify"
-    depends_on = ("local.trace", "local.layout", "local.stackdist")
+    depends_on = (
+        "local.analytic", "local.trace", "local.layout", "local.stackdist"
+    )
     uses = ("line", "capacity")
 
     def run(self, ctx: PassContext, inputs: dict[str, Any]) -> dict:
+        analytic: AnalyticLocality | None = inputs["local.analytic"]
+        if analytic is not None:
+            with maybe_span(ctx.timings, "classify"):
+                return analytic.miss_counts(ctx.capacity_lines)
         layout: LayoutProduct = inputs["local.layout"]
         distances: DistanceProduct = inputs["local.stackdist"]
         model = CacheModel(
@@ -202,16 +258,24 @@ class SweepPointPass(Pass):
     """Assemble one :class:`LocalSweepPoint` from the chain's products."""
 
     name = "local.point"
-    depends_on = ("local.trace", "local.classify", "local.physmove")
+    depends_on = (
+        "local.analytic", "local.trace", "local.classify", "local.physmove"
+    )
     uses = ("env",)
 
     def run(self, ctx: PassContext, inputs: dict[str, Any]) -> LocalSweepPoint:
         env = ctx.require_env(self.name)
+        analytic: AnalyticLocality | None = inputs["local.analytic"]
+        total = (
+            analytic.total_events
+            if analytic is not None
+            else inputs["local.trace"].num_events
+        )
         return LocalSweepPoint(
             params=dict(env),
             misses=inputs["local.classify"],
             moved_bytes=inputs["local.physmove"],
-            total_accesses=inputs["local.trace"].num_events,
+            total_accesses=total,
             seconds=perf_counter() - ctx.created_at,
         )
 
@@ -219,6 +283,7 @@ class SweepPointPass(Pass):
 def local_passes() -> tuple[Pass, ...]:
     """One fresh instance of every local-view pass."""
     return (
+        AnalyticPass(),
         TracePass(),
         LayoutPass(),
         StackDistancePass(),

@@ -33,7 +33,12 @@ from repro.sdfg.state import SDFGState
 from repro.simulation.iterspace import iteration_points
 from repro.simulation.trace import AccessEvent, AccessKind
 
-__all__ = ["AccessPatternSimulator", "SimulationResult", "simulate_state"]
+__all__ = [
+    "AccessPatternSimulator",
+    "SimulationResult",
+    "simulate_state",
+    "simulate_region",
+]
 
 #: Helper globals available when evaluating compiled index expressions.
 _EVAL_GLOBALS = {"__builtins__": {}, "Min": min, "Max": max}
@@ -562,3 +567,84 @@ def simulate_state(
         sdfg, symbols=symbols, state=state, include_transients=include_transients,
         fast=fast, timings=timings,
     ).run()
+
+
+class _ConcreteIndices:
+    """A map range stand-in holding an explicit list of concrete indices.
+
+    :func:`simulate_region` temporarily replaces the outermost map range
+    with one of these to restrict simulation to a window of iterations.
+    Only the protocol the simulation paths actually exercise is provided:
+    ``concretize`` (both the interpreter's ``iteration_points`` and the
+    vectorized ``_iteration_grids`` go through it), ``size`` and
+    ``free_symbols``.
+    """
+
+    __slots__ = ("indices",)
+
+    def __init__(self, indices: Sequence[int]):
+        self.indices = list(indices)
+
+    def concretize(self, env: Mapping[str, int]) -> list[int]:
+        return list(self.indices)
+
+    def size(self, env: Mapping[str, int]) -> int:
+        return len(self.indices)
+
+    def free_symbols(self) -> frozenset[str]:
+        return frozenset()
+
+
+def simulate_region(
+    sdfg: SDFG,
+    symbols: Mapping[str, int],
+    state: SDFGState,
+    node: Node,
+    include_transients: bool = False,
+    fast: bool = True,
+    timings=None,
+    outer_slice: tuple[int, int] | None = None,
+) -> SimulationResult:
+    """Simulate a single top-level region (one node's scope) of a state.
+
+    The analytic locality engine (:mod:`repro.locality`) decomposes a
+    state into per-region traces; regions it cannot fold analytically are
+    enumerated here through the regular simulator, so a stitched sequence
+    of region traces is event-for-event identical to
+    :func:`simulate_state` on the whole state.
+
+    ``outer_slice=(lo, hi)`` restricts the *outermost* map dimension of a
+    map region to the half-open window ``[lo, hi)`` of its iteration
+    list — the window-fold path simulates a few representative blocks of
+    the outer loop instead of its whole extent.
+    """
+    sim = AccessPatternSimulator(
+        sdfg, symbols=symbols, state=state,
+        include_transients=include_transients, fast=fast, timings=timings,
+    )
+    result = SimulationResult(sdfg, sim.symbols)
+    env: dict[str, int] = dict(sim.symbols)
+    if isinstance(node, MapEntry):
+        old_ranges = node.map.ranges
+        try:
+            if outer_slice is not None:
+                lo, hi = outer_slice
+                indices = list(old_ranges[0].concretize(env))[lo:hi]
+                node.map.ranges = [_ConcreteIndices(indices)] + list(old_ranges[1:])
+            sim._simulate_scope(
+                state, node, state.scope_children(), env, result, outer_point=()
+            )
+        finally:
+            node.map.ranges = old_ranges
+    elif isinstance(node, Tasklet):
+        step = sim._next_step(result)
+        sim._execute_tasklet(state, node, env, result, point=(), step=step)
+    elif isinstance(node, NestedSDFG):
+        sim._simulate_nested(state, node, env, result, outer_point=())
+    elif isinstance(node, AccessNode):
+        sim._simulate_copies(state, node, env, result)
+    else:
+        raise SimulationError(
+            f"cannot simulate a region rooted at {type(node).__name__}"
+        )
+    return result

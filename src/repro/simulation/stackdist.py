@@ -77,11 +77,32 @@ class _Fenwick:
 def line_trace(
     events: Sequence[AccessEvent], memory: MemoryModel
 ) -> list[int]:
-    """Project an access trace onto cache-line ids."""
-    line_size = memory.line_size
-    return [
-        memory.address_of(e.data, e.indices) // line_size for e in events
-    ]
+    """Project an access trace onto cache-line ids.
+
+    Events are grouped per container and projected through the batched
+    :meth:`~repro.simulation.layout.PhysicalLayout.cache_lines_of` path
+    (one matrix product per container) instead of one
+    ``memory.address_of`` call per event; trace order is preserved.
+    """
+    n = len(events)
+    if n == 0:
+        return []
+    positions_by_data: dict[str, list[int]] = {}
+    for t, e in enumerate(events):
+        positions_by_data.setdefault(e.data, []).append(t)
+    out = np.empty(n, dtype=np.int64)
+    for data, positions in positions_by_data.items():
+        ndims = len(events[positions[0]].indices)
+        if ndims:
+            matrix = np.array(
+                [events[t].indices for t in positions], dtype=np.int64
+            )
+        else:
+            matrix = np.empty((len(positions), 0), dtype=np.int64)
+        out[np.asarray(positions, dtype=np.int64)] = memory.lines_of_matrix(
+            data, matrix
+        )
+    return out.tolist()
 
 
 def stack_distances(lines: Sequence[int]) -> list[float]:

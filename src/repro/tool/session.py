@@ -330,6 +330,7 @@ class Session:
         timeout: float | None = None,
         cancel: CancelToken | None = None,
         adaptive: bool = True,
+        batch: int | None = None,
     ) -> list[LocalSweepPoint] | SweepRun:
         """Run the local-view locality pipeline over a parameter grid.
 
@@ -362,6 +363,10 @@ class Session:
         per-point cost predicts a wall-clock win over finishing
         serially — cheap grids never pay pool startup.  Pass
         ``adaptive=False`` to restore the unconditional pool behaviour.
+
+        *batch* sets how many points one worker task evaluates
+        (``None`` auto-chunks large grids, ``1`` forces per-point
+        tasks); see :class:`~repro.analysis.executor.SweepExecutor`.
         """
         if on_error not in ("raise", "record"):
             raise ReproError(
@@ -453,6 +458,7 @@ class Session:
                     point_fn=point_fn,
                     serial_fn=evaluate_inproc,
                     adaptive=adaptive,
+                    batch=batch,
                 )
                 with maybe_span(self.tracer, "fanout"):
                     run = executor.run(
@@ -563,6 +569,13 @@ class Session:
     def pass_report(self) -> str:
         """Per-pass timings, cache hits/misses, and invalidation reasons."""
         lines = [self.pipeline.report()]
+        folded = self.metrics.counter("locality.analytic.hits").value
+        fallbacks = self.metrics.counter("locality.analytic.fallbacks").value
+        if folded or fallbacks:
+            lines.append(
+                f"analytic locality: {folded} region(s) folded closed-form, "
+                f"{fallbacks} enumerated (fallback)"
+            )
         info = self.cache.info()
         lines.append(
             f"simulation cache: {info['entries']}/{info['maxsize']} entries, "
@@ -970,6 +983,12 @@ class LocalView:
         """Per-container (or one container's per-element) miss counts."""
         if data is None:
             return self._product("local.classify")
+        analytic = self._product("local.analytic")
+        if analytic is not None:
+            with maybe_span(self.timings, "classify"):
+                return analytic.per_element_misses(
+                    data, self.cache.capacity_lines
+                )
         layout = self._layout()
         distances = self._stackdist()
         with maybe_span(self.timings, "classify"):

@@ -437,3 +437,74 @@ class TestCrashRetryBackoff:
         assert second - first >= backoff * 0.6
         assert metrics.counter("sweep.pool_respawns").value == 1
         assert metrics.counter("sweep.retries").value == 1
+
+
+def _brittle_point(sdfg_text, params, *cfg):
+    """Raise a non-library error for marked points (fails its whole chunk)."""
+    if params.get("brittle"):
+        raise ValueError(f"chunk-killer {params['idx']}")
+    return dict(params)
+
+
+class TestBatchedExecution:
+    """Chunked worker tasks: identical outcomes, fewer pool round-trips."""
+
+    def test_auto_batching_matches_per_point_results(self, sdfg):
+        grid = [{"idx": i} for i in range(24)]
+        batched_metrics = MetricsRegistry()
+        batched = SweepExecutor(
+            workers=2, point_fn=_echo_point, metrics=batched_metrics
+        ).run(sdfg, grid)
+        per_point_metrics = MetricsRegistry()
+        per_point = SweepExecutor(
+            workers=2, batch=1, point_fn=_echo_point, metrics=per_point_metrics
+        ).run(sdfg, grid)
+        assert batched.ok and per_point.ok
+        assert batched.points == per_point.points
+        # 24 points / (2 workers * 4) = chunks of 3.
+        assert batched_metrics.counter("sweep.batch.chunks").value == 8
+        assert batched_metrics.counter("sweep.batch.points").value == 24
+        assert per_point_metrics.counter("sweep.batch.chunks").value == 24
+
+    def test_explicit_batch_size(self, sdfg):
+        grid = [{"idx": i} for i in range(32)]
+        metrics = MetricsRegistry()
+        run = SweepExecutor(
+            workers=2, batch=8, point_fn=_echo_point, metrics=metrics
+        ).run(sdfg, grid)
+        assert run.ok
+        assert metrics.counter("sweep.batch.chunks").value == 4
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(batch=0)
+
+    def test_library_error_isolated_inside_chunk(self, sdfg):
+        """A ReproError poisons only its own point, not its chunk-mates."""
+        grid = [{"idx": i, "poison": i == 5} for i in range(12)]
+        metrics = MetricsRegistry()
+        run = SweepExecutor(
+            workers=2, batch=6, point_fn=_poison_point, metrics=metrics
+        ).run(sdfg, grid)
+        assert len(run.errors) == 1
+        assert run.errors[0].params["idx"] == 5
+        assert run.errors[0].error_type == "AnalysisError"
+        assert sum(p is not None for p in run.points) == 11
+        # No chunk was torn down: the error was captured point-locally.
+        assert metrics.counter("sweep.batch.splits").value == 0
+
+    def test_wholesale_chunk_failure_splits_into_singletons(self, sdfg):
+        """A non-library chunk failure re-runs members alone, isolating
+        the bad point without losing its chunk-mates."""
+        grid = [{"idx": i, "brittle": i == 3} for i in range(8)]
+        metrics = MetricsRegistry()
+        run = SweepExecutor(
+            workers=2, batch=4, retries=0,
+            point_fn=_brittle_point, metrics=metrics,
+        ).run(sdfg, grid)
+        assert metrics.counter("sweep.batch.splits").value >= 1
+        assert len(run.errors) == 1
+        assert run.errors[0].params["idx"] == 3
+        assert run.errors[0].error_type == "ValueError"
+        good = [p for p in run.points if p is not None]
+        assert sorted(p["idx"] for p in good) == [0, 1, 2, 4, 5, 6, 7]

@@ -1,0 +1,297 @@
+"""Differential tests: analytic locality engine vs. exact enumeration.
+
+The engine's contract is *exact* equality with the enumeration pipeline
+(simulate → line trace → stack distances → classify) at every size where
+enumeration is feasible — including sizes where the closed-form fold
+engages, where the result must stay indistinguishable from brute force.
+Every test computes both sides and compares miss counts, reuse-distance
+histograms, cold counts, and per-element heatmaps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import bert, conv, hdiff, linalg
+from repro.locality import analyze_locality
+from repro.sdfg import dtypes
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.sdfg import SDFG
+from repro.simulation import MemoryModel, simulate_state
+from repro.simulation.arrays import (
+    build_array_trace,
+    per_container_misses_array,
+    per_element_misses_array,
+)
+from repro.simulation.cache import CacheModel
+from repro.simulation.movement import per_container_misses, per_element_misses
+from repro.simulation.stackdist import stack_distances_array
+
+#: A tiny and a realistic modeled cache — classification must agree at both.
+CAPACITIES = (4, 512)
+LINE = 64
+
+
+def enumeration_reference(sdfg, env):
+    """The exact pipeline the engine must reproduce."""
+    result = simulate_state(sdfg, env)
+    memory = MemoryModel(sdfg, env, line_size=LINE)
+    trace = build_array_trace(result, memory)
+    assert trace is not None, "reference requires the vectorized trace"
+    distances = stack_distances_array(trace.lines)
+    return trace, distances
+
+
+def reference_histograms(trace, distances):
+    """Per-container finite-distance histograms and cold counts."""
+    hists, cold = {}, {}
+    for container, name in enumerate(trace.containers):
+        d = distances[trace.container_ids == container]
+        finite = d[np.isfinite(d)].astype(np.int64)
+        values, counts = np.unique(finite, return_counts=True)
+        hists[name] = {int(v): int(c) for v, c in zip(values, counts)}
+        cold[name] = int(np.sum(~np.isfinite(d)))
+    return hists, cold
+
+
+def assert_engine_exact(sdfg, env, per_element=True):
+    """Assert the engine equals enumeration on every observable product."""
+    trace, distances = enumeration_reference(sdfg, env)
+    analytic = analyze_locality(sdfg, env, line_size=LINE)
+
+    assert analytic.total_events == trace.num_events
+    assert sorted(analytic.containers) == sorted(trace.containers)
+    per_container = np.bincount(
+        trace.container_ids, minlength=len(trace.containers)
+    )
+    assert analytic.events_per_container == {
+        name: int(per_container[i]) for i, name in enumerate(trace.containers)
+    }
+
+    ref_hists, ref_cold = reference_histograms(trace, distances)
+    assert analytic.cold_misses() == ref_cold
+    for name in analytic.containers:
+        assert analytic.histogram(name) == ref_hists[name], name
+
+    for capacity in CAPACITIES:
+        model = CacheModel(LINE, capacity)
+        assert analytic.miss_counts(capacity) == per_container_misses_array(
+            trace, distances, model
+        )
+        if per_element:
+            for name in analytic.containers:
+                assert analytic.per_element_misses(
+                    name, capacity
+                ) == per_element_misses_array(trace, distances, model, name), name
+    return analytic
+
+
+class TestExampleApps:
+    """All four paper applications, at enumeration-feasible sizes."""
+
+    def test_hdiff(self):
+        analytic = assert_engine_exact(hdiff.build_sdfg(), {"I": 4, "J": 4, "K": 3})
+        assert analytic.complete
+
+    def test_conv(self):
+        assert_engine_exact(
+            conv.build_conv(),
+            {"Cout": 2, "Cin": 2, "H": 7, "W": 7, "KY": 3, "KX": 3},
+        )
+
+    def test_linalg_outer_product(self):
+        assert_engine_exact(linalg.build_outer_product(), {"M": 6, "N": 6})
+
+    def test_linalg_matmul(self):
+        assert_engine_exact(linalg.build_matmul(), {"I": 4, "J": 4, "K": 4})
+
+    def test_bert_multi_region_stitching(self):
+        """bert decomposes into dozens of regions; the cross-region
+        composition must resolve region-first accesses exactly."""
+        analytic = assert_engine_exact(
+            bert.build_sdfg(),
+            {"B": 1, "H": 2, "SM": 4, "EMB": 8, "FF": 8, "P": 4},
+            per_element=False,  # covered per-app above; bert has many arrays
+        )
+        assert analytic.analytic_regions + analytic.fallback_regions > 10
+
+
+class TestFoldEngagement:
+    """Sizes where the closed-form window fold actually fires."""
+
+    HDIFF_FOLD = {"I": 64, "J": 16, "K": 8}
+
+    def test_hdiff_folds_and_stays_exact(self):
+        analytic = assert_engine_exact(hdiff.build_sdfg(), dict(self.HDIFF_FOLD))
+        assert analytic.analytic_regions == 1
+        assert analytic.fallback_regions == 0
+        assert analytic.symbolic is not None
+
+    def test_hdiff_symbolic_metadata(self):
+        analytic = analyze_locality(hdiff.build_sdfg(), dict(self.HDIFF_FOLD))
+        symbolic = analytic.symbolic
+        assert symbolic.outer_param == "i"
+        assert symbolic.valid_from <= self.HDIFF_FOLD["I"]
+        assert set(symbolic.total) == set(analytic.containers)
+        assert set(symbolic.cold) == set(analytic.containers)
+
+    def test_synthetic_stencil_folds(self):
+        sdfg = stencil_1d(600)
+        analytic = assert_engine_exact(sdfg, {})
+        assert analytic.analytic_regions == 1
+
+    def test_declined_fold_falls_back_exactly(self):
+        # matmul's inner extents make the fold uneconomic; the engine
+        # must decline and enumerate, still exact.
+        analytic = assert_engine_exact(
+            linalg.build_matmul(), {"I": 32, "J": 8, "K": 8}
+        )
+        assert analytic.analytic_regions == 0
+        assert analytic.fallback_regions >= 1
+
+
+def stencil_1d(n):
+    """A 1-D three-point stencil with a large outer extent — the shape
+    of nest the window fold is designed for.  Array sizes are rounded up
+    to whole cache lines so the two allocations do not share a line
+    (shared lines merge containers into one sweep group whose diameter
+    exceeds the window cap, correctly declining the fold)."""
+    size = ((n + 3 + 7) // 8) * 8  # 8 float64 per 64-byte line
+    sdfg = SDFG("stencil1d")
+    sdfg.add_array("A", [size], dtypes.float64)
+    sdfg.add_array("B", [size], dtypes.float64)
+    state = sdfg.add_state("main")
+    state.add_mapped_tasklet(
+        "stencil",
+        {"i": f"0:{n}"},
+        inputs={"a": Memlet("A", "i:i+3")},
+        code="out = a",
+        outputs={"out": Memlet("B", "i")},
+    )
+    return sdfg
+
+
+def nonaffine_sdfg():
+    sdfg = SDFG("nonaffine")
+    sdfg.add_array("A", [64, 64], dtypes.float64)
+    sdfg.add_array("B", [64, 64], dtypes.float64)
+    state = sdfg.add_state("main")
+    state.add_mapped_tasklet(
+        "compute",
+        {"i": "0:6", "j": "0:4"},
+        inputs={"a": Memlet("A", "i*i, j")},
+        code="out = a",
+        outputs={"out": Memlet("B", "i, j")},
+    )
+    return sdfg
+
+
+class TestFallbacks:
+    """Non-affine and interpreter-path regions fall back per-region to
+    exact enumeration, stitched into the same products."""
+
+    def test_nonaffine_subset_falls_back(self):
+        sdfg = nonaffine_sdfg()
+        analytic = analyze_locality(sdfg, {})
+        assert analytic.analytic_regions == 0
+        assert analytic.fallback_regions == 1
+
+        result = simulate_state(sdfg, {})
+        memory = MemoryModel(sdfg, {}, line_size=LINE)
+        assert analytic.total_events == result.num_events
+        for capacity in CAPACITIES:
+            model = CacheModel(LINE, capacity)
+            assert analytic.miss_counts(capacity) == per_container_misses(
+                result.events, memory, model
+            )
+            for name in analytic.containers:
+                assert analytic.per_element_misses(
+                    name, capacity
+                ) == per_element_misses(result.events, memory, model, name)
+
+    def test_mixed_affine_nonaffine_stitching(self):
+        """Two sequential maps — one affine, one not — share containers;
+        cross-region reuse must survive the per-region fallback."""
+        sdfg = SDFG("mixed")
+        sdfg.add_array("A", [64, 64], dtypes.float64)
+        sdfg.add_array("B", [64, 64], dtypes.float64)
+        sdfg.add_array("C", [64, 64], dtypes.float64)
+        state = sdfg.add_state("main")
+        state.add_mapped_tasklet(
+            "affine",
+            {"i": "0:6", "j": "0:4"},
+            inputs={"a": Memlet("A", "i, j")},
+            code="out = a",
+            outputs={"out": Memlet("B", "i, j")},
+        )
+        state.add_mapped_tasklet(
+            "squares",
+            {"i": "0:6", "j": "0:4"},
+            inputs={"b": Memlet("B", "i*i, j")},
+            code="out = b",
+            outputs={"out": Memlet("C", "i, j")},
+        )
+        analytic = analyze_locality(sdfg, {})
+        assert analytic.fallback_regions >= 1
+
+        result = simulate_state(sdfg, {})
+        memory = MemoryModel(sdfg, {}, line_size=LINE)
+        for capacity in CAPACITIES:
+            model = CacheModel(LINE, capacity)
+            assert analytic.miss_counts(capacity) == per_container_misses(
+                result.events, memory, model
+            )
+
+    def test_cross_region_reuse_is_not_double_cold(self):
+        """A container touched by two regions is cold only once per line."""
+        sdfg = SDFG("tworegions")
+        sdfg.add_array("A", [32], dtypes.float64)
+        sdfg.add_array("B", [32], dtypes.float64)
+        sdfg.add_array("C", [32], dtypes.float64)
+        state = sdfg.add_state("main")
+        state.add_mapped_tasklet(
+            "first",
+            {"i": "0:32"},
+            inputs={"a": Memlet("A", "i")},
+            code="out = a",
+            outputs={"out": Memlet("B", "i")},
+        )
+        state.add_mapped_tasklet(
+            "second",
+            {"i": "0:32"},
+            inputs={"a": Memlet("A", "i")},
+            code="out = a",
+            outputs={"out": Memlet("C", "i")},
+        )
+        analytic = analyze_locality(sdfg, {})
+        assert analytic.fallback_regions == 2
+        # 32 float64 elements = 4 cache lines; the second region's reads
+        # of A reuse lines that are already resident, not cold.
+        assert analytic.cold_misses()["A"] == 4
+        trace, distances = enumeration_reference(sdfg, {})
+        ref_hists, ref_cold = reference_histograms(trace, distances)
+        assert analytic.cold_misses() == ref_cold
+        for name in analytic.containers:
+            assert analytic.histogram(name) == ref_hists[name]
+
+
+class TestProductionScaleSmoke:
+    """The engine's reason to exist: local views where enumeration is
+    intractable.  Kept small enough for CI while still exercising the
+    folded path end to end at a size with >10^5 events."""
+
+    def test_folded_large_extent_consistency(self):
+        sizes = {"I": 512, "J": 16, "K": 8}
+        analytic = analyze_locality(hdiff.build_sdfg(), sizes)
+        assert analytic.analytic_regions == 1
+        counts = analytic.miss_counts(512)
+        totals = analytic.events_per_container
+        assert analytic.total_events == sum(totals.values())
+        for name, mc in counts.items():
+            assert mc.hits + mc.cold + mc.capacity == totals[name], name
+            assert mc.hits >= 0 and mc.cold > 0
+        # Cold misses are bounded by the container footprint in lines.
+        hist_events = {
+            name: sum(analytic.histogram(name).values()) for name in counts
+        }
+        for name in counts:
+            assert hist_events[name] + analytic.cold_misses()[name] == totals[name]

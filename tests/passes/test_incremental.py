@@ -19,11 +19,17 @@ from repro.transforms import (
 )
 
 LOCAL_CHAIN = (
+    "local.analytic",
+    "local.classify",
+    "local.physmove",
+)
+
+#: The enumeration chain the analytic engine short-circuits: with the
+#: analytic product available, these passes never execute.
+ENUMERATION_CHAIN = (
     "local.trace",
     "local.layout",
     "local.stackdist",
-    "local.classify",
-    "local.physmove",
 )
 
 #: app name -> (builder, small sizes, the same sizes with one symbol rebound,
@@ -69,7 +75,9 @@ def app_case(name):
 
 
 def chain_runs(session):
-    return {p: session.pipeline.runs(p) for p in LOCAL_CHAIN}
+    return {
+        p: session.pipeline.runs(p) for p in LOCAL_CHAIN + ENUMERATION_CHAIN
+    }
 
 
 def query_local(session, sizes):
@@ -106,6 +114,10 @@ class TestIncrementalCounters:
         after = chain_runs(session)
         for product in LOCAL_CHAIN:
             assert after[product] == before[product] + 1, product
+        # The analytic engine served classification, so the enumeration
+        # chain never ran at all — at either size.
+        for product in ENUMERATION_CHAIN:
+            assert after[product] == 0, product
         # The symbolic movement expressions do not depend on the symbol
         # values: only the evaluation pass re-ran.
         assert session.pipeline.runs("global.movement") == 1
@@ -122,7 +134,9 @@ class TestIncrementalCounters:
         lv.physical_movement()
 
         after = chain_runs(session)
-        for product in ("local.trace", "local.layout", "local.stackdist"):
+        # Capacity is not a key component of the analytic product (it
+        # carries full histograms), nor of the enumeration chain.
+        for product in ("local.analytic",) + ENUMERATION_CHAIN:
             assert after[product] == before[product], product
         for product in ("local.classify", "local.physmove"):
             assert after[product] == before[product] + 1, product
@@ -138,10 +152,12 @@ class TestIncrementalCounters:
         query_local(session, sizes)
 
         after = chain_runs(session)
-        # The access *trace* is keyed by logical descriptors only: which
-        # elements the program touches is independent of strides.
-        assert after["local.trace"] == before["local.trace"]
-        for product in ("local.layout", "local.stackdist", "local.classify"):
+        # The enumeration chain stays dormant: the analytic product is
+        # keyed by physical descriptors (strides changed → it re-runs)
+        # and keeps serving classification.
+        for product in ENUMERATION_CHAIN:
+            assert after[product] == 0, product
+        for product in ("local.analytic", "local.classify"):
             assert after[product] == before[product] + 1, product
 
     def test_incremental_equals_cold_pipeline(self, app):
