@@ -1,0 +1,205 @@
+"""Load-test harness of the analysis service; writes ``BENCH_serve.json``.
+
+Boots an in-process :class:`~repro.serve.app.AnalysisServer` over the
+hdiff case study and measures, over real sockets:
+
+- **cold vs warm latency** of the local view (first evaluation pays the
+  pipeline; revalidations and repeats are served from the store);
+- **concurrent bursts** of 1, 8 and 32 clients issuing the identical
+  request, recording wall time, the coalescing hit rate, and — the
+  contract the coalescer exists for — that one burst costs exactly one
+  pipeline evaluation;
+- **ETag revalidation** latency (304s never touch the pipeline).
+
+Exit code 0 when the service meets its targets (warm p50 ≤ 50 ms, one
+evaluation per identical burst), 1 otherwise.  Run with::
+
+    PYTHONPATH=src python benchmarks/serve_bench.py
+"""
+
+import http.client
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.hdiff import LOCAL_VIEW_SIZES, hdiff_program  # noqa: E402
+from repro.serve.app import AnalysisServer  # noqa: E402
+from repro.tool.session import Session  # noqa: E402
+
+WARM_P50_TARGET_SECONDS = 0.050
+BURST_SIZES = (1, 8, 32)
+WARM_SAMPLES = 30
+
+VIEW_PATH = "/v1/local/view?" + "&".join(
+    f"{name}={value}" for name, value in sorted(LOCAL_VIEW_SIZES.items())
+) + "&capacity=4"
+
+
+def fetch(port: int, path: str, headers: dict | None = None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        start = time.perf_counter()
+        conn.request("GET", path, headers=headers or {})
+        resp = conn.getresponse()
+        body = resp.read()
+        elapsed = time.perf_counter() - start
+        return resp.status, dict(resp.getheaders()), body, elapsed
+    finally:
+        conn.close()
+
+
+def burst(port: int, path: str, clients: int) -> dict:
+    """*clients* concurrent identical requests; returns latency stats."""
+    results: list[tuple[int, float]] = []
+    lock = threading.Lock()
+    go = threading.Barrier(clients)
+
+    def client() -> None:
+        go.wait(timeout=30)
+        status, _, _, elapsed = fetch(port, path)
+        with lock:
+            results.append((status, elapsed))
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    wall = time.perf_counter() - start
+    latencies = sorted(elapsed for _, elapsed in results)
+    return {
+        "clients": clients,
+        "ok": sum(1 for status, _ in results if status == 200),
+        "wall_seconds": wall,
+        "p50_seconds": statistics.median(latencies),
+        "max_seconds": latencies[-1],
+    }
+
+
+def counters(port: int) -> dict:
+    _, _, body, _ = fetch(port, "/v1/metrics")
+    return json.loads(body)["counters"]
+
+
+def main() -> int:
+    session = Session(hdiff_program)
+    server = AnalysisServer(session, port=0, workers=2).start_background()
+    report: dict = {"program": "hdiff", "view": VIEW_PATH}
+    failures: list[str] = []
+    try:
+        # -- cold request: pays the full pipeline ---------------------------
+        status, headers, _, cold = fetch(server.port, VIEW_PATH)
+        assert status == 200, f"cold request failed: {status}"
+        etag = headers["ETag"]
+        report["cold_seconds"] = cold
+
+        # -- warm repeats: served from the content-addressed store ----------
+        warm = [fetch(server.port, VIEW_PATH)[3] for _ in range(WARM_SAMPLES)]
+        warm.sort()
+        report["warm"] = {
+            "samples": WARM_SAMPLES,
+            "p50_seconds": statistics.median(warm),
+            "p95_seconds": warm[int(0.95 * (WARM_SAMPLES - 1))],
+            "target_p50_seconds": WARM_P50_TARGET_SECONDS,
+        }
+        if report["warm"]["p50_seconds"] > WARM_P50_TARGET_SECONDS:
+            failures.append(
+                f"warm p50 {report['warm']['p50_seconds'] * 1e3:.1f}ms exceeds "
+                f"{WARM_P50_TARGET_SECONDS * 1e3:.0f}ms target"
+            )
+
+        # -- ETag revalidation: 304 without touching the pipeline -----------
+        revalidations = [
+            fetch(server.port, VIEW_PATH, {"If-None-Match": etag})
+            for _ in range(10)
+        ]
+        assert all(status == 304 for status, _, _, _ in revalidations)
+        report["revalidate_304_p50_seconds"] = statistics.median(
+            sorted(elapsed for _, _, _, elapsed in revalidations)
+        )
+
+        # -- identical-request bursts on a *fresh* parameter point ----------
+        # Each burst uses its own point so the first client of the burst
+        # is a genuine cold evaluation that the rest must coalesce onto.
+        report["bursts"] = []
+        for index, clients in enumerate(BURST_SIZES):
+            path = (
+                f"/v1/local/view?I=6&J=6&K={index + 2}&capacity=4"
+            )
+            before = counters(server.port)
+            result = burst(server.port, path, clients)
+            after = counters(server.port)
+            runs = after.get("pass.local.point.runs", 0) - before.get(
+                "pass.local.point.runs", 0
+            )
+            joined = after.get("serve.coalesce.joined", 0) - before.get(
+                "serve.coalesce.joined", 0
+            )
+            led = after.get("serve.coalesce.led", 0) - before.get(
+                "serve.coalesce.led", 0
+            )
+            result.update(
+                {
+                    "pipeline_runs": runs,
+                    "coalesce_led": led,
+                    "coalesce_joined": joined,
+                    "coalesce_hit_rate": joined / clients if clients else 0.0,
+                }
+            )
+            report["bursts"].append(result)
+            if result["ok"] != clients:
+                failures.append(
+                    f"burst of {clients}: only {result['ok']} succeeded"
+                )
+            if runs != 1:
+                failures.append(
+                    f"burst of {clients}: {runs} pipeline evaluations "
+                    "(expected exactly 1)"
+                )
+
+        report["counters"] = {
+            name: value
+            for name, value in counters(server.port).items()
+            if name.startswith(("serve.", "pass.local.point."))
+        }
+    finally:
+        server.stop()
+
+    report["ok"] = not failures
+    report["failures"] = failures
+    out = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"cold local view:        {report['cold_seconds'] * 1e3:8.1f} ms")
+    print(
+        f"warm local view p50:    {report['warm']['p50_seconds'] * 1e3:8.1f} ms"
+        f"  (target {WARM_P50_TARGET_SECONDS * 1e3:.0f} ms)"
+    )
+    print(
+        "etag revalidation p50:  "
+        f"{report['revalidate_304_p50_seconds'] * 1e3:8.1f} ms"
+    )
+    for row in report["bursts"]:
+        print(
+            f"burst x{row['clients']:<3} wall {row['wall_seconds'] * 1e3:7.1f} ms"
+            f"  p50 {row['p50_seconds'] * 1e3:7.1f} ms"
+            f"  evaluations {row['pipeline_runs']}"
+            f"  coalesce hit rate {row['coalesce_hit_rate']:.2f}"
+        )
+    print(f"wrote {out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("serve benchmark targets met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

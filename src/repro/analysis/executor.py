@@ -122,17 +122,33 @@ class _PoolUnavailable(Exception):
 
 
 class CancelToken:
-    """Thread-safe cooperative cancellation flag for a running sweep."""
+    """Thread-safe cooperative cancellation flag for a running sweep.
+
+    An optional *reason* travels with the cancellation and ends up in
+    the :class:`SweepPointError` records of the abandoned points, so
+    downstream reporting can distinguish e.g. a user abort from a
+    dropped client connection (the analysis service cancels with
+    ``"client disconnected"``).
+    """
 
     def __init__(self) -> None:
         self._event = threading.Event()
+        self.reason: str | None = None
 
-    def cancel(self) -> None:
+    def cancel(self, reason: str | None = None) -> None:
+        if reason is not None and not self._event.is_set():
+            self.reason = reason
         self._event.set()
 
     @property
     def cancelled(self) -> bool:
         return self._event.is_set()
+
+    def message(self) -> str:
+        """The record message for points abandoned by this token."""
+        if self.reason is None:
+            return "sweep cancelled"
+        return f"sweep cancelled: {self.reason}"
 
     def __repr__(self) -> str:
         return f"CancelToken(cancelled={self.cancelled})"
@@ -526,7 +542,7 @@ class SweepExecutor:
                 ]
                 for j in remaining:
                     outcomes[j] = SweepPointError(
-                        grid[j], "cancelled", None, "sweep cancelled", 0
+                        grid[j], "cancelled", None, cancel.message(), 0
                     )
                 self._count("sweep.cancelled", len(remaining))
                 break
@@ -697,7 +713,7 @@ class SweepExecutor:
                         finish(
                             index,
                             SweepPointError(
-                                grid[index], "cancelled", None, "sweep cancelled",
+                                grid[index], "cancelled", None, cancel.message(),
                                 attempts[index],
                             ),
                         )

@@ -277,6 +277,29 @@ class LocalSweepPoint:
     def total_moved_bytes(self) -> int:
         return sum(self.moved_bytes.values())
 
+    def to_dict(self) -> dict:
+        """JSON-ready summary (the analysis service's response payload)."""
+        containers = {}
+        for name in sorted(set(self.misses) | set(self.moved_bytes)):
+            counts = self.misses.get(name)
+            entry = {
+                "hits": 0 if counts is None else counts.hits,
+                "cold": 0 if counts is None else counts.cold,
+                "capacity": 0 if counts is None else counts.capacity,
+                "conflict": 0 if counts is None else counts.conflict,
+                "misses": 0 if counts is None else counts.misses,
+                "moved_bytes": int(self.moved_bytes.get(name, 0)),
+            }
+            containers[name] = entry
+        return {
+            "params": dict(self.params),
+            "total_accesses": int(self.total_accesses),
+            "total_misses": int(self.total_misses),
+            "total_moved_bytes": int(self.total_moved_bytes),
+            "seconds": float(self.seconds),
+            "containers": containers,
+        }
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, LocalSweepPoint):
             return NotImplemented

@@ -1,0 +1,15 @@
+"""The concurrent analysis service (``repro serve``).
+
+Serves one long-lived :class:`~repro.tool.session.Session` to many
+concurrent HTTP clients, with in-flight coalescing of identical requests
+on content-addressed pipeline keys, ETag revalidation derived from the
+same keys, and cooperative cancellation wired to client disconnects.
+See :mod:`repro.serve.app` for the endpoint surface and DESIGN.md §14
+for the architecture discussion.
+"""
+
+from repro.serve.app import AnalysisServer
+from repro.serve.coalesce import Coalescer
+from repro.serve.http import HttpError, Request, Response
+
+__all__ = ["AnalysisServer", "Coalescer", "HttpError", "Request", "Response"]

@@ -1,0 +1,596 @@
+"""The concurrent analysis service: ``repro serve`` behind the HTTP layer.
+
+One :class:`AnalysisServer` owns one long-lived
+:class:`~repro.tool.session.Session` and exposes its products over HTTP:
+
+====================  =========================================================
+``GET /``             service index (endpoints, program name)
+``GET /v1/healthz``   liveness probe
+``GET /v1/metrics``   the session's full metrics registry + cache info as JSON
+``GET /v1/global/heatmap``  global movement heatmap (SVG, or JSON values)
+``GET /v1/local/view``      one local-view parameter point (JSON products)
+``POST /v1/sweep``    parameter-grid sweep streamed as NDJSON progress events
+====================  =========================================================
+
+Design notes (see DESIGN.md §14 for the full discussion):
+
+- **Coalescing** — identical concurrent requests share one evaluation.
+  The join key is the *content-addressed pipeline key* of the requested
+  product, so coalescing is exact: same graph content + same parameters
+  + same cache model means the same key, anything else differs.
+- **ETag** — derived from the same pipeline key, which is computable
+  *without* evaluating anything.  A client revalidating with
+  ``If-None-Match`` gets its 304 before the server touches the pipeline.
+- **Cancellation** — a disconnected client cancels its handler task; the
+  coalescer reference-counts waiters and fires the shared
+  :class:`~repro.analysis.executor.CancelToken` only when the last
+  waiter is gone, so one impatient client never kills work others need.
+- **Threading** — the event loop never runs analyses; CPU-bound work is
+  dispatched to a worker-thread pool and serialized on a session lock
+  (the session's pipeline and caches are not thread-safe).  Coalescing
+  does the heavy lifting for concurrency: the common interactive load —
+  many clients viewing the same analysis — costs one evaluation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Awaitable, Callable, Mapping
+
+from repro.analysis.executor import CancelToken, SweepPointError
+from repro.errors import ReproError
+from repro.serve.coalesce import Coalescer
+from repro.serve.http import (
+    Connection,
+    HttpError,
+    Request,
+    Response,
+    json_response,
+    read_request,
+)
+from repro.tool.session import Session
+from repro.version import __version__
+
+__all__ = ["AnalysisServer"]
+
+_CACHE_PARAMS = ("line_size", "capacity", "transients", "fast")
+
+
+def _etag(key: Any) -> str:
+    """A strong ETag from a content-addressed pipeline key."""
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+    return f'"{digest[:32]}"'
+
+
+def _parse_symbols(query: Mapping[str, str]) -> dict[str, int]:
+    """Symbol assignments from query parameters (everything not reserved)."""
+    reserved = set(_CACHE_PARAMS) | {"format", "method", "data"}
+    out: dict[str, int] = {}
+    for name, value in query.items():
+        if name in reserved:
+            continue
+        try:
+            out[name] = int(value)
+        except ValueError:
+            raise HttpError(
+                400, f"query parameter {name}={value!r} is not an integer"
+            ) from None
+    if not out:
+        raise HttpError(400, "no symbol assignments in query (e.g. ?I=8&J=8&K=5)")
+    return out
+
+
+def _parse_cache_model(query: Mapping[str, str]) -> tuple[int, int]:
+    try:
+        line_size = int(query.get("line_size", "64"))
+        capacity = int(query.get("capacity", "512"))
+    except ValueError as exc:
+        raise HttpError(400, f"bad cache-model parameter: {exc}") from None
+    if line_size <= 0 or capacity <= 0:
+        raise HttpError(400, "line_size and capacity must be positive")
+    return line_size, capacity
+
+
+class AnalysisServer:
+    """Serve one session's analysis products to many concurrent clients."""
+
+    def __init__(
+        self,
+        session: Session,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+    ):
+        self.session = session
+        self.host = host
+        self.port = port
+        self.workers = max(1, int(workers))
+        self.metrics = session.metrics
+        self.tracer = session.tracer
+        self._coalescer = Coalescer(self.metrics)
+        #: The session (pipeline, stores, caches) is not thread-safe;
+        #: every evaluation holds this lock.  Coalescing — not pool
+        #: parallelism — is what makes N identical clients cheap.
+        self._session_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        #: Per-(line_size, capacity) base contexts sharing the graph
+        #: fingerprints: a warm request must not re-hash the (unchanged)
+        #: SDFG.  Keyed by configuration because ``adopt_components`` is
+        #: only valid between same-configuration contexts.
+        self._bases: dict[tuple[int, int], Any] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._routes: dict[tuple[str, str], Callable[..., Awaitable[None]]] = {
+            ("GET", "/"): self._handle_index,
+            ("GET", "/v1/healthz"): self._handle_healthz,
+            ("GET", "/v1/metrics"): self._handle_metrics,
+            ("GET", "/v1/global/heatmap"): self._handle_global_heatmap,
+            ("GET", "/v1/local/view"): self._handle_local_view,
+            ("POST", "/v1/sweep"): self._handle_sweep,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections on the running loop."""
+        self._loop = asyncio.get_running_loop()
+        self._loop.set_default_executor(self._pool)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    def start_background(self) -> "AnalysisServer":
+        """Run the server on a dedicated thread (tests, benchmarks).
+
+        Blocks until the port is bound; :attr:`port` is then the real
+        port even when constructed with ``port=0``.
+        """
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if failure:
+            raise failure[0]
+        return self
+
+    def stop(self) -> None:
+        """Stop a background server and join its loop thread."""
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+
+        async def shutdown() -> None:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            loop.stop()
+
+        asyncio.run_coroutine_threadsafe(shutdown(), loop)
+        thread.join(timeout=10)
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._thread = None
+
+    # -- connection handling --------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = Connection(reader, writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while not conn.is_closing():
+                try:
+                    request = await read_request(conn)
+                except HttpError as exc:
+                    await conn.send(
+                        json_response({"error": str(exc)}, exc.status),
+                        keep_alive=False,
+                    )
+                    break
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    OSError,
+                ):
+                    break
+                if request is None:
+                    break
+                keep_alive = await self._dispatch(conn, request)
+                if not keep_alive:
+                    break
+        except asyncio.CancelledError:
+            # Server shutdown.  Swallowing is correct here: this is a
+            # top-level task (spawned by start_server), and re-raising
+            # only makes asyncio's connection callback log the
+            # CancelledError as an unhandled error.
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            await conn.close()
+
+    async def _dispatch(self, conn: Connection, request: Request) -> bool:
+        """Route one request.  Returns whether to keep the connection."""
+        endpoint = request.path.strip("/").replace("/", ".") or "index"
+        self.metrics.counter(f"serve.{endpoint}.requests").inc()
+        start = time.perf_counter()
+        try:
+            handler = self._routes.get((request.method, request.path))
+            if handler is None:
+                if any(path == request.path for _, path in self._routes):
+                    raise HttpError(405, f"method {request.method} not allowed")
+                raise HttpError(404, f"no such endpoint: {request.path}")
+            return await handler(conn, request)
+        except HttpError as exc:
+            await conn.send(
+                json_response({"error": str(exc)}, exc.status),
+                keep_alive=request.keep_alive,
+            )
+            return request.keep_alive
+        except asyncio.CancelledError:
+            raise
+        except ReproError as exc:
+            await conn.send(
+                json_response({"error": str(exc)}, 422),
+                keep_alive=request.keep_alive,
+            )
+            return request.keep_alive
+        except (ConnectionError, OSError):
+            return False
+        except Exception as exc:  # noqa: BLE001 - fault barrier per request
+            self.metrics.counter("serve.errors").inc()
+            await conn.send(
+                json_response(
+                    {"error": f"internal error: {type(exc).__name__}: {exc}"}, 500
+                ),
+                keep_alive=False,
+            )
+            return False
+        finally:
+            elapsed = time.perf_counter() - start
+            self.metrics.histogram(f"serve.{endpoint}.seconds").observe(elapsed)
+            # record() instead of a ``with span():`` around the await —
+            # interleaved coroutines share the loop thread's span stack,
+            # so an open span across an await point would adopt unrelated
+            # requests as children.
+            self.tracer.record(f"serve:{endpoint}", elapsed)
+
+    # -- evaluation plumbing ---------------------------------------------------
+    def _point_context(self, params, line_size, capacity):
+        config = (line_size, capacity)
+        base = self._bases.get(config)
+        ctx = self.session.point_context(
+            params, line_size=line_size, capacity_lines=capacity, base=base
+        )
+        if base is None:
+            donor = next(iter(self._bases.values()), None)
+            if donor is not None:
+                # Cross-config graph-fingerprint sharing: pin this
+                # config's own components first so the donor's values
+                # (different line/capacity) can never leak in through
+                # adopt_components' setdefault.
+                for name in ("scope", "sim", "line", "capacity"):
+                    ctx.component(name)
+                ctx.adopt_components(donor)
+            self._bases[config] = ctx
+        return ctx
+
+    async def _coalesced(
+        self,
+        conn: Connection,
+        request: Request,
+        key: Any,
+        compute: Callable[[CancelToken], Any],
+    ) -> Response | None:
+        """ETag check, then coalesced evaluation with disconnect watch.
+
+        Returns the response to send, or ``None`` when the client
+        disconnected (nothing to send, connection is dead).
+        """
+        etag = _etag(key)
+        if request.header("if-none-match") == etag:
+            self.metrics.counter("serve.etag_304").inc()
+            return Response(304, headers={"ETag": etag})
+        fetch = asyncio.ensure_future(self._coalescer.fetch(key, compute))
+        watch = asyncio.ensure_future(conn.wait_disconnect())
+        done, _ = await asyncio.wait(
+            {fetch, watch}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if fetch not in done and watch in done and watch.result():
+            # Peer hung up while we were computing: cancel our waiter
+            # slot (the coalescer fires the token if we were the last).
+            self.metrics.counter("serve.disconnects").inc()
+            fetch.cancel()
+            try:
+                await fetch
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            return None
+        if not watch.done():
+            # Await the cancellation: the watcher sits in ``reader.read``
+            # and the next request parse must not overlap with it.
+            watch.cancel()
+            try:
+                await watch
+            except asyncio.CancelledError:
+                pass
+        response = await fetch
+        response.headers["ETag"] = etag
+        return response
+
+    # -- endpoints -------------------------------------------------------------
+    async def _handle_index(self, conn: Connection, request: Request) -> bool:
+        payload = {
+            "service": "repro-serve",
+            "version": __version__,
+            "program": self.session.sdfg.name,
+            "endpoints": sorted(
+                f"{method} {path}" for method, path in self._routes
+            ),
+        }
+        await conn.send(json_response(payload), keep_alive=request.keep_alive)
+        return request.keep_alive
+
+    async def _handle_healthz(self, conn: Connection, request: Request) -> bool:
+        payload = {
+            "status": "ok",
+            "program": self.session.sdfg.name,
+            "inflight": self._coalescer.inflight,
+        }
+        await conn.send(json_response(payload), keep_alive=request.keep_alive)
+        return request.keep_alive
+
+    async def _handle_metrics(self, conn: Connection, request: Request) -> bool:
+        payload = self.metrics.to_dict()
+        payload["simulation_cache"] = self.session.cache_info()
+        await conn.send(json_response(payload), keep_alive=request.keep_alive)
+        return request.keep_alive
+
+    async def _handle_global_heatmap(
+        self, conn: Connection, request: Request
+    ) -> bool:
+        env = _parse_symbols(request.query)
+        fmt = request.query.get("format", "svg")
+        method = request.query.get("method", "mean")
+        if fmt not in ("svg", "json"):
+            raise HttpError(400, f"unknown format {fmt!r} (svg or json)")
+        # ``global.totals`` keys on graph content, not env, so the env
+        # rides alongside in the ETag/coalescing tuple.
+        ctx = self._point_context(env, 64, 512)
+        key = (
+            "global.heatmap",
+            tuple(sorted(env.items())),
+            method,
+            fmt,
+            self.session.product_key("global.totals", ctx),
+        )
+
+        def compute(cancel: CancelToken) -> Response:
+            with self._session_lock:
+                gv = self.session.global_view()
+                if fmt == "svg":
+                    svg = gv.render(env=env, edge_overlay="movement", method=method)
+                    return Response(
+                        200, svg.encode("utf-8"), "image/svg+xml"
+                    )
+                heatmap = gv.movement_heatmap(env, method=method)
+                edges = [
+                    {
+                        "index": index,
+                        "src": edge.src.label,
+                        "dst": edge.dst.label,
+                        "data": (
+                            edge.data.memlet.data
+                            if edge.data is not None and edge.data.memlet is not None
+                            else None
+                        ),
+                        "bytes": value,
+                    }
+                    for index, (edge, value) in enumerate(heatmap.values.items())
+                ]
+                payload = {
+                    "params": env,
+                    "method": method,
+                    "total_movement_bytes": gv.total_movement(env),
+                    "total_ops": gv.total_ops(env),
+                    "edges": edges,
+                }
+                return json_response(payload)
+
+        response = await self._coalesced(conn, request, key, compute)
+        if response is None:
+            return False
+        await conn.send(response, keep_alive=request.keep_alive)
+        return request.keep_alive
+
+    async def _handle_local_view(
+        self, conn: Connection, request: Request
+    ) -> bool:
+        params = _parse_symbols(request.query)
+        line_size, capacity = _parse_cache_model(request.query)
+        ctx = self._point_context(params, line_size, capacity)
+        key = self.session.product_key("local.point", ctx)
+
+        def compute(cancel: CancelToken) -> Response:
+            with self._session_lock:
+                run = self.session.sweep(
+                    [params],
+                    line_size=line_size,
+                    capacity_lines=capacity,
+                    on_error="record",
+                    cancel=cancel,
+                )
+            outcome = run.outcomes[0]
+            if isinstance(outcome, SweepPointError):
+                return json_response(
+                    {
+                        "error": outcome.message,
+                        "kind": outcome.kind,
+                        "params": dict(outcome.params),
+                    },
+                    status=422,
+                )
+            payload = outcome.to_dict()
+            payload["cache_model"] = {
+                "line_size": line_size,
+                "capacity_lines": capacity,
+            }
+            return json_response(payload)
+
+        response = await self._coalesced(conn, request, key, compute)
+        if response is None:
+            return False
+        await conn.send(response, keep_alive=request.keep_alive)
+        return request.keep_alive
+
+    async def _handle_sweep(self, conn: Connection, request: Request) -> bool:
+        body = request.json()
+        if not isinstance(body, dict) or "grid" not in body:
+            raise HttpError(400, 'sweep body must be {"grid": {...}, ...}')
+        grid = body["grid"]
+        try:
+            if isinstance(grid, dict):
+                grid = {
+                    str(name): [int(v) for v in values]
+                    for name, values in grid.items()
+                }
+                if not grid or not all(grid.values()):
+                    raise HttpError(400, "grid axes must be non-empty lists")
+                points = 1
+                for values in grid.values():
+                    points *= len(values)
+            elif isinstance(grid, list):
+                grid = [
+                    {str(name): int(v) for name, v in point.items()}
+                    for point in grid
+                ]
+                points = len(grid)
+            else:
+                raise HttpError(400, "grid must be an axes object or a point list")
+        except (TypeError, ValueError, AttributeError):
+            raise HttpError(400, "grid values must be integers") from None
+        if points == 0:
+            raise HttpError(400, "grid expands to zero points")
+        if points > 10_000:
+            raise HttpError(422, f"grid expands to {points} points (max 10000)")
+        line_size = int(body.get("line_size", 64))
+        capacity = int(body.get("capacity", 512))
+        if line_size <= 0 or capacity <= 0:
+            raise HttpError(400, "line_size and capacity must be positive")
+
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        token = CancelToken()
+        _END = object()
+
+        def on_result(index: int, outcome: Any) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, (index, outcome))
+
+        def run_sweep() -> Any:
+            try:
+                with self._session_lock:
+                    with self.tracer.span("serve:sweep.run"):
+                        return self.session.sweep(
+                            grid,
+                            line_size=line_size,
+                            capacity_lines=capacity,
+                            on_error="record",
+                            cancel=token,
+                            on_result=on_result,
+                        )
+            finally:
+                loop.call_soon_threadsafe(queue.put_nowait, _END)
+
+        start = time.perf_counter()
+        sweep_task = asyncio.ensure_future(
+            loop.run_in_executor(None, run_sweep)
+        )
+        await conn.send_stream_head()
+        streamed = 0
+        try:
+            await conn.send_stream_line(
+                {"event": "start", "program": self.session.sdfg.name}
+            )
+            while True:
+                item = await queue.get()
+                if item is _END:
+                    break
+                index, outcome = item
+                if isinstance(outcome, SweepPointError):
+                    event = {
+                        "event": "point",
+                        "index": index,
+                        "params": dict(outcome.params),
+                        "status": "failed",
+                        "kind": outcome.kind,
+                        "error": outcome.message,
+                    }
+                else:
+                    event = {
+                        "event": "point",
+                        "index": index,
+                        "status": "ok",
+                        **outcome.to_dict(),
+                    }
+                await conn.send_stream_line(event)
+                streamed += 1
+            run = await sweep_task
+            await conn.send_stream_line(
+                {
+                    "event": "end",
+                    "points": len(run),
+                    "failed": len(run.errors),
+                    "seconds": time.perf_counter() - start,
+                }
+            )
+        except (ConnectionError, OSError):
+            # Client dropped mid-stream: stop the sweep cooperatively.
+            self.metrics.counter("serve.disconnects").inc()
+            token.cancel("sweep client disconnected")
+            await asyncio.wait({sweep_task})
+        except asyncio.CancelledError:
+            token.cancel("server shutting down")
+            raise
+        finally:
+            if not sweep_task.done():
+                await asyncio.wait({sweep_task})
+        return False  # close-delimited stream

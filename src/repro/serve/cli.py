@@ -1,0 +1,89 @@
+"""``repro serve MODULE`` — boot the concurrent analysis service.
+
+Usage::
+
+    repro serve path/to/module.py --port 8080 --cache-dir .repro-cache
+
+The module is imported, the named ``@repro.program`` function (or the
+only one) becomes the served program, and the HTTP endpoints of
+:class:`~repro.serve.app.AnalysisServer` come up on the requested port.
+With ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) the pass store persists,
+so a service restart over an unchanged program serves warm results
+immediately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.errors import ReproError
+from repro.serve.app import AnalysisServer
+from repro.tool.session import Session
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Concurrent data-movement analysis service",
+    )
+    parser.add_argument("module", help="Python file containing @repro.program functions")
+    parser.add_argument("--function", help="program name (default: the only one)")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="TCP port (0 picks a free one)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads evaluating analyses off the event loop",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist analysis results to this directory (default: "
+        "$REPRO_CACHE_DIR if set, else memory-only)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        # Reuse the report generator's loader so program discovery and
+        # its error messages are identical across both front ends.
+        from repro.tool.cli import _load_program
+
+        program = _load_program(args.module, args.function)
+        session = Session(program, cache_dir=args.cache_dir)
+        server = AnalysisServer(
+            session, host=args.host, port=args.port, workers=args.workers
+        )
+
+        async def run() -> None:
+            await server.start()
+            print(
+                f"serving {session.sdfg.name!r} on "
+                f"http://{server.host}:{server.port}/ "
+                f"({server.workers} workers)",
+                flush=True,
+            )
+            await server.serve_forever()
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""In-flight request coalescing keyed by content-addressed pipeline keys.
+
+When N clients ask for the same analysis product concurrently, only the
+first — the *leader* — pays for the evaluation; the rest join its
+future.  The join key is the pipeline's content-addressed key, so "the
+same" means *bit-identical inputs*, not merely the same URL.
+
+Cancellation is reference-counted: every joined client that disconnects
+decrements the waiter count, and only when the **last** waiter is gone
+does the shared :class:`~repro.analysis.executor.CancelToken` fire.  A
+single impatient client can never cancel work that other clients are
+still waiting on.
+
+All bookkeeping is event-loop-confined (mutated only from coroutines on
+the owning loop), so no locks are needed; the compute callable itself
+runs on a worker-thread pool via :meth:`loop.run_in_executor`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Hashable
+
+from repro.analysis.executor import CancelToken
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Coalescer"]
+
+
+class _Entry:
+    __slots__ = ("future", "waiters", "token")
+
+    def __init__(self, future: asyncio.Future, token: CancelToken):
+        self.future = future
+        self.token = token
+        self.waiters = 1
+
+
+class Coalescer:
+    """Deduplicate concurrent identical computations on an event loop."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self._inflight: dict[Hashable, _Entry] = {}
+        self._metrics = metrics or MetricsRegistry()
+
+    @property
+    def inflight(self) -> int:
+        """Number of distinct computations currently in flight."""
+        return len(self._inflight)
+
+    async def fetch(
+        self,
+        key: Hashable,
+        compute: Callable[[CancelToken], Any],
+    ) -> Any:
+        """Return ``compute(token)``, sharing work with identical requests.
+
+        *compute* is a synchronous callable executed on the event loop's
+        default thread-pool executor; it receives the shared
+        :class:`CancelToken` and should poll it at natural yield points.
+        If this coroutine is cancelled (client disconnect), the waiter
+        count drops; the token fires only when no waiters remain.
+        """
+        loop = asyncio.get_running_loop()
+        entry = self._inflight.get(key)
+        if entry is not None:
+            entry.waiters += 1
+            self._metrics.counter("serve.coalesce.joined").inc()
+            return await self._await_entry(key, entry)
+        token = CancelToken()
+        entry = _Entry(loop.create_future(), token)
+        self._inflight[key] = entry
+        self._metrics.counter("serve.coalesce.led").inc()
+        task = loop.run_in_executor(None, compute, token)
+        task = asyncio.ensure_future(task)
+        task.add_done_callback(lambda t: self._finish(key, entry, t))
+        return await self._await_entry(key, entry)
+
+    def _finish(self, key: Hashable, entry: _Entry, task: asyncio.Task) -> None:
+        # Runs on the loop when the pool thread hands back its result.
+        self._inflight.pop(key, None)
+        if entry.future.done():  # pragma: no cover - all waiters bailed first
+            task.exception()
+            return
+        exc = task.exception()
+        if exc is not None:
+            entry.future.set_exception(exc)
+            # Mark retrieved: abandoned futures with unread exceptions
+            # spam "exception was never retrieved" warnings at GC time.
+            entry.future.exception()
+        else:
+            entry.future.set_result(task.result())
+
+    async def _await_entry(self, key: Hashable, entry: _Entry) -> Any:
+        try:
+            # shield(): a disconnecting client must not cancel the shared
+            # future out from under the other waiters.
+            return await asyncio.shield(entry.future)
+        except asyncio.CancelledError:
+            entry.waiters -= 1
+            if entry.waiters <= 0 and not entry.future.done():
+                entry.token.cancel("every waiting client disconnected")
+                # Drop the entry so a late identical request starts fresh
+                # instead of joining doomed work.
+                if self._inflight.get(key) is entry:
+                    del self._inflight[key]
+                self._metrics.counter("serve.coalesce.cancelled").inc()
+            raise

@@ -1,0 +1,273 @@
+"""A minimal asyncio HTTP/1.1 layer — just enough for the analysis service.
+
+No third-party dependency and no framework: requests are parsed straight
+off an :class:`asyncio.StreamReader`, responses are written to the peer
+:class:`asyncio.StreamWriter`.  Supported surface:
+
+- request line + headers + ``Content-Length`` bodies (no chunked request
+  bodies, no multipart);
+- keep-alive connections (HTTP/1.1 default; ``Connection: close``
+  honored);
+- fixed-length responses with ``Content-Length``, and *streamed*
+  responses (NDJSON progress events) delimited by connection close;
+- a connection wrapper with a one-byte *pushback* buffer so a
+  disconnect watcher can peek at the socket between requests without
+  eating the first byte of a pipelined follow-up request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Mapping
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Connection",
+    "HttpError",
+    "Request",
+    "Response",
+    "json_response",
+    "read_request",
+]
+
+#: Hard limits keeping a misbehaving client from ballooning memory.
+MAX_REQUEST_LINE = 16 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    204: "No Content",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    422: "Unprocessable Entity",
+    499: "Client Closed Request",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ReproError):
+    """A malformed or unserviceable request; carries the response status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "target", "path", "query", "version", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        version: str,
+        headers: dict[str, str],
+        body: bytes,
+    ):
+        self.method = method
+        self.target = target
+        self.version = version
+        self.headers = headers
+        self.body = body
+        split = urlsplit(target)
+        self.path = split.path
+        self.query: dict[str, str] = dict(parse_qsl(split.query))
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = (self.header("connection") or "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> Any:
+        """The request body parsed as JSON (400 on syntax errors)."""
+        if not self.body:
+            raise HttpError(400, "request body is empty (expected JSON)")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"Request({self.method} {self.target})"
+
+
+class Response:
+    """A fixed-length response: status, headers, body bytes."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(
+        self,
+        status: int,
+        body: bytes = b"",
+        content_type: str | None = None,
+        headers: Mapping[str, str] | None = None,
+    ):
+        self.status = int(status)
+        self.body = body
+        self.headers: dict[str, str] = dict(headers or {})
+        if content_type is not None:
+            self.headers["Content-Type"] = content_type
+
+    def serialize(self, *, keep_alive: bool) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(self.body)))
+        headers["Connection"] = "keep-alive" if keep_alive else "close"
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+def json_response(
+    payload: Any,
+    status: int = 200,
+    headers: Mapping[str, str] | None = None,
+) -> Response:
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    return Response(status, body, "application/json", headers)
+
+
+class Connection:
+    """A client connection with a pushback buffer over the stream reader.
+
+    The pushback buffer makes :meth:`wait_disconnect` safe: watching for
+    a dropped client means reading from the socket, and a byte that
+    arrives instead of EOF belongs to the *next* pipelined request — it
+    is stashed and consumed by the next :meth:`readline` /
+    :meth:`readexactly` call.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self._pushback = bytearray()
+
+    async def readline(self, limit: int = MAX_REQUEST_LINE) -> bytes:
+        if b"\n" in self._pushback:
+            index = self._pushback.index(b"\n") + 1
+            line = bytes(self._pushback[:index])
+            del self._pushback[:index]
+            return line
+        line = bytes(self._pushback) + await self.reader.readline()
+        self._pushback.clear()
+        if len(line) > limit:
+            raise HttpError(400, "request line or header too long")
+        return line
+
+    async def readexactly(self, n: int) -> bytes:
+        take = min(n, len(self._pushback))
+        head = bytes(self._pushback[:take])
+        del self._pushback[:take]
+        if take == n:
+            return head
+        return head + await self.reader.readexactly(n - take)
+
+    async def wait_disconnect(self) -> bool:
+        """Block until the peer closes (True) or sends data (False).
+
+        Data is pushed back for the next request parse, so watching for
+        a disconnect never corrupts the HTTP stream.
+        """
+        try:
+            data = await self.reader.read(1)
+        except (ConnectionError, OSError):
+            return True
+        if data:
+            self._pushback += data
+            return False
+        return True
+
+    def is_closing(self) -> bool:
+        return self.writer.is_closing()
+
+    async def send(self, response: Response, *, keep_alive: bool) -> None:
+        self.writer.write(response.serialize(keep_alive=keep_alive))
+        await self.writer.drain()
+
+    async def send_stream_head(
+        self, status: int = 200, content_type: str = "application/x-ndjson"
+    ) -> None:
+        """Start a close-delimited streamed response (no Content-Length)."""
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        self.writer.write(head)
+        await self.writer.drain()
+
+    async def send_stream_line(self, payload: Any) -> None:
+        """One NDJSON event on an open stream."""
+        self.writer.write(
+            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        )
+        await self.writer.drain()
+
+    async def close(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - peer raced us
+            pass
+
+
+async def read_request(conn: Connection) -> Request | None:
+    """Parse one request off *conn*; ``None`` when the peer closed."""
+    line = await conn.readline()
+    if not line:
+        return None
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, f"malformed request line: {line[:80]!r}") from None
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise HttpError(400, f"unsupported HTTP version {version!r}")
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        raw = await conn.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        total += len(raw)
+        if total > MAX_HEADER_BYTES:
+            raise HttpError(400, "request headers too large")
+        text = raw.decode("latin-1").rstrip("\r\n")
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {text[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length!r}") from None
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise HttpError(400, f"unacceptable Content-Length {n}")
+        try:
+            body = await conn.readexactly(n)
+        except asyncio.IncompleteReadError:
+            return None  # peer vanished mid-body
+    return Request(method, target, version, headers, body)

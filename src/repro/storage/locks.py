@@ -10,7 +10,10 @@ gracefully instead of blocking an interactive analysis.
 ``flock`` locks are released by the kernel when the holding process
 dies, so crash recovery needs no stale-lock cleanup.  On platforms
 without :mod:`fcntl` the lock falls back to an ``O_EXCL`` lock file
-(best-effort; a crashed holder is detected by lock-file age).
+(best-effort; a crashed holder is detected by lock-file age).  The two
+modes interoperate on one lockfile: ``flock`` acquirers refresh the
+file's mtime so an age-based fallback waiter never mistakes a *held*
+``flock`` lock for an abandoned marker.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from __future__ import annotations
 import os
 import time
 from pathlib import Path
+from typing import Callable
 
 from repro.errors import LockTimeout
 
@@ -29,7 +33,9 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 __all__ = ["FileLock"]
 
 #: Age in seconds after which an ``O_EXCL`` fallback lock file left by a
-#: crashed process is considered stale and broken.  Unused on POSIX.
+#: crashed process is considered stale and broken.  ``flock`` acquirers
+#: refresh the file's mtime so held locks never reach this age at
+#: acquisition time.
 _STALE_LOCKFILE_SECONDS = 30.0
 
 
@@ -46,6 +52,11 @@ class FileLock:
     only cooperating processes (other :class:`FileLock` users) observe
     it.  Not reentrant.
     """
+
+    #: Test hook: called between the age check and the identity
+    #: re-verification in :meth:`_break_stale` so races with a live
+    #: holder can be exercised deterministically.  ``None`` outside tests.
+    _break_stale_window: Callable[[], None] | None = None
 
     def __init__(self, path: str | os.PathLike, timeout: float = 5.0, poll: float = 0.01):
         self.path = Path(path)
@@ -66,6 +77,19 @@ class FileLock:
             while True:
                 try:
                     fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    # Refresh the lockfile's mtime: the flock path never
+                    # unlinks on release, so without this an aged (but
+                    # *held*) lockfile would look abandoned to an O_EXCL
+                    # fallback process (e.g. a container without flock),
+                    # which would break the lock and enter the critical
+                    # section alongside the flock holder.
+                    try:
+                        os.utime(fd)
+                    except OSError:  # pragma: no cover - fd utime unsupported
+                        try:
+                            os.utime(self.path)
+                        except OSError:
+                            pass
                     self._fd = fd
                     return self
                 except OSError:
@@ -92,10 +116,39 @@ class FileLock:
                 time.sleep(self.poll)
 
     def _break_stale(self) -> None:
-        """Remove an ``O_EXCL`` marker abandoned by a crashed process."""
+        """Remove an ``O_EXCL`` marker abandoned by a crashed process.
+
+        Breaking is two-phased to close a TOCTOU hole: between observing
+        a stale marker and unlinking it, the stale holder can release
+        the lock and *another* process can legitimately re-create the
+        marker — a naive unlink would then delete a fresh lock and let
+        two processes into the critical section.  So after the age
+        check, the marker is re-opened and its identity (device, inode)
+        and mtime are verified against the initial ``stat``; any
+        mismatch means the file changed hands and must not be touched.
+        """
         try:
-            if time.time() - self.path.stat().st_mtime > _STALE_LOCKFILE_SECONDS:
-                self.path.unlink(missing_ok=True)
+            before = self.path.stat()
+            if time.time() - before.st_mtime <= _STALE_LOCKFILE_SECONDS:
+                return
+            if self._break_stale_window is not None:
+                self._break_stale_window()
+            # Re-verify identity on an open fd: a released-and-recreated
+            # marker has a new inode (and a fresh mtime); a refreshed one
+            # keeps its inode but moves its mtime.  Either way it is a
+            # live lock and must survive.
+            fd = os.open(self.path, os.O_RDONLY)
+            try:
+                after = os.fstat(fd)
+            finally:
+                os.close(fd)
+            if (
+                after.st_dev != before.st_dev
+                or after.st_ino != before.st_ino
+                or after.st_mtime != before.st_mtime
+            ):
+                return
+            self.path.unlink(missing_ok=True)
         except OSError:
             pass  # the holder released it concurrently; retry the open
 

@@ -10,6 +10,14 @@ The module is imported, the named ``@repro.program`` function (or the only
 one, when unambiguous) is analyzed, and a report containing the global
 view, per-container access heatmaps and physical-movement estimates is
 written.
+
+``repro-view serve MODULE`` instead starts the long-lived concurrent
+analysis service (see :mod:`repro.serve`), exposing the same products
+over HTTP.
+
+Exit codes: ``0`` on success, ``1`` on a usage or analysis error, and
+``3`` when the report was written but one or more ``--sweep`` points
+failed (partial results).
 """
 
 from __future__ import annotations
@@ -162,8 +170,22 @@ def _load_program(path: str, function: str | None) -> Program:
     return next(iter(programs.values()))
 
 
+#: Exit code when the report was produced but sweep points failed.
+EXIT_SWEEP_FAILURES = 3
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # ``repro-view serve MODULE ...`` — the long-lived analysis
+        # service (kept out of build_parser so the report-generator
+        # interface is unchanged).
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
+    sweep_failures = 0
     try:
         program = _load_program(args.module, args.function)
         env = _parse_env(args.params)
@@ -263,14 +285,20 @@ def main(argv: list[str] | None = None) -> int:
             if args.workers:
                 caption += f", {args.workers} workers"
             if run.errors:
-                caption += f", {len(run.errors)} failed"
+                sweep_failures = len(run.errors)
+                caption += f", {sweep_failures} failed"
                 print(
-                    f"warning: {len(run.errors)} of {len(run)} sweep points "
+                    f"warning: {sweep_failures} of {len(run)} sweep points "
                     f"failed (first: {run.errors[0].params}: "
                     f"{run.errors[0].message})",
                     file=sys.stderr,
                 )
             report.add_heading("Parametric sweep")
+            if run.errors:
+                report.add_paragraph(
+                    f"{sweep_failures} of {len(run)} sweep points failed — "
+                    "see the rows marked 'failed' below."
+                )
             report.add_table(
                 ["parameters", "accesses", "cold", "capacity", "est. moved bytes"],
                 rows,
@@ -299,6 +327,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.metrics_out:
             session.export_metrics(args.metrics_out)
             print(f"metrics written to {args.metrics_out}")
+        if sweep_failures:
+            # A partially-failed sweep must not render as success: the
+            # report lists the failures, and the process exit code lets
+            # scripts and CI detect them.
+            print(
+                f"error: {sweep_failures} sweep point(s) failed; "
+                "the report contains partial results",
+                file=sys.stderr,
+            )
+            return EXIT_SWEEP_FAILURES
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

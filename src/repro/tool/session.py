@@ -317,6 +317,48 @@ class Session:
             pipeline=self.pipeline,
         )
 
+    def point_context(
+        self,
+        params: Mapping[str, int],
+        line_size: int = 64,
+        capacity_lines: int = 512,
+        include_transients: bool = False,
+        fast: bool = True,
+        base: PassContext | None = None,
+    ) -> PassContext:
+        """A whole-program :class:`~repro.passes.base.PassContext` for one
+        parameter point, suitable for :meth:`product_key` and
+        :meth:`~repro.passes.pipeline.Pipeline.run`.
+
+        Passing a previous context as *base* shares its already-computed
+        graph fingerprints (valid while the SDFG is unchanged — the
+        long-lived analysis service reuses one base per configuration so
+        a warm request never re-hashes the graph).
+        """
+        ctx = PassContext(
+            self.sdfg,
+            state=None,
+            env=params,
+            line_size=line_size,
+            capacity_lines=capacity_lines,
+            include_transients=include_transients,
+            fast=fast,
+            scope=self._cache_scope(),
+            timings=self.tracer,
+            metrics=self.metrics,
+        )
+        if base is not None:
+            ctx.adopt_components(base)
+        return ctx
+
+    def product_key(self, product: str, ctx: PassContext) -> tuple:
+        """The content-addressed pipeline key of *product* under *ctx*.
+
+        Computable without running any pass — the analysis service
+        derives HTTP ``ETag`` values and request-coalescing keys from it.
+        """
+        return self.pipeline.key(product, ctx)
+
     def sweep(
         self,
         params_grid: Mapping[str, Iterable[int]] | Sequence[Mapping[str, int]],
@@ -331,6 +373,7 @@ class Session:
         cancel: CancelToken | None = None,
         adaptive: bool = True,
         batch: int | None = None,
+        on_result: Callable[[int, Any], None] | None = None,
     ) -> list[LocalSweepPoint] | SweepRun:
         """Run the local-view locality pipeline over a parameter grid.
 
@@ -367,6 +410,11 @@ class Session:
         *batch* sets how many points one worker task evaluates
         (``None`` auto-chunks large grids, ``1`` forces per-point
         tasks); see :class:`~repro.analysis.executor.SweepExecutor`.
+
+        *on_result* is called as ``on_result(index, outcome)`` — with
+        *index* in grid order — as each point finishes, including points
+        served from the session or disk cache.  The analysis service
+        streams sweep progress events from this hook.
         """
         if on_error not in ("raise", "record"):
             raise ReproError(
@@ -428,6 +476,8 @@ class Session:
                     missing.append(index)
                 else:
                     out[index] = point
+                    if on_result is not None:
+                        on_result(index, point)
             self.metrics.counter("sweep.cache_hits").inc(len(grid) - len(missing))
             if missing:
                 pool_workers = (
@@ -460,6 +510,13 @@ class Session:
                     adaptive=adaptive,
                     batch=batch,
                 )
+                forward = None
+                if on_result is not None:
+                    # Executor indices address the missing-points subgrid;
+                    # remap them to full-grid order for the caller.
+                    forward = lambda sub, outcome: on_result(  # noqa: E731
+                        missing[sub], outcome
+                    )
                 with maybe_span(self.tracer, "fanout"):
                     run = executor.run(
                         self.sdfg,
@@ -469,6 +526,7 @@ class Session:
                         include_transients=include_transients,
                         fast=fast,
                         cancel=cancel,
+                        on_result=forward,
                     )
                 with maybe_span(self.tracer, "merge"):
                     for index, outcome in zip(missing, run.outcomes):

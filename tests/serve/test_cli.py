@@ -1,0 +1,46 @@
+"""Tests of the ``repro serve`` command line and its dispatch."""
+
+from repro.serve.cli import build_parser
+from repro.serve.cli import main as serve_main
+from repro.tool.cli import main as cli_main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["prog.py"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.workers == 2
+        assert args.cache_dir is None
+        assert args.function is None
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["prog.py", "--function", "f", "--port", "0",
+             "--workers", "4", "--cache-dir", "/tmp/c"]
+        )
+        assert args.port == 0
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/c"
+
+
+class TestErrors:
+    def test_missing_module_fails_cleanly(self, tmp_path, capsys):
+        rc = serve_main([str(tmp_path / "nope.py")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_module_without_programs(self, tmp_path, capsys):
+        module = tmp_path / "empty.py"
+        module.write_text("x = 1\n")
+        rc = serve_main([str(module)])
+        assert rc == 1
+        assert "no @repro.program" in capsys.readouterr().err
+
+
+class TestDispatch:
+    def test_repro_view_serve_routes_to_serve_cli(self, tmp_path, capsys):
+        """``repro-view serve MODULE`` reaches the serve front end."""
+        rc = cli_main(["serve", str(tmp_path / "nope.py")])
+        assert rc == 1
+        assert "no such file" in capsys.readouterr().err

@@ -1,0 +1,167 @@
+"""Unit tests of the in-flight coalescer: sharing, errors, cancellation."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.coalesce import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSharing:
+    def test_identical_keys_share_one_computation(self):
+        metrics = MetricsRegistry()
+        coalescer = Coalescer(metrics)
+        calls = []
+        release = threading.Event()
+
+        def compute(cancel):
+            calls.append(1)
+            release.wait(5)
+            return "product"
+
+        async def go():
+            first = asyncio.ensure_future(coalescer.fetch("k", compute))
+            # Let the leader register its entry before the joiners arrive.
+            await asyncio.sleep(0.05)
+            others = [
+                asyncio.ensure_future(coalescer.fetch("k", compute))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0.05)
+            release.set()
+            return await asyncio.gather(first, *others)
+
+        results = run(go())
+        assert results == ["product"] * 5
+        assert len(calls) == 1
+        assert metrics.counter("serve.coalesce.led").value == 1
+        assert metrics.counter("serve.coalesce.joined").value == 4
+
+    def test_distinct_keys_do_not_share(self):
+        coalescer = Coalescer()
+        calls = []
+
+        async def go():
+            return await asyncio.gather(
+                coalescer.fetch("a", lambda c: calls.append("a") or "ra"),
+                coalescer.fetch("b", lambda c: calls.append("b") or "rb"),
+            )
+
+        assert run(go()) == ["ra", "rb"]
+        assert sorted(calls) == ["a", "b"]
+
+    def test_sequential_fetches_recompute(self):
+        """Coalescing is in-flight only — not a result cache."""
+        coalescer = Coalescer()
+        calls = []
+
+        async def go():
+            await coalescer.fetch("k", lambda c: calls.append(1))
+            await coalescer.fetch("k", lambda c: calls.append(1))
+
+        run(go())
+        assert len(calls) == 2
+        assert coalescer.inflight == 0
+
+    def test_errors_propagate_to_every_waiter(self):
+        coalescer = Coalescer()
+        release = threading.Event()
+
+        def compute(cancel):
+            release.wait(5)
+            raise ValueError("boom")
+
+        async def go():
+            tasks = [
+                asyncio.ensure_future(coalescer.fetch("k", compute))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0.05)
+            release.set()
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = run(go())
+        assert all(isinstance(r, ValueError) for r in results)
+        assert coalescer.inflight == 0
+
+
+class TestCancellation:
+    def test_last_waiter_cancels_the_token(self):
+        metrics = MetricsRegistry()
+        coalescer = Coalescer(metrics)
+        seen_tokens = []
+        release = threading.Event()
+
+        def compute(cancel):
+            seen_tokens.append(cancel)
+            release.wait(5)
+            return "late"
+
+        async def go():
+            task = asyncio.ensure_future(coalescer.fetch("k", compute))
+            await asyncio.sleep(0.05)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            release.set()
+            await asyncio.sleep(0.05)
+
+        run(go())
+        assert seen_tokens[0].cancelled
+        assert "disconnected" in seen_tokens[0].message()
+        assert metrics.counter("serve.coalesce.cancelled").value == 1
+        assert coalescer.inflight == 0
+
+    def test_one_waiter_leaving_does_not_cancel_the_rest(self):
+        coalescer = Coalescer()
+        release = threading.Event()
+        tokens = []
+
+        def compute(cancel):
+            tokens.append(cancel)
+            release.wait(5)
+            return "kept"
+
+        async def go():
+            leader = asyncio.ensure_future(coalescer.fetch("k", compute))
+            await asyncio.sleep(0.05)
+            joiner = asyncio.ensure_future(coalescer.fetch("k", compute))
+            await asyncio.sleep(0.05)
+            joiner.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await joiner
+            assert not tokens[0].cancelled
+            release.set()
+            return await leader
+
+        assert run(go()) == "kept"
+
+    def test_fresh_request_after_cancellation_starts_over(self):
+        coalescer = Coalescer()
+        release = threading.Event()
+        calls = []
+
+        def slow(cancel):
+            calls.append("slow")
+            release.wait(5)
+            return "slow"
+
+        async def go():
+            task = asyncio.ensure_future(coalescer.fetch("k", slow))
+            await asyncio.sleep(0.05)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            # The doomed entry is gone: a new request leads fresh.
+            fresh = await coalescer.fetch("k", lambda c: calls.append("fresh") or "f")
+            release.set()
+            return fresh
+
+        assert run(go()) == "f"
+        assert calls == ["slow", "fresh"]

@@ -1,0 +1,158 @@
+"""Unit tests of the stdlib HTTP layer: parsing, pushback, responses."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    Connection,
+    HttpError,
+    Request,
+    Response,
+    json_response,
+    read_request,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class _FakeWriter:
+    def __init__(self):
+        self.data = bytearray()
+        self._closing = False
+
+    def write(self, data):
+        self.data += data
+
+    async def drain(self):
+        pass
+
+    def is_closing(self):
+        return self._closing
+
+    def close(self):
+        self._closing = True
+
+    async def wait_closed(self):
+        pass
+
+
+def make_conn(payload: bytes) -> Connection:
+    reader = asyncio.StreamReader()
+    reader.feed_data(payload)
+    reader.feed_eof()
+    return Connection(reader, _FakeWriter())
+
+
+class TestRequestParsing:
+    def test_get_with_query(self):
+        async def go():
+            conn = make_conn(
+                b"GET /v1/local/view?I=8&J=8 HTTP/1.1\r\n"
+                b"Host: x\r\nAccept: */*\r\n\r\n"
+            )
+            return await read_request(conn)
+
+        request = run(go())
+        assert request.method == "GET"
+        assert request.path == "/v1/local/view"
+        assert request.query == {"I": "8", "J": "8"}
+        assert request.header("host") == "x"
+        assert request.keep_alive
+
+    def test_post_with_body(self):
+        body = json.dumps({"grid": {"I": [1, 2]}}).encode()
+
+        async def go():
+            conn = make_conn(
+                b"POST /v1/sweep HTTP/1.1\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            return await read_request(conn)
+
+        request = run(go())
+        assert request.json() == {"grid": {"I": [1, 2]}}
+
+    def test_eof_returns_none(self):
+        async def go():
+            return await read_request(make_conn(b""))
+
+        assert run(go()) is None
+
+    def test_malformed_request_line(self):
+        async def go():
+            return await read_request(make_conn(b"NONSENSE\r\n\r\n"))
+
+        with pytest.raises(HttpError) as err:
+            run(go())
+        assert err.value.status == 400
+
+    def test_bad_content_length(self):
+        async def go():
+            return await read_request(
+                make_conn(b"POST / HTTP/1.1\r\nContent-Length: zap\r\n\r\n")
+            )
+
+        with pytest.raises(HttpError):
+            run(go())
+
+    def test_connection_close_header(self):
+        async def go():
+            conn = make_conn(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            return await read_request(conn)
+
+        assert not run(go()).keep_alive
+
+    def test_bad_json_body_is_400(self):
+        request = Request("POST", "/x", "HTTP/1.1", {}, b"{nope")
+        with pytest.raises(HttpError) as err:
+            request.json()
+        assert err.value.status == 400
+
+
+class TestPushback:
+    def test_disconnect_watch_pushes_data_back(self):
+        """A byte read by the disconnect watcher must feed the next parse."""
+
+        async def go():
+            conn = make_conn(b"GET /v1/healthz HTTP/1.1\r\n\r\n")
+            dropped = await conn.wait_disconnect()
+            assert not dropped  # data arrived, not EOF
+            return await read_request(conn)
+
+        request = run(go())
+        assert request.path == "/v1/healthz"
+
+    def test_eof_is_disconnect(self):
+        async def go():
+            return await make_conn(b"").wait_disconnect()
+
+        assert run(go()) is True
+
+    def test_pushback_feeds_body_reads(self):
+        async def go():
+            conn = make_conn(b"AB")
+            await conn.wait_disconnect()  # stashes one byte
+            return await conn.readexactly(2)
+
+        assert run(go()) == b"AB"
+
+
+class TestResponses:
+    def test_serialize_sets_content_length(self):
+        wire = Response(200, b"hello", "text/plain").serialize(keep_alive=True)
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Content-Length: 5" in head
+        assert b"Connection: keep-alive" in head
+        assert body == b"hello"
+
+    def test_json_response_round_trips(self):
+        response = json_response({"a": 1}, status=422)
+        assert response.status == 422
+        assert json.loads(response.body) == {"a": 1}
+        assert response.headers["Content-Type"] == "application/json"

@@ -1,0 +1,159 @@
+"""Regression tests for two :class:`FileLock` concurrency bugs.
+
+1. TOCTOU in ``_break_stale``: between ``stat()`` and ``unlink()`` the
+   stale marker can be released and re-created by a live holder; the
+   waiter must not delete the *fresh* lock (two processes would then
+   both enter the critical section).
+2. ``release()`` asymmetry: the ``fcntl`` path never unlinks the
+   lockfile, so its mtime ages toward the staleness threshold and a
+   later ``O_EXCL``-fallback process mis-classifies a *held* flock lock
+   as abandoned.  Acquire now refreshes the mtime.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import LockTimeout
+from repro.storage import locks
+from repro.storage.locks import _STALE_LOCKFILE_SECONDS, FileLock
+
+
+def _age(path, seconds: float = 4 * _STALE_LOCKFILE_SECONDS) -> None:
+    old = time.time() - seconds
+    os.utime(path, (old, old))
+
+
+@pytest.fixture
+def fallback_mode(monkeypatch):
+    """Force the ``O_EXCL`` marker-file path (no :mod:`fcntl`)."""
+    monkeypatch.setattr(locks, "fcntl", None)
+
+
+class TestBreakStaleTOCTOU:
+    def test_recreated_marker_survives_the_break(
+        self, tmp_path, monkeypatch, fallback_mode
+    ):
+        """A marker released and re-created inside the stat→unlink window
+        belongs to a live holder and must not be deleted."""
+        path = tmp_path / "x.lock"
+        path.write_text("crashed holder")
+        _age(path)
+        interleaves = []
+
+        def interleave():
+            # Inside the window: the stale marker is cleaned up elsewhere
+            # and a live holder immediately re-creates it (new inode,
+            # fresh mtime).
+            path.unlink()
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644)
+            os.close(fd)
+            interleaves.append(1)
+
+        monkeypatch.setattr(
+            FileLock, "_break_stale_window", staticmethod(interleave)
+        )
+        waiter = FileLock(path, timeout=0.2, poll=0.01)
+        with pytest.raises(LockTimeout):
+            waiter.acquire()
+        assert interleaves, "the race window was never exercised"
+        assert path.exists(), "the live holder's fresh lock was deleted"
+
+    def test_refreshed_marker_survives_the_break(
+        self, tmp_path, monkeypatch, fallback_mode
+    ):
+        """Same race, but the holder *refreshes* the existing marker
+        (same inode, new mtime) instead of re-creating it."""
+        path = tmp_path / "x.lock"
+        path.write_text("holder")
+        _age(path)
+
+        def interleave():
+            os.utime(path)  # heartbeat from a live holder
+
+        monkeypatch.setattr(
+            FileLock, "_break_stale_window", staticmethod(interleave)
+        )
+        waiter = FileLock(path, timeout=0.2, poll=0.01)
+        with pytest.raises(LockTimeout):
+            waiter.acquire()
+        assert path.exists()
+
+    def test_genuinely_stale_marker_is_still_broken(
+        self, tmp_path, fallback_mode
+    ):
+        """The fix must not disable crash recovery: an abandoned marker
+        with no interleaved activity is broken and the lock acquired."""
+        path = tmp_path / "x.lock"
+        path.write_text("crashed holder")
+        _age(path)
+        lock = FileLock(path, timeout=1.0, poll=0.01)
+        lock.acquire()
+        try:
+            assert lock.held
+        finally:
+            lock.release()
+
+    def test_marker_vanishing_in_window_is_tolerated(
+        self, tmp_path, monkeypatch, fallback_mode
+    ):
+        """A marker unlinked (and not re-created) inside the window makes
+        the re-open fail; the waiter retries and acquires normally."""
+        path = tmp_path / "x.lock"
+        path.write_text("crashed holder")
+        _age(path)
+
+        def interleave():
+            path.unlink(missing_ok=True)
+
+        monkeypatch.setattr(
+            FileLock, "_break_stale_window", staticmethod(interleave)
+        )
+        lock = FileLock(path, timeout=1.0, poll=0.01)
+        lock.acquire()
+        try:
+            assert lock.held
+        finally:
+            lock.release()
+
+
+class TestMixedModeStaleness:
+    def test_flock_acquire_refreshes_mtime(self, tmp_path):
+        """Acquiring over an aged lockfile left by a previous flock
+        release must move its mtime to now."""
+        if locks.fcntl is None:  # pragma: no cover - non-POSIX platforms
+            pytest.skip("flock path requires fcntl")
+        path = tmp_path / "x.lock"
+        path.write_text("")
+        _age(path)
+        with FileLock(path, timeout=0.5):
+            assert time.time() - path.stat().st_mtime < _STALE_LOCKFILE_SECONDS
+
+    def test_fallback_does_not_break_held_flock_lock(
+        self, tmp_path, monkeypatch
+    ):
+        """A held flock lock whose file *predates* the staleness window
+        must not be classified stale by an O_EXCL-fallback waiter."""
+        if locks.fcntl is None:  # pragma: no cover - non-POSIX platforms
+            pytest.skip("flock path requires fcntl")
+        path = tmp_path / "x.lock"
+        # The lockfile survives from an earlier flock session (release
+        # never unlinks on the fcntl path) and has aged past the
+        # threshold.
+        path.write_text("")
+        _age(path)
+        holder = FileLock(path, timeout=0.5)
+        holder.acquire()
+        try:
+            monkeypatch.setattr(locks, "fcntl", None)
+            waiter = FileLock(path, timeout=0.2, poll=0.01)
+            with pytest.raises(LockTimeout):
+                waiter.acquire()
+            assert path.exists(), "the held lock's file was deleted"
+        finally:
+            # Closing the fd drops the flock even if release() takes the
+            # fallback (unlink) branch under the still-active monkeypatch.
+            holder.release()

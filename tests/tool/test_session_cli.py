@@ -9,7 +9,7 @@ from repro.errors import ReproError
 from repro.frontend import pmap, program
 from repro.sdfg.dtypes import float64
 from repro.tool import Session
-from repro.tool.cli import main as cli_main
+from repro.tool.cli import EXIT_SWEEP_FAILURES, main as cli_main
 from repro.symbolic import symbols
 
 I, J = symbols("I J")
@@ -287,18 +287,75 @@ class TestCLIObservability:
         assert "first run" in captured
         assert "simulation cache:" in captured
 
-    def test_failed_sweep_points_are_reported_not_fatal(self, tmp_path, capsys):
+    def test_failed_sweep_points_are_reported_and_exit_nonzero(
+        self, tmp_path, capsys
+    ):
         # Sweeping only I leaves J unassigned at every point: each point
         # fails deterministically, the report records the failures and
-        # the command still succeeds with a warning.
+        # the command exits non-zero so scripts cannot mistake the
+        # partial report for success.
         module = self.write_module(tmp_path)
         out = tmp_path / "report.html"
         rc = cli_main([
             str(module), "--sweep", "I=3,4", "-o", str(out),
         ])
-        assert rc == 0
+        assert rc == EXIT_SWEEP_FAILURES
         text = out.read_text()
         assert "failed (error)" in text
         assert "2 failed" in text
         err = capsys.readouterr().err
         assert "warning: 2 of 2 sweep points failed" in err
+        assert "2 sweep point(s) failed" in err
+
+
+class TestCLISweepFailureExit:
+    """A partially-failed sweep must list the failures and exit non-zero."""
+
+    FAILING_SOURCE = '''
+import repro
+from repro.sdfg.dtypes import float64
+from repro.symbolic import symbols
+
+I, J = symbols("I J")
+
+@repro.program
+def fragile(A: float64[I], C: float64[I, J]):
+    for i, j in repro.pmap(I, J):
+        C[i, j] = A[i // (J - 1)]
+'''
+
+    def write_module(self, tmp_path):
+        module = tmp_path / "fragile_prog.py"
+        module.write_text(self.FAILING_SOURCE)
+        return module
+
+    def test_partial_failure_lists_points_and_exits_nonzero(
+        self, tmp_path, capsys
+    ):
+        # J=1 divides an index expression by zero; J=2 and J=3 succeed.
+        module = self.write_module(tmp_path)
+        out = tmp_path / "report.html"
+        rc = cli_main([
+            str(module), "--local", "I=2,J=2",
+            "--sweep", "J=1,2,3", "-o", str(out),
+        ])
+        assert rc == EXIT_SWEEP_FAILURES
+        text = out.read_text()
+        # The failing point is listed in the report, next to the
+        # successful ones.
+        assert "1 of 3 sweep points failed" in text
+        assert "failed (error)" in text
+        assert "3 sweep points, 1 failed" in text
+        err = capsys.readouterr().err
+        assert "warning: 1 of 3 sweep points failed" in err
+        assert "1 sweep point(s) failed" in err
+
+    def test_fully_successful_sweep_still_exits_zero(self, tmp_path):
+        module = self.write_module(tmp_path)
+        out = tmp_path / "report.html"
+        rc = cli_main([
+            str(module), "--local", "I=2,J=2",
+            "--sweep", "J=2,3", "-o", str(out),
+        ])
+        assert rc == 0
+        assert "failed" not in out.read_text()
