@@ -1,0 +1,150 @@
+"""Auto-tuning benchmark; writes ``BENCH_tuning.json``.
+
+Runs the beam search on both case studies and records the economics the
+tuner is built around:
+
+- **variants explored** (scored candidates, duplicates skipped) on the
+  CLOUDSC vertical-loop workload and the hdiff rediscovery scenario;
+- **pass-cache hit rate across candidates** — the share of pass requests
+  served from the content-addressed store while re-scoring variants,
+  measured on the search's own pipeline;
+- **best-found movement reduction** against each baseline, and whether
+  hdiff's search meets the paper's manually tuned permute+reorder
+  variant.
+
+Exit code 0 when the acceptance targets hold (CLOUDSC reduction ≥ 20%,
+hdiff best ≤ manual, non-zero cross-candidate pass hits), 1 otherwise.
+Run with::
+
+    PYTHONPATH=src python benchmarks/tuning_bench.py
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps import cloudsc, hdiff  # noqa: E402
+from repro.tuning import TuningSearch  # noqa: E402
+
+CLOUDSC_REDUCTION_TARGET = 0.20
+HDIFF_MANUAL_BYTES = 177920
+
+ROOFLINE_OUT = Path(__file__).resolve().parent / "artifacts" / "tuning_roofline.svg"
+
+
+def pass_counter_totals(search: TuningSearch) -> dict:
+    counters = search.metrics.to_dict()["counters"]
+    hits = sum(
+        v for k, v in counters.items()
+        if k.startswith("pass.") and k.endswith(".hits")
+    )
+    misses = sum(
+        v for k, v in counters.items()
+        if k.startswith("pass.") and k.endswith(".misses")
+    )
+    total = hits + misses
+    return {
+        "pass_hits": hits,
+        "pass_misses": misses,
+        "hit_rate": round(hits / total, 4) if total else 0.0,
+    }
+
+
+def run_cloudsc() -> tuple[dict, object]:
+    search = TuningSearch(
+        cloudsc.build_sdfg(),
+        cloudsc.LOCAL_VIEW_SIZES,
+        beam=4,
+        depth=2,
+        budget=100,
+        line_size=cloudsc.CACHE["line_size"],
+        capacity_lines=cloudsc.CACHE["capacity_lines"],
+    )
+    result = search.run()
+    report = {
+        "baseline_moved_bytes": result.baseline.score.moved_bytes,
+        "best_moved_bytes": result.best.score.moved_bytes,
+        "movement_reduction": round(result.improvement, 4),
+        "best_sequence": [
+            m.transform for m in result.best.sequence
+        ],
+        "variants_explored": result.evaluated,
+        "duplicates_skipped": result.deduplicated,
+        "rounds": result.rounds,
+        "seconds": round(result.seconds, 3),
+        "stopped": result.stopped,
+        **pass_counter_totals(search),
+    }
+    return report, result
+
+
+def run_hdiff() -> dict:
+    search = TuningSearch(
+        hdiff.build_sdfg(),
+        hdiff.LOCAL_VIEW_SIZES,
+        transforms=[
+            "permute_array_layout", "reorder_map", "pad_strides_to_multiple",
+        ],
+        beam=3,
+        depth=4,
+        budget=200,
+        line_size=hdiff.FIG7_CACHE["line_size"],
+        capacity_lines=hdiff.FIG7_CACHE["capacity_lines"],
+    )
+    result = search.run()
+    return {
+        "baseline_moved_bytes": result.baseline.score.moved_bytes,
+        "best_moved_bytes": result.best.score.moved_bytes,
+        "manual_moved_bytes": HDIFF_MANUAL_BYTES,
+        "beats_manual": (
+            result.best.score.moved_bytes <= HDIFF_MANUAL_BYTES
+        ),
+        "movement_reduction": round(result.improvement, 4),
+        "best_sequence": [m.transform for m in result.best.sequence],
+        "variants_explored": result.evaluated,
+        "duplicates_skipped": result.deduplicated,
+        "rounds": result.rounds,
+        "seconds": round(result.seconds, 3),
+        "stopped": result.stopped,
+        **pass_counter_totals(search),
+    }
+
+
+def main() -> int:
+    cloudsc_report, cloudsc_result = run_cloudsc()
+    hdiff_report = run_hdiff()
+
+    from repro.viz.roofline import render_roofline
+
+    ROOFLINE_OUT.parent.mkdir(parents=True, exist_ok=True)
+    ROOFLINE_OUT.write_text(
+        render_roofline(cloudsc_result.trajectory, title="cloudsc")
+    )
+
+    checks = {
+        "cloudsc_reduction_met": (
+            cloudsc_report["movement_reduction"] >= CLOUDSC_REDUCTION_TARGET
+        ),
+        "hdiff_beats_manual": hdiff_report["beats_manual"],
+        "cross_candidate_pass_hits": (
+            cloudsc_report["pass_hits"] > 0 and hdiff_report["pass_hits"] > 0
+        ),
+    }
+    report = {
+        "benchmark": "tuning",
+        "cloudsc": cloudsc_report,
+        "hdiff": hdiff_report,
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_tuning.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {out}")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

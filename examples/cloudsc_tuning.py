@@ -1,0 +1,101 @@
+"""CLOUDSC vertical-loop auto-tuning walkthrough.
+
+The CLOUDSC microphysics scheme iterates vertical levels (``KLEV``)
+around a parallel block loop (``NBLOCKS``); with the baseline
+``[NBLOCKS, KLEV]`` row-major layout, consecutive iterations of the
+inner block loop stride ``KLEV`` elements apart and every access misses.
+This example closes the paper's interactive loop automatically:
+
+1. build the workload and measure its modeled physical movement;
+2. let the beam search (:meth:`~repro.tool.session.Session.tune`)
+   explore stride changes, loop interchange, layout permutations...;
+3. compare the found variant against the two known manual fixes
+   (``change_strides``, ``move_loop_into_map``);
+4. render the search trajectory as a roofline chart.
+
+Run with::
+
+    PYTHONPATH=src python examples/cloudsc_tuning.py [roofline.svg]
+"""
+
+import sys
+
+from repro.apps import cloudsc
+from repro.tool import Session
+from repro.tuning import TuningSearch
+from repro.viz.roofline import render_roofline
+
+
+def moved_bytes(sdfg) -> int:
+    lv = Session(sdfg).local_view(
+        cloudsc.LOCAL_VIEW_SIZES,
+        line_size=cloudsc.CACHE["line_size"],
+        capacity_lines=cloudsc.CACHE["capacity_lines"],
+    )
+    return sum(lv.physical_movement().values())
+
+
+def main(argv: list[str]) -> int:
+    output = argv[0] if argv else "cloudsc_roofline.svg"
+
+    # 1. Baseline: KLEV-innermost layout under a block-then-level schedule.
+    baseline = moved_bytes(cloudsc.build_sdfg())
+    print(f"baseline:          {baseline} bytes moved "
+          f"at {cloudsc.LOCAL_VIEW_SIZES}")
+
+    # 2. The two manual fixes from the CLOUDSC optimization story.
+    strided = cloudsc.build_sdfg()
+    cloudsc.apply_change_strides(strided)
+    manual_strides = moved_bytes(strided)
+    print(f"change_strides:    {manual_strides} bytes "
+          f"({1 - manual_strides / baseline:.1%} reduction)")
+
+    interchanged = cloudsc.build_sdfg()
+    cloudsc.apply_loop_interchange(interchanged)
+    manual_interchange = moved_bytes(interchanged)
+    print(f"move_loop_into_map: {manual_interchange} bytes "
+          f"({1 - manual_interchange / baseline:.1%} reduction)")
+
+    # 3. The search, with no hints about either fix.
+    search = TuningSearch(
+        cloudsc.build_sdfg(),
+        cloudsc.LOCAL_VIEW_SIZES,
+        beam=4,
+        depth=2,
+        budget=100,
+        line_size=cloudsc.CACHE["line_size"],
+        capacity_lines=cloudsc.CACHE["capacity_lines"],
+    )
+    result = search.run()
+    steps = ", ".join(
+        m.transform for m in result.best.sequence
+    ) or "<baseline>"
+    print(f"tuned ({result.evaluated} variants, {result.seconds:.2f}s): "
+          f"{result.best.score.moved_bytes} bytes "
+          f"({result.improvement:.1%} reduction) via {steps}")
+    print(f"pass-cache hits across candidates: {result.pass_hits}")
+
+    # The beam may settle on either manual fix: both are deep cuts, and a
+    # frontier dominated by move_loop_into_map descendants can crowd out
+    # the four-step stride chain (a restricted `transforms=
+    # ["change_strides"]` search recovers it exactly).
+    if result.improvement < 0.20:
+        print("warning: search fell short of the 20% reduction target",
+              file=sys.stderr)
+        return 1
+    if result.best.score.moved_bytes > max(manual_strides, manual_interchange):
+        print("warning: search did not match either manual fix",
+              file=sys.stderr)
+        return 1
+
+    # 4. The trajectory on the roofline: movement-only transforms shift
+    #    candidates horizontally toward the machine-balance ridge.
+    svg = render_roofline(result.trajectory, title="cloudsc")
+    with open(output, "w", encoding="utf-8") as f:
+        f.write(svg)
+    print(f"roofline written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

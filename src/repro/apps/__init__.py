@@ -11,8 +11,11 @@
   access-pattern and cache-miss figures (Figs. 4 & 5c).
 - :mod:`repro.apps.linalg` — outer product and matrix multiplication
   (Figs. 3, 4c, 5a, 5b).
+- :mod:`repro.apps.cloudsc` — the CLOUDSC vertical-loop extract with
+  blocked ``[NBLOCKS, KLEV]`` fields: the auto-tuner's ``change_strides``
+  / loop-interchange workload.
 """
 
-from repro.apps import bert, conv, hdiff, linalg
+from repro.apps import bert, cloudsc, conv, hdiff, linalg
 
-__all__ = ["bert", "conv", "hdiff", "linalg"]
+__all__ = ["bert", "cloudsc", "conv", "hdiff", "linalg"]

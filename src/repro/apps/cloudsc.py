@@ -1,0 +1,148 @@
+"""CLOUDSC vertical-loop extract — the auto-tuner's blocked-layout workload.
+
+CLOUDSC is the ECMWF IFS cloud microphysics scheme; its dace port is the
+canonical ``change_strides`` success story: the blocked fields are stored
+``[NBLOCKS, KLEV]`` C-contiguously, so the parallel sweep over blocks
+``jn`` jumps ``KLEV`` elements per step — every access starts a new cache
+line.  Relayouting the fields so the block dimension is stride-1 (the
+NBLOCKS-innermost AoS→SoA change) makes the sweep contiguous; moving the
+sequential vertical loop *into* the block map
+(:func:`~repro.transforms.interchange.move_loop_into_map`) reaches the
+same locality from the schedule side.
+
+This module provides a small single-state extract of that structure —
+a sequential vertical loop ``jk`` wrapping a parallel block map ``jn``
+over four blocked fields with one vertical-neighbor access — plus the
+two manual fixes the auto-tuner is expected to rediscover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sdfg.dtypes import float64
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.sdfg import SDFG
+from repro.symbolic import symbols
+from repro.transforms import change_strides_by_extent, find_loop_map_nests, move_loop_into_map
+from repro.transforms.report import TransformReport
+
+__all__ = [
+    "PAPER_SIZES",
+    "LOCAL_VIEW_SIZES",
+    "CACHE",
+    "FIELDS",
+    "build_sdfg",
+    "apply_change_strides",
+    "apply_loop_interchange",
+    "initialize",
+    "cloudsc_numpy_reference",
+]
+
+NBLOCKS, KLEV = symbols("NBLOCKS KLEV")
+
+#: Production-like CLOUDSC scale (137 vertical levels).
+PAPER_SIZES = {"NBLOCKS": 16384, "KLEV": 137}
+#: Scaled-down parameterization for local-view simulation (one KLEV row of
+#: a field is exactly one 64-byte line of doubles).
+LOCAL_VIEW_SIZES = {"NBLOCKS": 16, "KLEV": 8}
+#: Cache model for the tuning experiments: 64-byte lines and a capacity
+#: small enough that the strided baseline sweep cannot hold its working
+#: set, while the relayouted sweep's one-line-per-field set fits.
+CACHE = {"line_size": 64, "capacity_lines": 8}
+
+#: Blocked fields, all ``[NBLOCKS, KLEV]``: temperature, humidity,
+#: detrained condensate (read one level up) and the output flux.
+FIELDS = ("pt", "pq", "plude", "pfplsl")
+
+
+def build_sdfg() -> SDFG:
+    """The vertical-loop extract in its original blocked layout.
+
+    Structure (the dissected CLOUDSC loop nest)::
+
+        MapEntry(vert_loop: jk in 1:KLEV)        # sequential vertical loop
+          MapEntry(block_map: jn in 0:NBLOCKS)   # parallel block sweep
+            microphysics tasklet reading pt/pq at [jn, jk],
+            plude at [jn, jk-1], writing pfplsl[jn, jk]
+
+    All fields are ``[NBLOCKS, KLEV]`` C-contiguous, so the innermost
+    playback dimension ``jn`` strides ``KLEV`` elements — the layout the
+    tuner should fix.
+    """
+    sdfg = SDFG("cloudsc_vert")
+    for name in FIELDS:
+        sdfg.add_array(name, (NBLOCKS, KLEV), float64)
+    state = sdfg.add_state("vert", is_start=True)
+
+    loop_entry, loop_exit = state.add_map("vert_loop", {"jk": "1:KLEV"})
+    blk_entry, blk_exit = state.add_map("block_map", {"jn": "0:NBLOCKS"})
+    tasklet = state.add_tasklet(
+        "microphysics",
+        ["t", "q", "ql_up"],
+        ["flux"],
+        "flux = 0.5 * (t - q) + ql_up",
+    )
+    reads = {
+        "t": Memlet("pt", "jn, jk"),
+        "q": Memlet("pq", "jn, jk"),
+        "ql_up": Memlet("plude", "jn, jk - 1"),
+    }
+    for conn, memlet in reads.items():
+        access = state.add_access(memlet.data)
+        state.add_memlet_path(
+            access, loop_entry, blk_entry, tasklet, memlet=memlet, dst_conn=conn
+        )
+    out = state.add_access("pfplsl")
+    state.add_memlet_path(
+        tasklet, blk_exit, loop_exit, out,
+        memlet=Memlet("pfplsl", "jn, jk"), src_conn="flux",
+    )
+    return sdfg
+
+
+# -- the two manual fixes the tuner should rediscover ------------------------
+
+
+def apply_change_strides(sdfg: SDFG) -> TransformReport:
+    """Relayout every blocked field with the NBLOCKS dimension stride-1.
+
+    The dace-port idiom ``change_strides(sdfg, ('NBLOCKS',), ...)``: one
+    call, every ``[NBLOCKS, KLEV]`` field becomes block-contiguous.
+    Layout-only — memlets and logical analyses are untouched.
+    """
+    return change_strides_by_extent(sdfg, "NBLOCKS")
+
+
+def apply_loop_interchange(sdfg: SDFG) -> TransformReport:
+    """Move the vertical loop inside the block map (schedule-side fix).
+
+    After the interchange one flat scope iterates ``jn`` outermost and
+    ``jk`` innermost, so the playback walks each field's contiguous
+    vertical rows instead of striding across blocks.
+    """
+    for state in sdfg.states():
+        for outer in find_loop_map_nests(state):
+            if outer.map.label == "vert_loop":
+                return move_loop_into_map(state, outer)
+    raise ValueError("no vert_loop/block_map nest found; already interchanged?")
+
+
+# -- executable NumPy reference ----------------------------------------------
+
+
+def initialize(NBLOCKS: int, KLEV: int, seed: int = 42):
+    """Random blocked fields in the original ``[NBLOCKS, KLEV]`` layout."""
+    rng = np.random.default_rng(seed)
+    pt = rng.random((NBLOCKS, KLEV))
+    pq = rng.random((NBLOCKS, KLEV))
+    plude = rng.random((NBLOCKS, KLEV))
+    pfplsl = np.zeros((NBLOCKS, KLEV))
+    return pt, pq, plude, pfplsl
+
+
+def cloudsc_numpy_reference(
+    pt: np.ndarray, pq: np.ndarray, plude: np.ndarray, pfplsl: np.ndarray
+) -> None:
+    """Vectorized reference semantics of the extract (for validation)."""
+    pfplsl[:, 1:] = 0.5 * (pt[:, 1:] - pq[:, 1:]) + plude[:, :-1]

@@ -21,6 +21,7 @@ __all__ = [
     "LockTimeout",
     "SimulationError",
     "TransformError",
+    "TuningError",
     "CodegenError",
     "VisualizationError",
 ]
@@ -94,6 +95,10 @@ class SimulationError(ReproError):
 
 class TransformError(ReproError):
     """A transformation could not be matched or applied."""
+
+
+class TuningError(ReproError):
+    """The auto-tuning search was misconfigured or could not run."""
 
 
 class CodegenError(ReproError):

@@ -19,6 +19,15 @@ pipeline run an inspectable execution record:
 
 Both are owned by :class:`~repro.tool.session.Session` and written by
 the CLI under ``--trace`` / ``--metrics-out``.
+
+The auto-tuning search (:mod:`repro.tuning`) reports through the same
+registry and tracer: ``tune.run`` / ``tune.round`` spans wrap the
+search, counters ``tuning.rounds``, ``tuning.candidates.evaluated`` /
+``.deduplicated`` / ``.failed``, ``tuning.apply_failures`` and the
+``tuning.best_moved_bytes`` gauge record its progress, and the
+per-pass ``pass.<product>.hits`` counters show how much candidate
+re-scoring was served from the incremental pass cache.  Map-fusion
+convergence failures surface as ``transforms.fusion.rounds_capped``.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry

@@ -10,6 +10,7 @@ One :class:`AnalysisServer` owns one long-lived
 ``GET /v1/global/heatmap``  global movement heatmap (SVG, or JSON values)
 ``GET /v1/local/view``      one local-view parameter point (JSON products)
 ``POST /v1/sweep``    parameter-grid sweep streamed as NDJSON progress events
+``POST /v1/tune``     auto-tuning search streamed as NDJSON progress events
 ====================  =========================================================
 
 Design notes (see DESIGN.md §14 for the full discussion):
@@ -135,6 +136,7 @@ class AnalysisServer:
             ("GET", "/v1/global/heatmap"): self._handle_global_heatmap,
             ("GET", "/v1/local/view"): self._handle_local_view,
             ("POST", "/v1/sweep"): self._handle_sweep,
+            ("POST", "/v1/tune"): self._handle_tune,
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -593,4 +595,98 @@ class AnalysisServer:
         finally:
             if not sweep_task.done():
                 await asyncio.wait({sweep_task})
+        return False  # close-delimited stream
+
+    async def _handle_tune(self, conn: Connection, request: Request) -> bool:
+        body = request.json()
+        if not isinstance(body, dict) or "params" not in body:
+            raise HttpError(400, 'tune body must be {"params": {...}, ...}')
+        try:
+            params = {
+                str(name): int(value)
+                for name, value in body["params"].items()
+            }
+        except (TypeError, ValueError, AttributeError):
+            raise HttpError(400, "params must map symbols to integers") from None
+        if not params:
+            raise HttpError(400, "params must assign at least one symbol")
+        transforms = body.get("transforms")
+        if transforms is not None and (
+            not isinstance(transforms, list)
+            or not all(isinstance(t, str) for t in transforms)
+        ):
+            raise HttpError(400, "transforms must be a list of names")
+        try:
+            beam = int(body.get("beam", 6))
+            depth = int(body.get("depth", 4))
+            budget = int(body.get("budget", 128))
+            line_size = int(body.get("line_size", 64))
+            capacity = int(body.get("capacity", 512))
+            timeout = body.get("timeout")
+            timeout = None if timeout is None else float(timeout)
+        except (TypeError, ValueError):
+            raise HttpError(400, "tune settings must be numeric") from None
+        if min(beam, depth, budget) < 1:
+            raise HttpError(400, "beam, depth and budget must be >= 1")
+        if budget > 10_000:
+            raise HttpError(422, f"budget {budget} too large (max 10000)")
+        if line_size <= 0 or capacity <= 0:
+            raise HttpError(400, "line_size and capacity must be positive")
+
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        token = CancelToken()
+        _END = object()
+
+        def on_event(event: dict) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, event)
+
+        def run_tune() -> Any:
+            try:
+                with self._session_lock:
+                    with self.tracer.span("serve:tune.run"):
+                        return self.session.tune(
+                            params,
+                            transforms=transforms,
+                            beam=beam,
+                            depth=depth,
+                            budget=budget,
+                            line_size=line_size,
+                            capacity_lines=capacity,
+                            timeout=timeout,
+                            cancel=token,
+                            on_event=on_event,
+                        )
+            finally:
+                loop.call_soon_threadsafe(queue.put_nowait, _END)
+
+        tune_task = asyncio.ensure_future(loop.run_in_executor(None, run_tune))
+        await conn.send_stream_head()
+        try:
+            while True:
+                item = await queue.get()
+                if item is _END:
+                    break
+                # Search events carry tuples inside descriptors; NDJSON
+                # encodes them as arrays, which is what clients expect.
+                await conn.send_stream_line(item)
+            try:
+                await tune_task
+            except ReproError as exc:
+                # The stream head is already out; deliver the failure as
+                # the final event instead of a late HTTP error.
+                await conn.send_stream_line(
+                    {"event": "error", "error": str(exc)}
+                )
+        except (ConnectionError, OSError):
+            # Client dropped mid-stream: stop the search cooperatively.
+            self.metrics.counter("serve.disconnects").inc()
+            token.cancel("tune client disconnected")
+            await asyncio.wait({tune_task})
+        except asyncio.CancelledError:
+            token.cancel("server shutting down")
+            raise
+        finally:
+            if not tune_task.done():
+                await asyncio.wait({tune_task})
         return False  # close-delimited stream

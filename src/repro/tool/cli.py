@@ -13,7 +13,8 @@ written.
 
 ``repro-view serve MODULE`` instead starts the long-lived concurrent
 analysis service (see :mod:`repro.serve`), exposing the same products
-over HTTP.
+over HTTP.  ``repro-view tune MODULE`` runs the auto-tuning search over
+transform sequences (see :mod:`repro.tool.tune_cli`).
 
 Exit codes: ``0`` on success, ``1`` on a usage or analysis error, and
 ``3`` when the report was written but one or more ``--sweep`` points
@@ -184,6 +185,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "tune":
+        # ``repro-view tune MODULE ...`` — auto-tuning search over
+        # transform sequences (see :mod:`repro.tuning`).
+        from repro.tool.tune_cli import main as tune_main
+
+        return tune_main(argv[1:])
     args = build_parser().parse_args(argv)
     sweep_failures = 0
     try:

@@ -65,6 +65,7 @@ from repro.simulation.movement import (
 from repro.simulation.simulator import SimulationResult
 from repro.simulation.stackdist import element_stack_distances
 from repro.transforms.report import TransformReport
+from repro.tuning import TuningResult, TuningSearch
 from repro.viz.graphview import render_state
 from repro.viz.heatmap import Heatmap
 from repro.viz.interaction import ParameterSliders
@@ -623,6 +624,52 @@ class Session:
             )
         self.pipeline.note_transform(report.describe())
         return report
+
+    def tune(
+        self,
+        params: Mapping[str, int],
+        transforms: Sequence[Any] | None = None,
+        beam: int = 6,
+        depth: int = 4,
+        budget: int = 512,
+        line_size: int = 64,
+        capacity_lines: int = 512,
+        include_transients: bool = False,
+        fast: bool = True,
+        timeout: float | None = None,
+        workers: int | None = None,
+        cancel: CancelToken | None = None,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
+    ) -> TuningResult:
+        """Search transform sequences minimizing modeled data movement.
+
+        Runs :class:`~repro.tuning.search.TuningSearch` over the current
+        program through *this session's* pipeline, so candidate scoring
+        shares the pass cache with every interactive query made so far
+        (and vice versa: the winning variant's analyses are warm).
+
+        The session's SDFG is never mutated — candidates are copies.  To
+        adopt the winner, ``session.load(result.best.sdfg)``.
+        """
+        search = TuningSearch(
+            self._sdfg,
+            params,
+            transforms=transforms,
+            beam=beam,
+            depth=depth,
+            budget=budget,
+            line_size=line_size,
+            capacity_lines=capacity_lines,
+            include_transients=include_transients,
+            fast=fast,
+            timeout=timeout,
+            workers=workers,
+            pipeline=self.pipeline,
+            scope=self._cache_scope() + ("tune",),
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        return search.run(cancel=cancel, on_event=on_event)
 
     def pass_report(self) -> str:
         """Per-pass timings, cache hits/misses, and invalidation reasons."""

@@ -11,18 +11,60 @@ themselves are standard dataflow transformations:
   and stride padding to cache-line multiples (Fig. 8c).
 - :mod:`repro.transforms.loop_reorder` — permute a map's parameter order
   (hdiff's innermost-loop fix, Fig. 8b).
+- :mod:`repro.transforms.strides` — AoS↔SoA stride relayout without
+  touching the logical shape (the CLOUDSC/NBLOCKS story); layout-only,
+  so candidate re-scoring reuses the cached simulation trace.
+- :mod:`repro.transforms.interchange` — move a sequential loop into the
+  map it wraps, changing playback order (and locality) only.
+
+All of the above are exposed uniformly through
+:mod:`repro.transforms.protocol`: each :class:`Transform` enumerates
+content-keyed :class:`Match` descriptors and applies them with a
+:class:`TransformReport` — the interface the auto-tuner
+(:mod:`repro.tuning`) searches over.
 """
 
+from repro.transforms.interchange import find_loop_map_nests, move_loop_into_map
 from repro.transforms.layout import pad_strides_to_multiple, permute_array_layout
 from repro.transforms.loop_reorder import reorder_map
-from repro.transforms.map_fusion import MapFusion, fuse_all_maps
+from repro.transforms.map_fusion import FusionResult, MapFusion, fuse_all_maps
+from repro.transforms.protocol import (
+    ChangeStrides,
+    MapFusionTransform,
+    Match,
+    MoveLoopIntoMap,
+    PadStrides,
+    PermuteArrayLayout,
+    ReorderMap,
+    Transform,
+    default_transforms,
+    get_transform,
+    resolve_transforms,
+)
 from repro.transforms.report import TransformReport
+from repro.transforms.strides import change_strides, change_strides_by_extent
 
 __all__ = [
+    "ChangeStrides",
+    "FusionResult",
     "MapFusion",
+    "MapFusionTransform",
+    "Match",
+    "MoveLoopIntoMap",
+    "PadStrides",
+    "PermuteArrayLayout",
+    "ReorderMap",
+    "Transform",
     "TransformReport",
+    "change_strides",
+    "change_strides_by_extent",
+    "default_transforms",
+    "find_loop_map_nests",
     "fuse_all_maps",
-    "permute_array_layout",
+    "get_transform",
+    "move_loop_into_map",
     "pad_strides_to_multiple",
+    "permute_array_layout",
     "reorder_map",
+    "resolve_transforms",
 ]

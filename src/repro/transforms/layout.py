@@ -8,6 +8,11 @@
 - :func:`pad_strides_to_multiple` — round a dimension's stride up to a
   multiple (in elements), introducing post-padding that aligns rows to
   cache lines (Fig. 8c).
+
+Both functions validate *all* their arguments before mutating anything:
+a rejected call raises :class:`~repro.errors.TransformError` and leaves
+the SDFG exactly as it was — no half-permuted descriptors, no memlets
+pointing at a layout that was never committed.
 """
 
 from __future__ import annotations
@@ -24,13 +29,36 @@ __all__ = ["permute_array_layout", "pad_strides_to_multiple"]
 
 
 def _rewrite_memlets(sdfg: SDFG, name: str, rewrite) -> None:
-    """Apply ``rewrite(memlet) -> Memlet`` to every memlet on *name*."""
+    """Apply ``rewrite(memlet) -> Memlet`` to every memlet on *name*.
+
+    Two-phase: every replacement memlet is built (and may raise) before
+    the first one is committed, so a failing rewrite cannot leave the
+    graph partially rewritten.
+    """
+    staged: list[tuple] = []
     for state in sdfg.states():
         for edge in state.edges():
             conn = edge.data
             if conn is None or conn.memlet is None or conn.memlet.data != name:
                 continue
-            conn.memlet = rewrite(conn.memlet)
+            staged.append((conn, rewrite(conn.memlet)))
+    for conn, memlet in staged:
+        conn.memlet = memlet
+
+
+def _check_permutation(order: Sequence[int], ndim: int, what: str) -> list[int]:
+    """Validate *order* as a permutation of ``range(ndim)`` of ints."""
+    order = list(order)
+    if len(order) != ndim:
+        raise TransformError(
+            f"permutation {order!r} has length {len(order)} "
+            f"but {what} has rank {ndim}"
+        )
+    if not all(isinstance(i, int) and not isinstance(i, bool) for i in order):
+        raise TransformError(f"permutation {order!r} must contain only integers")
+    if sorted(order) != list(range(ndim)):
+        raise TransformError(f"invalid permutation {order!r} for rank {ndim}")
+    return order
 
 
 def permute_array_layout(sdfg: SDFG, name: str, order: Sequence[int]) -> Array:
@@ -40,15 +68,32 @@ def permute_array_layout(sdfg: SDFG, name: str, order: Sequence[int]) -> Array:
     The descriptor is replaced by a C-contiguous array in the new dimension
     order and every memlet subset is permuted to match.  Returns the new
     descriptor.
+
+    All validation happens up front — a bad *order* (wrong length,
+    non-integer entries, not a permutation) or a memlet whose subset rank
+    does not match the array raises :class:`~repro.errors.TransformError`
+    before the descriptor or any memlet is touched.
     """
     desc = sdfg.arrays.get(name)
     if not isinstance(desc, Array):
         raise TransformError(f"{name!r} is not an array container")
-    order = list(order)
-    if sorted(order) != list(range(desc.ndim)):
-        raise TransformError(f"invalid permutation {order!r} for rank {desc.ndim}")
+    order = _check_permutation(order, desc.ndim, f"array {name!r}")
+
+    # Pre-flight every memlet: a subset of the wrong rank would raise
+    # halfway through the rewrite, leaving a corrupted graph.
+    for state in sdfg.states():
+        for edge in state.edges():
+            conn = edge.data
+            if conn is None or conn.memlet is None or conn.memlet.data != name:
+                continue
+            rank = len(conn.memlet.subset.ranges)
+            if rank != desc.ndim:
+                raise TransformError(
+                    f"memlet on {name!r} has subset rank {rank}, "
+                    f"expected {desc.ndim}"
+                )
+
     new_desc = desc.permuted(order)
-    sdfg.replace_descriptor(name, new_desc)
 
     def rewrite(memlet: Memlet) -> Memlet:
         return Memlet(
@@ -59,6 +104,7 @@ def permute_array_layout(sdfg: SDFG, name: str, order: Sequence[int]) -> Array:
         )
 
     _rewrite_memlets(sdfg, name, rewrite)
+    sdfg.replace_descriptor(name, new_desc)
     return new_desc
 
 
@@ -72,6 +118,11 @@ def pad_strides_to_multiple(
     recomputed on top of the padded stride so the layout stays consistent.
     Returns the new descriptor.
 
+    *multiple_elements* must be a positive integer (a float such as
+    ``2.5`` would silently corrupt the stride expressions) and *dim* must
+    address a non-innermost dimension; anything else raises
+    :class:`~repro.errors.TransformError` without touching the SDFG.
+
     Example: doubles in a ``[K, 12, 12]`` array with 64-byte lines
     (8 elements): ``pad_strides_to_multiple(sdfg, "A", 8)`` pads the row
     stride from 12 to 16 elements, so every row starts on a line boundary.
@@ -79,12 +130,18 @@ def pad_strides_to_multiple(
     desc = sdfg.arrays.get(name)
     if not isinstance(desc, Array):
         raise TransformError(f"{name!r} is not an array container")
+    if not isinstance(multiple_elements, int) or isinstance(multiple_elements, bool):
+        raise TransformError(
+            f"padding multiple must be an integer, got {multiple_elements!r}"
+        )
     if multiple_elements <= 0:
         raise TransformError("padding multiple must be positive")
     if desc.ndim < 2:
         raise TransformError("stride padding requires at least two dimensions")
     if dim is None:
         dim = desc.ndim - 2
+    if not isinstance(dim, int) or isinstance(dim, bool):
+        raise TransformError(f"padding dimension must be an integer, got {dim!r}")
     if not (0 <= dim < desc.ndim - 1):
         raise TransformError(
             f"cannot pad dimension {dim} of a rank-{desc.ndim} array "

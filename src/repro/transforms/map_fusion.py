@@ -20,7 +20,8 @@ global view's heatmap highlights in the BERT case study (Fig. 6).
 
 from __future__ import annotations
 
-from repro.errors import TransformError
+import warnings
+
 from repro.sdfg.data import Array
 from repro.sdfg.memlet import Memlet
 from repro.sdfg.nodes import AccessNode, MapEntry, MapExit, Tasklet
@@ -28,7 +29,7 @@ from repro.sdfg.sdfg import SDFG
 from repro.sdfg.state import SDFGState
 from repro.transforms.report import TransformReport
 
-__all__ = ["MapFusion", "fuse_all_maps"]
+__all__ = ["FusionResult", "MapFusion", "fuse_all_maps"]
 
 
 class MapFusion:
@@ -242,14 +243,54 @@ def _rename_identifier(code: str, old: str, new: str) -> str:
     return ast.unparse(Renamer().visit(tree))
 
 
-def fuse_all_maps(sdfg: SDFG, max_rounds: int = 100) -> int:
+class FusionResult(int):
+    """Outcome of :func:`fuse_all_maps`; compares as the fusion count.
+
+    The value itself is the number of fusions applied (so existing
+    ``applied == 2`` call sites keep working); :attr:`rounds` is how many
+    match/apply rounds ran and :attr:`capped` whether the round cap was
+    hit before the graph converged (no remaining match).
+    """
+
+    rounds: int
+    capped: bool
+
+    def __new__(cls, applied: int, rounds: int, capped: bool) -> "FusionResult":
+        obj = super().__new__(cls, applied)
+        obj.rounds = rounds
+        obj.capped = capped
+        return obj
+
+    def __repr__(self) -> str:
+        return (
+            f"FusionResult(applied={int(self)}, rounds={self.rounds}, "
+            f"capped={self.capped})"
+        )
+
+
+def fuse_all_maps(
+    sdfg: SDFG, max_rounds: int = 100, metrics=None
+) -> FusionResult:
     """Repeatedly apply map fusion until no opportunity remains.
 
-    Returns the number of fusions applied.  One match is applied per round
-    because applying a fusion can create or invalidate other matches.
+    Returns a :class:`FusionResult` — an ``int`` equal to the number of
+    fusions applied, carrying the round count and whether the *max_rounds*
+    cap was hit.  One match is applied per round because applying a fusion
+    can create or invalidate other matches; a converged run therefore uses
+    ``applied + 1`` rounds (the last round finds nothing).
+
+    Hitting the cap is not silent: the function emits a
+    :class:`RuntimeWarning`, increments the
+    ``transforms.fusion.rounds_capped`` counter on *metrics* (a
+    :class:`~repro.obs.metrics.MetricsRegistry`, when given), and returns
+    with ``capped=True`` so callers can decide whether the partial fusion
+    is acceptable.
     """
     applied = 0
-    for _ in range(max_rounds):
+    rounds = 0
+    converged = False
+    while rounds < max_rounds:
+        rounds += 1
         found = False
         for state in sdfg.states():
             matches = MapFusion.find_matches(sdfg, state)
@@ -259,7 +300,17 @@ def fuse_all_maps(sdfg: SDFG, max_rounds: int = 100) -> int:
                 found = True
                 break
         if not found:
+            converged = True
             break
-    else:
-        raise TransformError(f"fusion did not converge in {max_rounds} rounds")
-    return applied
+    capped = not converged
+    if capped:
+        if metrics is not None:
+            metrics.counter("transforms.fusion.rounds_capped").inc()
+        warnings.warn(
+            f"map fusion stopped at the {max_rounds}-round cap with "
+            f"opportunities remaining ({applied} fusions applied); "
+            "raise max_rounds to fuse further",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return FusionResult(applied, rounds, capped)

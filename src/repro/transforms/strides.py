@@ -1,0 +1,98 @@
+"""Stride relayout: make a chosen dimension the contiguous one.
+
+The CLOUDSC/NBLOCKS story: blocked vertical-physics fields are stored
+``[KLEV, NBLOCKS]`` C-contiguously, so walking the vertical dimension
+``jk`` for one block jumps ``NBLOCKS`` elements per step — every access
+touches a new cache line.  :func:`change_strides` rebuilds the strides so
+a chosen dimension becomes stride-1 (the remaining dimensions keep their
+relative order above it) *without* changing the logical shape or any
+memlet: an AoS↔SoA relayout visible only to the physical-locality
+analyses.
+
+Because the logical descriptor and the graph are untouched, the
+transformation is *layout-only*: the incremental pipeline re-runs only
+the layout-dependent passes and serves the (expensive) simulation trace
+from cache.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.sdfg.data import Array
+from repro.sdfg.sdfg import SDFG
+from repro.symbolic.expr import Expr, Integer, mul, sympify
+from repro.transforms.report import TransformReport
+
+__all__ = ["change_strides", "change_strides_by_extent"]
+
+
+def change_strides(sdfg: SDFG, name: str, dim: int) -> Array:
+    """Relayout array *name* so dimension *dim* has stride 1.
+
+    The new layout orders the remaining dimensions outside *dim* in their
+    existing relative order (i.e. the physical layout is the C-contiguous
+    layout of the dimension order "everything else, then *dim*").  Shape,
+    memlets and logical semantics are unchanged — only the strides move,
+    so the resulting :class:`~repro.transforms.report.TransformReport`
+    (via the protocol wrapper) is *layout-only*.
+
+    Returns the new descriptor.
+    """
+    desc = sdfg.arrays.get(name)
+    if not isinstance(desc, Array):
+        raise TransformError(f"{name!r} is not an array container")
+    if not isinstance(dim, int) or isinstance(dim, bool):
+        raise TransformError(f"stride dimension must be an integer, got {dim!r}")
+    if not (0 <= dim < desc.ndim):
+        raise TransformError(
+            f"dimension {dim} out of range for rank-{desc.ndim} array {name!r}"
+        )
+    if desc.ndim < 2:
+        raise TransformError("stride change requires at least two dimensions")
+
+    # Physical layout order: all other dimensions (relative order kept),
+    # then `dim` innermost.  Build strides from the inside out.
+    order = [d for d in range(desc.ndim) if d != dim] + [dim]
+    new_strides: list[Expr] = [Integer(1)] * desc.ndim
+    extent: Expr = Integer(1)
+    for d in reversed(order):
+        new_strides[d] = extent
+        extent = mul(extent, sympify(desc.shape[d]))
+    new_desc = desc.with_strides(new_strides)
+    sdfg.replace_descriptor(name, new_desc)
+    return new_desc
+
+
+def change_strides_by_extent(
+    sdfg: SDFG, extent, include_transients: bool = False
+) -> TransformReport:
+    """Apply :func:`change_strides` to every array with a matching dimension.
+
+    *extent* is a symbol name (or expression string) — every array that
+    has exactly one dimension whose shape equals it gets that dimension
+    made stride-1.  This is the batch form of the Sajohn-CH/dace
+    ``change_strides(sdfg, ('NBLOCKS',), ...)`` idiom: one call relayouts
+    the whole blocked data set.
+
+    Returns a layout-only report naming the modified arrays.
+    """
+    target = sympify(extent)
+    modified: list[str] = []
+    for name, desc in sorted(sdfg.arrays.items()):
+        if not isinstance(desc, Array) or desc.ndim < 2:
+            continue
+        if desc.transient and not include_transients:
+            continue
+        dims = [d for d, s in enumerate(desc.shape) if sympify(s) == target]
+        if len(dims) != 1:
+            continue
+        if desc.strides[dims[0]] == Integer(1):
+            continue  # already contiguous along the target dimension
+        change_strides(sdfg, name, dims[0])
+        modified.append(name)
+    return TransformReport(
+        "change_strides",
+        modified_arrays=tuple(modified),
+        layout_only=bool(modified),
+        detail=f"stride-1 dimension = {target} on {len(modified)} array(s)",
+    )

@@ -1,0 +1,26 @@
+"""Auto-tuning: beam search over transform sequences.
+
+The interactive workflow of the paper — inspect the data-movement
+visualization, pick a transformation, re-analyze — closes into a loop
+here: :class:`~repro.tuning.search.TuningSearch` enumerates the uniform
+transform protocol's matches (:mod:`repro.transforms.protocol`), applies
+them to candidate copies, and scores every candidate through the same
+incremental pass pipeline the views query.  Because the pipeline is
+content-addressed, layout-only candidates re-score from cached
+simulation traces, and revisited variants cost nothing — the properties
+that make search over a simulation-backed objective affordable.
+
+Entry points: ``Session.tune(...)``, the ``repro tune`` CLI, and the
+analysis service's streaming ``POST /v1/tune``.
+"""
+
+from repro.tuning.objective import CandidateScore, MovementObjective
+from repro.tuning.search import Candidate, TuningResult, TuningSearch
+
+__all__ = [
+    "Candidate",
+    "CandidateScore",
+    "MovementObjective",
+    "TuningResult",
+    "TuningSearch",
+]

@@ -18,6 +18,8 @@ model, so the *content* of each figure is reproducible and testable.
 - :mod:`repro.viz.overview` — minimap and outline models (Section IV-A).
 - :mod:`repro.viz.interaction` — parameter sliders, selections and the
   resulting element highlights (Section V-A).
+- :mod:`repro.viz.roofline` — intensity-vs-machine-balance view of an
+  auto-tuning search trajectory.
 """
 
 from repro.viz.color import (
@@ -27,6 +29,7 @@ from repro.viz.color import (
     ColorScale,
 )
 from repro.viz.heatmap import Heatmap
+from repro.viz.roofline import MachineModel, render_roofline
 from repro.viz.scaling import (
     ExponentialScale,
     HistogramScale,
@@ -50,4 +53,6 @@ __all__ = [
     "ExponentialScale",
     "make_scaling",
     "Heatmap",
+    "MachineModel",
+    "render_roofline",
 ]

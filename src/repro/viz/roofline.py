@@ -1,0 +1,201 @@
+"""Roofline view of an auto-tuning search trajectory.
+
+The roofline model plots *operational intensity* (ops per byte moved,
+x axis) against attainable performance (y axis) under two ceilings: the
+machine's peak compute rate and the memory-bandwidth diagonal.  The two
+meet at the **machine balance** — programs left of it are memory-bound.
+
+Every transform the tuner searches over preserves the program's
+operation count while changing its modeled physical movement, so the
+search trajectory moves *horizontally*: each candidate is one point at
+``ops / moved_bytes``, and a successful search walks the program from
+deep memory-bound territory toward (or past) the balance point.  The
+view renders the ceilings, the per-candidate points (colored by search
+round), and the baseline→best path.
+
+Deterministic, dependency-free SVG (like every view in
+:mod:`repro.viz`), so golden-file tests are byte-stable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+from repro.errors import VisualizationError
+from repro.viz.svg import SVGDocument
+
+__all__ = ["MachineModel", "render_roofline"]
+
+
+class MachineModel:
+    """The two roofline ceilings of a target machine.
+
+    Defaults model a commodity DDR4 server core: 64 GFLOP/s peak and
+    32 GB/s of memory bandwidth, i.e. a machine balance of 2 ops/byte.
+    """
+
+    __slots__ = ("peak_ops", "bandwidth", "label")
+
+    def __init__(
+        self,
+        peak_ops: float = 64e9,
+        bandwidth: float = 32e9,
+        label: str = "1 core, DDR4",
+    ):
+        if peak_ops <= 0 or bandwidth <= 0:
+            raise VisualizationError("machine ceilings must be positive")
+        self.peak_ops = float(peak_ops)
+        self.bandwidth = float(bandwidth)
+        self.label = label
+
+    @property
+    def balance(self) -> float:
+        """Machine balance in ops/byte: the ridge of the roofline."""
+        return self.peak_ops / self.bandwidth
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable ops/s at *intensity* (the roof itself)."""
+        return min(self.peak_ops, self.bandwidth * intensity)
+
+
+def _intensity(entry: Mapping[str, Any]) -> float | None:
+    ops = entry.get("ops")
+    moved = entry.get("moved_bytes")
+    if ops is None or moved is None or moved <= 0 or ops <= 0:
+        return None
+    return float(ops) / float(moved)
+
+
+_ROUND_COLORS = (
+    "#4878a8", "#6a9a48", "#c8a028", "#b06048", "#8858a0", "#48a098",
+)
+
+
+def render_roofline(
+    trajectory: Sequence[Mapping[str, Any]],
+    machine: MachineModel | None = None,
+    width: float = 640.0,
+    height: float = 420.0,
+    title: str = "tuning trajectory",
+) -> str:
+    """Render a tuning *trajectory* (``TuningResult.trajectory``) as SVG.
+
+    Each entry needs ``ops`` and ``moved_bytes`` (entries without them —
+    e.g. unscored candidates — are skipped); ``round`` selects the point
+    color and ``sequence`` feeds the hover title.  The first entry is
+    treated as the baseline and the lowest-movement entry as the best;
+    a dashed path connects the two.
+    """
+    machine = machine if machine is not None else MachineModel()
+    points = []
+    for index, entry in enumerate(trajectory):
+        intensity = _intensity(entry)
+        if intensity is None:
+            continue
+        steps = [
+            step.get("transform", "?") for step in entry.get("sequence", ())
+        ]
+        points.append({
+            "index": index,
+            "intensity": intensity,
+            "perf": machine.attainable(intensity),
+            "round": int(entry.get("round", 0)),
+            "moved_bytes": int(entry["moved_bytes"]),
+            "label": " -> ".join(steps) if steps else "baseline",
+        })
+    if not points:
+        raise VisualizationError("trajectory has no scored candidates to plot")
+
+    best = min(points, key=lambda p: p["moved_bytes"])
+    baseline = points[0]
+
+    # Log-log frame covering the data and the ridge with margin.
+    xs = [p["intensity"] for p in points] + [machine.balance]
+    x_min = math.log10(min(xs)) - 0.4
+    x_max = math.log10(max(xs)) + 0.6
+    ys = [p["perf"] for p in points] + [machine.peak_ops]
+    y_min = math.log10(min(ys)) - 0.4
+    y_max = math.log10(max(ys)) + 0.3
+
+    margin = 54.0
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+
+    def px(intensity: float) -> float:
+        frac = (math.log10(intensity) - x_min) / (x_max - x_min)
+        return margin + frac * plot_w
+
+    def py(perf: float) -> float:
+        frac = (math.log10(perf) - y_min) / (y_max - y_min)
+        return height - margin - frac * plot_h
+
+    doc = SVGDocument(width, height)
+    doc.rect(0, 0, width, height, fill="#ffffff", stroke=None)
+    doc.rect(margin, margin, plot_w, plot_h, fill="none", stroke="#cccccc")
+    doc.text(width / 2, margin / 2, f"roofline: {title}", font_size=14)
+    doc.text(
+        width / 2, height - margin / 3,
+        "operational intensity [ops/byte, log]", font_size=11,
+    )
+    doc.text(
+        14, height / 2, "attainable [ops/s, log]", font_size=11,
+        transform=f"rotate(-90 14 {height / 2:g})",
+    )
+
+    # The two ceilings: bandwidth diagonal up to the ridge, flat peak after.
+    ridge_x = px(machine.balance)
+    peak_y = py(machine.peak_ops)
+    diag_start = 10 ** x_min
+    doc.line(
+        px(diag_start), py(machine.attainable(diag_start)),
+        ridge_x, peak_y,
+        stroke="#555555", stroke_width=1.5,
+        title=f"bandwidth {machine.bandwidth:g} B/s",
+    )
+    doc.line(
+        ridge_x, peak_y, margin + plot_w, peak_y,
+        stroke="#555555", stroke_width=1.5,
+        title=f"peak {machine.peak_ops:g} ops/s",
+    )
+    doc.line(
+        ridge_x, peak_y, ridge_x, height - margin,
+        stroke="#aaaaaa", stroke_width=1.0, stroke_dasharray="3,3",
+        title=f"machine balance {machine.balance:g} ops/byte",
+    )
+    doc.text(
+        ridge_x, height - margin + 14,
+        f"balance {machine.balance:g}", font_size=10, fill="#555555",
+    )
+    doc.text(
+        margin + plot_w - 4, peak_y - 6, machine.label,
+        font_size=10, anchor="end", fill="#555555",
+    )
+
+    # Baseline -> best path (dashed), under the points.
+    if best is not baseline:
+        doc.line(
+            px(baseline["intensity"]), py(baseline["perf"]),
+            px(best["intensity"]), py(best["perf"]),
+            stroke="#b06048", stroke_width=1.2, stroke_dasharray="5,3",
+            title=(
+                f"{baseline['moved_bytes']} -> {best['moved_bytes']} bytes"
+            ),
+        )
+
+    for point in points:
+        color = _ROUND_COLORS[point["round"] % len(_ROUND_COLORS)]
+        radius = 4.0
+        if point is baseline:
+            color, radius = "#222222", 5.0
+        elif point is best:
+            color, radius = "#b06048", 5.5
+        doc.ellipse(
+            px(point["intensity"]), py(point["perf"]), radius, radius,
+            fill=color, stroke="#ffffff",
+            title=(
+                f"{point['label']}: {point['intensity']:.4g} ops/B, "
+                f"{point['moved_bytes']} bytes moved (round {point['round']})"
+            ),
+        )
+    return doc.to_string()

@@ -1,0 +1,117 @@
+"""Tests for the CLOUDSC vertical-loop case study."""
+
+import numpy as np
+import pytest
+
+from repro.apps import cloudsc as C
+from repro.tool import Session
+
+
+def moved_bytes(sdfg) -> int:
+    """Modeled physical movement at the local-view sizes and cache."""
+    session = Session(sdfg)
+    lv = session.local_view(
+        C.LOCAL_VIEW_SIZES,
+        line_size=C.CACHE["line_size"],
+        capacity_lines=C.CACHE["capacity_lines"],
+    )
+    return sum(lv.physical_movement().values())
+
+
+class TestStructure:
+    def test_builds_and_validates(self):
+        sdfg = C.build_sdfg()
+        sdfg.validate()
+        assert set(C.FIELDS) <= set(sdfg.arrays)
+        state = sdfg.start_state
+        labels = {e.map.label for e in state.map_entries()}
+        assert labels == {"vert_loop", "block_map"}
+
+    def test_fields_are_block_major(self):
+        sdfg = C.build_sdfg()
+        for name in C.FIELDS:
+            desc = sdfg.arrays[name]
+            assert [str(s) for s in desc.shape] == ["NBLOCKS", "KLEV"]
+            # Baseline AoS-style layout: KLEV innermost (stride 1).
+            assert str(desc.strides[-1]) == "1"
+
+    def test_reference_numpy(self):
+        pt, pq, plude, pfplsl = C.initialize(6, 5)
+        C.cloudsc_numpy_reference(pt, pq, plude, pfplsl)
+        expected = 0.5 * (pt[:, 1:] - pq[:, 1:]) + plude[:, :-1]
+        np.testing.assert_allclose(pfplsl[:, 1:], expected)
+
+    def test_initialize_deterministic(self):
+        a = C.initialize(4, 3)
+        b = C.initialize(4, 3)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestOptimizations:
+    def test_baseline_movement(self):
+        assert moved_bytes(C.build_sdfg()) == 28672
+
+    def test_change_strides_cuts_movement(self):
+        """The AoS->SoA stride change (NBLOCKS innermost) must cut modeled
+        movement by at least the acceptance bar of 20%."""
+        sdfg = C.build_sdfg()
+        baseline = moved_bytes(sdfg)
+        report = C.apply_change_strides(sdfg)
+        assert report.layout_only
+        tuned = moved_bytes(sdfg)
+        assert 1 - tuned / baseline >= 0.20
+        for name in C.FIELDS:
+            assert str(sdfg.arrays[name].strides[0]) == "1"
+
+    def test_loop_interchange_cuts_movement(self):
+        sdfg = C.build_sdfg()
+        baseline = moved_bytes(sdfg)
+        C.apply_loop_interchange(sdfg)
+        sdfg.validate()
+        assert 1 - moved_bytes(sdfg) / baseline >= 0.20
+
+    def test_change_strides_preserves_logical_analyses(self):
+        from repro.analysis.movement import total_movement_bytes
+        from repro.analysis.opcount import program_ops
+
+        sdfg = C.build_sdfg()
+        env = {"NBLOCKS": 8, "KLEV": 4}
+        ops = program_ops(sdfg).evaluate(env)
+        logical = total_movement_bytes(sdfg).evaluate(env)
+        C.apply_change_strides(sdfg)
+        assert program_ops(sdfg).evaluate(env) == ops
+        assert total_movement_bytes(sdfg).evaluate(env) == logical
+
+
+class TestTuning:
+    def test_tune_finds_reduction(self):
+        """The acceptance scenario: `tune` on CLOUDSC finds a stride or
+        schedule change cutting modeled movement by >= 20%."""
+        session = Session(C.build_sdfg())
+        result = session.tune(
+            C.LOCAL_VIEW_SIZES,
+            beam=4,
+            depth=2,
+            budget=60,
+            line_size=C.CACHE["line_size"],
+            capacity_lines=C.CACHE["capacity_lines"],
+        )
+        assert result.improvement >= 0.20
+        assert result.best.sequence  # not the baseline
+        assert result.pass_hits > 0
+
+
+@pytest.mark.parametrize("fix", [C.apply_change_strides, C.apply_loop_interchange])
+def test_optimized_access_pattern_unchanged(fix):
+    """Both optimizations preserve per-container access counts."""
+    from repro.simulation import simulate_state
+
+    env = {"NBLOCKS": 4, "KLEV": 3}
+    base = C.build_sdfg()
+    ref = simulate_state(base, env)
+    sdfg = C.build_sdfg()
+    fix(sdfg)
+    out = simulate_state(sdfg, env)
+    for name in C.FIELDS:
+        assert out.access_counts(name) == ref.access_counts(name)

@@ -1,0 +1,100 @@
+"""Tests for ``repro-view tune`` (the auto-tuning CLI)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tool.cli import main as cli_main
+from repro.tool.tune_cli import main as tune_main
+
+CLOUDSC = str(
+    Path(__file__).resolve().parents[2] / "src" / "repro" / "apps" / "cloudsc.py"
+)
+
+CLOUDSC_ARGS = [
+    CLOUDSC,
+    "--builder", "build_sdfg",
+    "--params", "NBLOCKS=16,KLEV=8",
+    "--capacity", "8",
+    "--beam", "2",
+    "--depth", "1",
+    "--budget", "20",
+    "--quiet",
+]
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "prog.py"
+    path.write_text(
+        "from repro.frontend import pmap, program\n"
+        "from repro.sdfg.dtypes import float64\n"
+        "from repro.symbolic import symbols\n"
+        "I, J = symbols('I J')\n"
+        "@program\n"
+        "def copy2d(A: float64[I, J], B: float64[I, J]):\n"
+        "    for i, j in pmap(I, J):\n"
+        "        B[i, j] = A[i, j] * 2.0\n"
+    )
+    return str(path)
+
+
+class TestTuneCli:
+    def test_builder_path(self, capsys):
+        code = tune_main(CLOUDSC_ARGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline: 28672 bytes moved" in out
+        assert "reduction" in out
+
+    def test_program_path(self, program_file, capsys):
+        code = tune_main([
+            program_file, "--params", "I=8,J=8",
+            "--beam", "2", "--depth", "1", "--budget", "10", "--quiet",
+        ])
+        assert code == 0
+        assert "best:" in capsys.readouterr().out
+
+    def test_json_and_roofline_outputs(self, tmp_path, capsys):
+        json_path = tmp_path / "tune.json"
+        svg_path = tmp_path / "roof.svg"
+        code = tune_main(CLOUDSC_ARGS + [
+            "--json", str(json_path), "--roofline", str(svg_path),
+        ])
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["best"]["moved_bytes"] <= payload["baseline"]["moved_bytes"]
+        assert payload["trajectory"]
+        svg = svg_path.read_text()
+        assert svg.startswith("<svg ") and "machine balance" in svg
+
+    def test_dispatch_through_main_cli(self, capsys):
+        assert cli_main(["tune", *CLOUDSC_ARGS]) == 0
+        assert "best:" in capsys.readouterr().out
+
+    def test_progress_on_stderr(self, capsys):
+        args = [a for a in CLOUDSC_ARGS if a != "--quiet"]
+        assert tune_main(args) == 0
+        assert "round 1:" in capsys.readouterr().err
+
+    def test_missing_module(self, capsys):
+        assert tune_main([
+            "/nonexistent.py", "--params", "I=8",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_builder(self, capsys):
+        assert tune_main([
+            CLOUDSC, "--builder", "nope", "--params", "NBLOCKS=4,KLEV=2",
+        ]) == 1
+        assert "no callable" in capsys.readouterr().err
+
+    def test_empty_params(self, capsys):
+        assert tune_main([CLOUDSC, "--builder", "build_sdfg",
+                          "--params", ""]) == 1
+        assert "at least one symbol" in capsys.readouterr().err
+
+    def test_unknown_transform(self, capsys):
+        assert tune_main(CLOUDSC_ARGS + ["--transforms", "bogus"]) == 1
+        assert "bogus" in capsys.readouterr().err

@@ -181,3 +181,66 @@ class TestReorderMap:
         sdfg = sweep3d.to_sdfg()
         with pytest.raises(TransformError):
             reorder_map(self.get_entry(sdfg), ["x", "y", "z"])
+
+
+class TestUpfrontValidation:
+    """Rejected calls must leave the SDFG byte-identical (no corruption)."""
+
+    def fingerprint(self, sdfg):
+        from repro.sdfg.serialize import sdfg_fingerprint
+
+        return sdfg_fingerprint(sdfg)
+
+    def test_pad_float_multiple_rejected(self):
+        sdfg = sweep3d.to_sdfg()
+        before = self.fingerprint(sdfg)
+        with pytest.raises(TransformError, match="integer"):
+            pad_strides_to_multiple(sdfg, "A", 2.5)
+        assert self.fingerprint(sdfg) == before
+
+    def test_pad_bool_multiple_rejected(self):
+        sdfg = sweep3d.to_sdfg()
+        with pytest.raises(TransformError, match="integer"):
+            pad_strides_to_multiple(sdfg, "A", True)
+
+    def test_pad_float_dim_rejected(self):
+        sdfg = sweep3d.to_sdfg()
+        before = self.fingerprint(sdfg)
+        with pytest.raises(TransformError, match="integer"):
+            pad_strides_to_multiple(sdfg, "A", 8, dim=1.0)
+        assert self.fingerprint(sdfg) == before
+
+    def test_permute_wrong_length_rejected(self):
+        sdfg = sweep3d.to_sdfg()
+        before = self.fingerprint(sdfg)
+        with pytest.raises(TransformError, match="length"):
+            permute_array_layout(sdfg, "A", [1, 0])
+        assert self.fingerprint(sdfg) == before
+
+    def test_permute_float_entries_rejected(self):
+        sdfg = sweep3d.to_sdfg()
+        before = self.fingerprint(sdfg)
+        with pytest.raises(TransformError, match="integers"):
+            permute_array_layout(sdfg, "A", [0.0, 1.0, 2.0])
+        assert self.fingerprint(sdfg) == before
+
+    def test_permute_bool_entries_rejected(self):
+        sdfg = sweep3d.to_sdfg()
+        with pytest.raises(TransformError, match="integers"):
+            permute_array_layout(sdfg, "A", [False, True, 2])
+
+    def test_failed_call_leaves_memlets_intact(self):
+        """No half-rewritten graph: a rejected permute keeps every memlet."""
+        sdfg = sweep3d.to_sdfg()
+        before = [
+            (m.data, str(m.subset))
+            for _, m in sdfg.start_state.all_memlets()
+        ]
+        with pytest.raises(TransformError):
+            permute_array_layout(sdfg, "A", [2, 1])
+        after = [
+            (m.data, str(m.subset))
+            for _, m in sdfg.start_state.all_memlets()
+        ]
+        assert before == after
+        sdfg.validate()

@@ -202,3 +202,76 @@ class TestApplication:
         # Consumer's memlets now reference i.
         for _, memlet in state.all_memlets():
             assert "j" not in memlet.free_symbols()
+
+
+def build_chain_of(n: int):
+    """A -> n maps through n-1 transients -> OUT (n-1 fusion opportunities)."""
+    from repro.sdfg import SDFG, Memlet, dtypes
+
+    sdfg = SDFG(f"chain{n}")
+    sdfg.add_array("A", [I], dtypes.float64)
+    for k in range(1, n):
+        sdfg.add_transient(f"T{k}", [I], dtypes.float64)
+    sdfg.add_array("OUT", [I], dtypes.float64)
+    state = sdfg.add_state()
+    prev = "A"
+    prev_node = None
+    names = [f"T{k}" for k in range(1, n)] + ["OUT"]
+    for index, dst in enumerate(names):
+        kwargs = {} if prev_node is None else {"input_nodes": {prev: prev_node}}
+        state.add_mapped_tasklet(
+            f"m{index}", {"i": "0:I"},
+            inputs={"x": Memlet(prev, "i")}, code="_out = x + 1.0",
+            outputs={"_out": Memlet(dst, "i")}, **kwargs,
+        )
+        prev = dst
+        prev_node = next(n_ for n_ in state.data_nodes() if n_.data == dst)
+    return sdfg
+
+
+class TestRoundCap:
+    """fuse_all_maps must not silently stop at its round cap."""
+
+    def test_cap_warns_and_reports(self):
+        from repro.obs import MetricsRegistry
+        from repro.transforms import FusionResult
+
+        sdfg = build_chain_of(5)  # four opportunities, cap at two rounds
+        metrics = MetricsRegistry()
+        with pytest.warns(RuntimeWarning, match="round cap"):
+            result = fuse_all_maps(sdfg, max_rounds=2, metrics=metrics)
+        assert isinstance(result, FusionResult)
+        assert result == 2  # int-compatible: fusions applied
+        assert result.rounds == 2
+        assert result.capped
+        assert (
+            metrics.counter("transforms.fusion.rounds_capped").value == 1
+        )
+
+    def test_converged_run_not_capped(self):
+        import warnings as warnings_mod
+
+        from repro.obs import MetricsRegistry
+
+        sdfg = build_chain_of(3)
+        metrics = MetricsRegistry()
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            result = fuse_all_maps(sdfg, metrics=metrics)
+        assert result == 2
+        assert not result.capped
+        # Converged: the last round found nothing, so rounds = applied + 1.
+        assert result.rounds == 3
+        assert (
+            metrics.counter("transforms.fusion.rounds_capped").value == 0
+        )
+
+    def test_capped_graph_still_valid(self):
+        sdfg = build_chain_of(5)
+        with pytest.warns(RuntimeWarning):
+            fuse_all_maps(sdfg, max_rounds=1)
+        sdfg.validate()
+        # Resuming finishes the job without a warning.
+        more = fuse_all_maps(sdfg)
+        assert int(more) > 0
+        assert len(sdfg.start_state.map_entries()) == 1

@@ -1,0 +1,166 @@
+"""Tests for the uniform Transform protocol (enumerate/apply/descriptors)."""
+
+import pytest
+
+from repro.apps import cloudsc, hdiff
+from repro.errors import TransformError
+from repro.sdfg.serialize import sdfg_fingerprint
+from repro.transforms import (
+    ChangeStrides,
+    MapFusionTransform,
+    Match,
+    MoveLoopIntoMap,
+    PadStrides,
+    PermuteArrayLayout,
+    ReorderMap,
+    default_transforms,
+    get_transform,
+    resolve_transforms,
+)
+
+
+class TestRegistry:
+    def test_default_set(self):
+        names = {t.name for t in default_transforms()}
+        assert names == {
+            "permute_array_layout",
+            "reorder_map",
+            "pad_strides_to_multiple",
+            "change_strides",
+            "move_loop_into_map",
+            "map_fusion",
+        }
+
+    def test_get_by_name(self):
+        assert isinstance(get_transform("reorder_map"), ReorderMap)
+        assert isinstance(
+            get_transform("pad_strides_to_multiple", line_bytes=128), PadStrides
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(TransformError, match="unknown transform"):
+            get_transform("nope")
+
+    def test_resolve_mixed(self):
+        resolved = resolve_transforms(["change_strides", ReorderMap()])
+        assert isinstance(resolved[0], ChangeStrides)
+        assert isinstance(resolved[1], ReorderMap)
+
+    def test_resolve_none_is_default(self):
+        assert {t.name for t in resolve_transforms(None)} == {
+            t.name for t in default_transforms()
+        }
+
+
+class TestEnumerate:
+    def test_hdiff_match_counts(self):
+        sdfg = hdiff.build_sdfg()
+        counts = {
+            t.name: len(t.enumerate_matches(sdfg))
+            for t in default_transforms()
+        }
+        # Three rank-3 non-transient arrays, 5 non-identity permutations each.
+        assert counts["permute_array_layout"] == 15
+        assert counts["reorder_map"] == 5
+        assert counts["pad_strides_to_multiple"] == 3
+        assert counts["change_strides"] == 6
+        assert counts["move_loop_into_map"] == 0
+        assert counts["map_fusion"] == 0
+
+    def test_cloudsc_has_loop_nest(self):
+        sdfg = cloudsc.build_sdfg()
+        matches = MoveLoopIntoMap().enumerate_matches(sdfg)
+        assert len(matches) == 1
+        assert matches[0].descriptor == ("vert", "vert_loop")
+
+    def test_descriptors_stable_across_copies(self):
+        """Matches on a copy have identical keys: (pipeline-key, transform,
+        match) is cacheable regardless of which copy enumerated it."""
+        sdfg = hdiff.build_sdfg()
+        for transform in default_transforms():
+            ours = [m.key for m in transform.enumerate_matches(sdfg)]
+            theirs = [
+                m.key for m in transform.enumerate_matches(sdfg.copy())
+            ]
+            assert ours == theirs
+
+    def test_match_equality_and_dict(self):
+        m1 = Match("reorder_map", ("s", "m", 0, (1, 0)), "detail a")
+        m2 = Match("reorder_map", ("s", "m", 0, (1, 0)), "detail b")
+        assert m1 == m2 and hash(m1) == hash(m2)  # detail is not identity
+        assert m1.to_dict()["transform"] == "reorder_map"
+
+
+class TestApply:
+    def test_every_match_applies_on_hdiff(self):
+        """Every enumerated match applies cleanly to a fresh copy."""
+        base = hdiff.build_sdfg()
+        for transform in default_transforms():
+            for match in transform.enumerate_matches(base):
+                target = base.copy()
+                report = transform.apply(target, match)
+                target.validate()
+                assert sdfg_fingerprint(target) != sdfg_fingerprint(base)
+                assert report.transform
+
+    def test_apply_rejects_foreign_match(self):
+        sdfg = hdiff.build_sdfg()
+        match = Match("reorder_map", ("s", "m", 0, (1, 0)))
+        with pytest.raises(TransformError):
+            PermuteArrayLayout().apply(sdfg, match)
+
+    def test_apply_rejects_stale_match(self):
+        """A match enumerated before a conflicting mutation fails loudly."""
+        sdfg = cloudsc.build_sdfg()
+        match = MoveLoopIntoMap().enumerate_matches(sdfg)[0]
+        MoveLoopIntoMap().apply(sdfg, match)
+        with pytest.raises(TransformError):
+            MoveLoopIntoMap().apply(sdfg, match)
+
+
+class TestLayoutOnly:
+    """layout_only drives pass invalidation: logical analyses must survive."""
+
+    def test_change_strides_is_layout_only(self):
+        sdfg = cloudsc.build_sdfg()
+        transform = ChangeStrides()
+        match = transform.enumerate_matches(sdfg)[0]
+        report = transform.apply(sdfg, match)
+        assert report.layout_only
+        assert report.modified_arrays
+
+    def test_pad_strides_is_layout_only(self):
+        sdfg = hdiff.build_sdfg()
+        transform = PadStrides()
+        match = transform.enumerate_matches(sdfg)[0]
+        assert transform.apply(sdfg, match).layout_only
+
+    def test_permute_is_not_layout_only(self):
+        """Permutation rewrites memlets — logical content changes."""
+        sdfg = hdiff.build_sdfg()
+        transform = PermuteArrayLayout()
+        match = transform.enumerate_matches(sdfg)[0]
+        report = transform.apply(sdfg, match)
+        assert not report.layout_only
+        assert report.modified_states
+
+    def test_move_loop_is_not_layout_only(self):
+        sdfg = cloudsc.build_sdfg()
+        transform = MoveLoopIntoMap()
+        match = transform.enumerate_matches(sdfg)[0]
+        report = transform.apply(sdfg, match)
+        assert not report.layout_only
+        assert report.modified_states == ("vert",)
+
+
+class TestMapFusionTransform:
+    def test_roundtrip_through_protocol(self):
+        from tests.transforms.test_map_fusion import build_chain
+
+        sdfg = build_chain()
+        transform = MapFusionTransform()
+        matches = transform.enumerate_matches(sdfg)
+        assert len(matches) == 1
+        transform.apply(sdfg, matches[0])
+        assert "B" not in sdfg.arrays
+        assert transform.enumerate_matches(sdfg) == []

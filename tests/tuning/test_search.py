@@ -1,0 +1,196 @@
+"""Tests for the auto-tuning beam search over transform sequences."""
+
+import pytest
+
+from repro.analysis.executor import CancelToken
+from repro.apps import cloudsc, hdiff
+from repro.errors import TuningError
+from repro.tuning import MovementObjective, TuningSearch
+
+#: hdiff's manually tuned variant (paper Fig. 8: permute + reorder) moves
+#: this many bytes at the Fig. 7 cache model — the bar the search must meet.
+HDIFF_MANUAL_BYTES = 177920
+
+#: Restricting the search to the transforms of the paper's manual story
+#: keeps the rediscovery test fast while leaving the *choice* of arrays,
+#: orders and sequence entirely to the search.
+HDIFF_TRANSFORMS = [
+    "permute_array_layout",
+    "reorder_map",
+    "pad_strides_to_multiple",
+]
+
+
+def cloudsc_search(**overrides):
+    settings = dict(
+        beam=4, depth=2, budget=60,
+        line_size=cloudsc.CACHE["line_size"],
+        capacity_lines=cloudsc.CACHE["capacity_lines"],
+    )
+    settings.update(overrides)
+    return TuningSearch(
+        cloudsc.build_sdfg(), cloudsc.LOCAL_VIEW_SIZES, **settings
+    )
+
+
+class TestValidation:
+    def test_bad_beam(self):
+        with pytest.raises(TuningError):
+            cloudsc_search(beam=0)
+
+    def test_bad_depth(self):
+        with pytest.raises(TuningError):
+            cloudsc_search(depth=0)
+
+    def test_bad_budget(self):
+        with pytest.raises(TuningError):
+            cloudsc_search(budget=0)
+
+    def test_unknown_transform(self):
+        with pytest.raises(TuningError):
+            cloudsc_search(transforms=["nope"])
+
+
+class TestCloudscSearch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return cloudsc_search().run()
+
+    def test_finds_major_reduction(self, result):
+        # Acceptance bar is >= 20%; the NBLOCKS stride/interchange story
+        # is far past it.
+        assert result.improvement >= 0.20
+        assert result.best.score.moved_bytes < (
+            result.baseline.score.moved_bytes
+        )
+
+    def test_best_is_known_optimum(self, result):
+        kinds = {m.transform for m in result.best.sequence}
+        assert kinds <= {"move_loop_into_map", "change_strides"}
+        assert result.best.score.moved_bytes <= 4096
+
+    def test_budget_respected(self, result):
+        assert result.evaluated <= 60
+
+    def test_dedup_happened(self, result):
+        # Commuting layout transforms produce identical variants.
+        assert result.deduplicated > 0
+
+    def test_pass_cache_shared_across_candidates(self, result):
+        # The core economics of the search: candidate re-scoring hits
+        # the content-addressed pass cache.
+        assert result.pass_hits > 0
+
+    def test_trajectory_and_dict_shape(self, result):
+        assert result.trajectory[0]["sequence"] == []
+        assert all("moved_bytes" in e for e in result.trajectory)
+        payload = result.to_dict()
+        assert payload["stopped"] in (
+            "converged", "depth", "budget", "timeout", "cancelled"
+        )
+        assert payload["best"]["moved_bytes"] == (
+            result.best.score.moved_bytes
+        )
+
+
+class TestHdiffRediscovery:
+    @pytest.fixture(scope="class")
+    def result(self):
+        search = TuningSearch(
+            hdiff.build_sdfg(),
+            hdiff.LOCAL_VIEW_SIZES,
+            transforms=HDIFF_TRANSFORMS,
+            beam=3,
+            depth=4,
+            budget=200,
+            line_size=hdiff.FIG7_CACHE["line_size"],
+            capacity_lines=hdiff.FIG7_CACHE["capacity_lines"],
+        )
+        return search.run()
+
+    def test_beats_manual_sequence(self, result):
+        """The search rediscovers (and here outdoes) the paper's manual
+        permute+reorder variant."""
+        assert result.best.score.moved_bytes <= HDIFF_MANUAL_BYTES
+
+    def test_sequence_contains_manual_ingredients(self, result):
+        kinds = {m.transform for m in result.best.sequence}
+        assert "permute_array_layout" in kinds
+        assert "reorder_map" in kinds
+
+    def test_pass_hits_nonzero(self, result):
+        assert result.pass_hits > 0
+
+
+class TestControls:
+    def test_events_emitted(self):
+        events = []
+        cloudsc_search(budget=20).run(on_event=events.append)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "end"
+        assert "candidate" in kinds and "round" in kinds
+        assert events[-1]["evaluated"] <= 20
+
+    def test_budget_stops_search(self):
+        result = cloudsc_search(budget=5, depth=6).run()
+        assert result.evaluated <= 5
+        assert result.stopped in ("budget", "depth")
+
+    def test_cancel_before_run(self):
+        token = CancelToken()
+        token.cancel("test")
+        result = cloudsc_search().run(cancel=token)
+        assert result.stopped == "cancelled"
+        assert result.evaluated == 1  # baseline only
+
+    def test_timeout_zero(self):
+        result = cloudsc_search(timeout=0.0).run()
+        assert result.stopped == "timeout"
+
+    def test_baseline_never_mutated(self):
+        from repro.sdfg.serialize import sdfg_fingerprint
+
+        sdfg = cloudsc.build_sdfg()
+        before = sdfg_fingerprint(sdfg)
+        TuningSearch(
+            sdfg, cloudsc.LOCAL_VIEW_SIZES, beam=2, depth=1, budget=20,
+            capacity_lines=cloudsc.CACHE["capacity_lines"],
+        ).run()
+        assert sdfg_fingerprint(sdfg) == before
+
+    def test_workers_pool_path(self):
+        # The picklable pool path must agree with the serial path.
+        serial = cloudsc_search(budget=20).run()
+        pooled = cloudsc_search(budget=20, workers=2).run()
+        assert (
+            pooled.best.score.moved_bytes == serial.best.score.moved_bytes
+        )
+
+
+class TestObjective:
+    def test_score_components(self):
+        from repro.passes import build_pipeline
+
+        sdfg = cloudsc.build_sdfg()
+        objective = MovementObjective(
+            build_pipeline(), cloudsc.LOCAL_VIEW_SIZES,
+            capacity_lines=cloudsc.CACHE["capacity_lines"],
+        )
+        score = objective.score(sdfg)
+        assert score.moved_bytes == 28672
+        assert score.ops > 0
+        assert 0 < score.intensity < float("inf")
+        assert score.to_dict()["moved_bytes"] == 28672
+
+    def test_session_tune_shares_pipeline(self):
+        from repro.tool import Session
+
+        session = Session(cloudsc.build_sdfg())
+        result = session.tune(
+            cloudsc.LOCAL_VIEW_SIZES, beam=2, depth=1, budget=20,
+            capacity_lines=cloudsc.CACHE["capacity_lines"],
+        )
+        assert result.evaluated > 1
+        counters = session.metrics.to_dict()["counters"]
+        assert counters.get("tuning.rounds", 0) >= 1

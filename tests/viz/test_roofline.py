@@ -1,0 +1,85 @@
+"""Tests for the roofline view of tuning trajectories."""
+
+import pytest
+
+from repro.errors import VisualizationError
+from repro.viz import MachineModel, render_roofline
+
+
+def trajectory():
+    step = [{"transform": "change_strides", "descriptor": ["pt", 0],
+             "detail": "pt dim 0"}]
+    return [
+        {"sequence": [], "round": 0, "moved_bytes": 28672, "ops": 49152.0},
+        {"sequence": step, "round": 1, "moved_bytes": 3584, "ops": 49152.0},
+        {"sequence": step * 2, "round": 2, "moved_bytes": 8192,
+         "ops": 49152.0},
+    ]
+
+
+class TestMachineModel:
+    def test_balance(self):
+        machine = MachineModel(peak_ops=64e9, bandwidth=32e9)
+        assert machine.balance == 2.0
+
+    def test_attainable_is_min_of_ceilings(self):
+        machine = MachineModel(peak_ops=100.0, bandwidth=10.0)
+        assert machine.attainable(1.0) == 10.0  # bandwidth-bound
+        assert machine.attainable(1000.0) == 100.0  # compute-bound
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(VisualizationError):
+            MachineModel(peak_ops=0)
+        with pytest.raises(VisualizationError):
+            MachineModel(bandwidth=-1)
+
+
+class TestRender:
+    def test_deterministic(self):
+        assert render_roofline(trajectory()) == render_roofline(trajectory())
+
+    def test_plots_every_scored_candidate(self):
+        svg = render_roofline(trajectory())
+        assert svg.count("<ellipse") == 3
+        assert "machine balance" in svg
+        assert svg.startswith("<svg ")
+
+    def test_unscored_entries_skipped(self):
+        traj = trajectory() + [{"sequence": [], "round": 3}]
+        assert render_roofline(traj).count("<ellipse") == 3
+
+    def test_best_and_baseline_highlighted(self):
+        svg = render_roofline(trajectory())
+        assert "#b06048" in svg  # best marker + trajectory path
+        assert "#222222" in svg  # baseline marker
+
+    def test_intensity_in_tooltips(self):
+        svg = render_roofline(trajectory())
+        # 49152 ops / 3584 bytes ~= 13.71 ops/B for the best candidate.
+        assert "13.71 ops/B" in svg
+
+    def test_empty_trajectory_rejected(self):
+        with pytest.raises(VisualizationError):
+            render_roofline([])
+        with pytest.raises(VisualizationError):
+            render_roofline([{"sequence": [], "round": 0}])
+
+    def test_custom_machine_label(self):
+        svg = render_roofline(
+            trajectory(),
+            machine=MachineModel(1e12, 1e11, label="accelerator"),
+        )
+        assert "accelerator" in svg
+        assert "balance 10" in svg
+
+    def test_real_search_trajectory(self):
+        from repro.apps import cloudsc
+        from repro.tuning import TuningSearch
+
+        result = TuningSearch(
+            cloudsc.build_sdfg(), cloudsc.LOCAL_VIEW_SIZES,
+            beam=2, depth=1, budget=20,
+            capacity_lines=cloudsc.CACHE["capacity_lines"],
+        ).run()
+        svg = render_roofline(result.trajectory, title="cloudsc")
+        assert svg.count("<ellipse") == len(result.trajectory)
