@@ -1,0 +1,346 @@
+"""Chaos benchmark of the resilience layer; writes ``BENCH_resilience.json``.
+
+Injects deterministic faults (via :mod:`repro.resilience.chaos`) into a
+live in-process service and measures the four operational guarantees the
+resilience layer makes:
+
+- **Load shedding is fast**: with an endpoint saturated, excess requests
+  get their 429 + ``Retry-After`` at p50 < 10 ms — shed latency must
+  stay flat exactly when the server is busiest.
+- **Pool death degrades, never breaks**: with every worker SIGKILLed on
+  entry, sweeps fall back to serial evaluation behind the pool circuit
+  breaker; ≥ 99% of points still complete.
+- **Disk faults degrade, never break**: with every cache read/write
+  failing (EIO), interactive requests keep answering 200 while the disk
+  breaker opens; ≥ 99% availability, transitions visible in
+  ``/v1/metrics``.
+- **Drain completes in-flight streams**: a sweep stream opened before
+  drain begins runs to its normal ``end`` event; the drain then reports
+  a clean (non-forced) completion.
+
+Exit code 0 when every target is met, 1 otherwise.  Run with::
+
+    PYTHONPATH=src python benchmarks/resilience_bench.py
+"""
+
+import http.client
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.hdiff import hdiff_program  # noqa: E402
+from repro.resilience import chaos as chaos_mod  # noqa: E402
+from repro.serve.app import AnalysisServer  # noqa: E402
+from repro.tool.session import Session  # noqa: E402
+
+SHED_P50_TARGET_SECONDS = 0.010
+AVAILABILITY_TARGET = 0.99
+SHED_SAMPLES = 40
+DISK_SAMPLES = 30
+
+
+def fetch(port: int, path: str, headers: dict | None = None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        start = time.perf_counter()
+        conn.request("GET", path, headers=headers or {})
+        resp = conn.getresponse()
+        body = resp.read()
+        return resp.status, dict(resp.getheaders()), body, time.perf_counter() - start
+    finally:
+        conn.close()
+
+
+def post_stream(port: int, path: str, payload: dict):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request(
+            "POST", path, body=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        body = resp.read()
+        return resp.status, [
+            json.loads(line) for line in body.decode("utf-8").splitlines() if line
+        ]
+    finally:
+        conn.close()
+
+
+def wait_for(predicate, timeout=10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def breaker_states(snapshot: dict) -> list[str]:
+    return [t["state"] for t in snapshot.get("transitions", [])]
+
+
+# -- scenario 1: shed latency under saturation --------------------------------
+
+
+def scenario_shed(failures: list[str]) -> dict:
+    server = AnalysisServer(
+        Session(hdiff_program), port=0,
+        admission_limits={"/v1/local/view": (1, 0)},
+    ).start_background()
+    try:
+        chaos_mod.install("eval.slow:kind=sleep:delay=2")
+
+        def hold() -> None:
+            try:
+                fetch(server.port, "/v1/local/view?I=11&J=11&K=3")
+            except Exception:  # noqa: BLE001 - holder outcome is irrelevant
+                pass
+
+        holder = threading.Thread(target=hold, daemon=True)
+        holder.start()
+        assert wait_for(
+            lambda: server.admission.snapshot()["/v1/local/view"]["active"] == 1
+        ), "holder request never admitted"
+
+        latencies, statuses, retry_after_ok = [], [], True
+        for i in range(SHED_SAMPLES):
+            status, headers, _, elapsed = fetch(
+                server.port, f"/v1/local/view?I={12 + i}&J=4&K=2"
+            )
+            statuses.append(status)
+            latencies.append(elapsed)
+            retry_after_ok &= int(headers.get("Retry-After", 0)) >= 1
+        latencies.sort()
+        shed = {
+            "samples": SHED_SAMPLES,
+            "all_429": all(s == 429 for s in statuses),
+            "retry_after_present": retry_after_ok,
+            "p50_seconds": statistics.median(latencies),
+            "p95_seconds": latencies[int(0.95 * (SHED_SAMPLES - 1))],
+            "target_p50_seconds": SHED_P50_TARGET_SECONDS,
+        }
+        if not shed["all_429"]:
+            failures.append("shed: not every excess request got a 429")
+        if not retry_after_ok:
+            failures.append("shed: missing/invalid Retry-After header")
+        if shed["p50_seconds"] > SHED_P50_TARGET_SECONDS:
+            failures.append(
+                f"shed p50 {shed['p50_seconds'] * 1e3:.2f}ms exceeds "
+                f"{SHED_P50_TARGET_SECONDS * 1e3:.0f}ms target"
+            )
+        holder.join(timeout=30)  # let the held slot finish before stopping
+        return shed
+    finally:
+        chaos_mod.install(None)
+        server.stop()
+
+
+# -- scenario 2: pool death degrades to serial --------------------------------
+
+
+def scenario_pool_death(failures: list[str]) -> dict:
+    session = Session(hdiff_program)
+    chaos_mod.install("worker.kill:kind=kill")
+    try:
+        # worker.kill reaches pool workers through the environment under
+        # fork; install() covers them too, but set the env for spawn.
+        import os
+
+        os.environ["REPRO_CHAOS"] = "worker.kill:kind=kill"
+        chaos_mod.uninstall()
+        total = completed = 0
+        sweeps = []
+        for round_index in range(3):
+            grid = {"I": [4 + round_index, 8], "J": [4, 8], "K": [2, 3]}
+            start = time.perf_counter()
+            # retries must cover the worst case of the same point being
+            # in flight across every doomed pool generation, so that the
+            # serial fallback still owns every unfinished point.
+            run = session.sweep(
+                grid, workers=2, adaptive=False, on_error="record", retries=4
+            )
+            sweeps.append(
+                {
+                    "points": len(run),
+                    "completed": run.completed,
+                    "seconds": time.perf_counter() - start,
+                }
+            )
+            total += len(run)
+            completed += run.completed
+        del os.environ["REPRO_CHAOS"]
+        chaos_mod.install(None)
+        counters = session.metrics.to_dict()["counters"]
+        result = {
+            "points": total,
+            "completed": completed,
+            "availability": completed / total if total else 0.0,
+            "target_availability": AVAILABILITY_TARGET,
+            "serial_fallbacks": counters.get("sweep.serial_fallbacks", 0),
+            "breaker_skips": counters.get("sweep.breaker.skipped_pool", 0),
+            "pool_breaker_transitions": breaker_states(
+                session.pool_breaker.snapshot()
+            ),
+            "sweeps": sweeps,
+        }
+        if result["availability"] < AVAILABILITY_TARGET:
+            failures.append(
+                f"pool death: availability {result['availability']:.3f} "
+                f"below {AVAILABILITY_TARGET}"
+            )
+        if "open" not in result["pool_breaker_transitions"]:
+            failures.append("pool death: breaker never opened")
+        if result["serial_fallbacks"] < 1:
+            failures.append("pool death: no serial fallback recorded")
+        return result
+    finally:
+        chaos_mod.install(None)
+
+
+# -- scenario 3: disk faults degrade to memory-only ---------------------------
+
+
+def scenario_disk_faults(failures: list[str], cache_dir: Path) -> dict:
+    server = AnalysisServer(
+        Session(hdiff_program, cache_dir=cache_dir), port=0
+    ).start_background()
+    try:
+        chaos_mod.install("disk.read;disk.write")
+        ok = 0
+        latencies = []
+        for i in range(DISK_SAMPLES):
+            status, _, _, elapsed = fetch(
+                server.port, f"/v1/local/view?I={4 + i}&J=5&K=2"
+            )
+            ok += status == 200
+            latencies.append(elapsed)
+        status, _, body, _ = fetch(server.port, "/v1/metrics")
+        assert status == 200
+        metrics = json.loads(body)
+        disk_breaker = metrics["resilience"]["breakers"]["disk"]
+        result = {
+            "requests": DISK_SAMPLES,
+            "ok": ok,
+            "availability": ok / DISK_SAMPLES,
+            "target_availability": AVAILABILITY_TARGET,
+            "p50_seconds": statistics.median(sorted(latencies)),
+            "disk_breaker_state": disk_breaker["state"],
+            "disk_breaker_transitions": breaker_states(disk_breaker),
+            "io_errors": metrics["counters"].get("disk.io_errors", 0),
+            "breaker_skips": metrics["counters"].get("disk.breaker_skips", 0),
+            "chaos_sites": metrics["resilience"].get("chaos"),
+        }
+        if result["availability"] < AVAILABILITY_TARGET:
+            failures.append(
+                f"disk faults: availability {result['availability']:.3f} "
+                f"below {AVAILABILITY_TARGET}"
+            )
+        if "open" not in result["disk_breaker_transitions"]:
+            failures.append(
+                "disk faults: breaker never opened (transitions not visible)"
+            )
+        return result
+    finally:
+        chaos_mod.install(None)
+        server.stop()
+
+
+# -- scenario 4: drain completes in-flight streams ----------------------------
+
+
+def scenario_drain(failures: list[str]) -> dict:
+    server = AnalysisServer(Session(hdiff_program), port=0).start_background()
+    try:
+        chaos_mod.install("eval.slow:kind=sleep:delay=0.05")
+        stream_result: dict = {}
+
+        def stream() -> None:
+            stream_result["status"], stream_result["events"] = post_stream(
+                server.port, "/v1/sweep",
+                {"grid": {"I": [4, 5, 6, 7], "J": [4, 5], "K": [2]}},
+            )
+
+        client = threading.Thread(target=stream, daemon=True)
+        client.start()
+        assert wait_for(lambda: server.drain.inflight == 1), "stream never started"
+        drain_begun = time.perf_counter()
+        server.begin_drain()
+        shed_status = fetch(server.port, "/v1/local/view?I=4&J=4&K=2")[0]
+        client.join(timeout=60)
+        clean = server.drain.wait_idle(timeout=10)
+        drain_seconds = time.perf_counter() - drain_begun
+        events = stream_result.get("events", [])
+        result = {
+            "stream_completed": bool(events) and events[-1].get("event") == "end",
+            "stream_points": events[-1].get("points") if events else None,
+            "new_work_status_during_drain": shed_status,
+            "drain_clean": clean,
+            "drain_seconds": drain_seconds,
+        }
+        if not result["stream_completed"]:
+            failures.append("drain: in-flight stream did not reach its end event")
+        if shed_status != 503:
+            failures.append(
+                f"drain: new work got {shed_status}, expected 503"
+            )
+        if not clean:
+            failures.append("drain: in-flight work did not finish (forced)")
+        return result
+    finally:
+        chaos_mod.install(None)
+        server.stop()
+
+
+def main() -> int:
+    failures: list[str] = []
+    report: dict = {"program": "hdiff"}
+    report["shed"] = scenario_shed(failures)
+    report["pool_death"] = scenario_pool_death(failures)
+    with tempfile.TemporaryDirectory(prefix="repro-resilience-") as tmp:
+        report["disk_faults"] = scenario_disk_faults(failures, Path(tmp))
+    report["drain"] = scenario_drain(failures)
+    report["ok"] = not failures
+    report["failures"] = failures
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    shed, pool, disk, drain = (
+        report["shed"], report["pool_death"], report["disk_faults"], report["drain"]
+    )
+    print(
+        f"shed p50:               {shed['p50_seconds'] * 1e3:8.2f} ms"
+        f"  (target {SHED_P50_TARGET_SECONDS * 1e3:.0f} ms, all 429: "
+        f"{shed['all_429']})"
+    )
+    print(
+        f"pool-death availability:{pool['availability']:8.3f}"
+        f"  (breaker: {' -> '.join(pool['pool_breaker_transitions'])})"
+    )
+    print(
+        f"disk-fault availability:{disk['availability']:8.3f}"
+        f"  (breaker: {' -> '.join(disk['disk_breaker_transitions'])})"
+    )
+    print(
+        f"drain:                  stream end={drain['stream_completed']}"
+        f"  clean={drain['drain_clean']}"
+        f"  in {drain['drain_seconds']:.2f} s"
+    )
+    print(f"wrote {out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("resilience benchmark targets met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

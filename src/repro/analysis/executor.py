@@ -48,6 +48,7 @@ from time import perf_counter
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import AnalysisError, ReproError
+from repro.resilience.chaos import inject as _chaos
 
 __all__ = ["CancelToken", "SweepExecutor", "SweepPointError", "SweepRun"]
 
@@ -99,7 +100,13 @@ def _worker_evaluate_batch(
     """
     out: list[tuple] = []
     for params in params_list:
+        # Chaos sites run worker-side (the spec rides in on REPRO_CHAOS,
+        # which worker processes inherit): a "worker.kill" fault SIGKILLs
+        # this process — the coordinating side sees BrokenProcessPool.
+        _chaos("worker.kill")
+        _chaos("eval.slow")
         try:
+            _chaos("eval.error")
             point = fn(
                 sdfg_text, params, line_size, capacity_lines,
                 include_transients, fast,
@@ -355,6 +362,7 @@ class SweepExecutor:
         pool_overhead: float = 0.35,
         cores: int | None = None,
         batch: int | None = None,
+        breaker=None,
     ):
         self.workers = workers
         self.retries = int(retries)
@@ -371,6 +379,13 @@ class SweepExecutor:
         if batch is not None and int(batch) < 1:
             raise ValueError("batch must be >= 1")
         self.batch = None if batch is None else int(batch)
+        #: Optional :class:`~repro.resilience.breaker.CircuitBreaker`
+        #: guarding the pool path.  Shared across runs (a session passes
+        #: its long-lived breaker), so a pool that keeps dying stops
+        #: being retried on every sweep: while the breaker is open the
+        #: executor goes straight to serial evaluation, and a half-open
+        #: probe re-tries the pool once per cooldown.
+        self.breaker = breaker
 
     # -- observability helpers ---------------------------------------------
     def _count(self, name: str, amount: int = 1) -> None:
@@ -437,6 +452,11 @@ class SweepExecutor:
             use_pool = (
                 self.workers is not None and self.workers >= 1 and len(grid) > 1
             )
+            if use_pool and self.breaker is not None and not self.breaker.allow():
+                # The pool breaker is open: degrade to serial without
+                # paying the spawn-and-die cycle again this run.
+                self._count("sweep.breaker.skipped_pool")
+                use_pool = False
             outcomes: list | None = None
             if use_pool and self.adaptive and not (
                 cancel is not None and cancel.cancelled
@@ -463,11 +483,19 @@ class SweepExecutor:
                     )
                 except _PoolUnavailable as exc:
                     # The narrow "pool cannot spawn" case — and only it.
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
                     self._count("sweep.serial_fallbacks")
                     outcomes = self._run_serial(
                         sdfg, grid, cfg, cancel, on_result, fail_fast,
                         outcomes=exc.outcomes,
                     )
+                else:
+                    if self.breaker is not None:
+                        if self._pool_gave_up:
+                            self.breaker.record_failure()
+                        else:
+                            self.breaker.record_success()
             else:
                 outcomes = self._run_serial(
                     sdfg, grid, cfg, cancel, on_result, fail_fast,
@@ -563,7 +591,9 @@ class SweepExecutor:
         while True:
             attempts += 1
             start = perf_counter()
+            _chaos("eval.slow")
             try:
+                _chaos("eval.error")
                 # An injected in-process evaluator wins over the worker
                 # entry point: it reuses the caller's memoized pipeline.
                 if self.serial_fn is not None:
@@ -610,6 +640,7 @@ class SweepExecutor:
     # -- pool path ---------------------------------------------------------
     def _spawn_pool(self, nworkers: int, outcomes: list | None) -> ProcessPoolExecutor:
         try:
+            _chaos("pool.spawn")
             pool = ProcessPoolExecutor(max_workers=nworkers)
         except (ImportError, NotImplementedError, OSError, PermissionError,
                 RuntimeError, ValueError) as exc:
@@ -629,6 +660,7 @@ class SweepExecutor:
     ) -> list:
         from repro.sdfg.serialize import dumps
 
+        self._pool_gave_up = False
         fn = self.point_fn or _worker_evaluate
         sdfg_text = dumps(sdfg, indent=None)
         n = len(grid)
@@ -904,6 +936,7 @@ class SweepExecutor:
                             raise _PoolUnavailable(
                                 "worker pool never became operational", outcomes
                             )
+                        self._pool_gave_up = True
                         remaining = list(todo) + [i for _, i in retry_at]
                         todo.clear()
                         retry_at.clear()

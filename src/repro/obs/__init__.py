@@ -30,7 +30,7 @@ re-scoring was served from the incremental pass cache.  Map-fusion
 convergence failures surface as ``transforms.fusion.rounds_capped``.
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, StateGauge
 from repro.obs.trace import NullSpan, Span, Tracer
 
 __all__ = [
@@ -40,5 +40,6 @@ __all__ = [
     "MetricsRegistry",
     "NullSpan",
     "Span",
+    "StateGauge",
     "Tracer",
 ]

@@ -22,7 +22,7 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Any
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "StateGauge"]
 
 
 class Counter:
@@ -137,6 +137,33 @@ class Histogram:
         return f"Histogram({self.name!r}, n={self.count})"
 
 
+class StateGauge:
+    """A categorical instrument: one named string value at a time.
+
+    Used for lifecycle phases — circuit-breaker state, the server's
+    serving/draining phase — where a numeric gauge would force every
+    reader to memorize an encoding.  Transitions are counted so a
+    flapping state is visible even between scrapes.
+    """
+
+    __slots__ = ("name", "value", "transitions", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: str = ""
+        self.transitions = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: str) -> None:
+        with self._lock:
+            if value != self.value:
+                self.transitions += 1
+            self.value = str(value)
+
+    def __repr__(self) -> str:
+        return f"StateGauge({self.name!r}, {self.value!r})"
+
+
 class MetricsRegistry:
     """Named instruments, created on first use, exported as one document."""
 
@@ -144,6 +171,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._states: dict[str, StateGauge] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -165,6 +193,13 @@ class MetricsRegistry:
             instrument = self._histograms.get(name)
             if instrument is None:
                 instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def state(self, name: str) -> StateGauge:
+        with self._lock:
+            instrument = self._states.get(name)
+            if instrument is None:
+                instrument = self._states[name] = StateGauge(name)
         return instrument
 
     @contextmanager
@@ -189,6 +224,10 @@ class MetricsRegistry:
             "histograms": {
                 n: h.summary() for n, h in sorted(self._histograms.items())
             },
+            "states": {
+                n: {"value": s.value, "transitions": s.transitions}
+                for n, s in sorted(self._states.items())
+            },
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -204,6 +243,7 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._states.clear()
 
     def __repr__(self) -> str:
         return (

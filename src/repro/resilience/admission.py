@@ -1,0 +1,185 @@
+"""Admission control: bounded per-endpoint concurrency with load shedding.
+
+The serve layer admits each request through this controller before any
+work happens.  Every endpoint has a concurrency *limit* and a bounded
+wait *queue*; a request that finds the endpoint saturated **and** the
+queue full is shed immediately with :class:`Overloaded` (HTTP 429 +
+``Retry-After``) instead of piling onto an unbounded backlog — under
+overload the server answers *fast* with "try later" rather than slowly
+with everything.
+
+All bookkeeping is event-loop-confined, exactly like the coalescer:
+acquire/release run only from coroutines on the owning loop, so no
+locks are needed and a shed decision is a dictionary lookup plus a
+counter — microseconds, which is what keeps shed latency flat while
+the workers are saturated.
+
+``Retry-After`` hints come from a per-endpoint EWMA of recent service
+times: the suggested delay is roughly "how long until the work ahead of
+you drains", clamped to [1, 30] seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Mapping
+
+__all__ = ["AdmissionController", "EndpointLimit", "Overloaded"]
+
+
+class Overloaded(Exception):
+    """The endpoint is saturated and its wait queue is full (shed)."""
+
+    def __init__(self, message: str, retry_after: int):
+        super().__init__(message)
+        self.retry_after = int(retry_after)
+
+
+class EndpointLimit:
+    """Admission configuration and live state for one endpoint."""
+
+    __slots__ = ("limit", "queue_limit", "active", "waiters", "ewma_seconds")
+
+    def __init__(self, limit: int, queue_limit: int):
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.limit = int(limit)
+        self.queue_limit = int(queue_limit)
+        self.active = 0
+        self.waiters: deque[asyncio.Future] = deque()
+        #: Exponentially weighted service time; seeds the Retry-After hint.
+        self.ewma_seconds = 0.1
+
+    def retry_after(self) -> int:
+        backlog = self.active + len(self.waiters)
+        estimate = self.ewma_seconds * max(1, backlog) / self.limit
+        return max(1, min(30, round(estimate)))
+
+
+#: Default per-endpoint limits: interactive endpoints are wide — they
+#: coalesce, so admitted concurrency is mostly cheap waiters, and a
+#: tight limit would split an identical burst into sequential
+#: evaluation groups.  The streaming endpoints (which hold a worker for
+#: a whole grid/search) are narrow.  Unlisted endpoints share ``"*"``.
+DEFAULT_LIMITS: dict[str, tuple[int, int]] = {
+    "/v1/local/view": (32, 32),
+    "/v1/global/heatmap": (32, 32),
+    "/v1/sweep": (2, 2),
+    "/v1/tune": (1, 2),
+    "*": (16, 16),
+}
+
+
+class AdmissionController:
+    """Bounded admission per endpoint with fast-fail shedding."""
+
+    def __init__(
+        self,
+        limits: Mapping[str, tuple[int, int]] | None = None,
+        metrics=None,
+    ):
+        merged = dict(DEFAULT_LIMITS)
+        if limits:
+            merged.update(limits)
+        default = merged.pop("*")
+        self._default = default
+        self._limits: dict[str, EndpointLimit] = {
+            path: EndpointLimit(*cfg) for path, cfg in merged.items()
+        }
+        self._metrics = metrics
+
+    # -- observability -----------------------------------------------------
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
+
+    def _gauges(self, endpoint: str, state: EndpointLimit) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge(f"admission.{endpoint}.active").set(state.active)
+            self._metrics.gauge(f"admission.{endpoint}.queued").set(
+                len(state.waiters)
+            )
+
+    # -- admission ---------------------------------------------------------
+    def _state(self, path: str) -> EndpointLimit:
+        state = self._limits.get(path)
+        if state is None:
+            state = self._limits[path] = EndpointLimit(*self._default)
+        return state
+
+    async def acquire(self, path: str, endpoint: str) -> None:
+        """Admit one request for *path*, waiting in the bounded queue.
+
+        Raises :class:`Overloaded` when the endpoint is saturated and
+        the queue is full.  *endpoint* is the metric-friendly name.
+        On queue-wait cancellation (client gone, deadline expired) the
+        slot is released correctly.
+        """
+        state = self._state(path)
+        if state.active < state.limit:
+            state.active += 1
+            self._count(f"admission.{endpoint}.admitted")
+            self._gauges(endpoint, state)
+            return
+        if len(state.waiters) >= state.queue_limit:
+            self._count(f"admission.{endpoint}.shed")
+            self._gauges(endpoint, state)
+            raise Overloaded(
+                f"{path} is saturated ({state.limit} in flight, "
+                f"{len(state.waiters)} queued)",
+                state.retry_after(),
+            )
+        future = asyncio.get_running_loop().create_future()
+        state.waiters.append(future)
+        self._count(f"admission.{endpoint}.queued_waits")
+        self._gauges(endpoint, state)
+        try:
+            await future
+        except asyncio.CancelledError:
+            # Either still queued (remove us) or a release() already
+            # granted the slot (pass it on instead of leaking it).
+            if future in state.waiters:
+                state.waiters.remove(future)
+            elif future.done() and not future.cancelled():
+                # release() granted us the slot (active already counts
+                # it) but we will never use it — hand it onward.
+                state.active -= 1
+                self._release_state(path, endpoint, state)
+            self._gauges(endpoint, state)
+            raise
+        # Granted: release() already incremented active on our behalf.
+        self._count(f"admission.{endpoint}.admitted")
+        self._gauges(endpoint, state)
+
+    def release(self, path: str, endpoint: str, seconds: float | None = None) -> None:
+        """Return one slot; hands it straight to the oldest queued waiter."""
+        state = self._state(path)
+        if seconds is not None:
+            state.ewma_seconds += 0.3 * (seconds - state.ewma_seconds)
+        state.active -= 1
+        self._release_state(path, endpoint, state)
+        self._gauges(endpoint, state)
+
+    def _release_state(self, path: str, endpoint: str, state: EndpointLimit) -> None:
+        while state.waiters and state.active < state.limit:
+            future = state.waiters.popleft()
+            if future.done():
+                continue  # waiter already cancelled
+            state.active += 1
+            future.set_result(None)
+            break
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            path: {
+                "limit": state.limit,
+                "queue_limit": state.queue_limit,
+                "active": state.active,
+                "queued": len(state.waiters),
+                "ewma_seconds": round(state.ewma_seconds, 6),
+            }
+            for path, state in sorted(self._limits.items())
+        }

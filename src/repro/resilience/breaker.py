@@ -1,0 +1,160 @@
+"""A classic three-state circuit breaker for flaky dependencies.
+
+Wrapped around the sweep worker pool and the persistent disk-cache
+tier: consecutive dependency failures trip the breaker *open*, callers
+stop touching the dependency (pool sweeps degrade to serial evaluation,
+disk caching degrades to memory-only), and after ``reset_timeout``
+seconds a single *half-open* probe is let through — success closes the
+breaker, failure re-opens it for another cooldown.
+
+This differs from the permanent degradation the disk cache already had
+(PR 5): permanent degradation is right for conditions that cannot heal
+within a process lifetime (``ENOSPC``, an unwritable directory), while
+the breaker handles *transient* faults — a NFS blip, a dying worker
+host — that deserve periodic re-probing instead of giving up forever.
+
+Thread-safe; every transition is observable through the attached
+metrics registry (``breaker.<name>.state`` state gauge plus
+``.opened`` / ``.probes`` / ``.failures`` counters).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing.
+
+    Parameters
+    ----------
+    name:
+        Metric namespace (``breaker.<name>.*``).
+    failure_threshold:
+        Consecutive :meth:`record_failure` calls that trip the breaker.
+    reset_timeout:
+        Seconds the breaker stays open before allowing one probe.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        reset_timeout: float = 5.0,
+        metrics=None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.metrics = metrics
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        #: Lifetime transition log entries ``(state, at)`` — bounded.
+        self.transitions: list[tuple[str, float]] = [(CLOSED, clock())]
+        self._set_state_metric(CLOSED)
+
+    # -- observability -----------------------------------------------------
+    def _count(self, suffix: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"breaker.{self.name}.{suffix}").inc()
+
+    def _set_state_metric(self, state: str) -> None:
+        if self.metrics is not None:
+            self.metrics.state(f"breaker.{self.name}.state").set(state)
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        if len(self.transitions) < 256:
+            self.transitions.append((state, self._clock()))
+        self._set_state_metric(state)
+
+    # -- state machine -----------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._transition(HALF_OPEN)
+            self._probing = False
+
+    def allow(self) -> bool:
+        """May the protected dependency be used for this call?
+
+        Closed: always.  Open: never (until the cooldown elapses).
+        Half-open: exactly one caller gets ``True`` — the probe — and
+        everyone else waits for its verdict.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                self._count("probes")
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._count("failures")
+            if self._state == HALF_OPEN:
+                # The probe failed: back to a full cooldown.
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+                self._count("opened")
+                self._probing = False
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.failure_threshold:
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+                self._count("opened")
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout": self.reset_timeout,
+                "transitions": [
+                    {"state": state, "at": at} for state, at in self.transitions
+                ],
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.name!r}, state={self.state!r})"

@@ -1,0 +1,254 @@
+"""Deterministic fault injection at named sites (``REPRO_CHAOS``).
+
+Resilience code is only trustworthy if its failure paths actually run,
+so the library carries its own chaos harness: production code calls
+:func:`inject` at *named sites* (pool spawn, worker evaluation, disk
+reads/writes, response sends), and a :class:`Chaos` spec — parsed from
+the ``REPRO_CHAOS`` environment variable or installed programmatically —
+decides deterministically whether that call fails, sleeps, or kills the
+process.  With no spec active, :func:`inject` is a cheap no-op.
+
+Spec grammar (sites separated by ``;``, options by ``:``)::
+
+    REPRO_CHAOS="disk.read:kind=raise:exc=oserror:every=2"
+    REPRO_CHAOS="worker.kill:kind=kill:times=1;pool.spawn:kind=raise:times=2"
+    REPRO_CHAOS="eval.slow:kind=sleep:delay=0.2:rate=0.5:seed=7"
+
+Options per site:
+
+===========  ===============================================================
+``kind``     ``raise`` (default), ``sleep`` or ``kill``
+``exc``      for ``raise``: ``oserror`` (default, ``EIO``), ``connreset``,
+             ``runtime``
+``delay``    for ``sleep``: seconds to stall (default 0.1)
+``every``    fire on every Nth call to the site (1-indexed)
+``times``    fire on the first N calls only
+``after``    fire on every call after the first N
+``rate``     fire with probability R per call, from a seeded RNG
+``seed``     RNG seed for ``rate`` (default 0) — same seed, same sequence
+===========  ===============================================================
+
+Triggers compose with AND when combined (e.g. ``every=2:times=4`` fires
+on calls 2 and 4 only).  Counters are per-process, so worker processes —
+which inherit ``REPRO_CHAOS`` through the environment — each run their
+own deterministic schedule.
+
+The catalog of sites wired through the library (see DESIGN.md §16):
+
+=================  =========================================================
+``pool.spawn``     creating the sweep worker pool (executor)
+``worker.kill``    inside a pool worker, before evaluating a point
+``eval.slow``      before any in-process/worker point evaluation
+``eval.error``     before any in-process/worker point evaluation
+``disk.read``      reading a persistent-cache entry
+``disk.write``     writing a persistent-cache entry
+``http.send``      writing an HTTP response or stream line
+=================  =========================================================
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["Chaos", "ChaosSpecError", "SiteSpec", "active", "inject", "install", "uninstall"]
+
+_KINDS = ("raise", "sleep", "kill")
+_EXCS = ("oserror", "connreset", "runtime")
+
+
+class ChaosSpecError(ReproError):
+    """A ``REPRO_CHAOS`` spec that cannot be parsed."""
+
+
+class SiteSpec:
+    """Parsed injection rule for one named site."""
+
+    __slots__ = (
+        "site", "kind", "exc", "delay", "every", "times", "after",
+        "rate", "seed", "calls", "fired", "_rng", "_lock",
+    )
+
+    def __init__(
+        self,
+        site: str,
+        kind: str = "raise",
+        exc: str = "oserror",
+        delay: float = 0.1,
+        every: int | None = None,
+        times: int | None = None,
+        after: int | None = None,
+        rate: float | None = None,
+        seed: int = 0,
+    ):
+        if kind not in _KINDS:
+            raise ChaosSpecError(f"site {site!r}: unknown kind {kind!r} {_KINDS}")
+        if exc not in _EXCS:
+            raise ChaosSpecError(f"site {site!r}: unknown exc {exc!r} {_EXCS}")
+        if every is not None and every < 1:
+            raise ChaosSpecError(f"site {site!r}: every must be >= 1")
+        if rate is not None and not (0.0 <= rate <= 1.0):
+            raise ChaosSpecError(f"site {site!r}: rate must be in [0, 1]")
+        self.site = site
+        self.kind = kind
+        self.exc = exc
+        self.delay = float(delay)
+        self.every = every
+        self.times = times
+        self.after = after
+        self.rate = rate
+        self.seed = int(seed)
+        self.calls = 0
+        self.fired = 0
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+
+    def should_fire(self) -> bool:
+        """Count one call at this site; decide deterministically."""
+        with self._lock:
+            self.calls += 1
+            n = self.calls
+            fire = self.every is not None or self.times is not None or \
+                self.after is not None or self.rate is not None
+            if self.every is not None and n % self.every != 0:
+                fire = False
+            if self.times is not None and n > self.times:
+                fire = False
+            if self.after is not None and n <= self.after:
+                fire = False
+            if fire and self.rate is not None:
+                fire = self._rng.random() < self.rate
+            if fire:
+                self.fired += 1
+            return fire
+
+    def execute(self) -> None:
+        """Carry out the configured fault (raise / sleep / SIGKILL)."""
+        if self.kind == "sleep":
+            time.sleep(self.delay)
+            return
+        if self.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+            return  # pragma: no cover - the line above does not return
+        if self.exc == "connreset":
+            raise ConnectionResetError(f"chaos: injected disconnect at {self.site}")
+        if self.exc == "runtime":
+            raise RuntimeError(f"chaos: injected failure at {self.site}")
+        import errno
+
+        raise OSError(errno.EIO, f"chaos: injected I/O error at {self.site}")
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "calls": self.calls,
+            "fired": self.fired,
+        }
+
+
+class Chaos:
+    """A set of site specs; the active instance drives :func:`inject`."""
+
+    def __init__(self, sites: Mapping[str, SiteSpec]):
+        self.sites = dict(sites)
+
+    @classmethod
+    def parse(cls, spec: str) -> "Chaos":
+        """Parse the ``REPRO_CHAOS`` grammar into a :class:`Chaos`."""
+        sites: dict[str, SiteSpec] = {}
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            parts = clause.split(":")
+            site = parts[0].strip()
+            if not site:
+                raise ChaosSpecError(f"empty site name in {clause!r}")
+            kwargs: dict[str, Any] = {}
+            for part in parts[1:]:
+                name, sep, value = part.partition("=")
+                if not sep:
+                    raise ChaosSpecError(
+                        f"site {site!r}: expected key=value, got {part!r}"
+                    )
+                name = name.strip()
+                value = value.strip()
+                try:
+                    if name in ("every", "times", "after", "seed"):
+                        kwargs[name] = int(value)
+                    elif name in ("delay", "rate"):
+                        kwargs[name] = float(value)
+                    elif name in ("kind", "exc"):
+                        kwargs[name] = value
+                    else:
+                        raise ChaosSpecError(
+                            f"site {site!r}: unknown option {name!r}"
+                        )
+                except ValueError:
+                    raise ChaosSpecError(
+                        f"site {site!r}: bad value for {name}: {value!r}"
+                    ) from None
+            if not any(k in kwargs for k in ("every", "times", "after", "rate")):
+                kwargs["every"] = 1  # a bare site fires on every call
+            sites[site] = SiteSpec(site, **kwargs)
+        if not sites:
+            raise ChaosSpecError(f"chaos spec has no sites: {spec!r}")
+        return cls(sites)
+
+    def fire(self, site: str) -> None:
+        spec = self.sites.get(site)
+        if spec is not None and spec.should_fire():
+            spec.execute()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Per-site call/fire counts (served under ``/v1/metrics``)."""
+        return {name: spec.snapshot() for name, spec in self.sites.items()}
+
+
+#: Lazily initialized from ``REPRO_CHAOS``; ``None`` means "no chaos".
+_UNSET = object()
+_active: Any = _UNSET
+_active_lock = threading.Lock()
+
+
+def active() -> Chaos | None:
+    """The process-wide chaos instance (env-loaded on first use)."""
+    global _active
+    if _active is _UNSET:
+        with _active_lock:
+            if _active is _UNSET:
+                spec = os.environ.get("REPRO_CHAOS", "").strip()
+                _active = Chaos.parse(spec) if spec else None
+    return _active
+
+
+def install(spec: str | Chaos | None) -> Chaos | None:
+    """Install a chaos instance programmatically (tests, ``--chaos``).
+
+    Accepts a spec string, a ready :class:`Chaos`, or ``None`` to
+    disable injection regardless of the environment.
+    """
+    global _active
+    with _active_lock:
+        _active = Chaos.parse(spec) if isinstance(spec, str) else spec
+    return _active
+
+
+def uninstall() -> None:
+    """Forget the active instance; the next call re-reads the environment."""
+    global _active
+    with _active_lock:
+        _active = _UNSET
+
+
+def inject(site: str) -> None:
+    """Fault-injection hook: no-op unless an active spec targets *site*."""
+    chaos = active()
+    if chaos is not None:
+        chaos.fire(site)

@@ -1,0 +1,116 @@
+"""Graceful-drain lifecycle for the long-lived analysis service.
+
+A :class:`DrainState` tracks the server's lifecycle phase and its
+in-flight request count, thread-safely (signal handlers, the event
+loop, and test threads all touch it):
+
+- ``serving`` — normal operation; requests enter and exit freely;
+- ``draining`` — SIGTERM arrived: ``/v1/healthz`` reports draining (so
+  load balancers stop routing here), new work is refused with 503, and
+  in-flight requests — including open NDJSON streams — run to
+  completion;
+- ``stopped`` — the drain finished (or timed out and was forced).
+
+:meth:`wait_idle` blocks until the in-flight count reaches zero or the
+drain timeout passes; the caller then force-cancels whatever is left.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+__all__ = ["DrainState"]
+
+SERVING = "serving"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+
+class DrainState:
+    """Thread-safe lifecycle phase + in-flight request accounting."""
+
+    def __init__(self, metrics=None):
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._phase = SERVING
+        self._inflight = 0
+        self._metrics = metrics
+        self._set_phase_metric(SERVING)
+
+    def _set_phase_metric(self, phase: str) -> None:
+        if self._metrics is not None:
+            self._metrics.state("serve.phase").set(phase)
+
+    @property
+    def phase(self) -> str:
+        with self._lock:
+            return self._phase
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._phase != SERVING
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def enter(self) -> bool:
+        """Register one request; ``False`` when no longer admitting."""
+        with self._lock:
+            if self._phase != SERVING:
+                return False
+            self._inflight += 1
+            if self._metrics is not None:
+                self._metrics.gauge("serve.inflight").set(self._inflight)
+            return True
+
+    def exit(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            if self._metrics is not None:
+                self._metrics.gauge("serve.inflight").set(self._inflight)
+            if self._inflight <= 0:
+                self._idle.notify_all()
+
+    def begin_drain(self) -> bool:
+        """Flip to draining; ``True`` on the first call, idempotent after."""
+        with self._lock:
+            if self._phase != SERVING:
+                return False
+            self._phase = DRAINING
+            self._set_phase_metric(DRAINING)
+            if self._metrics is not None:
+                self._metrics.counter("serve.drain.initiated").inc()
+            return True
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until in-flight work finished; ``False`` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._inflight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                if not self._idle.wait(timeout=remaining):
+                    return False
+            return True
+
+    def stop(self, forced: bool) -> None:
+        with self._lock:
+            self._phase = STOPPED
+            self._set_phase_metric(STOPPED)
+            if self._metrics is not None and forced:
+                self._metrics.counter("serve.drain.forced").inc()
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {"phase": self._phase, "inflight": self._inflight}
+
+    def __repr__(self) -> str:
+        return f"DrainState({self.phase!r}, inflight={self.inflight})"

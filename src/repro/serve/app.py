@@ -39,11 +39,16 @@ import asyncio
 import hashlib
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Callable, Mapping
 
 from repro.analysis.executor import CancelToken, SweepPointError
 from repro.errors import ReproError
+from repro.resilience.admission import AdmissionController, Overloaded
+from repro.resilience.chaos import active as _chaos_active
+from repro.resilience.deadline import DEADLINE_REASON, Deadline, DeadlineExceeded
+from repro.resilience.drain import DrainState
 from repro.serve.coalesce import Coalescer
 from repro.serve.http import (
     Connection,
@@ -56,9 +61,18 @@ from repro.serve.http import (
 from repro.tool.session import Session
 from repro.version import __version__
 
-__all__ = ["AnalysisServer"]
+__all__ = ["AnalysisServer", "ServeShutdownWarning"]
 
 _CACHE_PARAMS = ("line_size", "capacity", "transients", "fast")
+
+#: Control-plane paths that bypass admission control and drain shedding:
+#: load balancers and operators must be able to probe a saturated or
+#: draining server.
+_EXEMPT_PATHS = frozenset({"/", "/v1/healthz", "/v1/metrics"})
+
+
+class ServeShutdownWarning(RuntimeWarning):
+    """stop() could not join the server loop thread within its timeout."""
 
 
 def _etag(key: Any) -> str:
@@ -85,6 +99,41 @@ def _parse_symbols(query: Mapping[str, str]) -> dict[str, int]:
     return out
 
 
+def _parse_deadline_header(request: Request) -> Deadline | None:
+    """The request deadline from ``X-Repro-Deadline-Ms`` (or ``None``)."""
+    raw = request.header("x-repro-deadline-ms")
+    if raw is None:
+        return None
+    try:
+        ms = float(raw)
+    except ValueError:
+        raise HttpError(
+            400, f"bad X-Repro-Deadline-Ms value {raw!r} (milliseconds)"
+        ) from None
+    if ms <= 0:
+        raise HttpError(400, "X-Repro-Deadline-Ms must be positive")
+    return Deadline.after_ms(ms)
+
+
+def _deadline_from_body(
+    body: Mapping[str, Any], header: Deadline | None
+) -> Deadline | None:
+    """The effective stream deadline: ``deadline_ms`` body field, header,
+    or the tighter of the two."""
+    raw = body.get("deadline_ms")
+    if raw is None:
+        return header
+    try:
+        ms = float(raw)
+    except (TypeError, ValueError):
+        raise HttpError(
+            400, f"bad deadline_ms value {raw!r} (milliseconds)"
+        ) from None
+    if ms <= 0:
+        raise HttpError(400, "deadline_ms must be positive")
+    return Deadline.after_ms(ms).tighten(header)
+
+
 def _parse_cache_model(query: Mapping[str, str]) -> tuple[int, int]:
     try:
         line_size = int(query.get("line_size", "64"))
@@ -105,6 +154,8 @@ class AnalysisServer:
         host: str = "127.0.0.1",
         port: int = 0,
         workers: int = 2,
+        admission_limits: Mapping[str, tuple[int, int]] | None = None,
+        drain_timeout: float = 10.0,
     ):
         self.session = session
         self.host = host
@@ -113,6 +164,9 @@ class AnalysisServer:
         self.metrics = session.metrics
         self.tracer = session.tracer
         self._coalescer = Coalescer(self.metrics)
+        self.admission = AdmissionController(admission_limits, metrics=self.metrics)
+        self.drain = DrainState(metrics=self.metrics)
+        self.drain_timeout = float(drain_timeout)
         #: The session (pipeline, stores, caches) is not thread-safe;
         #: every evaluation holds this lock.  Coalescing — not pool
         #: parallelism — is what makes N identical clients cheap.
@@ -190,11 +244,22 @@ class AnalysisServer:
             raise failure[0]
         return self
 
-    def stop(self) -> None:
-        """Stop a background server and join its loop thread."""
+    def stop(self, join_timeout: float = 10.0) -> bool:
+        """Stop a background server and join its loop thread.
+
+        Returns ``True`` when the loop thread actually exited.  A wedged
+        handler (one that swallows its cancellation) can keep the loop
+        thread alive past *join_timeout*; in that case the worker pool is
+        **not** shut down — tearing it down under a still-running loop
+        would hand live handlers a dead executor — and the failure is
+        surfaced as a :class:`ServeShutdownWarning` plus the
+        ``serve.stop.join_timeouts`` counter instead of being ignored.
+        The thread is a daemon, so a leaked loop dies with the process.
+        """
         loop, thread = self._loop, self._thread
         if loop is None or thread is None:
-            return
+            return True
+        self.drain.stop(forced=False)
 
         async def shutdown() -> None:
             if self._server is not None:
@@ -206,9 +271,41 @@ class AnalysisServer:
             loop.stop()
 
         asyncio.run_coroutine_threadsafe(shutdown(), loop)
-        thread.join(timeout=10)
+        thread.join(timeout=join_timeout)
+        if thread.is_alive():
+            self.metrics.counter("serve.stop.join_timeouts").inc()
+            warnings.warn(
+                f"server loop thread still alive after {join_timeout:.1f}s; "
+                "a handler is ignoring cancellation — leaving the worker "
+                "pool running and the loop thread leaked (daemon)",
+                ServeShutdownWarning,
+                stacklevel=2,
+            )
+            return False
         self._pool.shutdown(wait=False, cancel_futures=True)
         self._thread = None
+        return True
+
+    def begin_drain(self) -> bool:
+        """Flip to draining: healthz goes 503, new work is shed with 503.
+
+        Idempotent; in-flight requests (including open streams) continue.
+        """
+        return self.drain.begin_drain()
+
+    def drain_and_stop(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown: drain in-flight work, then stop the server.
+
+        Returns ``True`` when every in-flight request finished within
+        *timeout* (default: the constructor's ``drain_timeout``); on
+        ``False`` the stragglers were force-cancelled.
+        """
+        timeout = self.drain_timeout if timeout is None else float(timeout)
+        self.begin_drain()
+        clean = self.drain.wait_idle(timeout=timeout)
+        self.drain.stop(forced=not clean)
+        self.stop()
+        return clean
 
     # -- connection handling --------------------------------------------------
     async def _handle_connection(
@@ -224,7 +321,9 @@ class AnalysisServer:
                     request = await read_request(conn)
                 except HttpError as exc:
                     await conn.send(
-                        json_response({"error": str(exc)}, exc.status),
+                        json_response(
+                            {"error": str(exc)}, exc.status, headers=exc.headers
+                        ),
                         keep_alive=False,
                     )
                     break
@@ -251,20 +350,69 @@ class AnalysisServer:
             await conn.close()
 
     async def _dispatch(self, conn: Connection, request: Request) -> bool:
-        """Route one request.  Returns whether to keep the connection."""
+        """Route one request.  Returns whether to keep the connection.
+
+        Work endpoints pass three gates before their handler runs:
+        drain (503 once SIGTERM arrived), admission (429 + Retry-After
+        when the endpoint is saturated and its queue is full), and the
+        request deadline (504 when it expired while queued).  Control
+        endpoints (``/``, healthz, metrics) bypass all three so probes
+        keep answering under overload and during drain.
+        """
         endpoint = request.path.strip("/").replace("/", ".") or "index"
         self.metrics.counter(f"serve.{endpoint}.requests").inc()
         start = time.perf_counter()
+        admitted = False
+        entered = False
         try:
             handler = self._routes.get((request.method, request.path))
             if handler is None:
                 if any(path == request.path for _, path in self._routes):
                     raise HttpError(405, f"method {request.method} not allowed")
                 raise HttpError(404, f"no such endpoint: {request.path}")
+            if request.path not in _EXEMPT_PATHS:
+                if not self.drain.enter():
+                    raise HttpError(
+                        503, "server is draining", headers={"Retry-After": "1"}
+                    )
+                entered = True
+                request.deadline = _parse_deadline_header(request)
+                try:
+                    if request.deadline is None:
+                        await self.admission.acquire(request.path, endpoint)
+                    else:
+                        await asyncio.wait_for(
+                            self.admission.acquire(request.path, endpoint),
+                            timeout=request.deadline.remaining(),
+                        )
+                except Overloaded as exc:
+                    raise HttpError(
+                        429,
+                        str(exc),
+                        headers={"Retry-After": str(exc.retry_after)},
+                    ) from None
+                except asyncio.TimeoutError:
+                    raise DeadlineExceeded(
+                        "deadline expired while queued for admission"
+                    ) from None
+                admitted = True
             return await handler(conn, request)
         except HttpError as exc:
+            if exc.status == 429:
+                # Shed latency must stay flat under overload; measured
+                # and asserted by the resilience benchmark.
+                self.metrics.histogram("serve.shed_seconds").observe(
+                    time.perf_counter() - start
+                )
             await conn.send(
-                json_response({"error": str(exc)}, exc.status),
+                json_response({"error": str(exc)}, exc.status, headers=exc.headers),
+                keep_alive=request.keep_alive,
+            )
+            return request.keep_alive
+        except DeadlineExceeded as exc:
+            self.metrics.counter("serve.deadline_exceeded").inc()
+            await conn.send(
+                json_response({"error": str(exc)}, 504),
                 keep_alive=request.keep_alive,
             )
             return request.keep_alive
@@ -288,6 +436,12 @@ class AnalysisServer:
             )
             return False
         finally:
+            if admitted:
+                self.admission.release(
+                    request.path, endpoint, seconds=time.perf_counter() - start
+                )
+            if entered:
+                self.drain.exit()
             elapsed = time.perf_counter() - start
             self.metrics.histogram(f"serve.{endpoint}.seconds").observe(elapsed)
             # record() instead of a ``with span():`` around the await —
@@ -332,7 +486,12 @@ class AnalysisServer:
         if request.header("if-none-match") == etag:
             self.metrics.counter("serve.etag_304").inc()
             return Response(304, headers={"ETag": etag})
-        fetch = asyncio.ensure_future(self._coalescer.fetch(key, compute))
+        # The deadline bounds only this client's wait (504 on expiry);
+        # the shared evaluation keeps running while other waiters remain
+        # and is reference-count-cancelled when the last one leaves.
+        fetch = asyncio.ensure_future(
+            self._coalescer.fetch(key, compute, request.deadline)
+        )
         watch = asyncio.ensure_future(conn.wait_disconnect())
         done, _ = await asyncio.wait(
             {fetch, watch}, return_when=asyncio.FIRST_COMPLETED
@@ -373,17 +532,35 @@ class AnalysisServer:
         return request.keep_alive
 
     async def _handle_healthz(self, conn: Connection, request: Request) -> bool:
+        snap = self.drain.snapshot()
+        serving = snap["phase"] == "serving"
         payload = {
-            "status": "ok",
+            "status": "ok" if serving else snap["phase"],
             "program": self.session.sdfg.name,
             "inflight": self._coalescer.inflight,
         }
-        await conn.send(json_response(payload), keep_alive=request.keep_alive)
+        # 503 once draining: load balancers stop routing here while the
+        # in-flight work (still counted above) runs to completion.
+        await conn.send(
+            json_response(payload, 200 if serving else 503),
+            keep_alive=request.keep_alive,
+        )
         return request.keep_alive
 
     async def _handle_metrics(self, conn: Connection, request: Request) -> bool:
         payload = self.metrics.to_dict()
         payload["simulation_cache"] = self.session.cache_info()
+        breakers = {"pool": self.session.pool_breaker.snapshot()}
+        if self.session.disk is not None:
+            breakers["disk"] = self.session.disk.breaker.snapshot()
+        payload["resilience"] = {
+            "admission": self.admission.snapshot(),
+            "drain": self.drain.snapshot(),
+            "breakers": breakers,
+        }
+        chaos = _chaos_active()
+        if chaos is not None:
+            payload["resilience"]["chaos"] = chaos.snapshot()
         await conn.send(json_response(payload), keep_alive=request.keep_alive)
         return request.keep_alive
 
@@ -518,10 +695,12 @@ class AnalysisServer:
         capacity = int(body.get("capacity", 512))
         if line_size <= 0 or capacity <= 0:
             raise HttpError(400, "line_size and capacity must be positive")
+        deadline = _deadline_from_body(body, request.deadline)
 
         loop = asyncio.get_running_loop()
         queue: asyncio.Queue = asyncio.Queue()
         token = CancelToken()
+        timer = None if deadline is None else deadline.arm(token)
         _END = object()
 
         def on_result(index: int, outcome: Any) -> None:
@@ -575,7 +754,38 @@ class AnalysisServer:
                     }
                 await conn.send_stream_line(event)
                 streamed += 1
-            run = await sweep_task
+            try:
+                run = await sweep_task
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - producer thread died
+                # The status line is long gone; a silent close would look
+                # like success to a streaming client.  Emit a terminal
+                # error record so the truncation is machine-detectable.
+                self.metrics.counter("serve.stream_errors").inc()
+                await conn.send_stream_line(
+                    {
+                        "event": "error",
+                        "kind": type(exc).__name__,
+                        "error": str(exc),
+                        "points_streamed": streamed,
+                    }
+                )
+                return False
+            if token.cancelled and token.reason == DEADLINE_REASON:
+                self.metrics.counter("serve.deadline_exceeded").inc()
+                await conn.send_stream_line(
+                    {
+                        "event": "error",
+                        "kind": "deadline",
+                        "error": DEADLINE_REASON,
+                        "points": len(run),
+                        "failed": len(run.errors),
+                        "points_streamed": streamed,
+                        "seconds": time.perf_counter() - start,
+                    }
+                )
+                return False
             await conn.send_stream_line(
                 {
                     "event": "end",
@@ -593,6 +803,8 @@ class AnalysisServer:
             token.cancel("server shutting down")
             raise
         finally:
+            if timer is not None:
+                timer.cancel()
             if not sweep_task.done():
                 await asyncio.wait({sweep_task})
         return False  # close-delimited stream
@@ -632,6 +844,7 @@ class AnalysisServer:
             raise HttpError(422, f"budget {budget} too large (max 10000)")
         if line_size <= 0 or capacity <= 0:
             raise HttpError(400, "line_size and capacity must be positive")
+        deadline = _deadline_from_body(body, request.deadline)
 
         loop = asyncio.get_running_loop()
         queue: asyncio.Queue = asyncio.Queue()
@@ -656,6 +869,7 @@ class AnalysisServer:
                             timeout=timeout,
                             cancel=token,
                             on_event=on_event,
+                            deadline=deadline,
                         )
             finally:
                 loop.call_soon_threadsafe(queue.put_nowait, _END)
@@ -672,11 +886,25 @@ class AnalysisServer:
                 await conn.send_stream_line(item)
             try:
                 await tune_task
+            except asyncio.CancelledError:
+                raise
             except ReproError as exc:
                 # The stream head is already out; deliver the failure as
                 # the final event instead of a late HTTP error.
                 await conn.send_stream_line(
                     {"event": "error", "error": str(exc)}
+                )
+            except Exception as exc:  # noqa: BLE001 - producer thread died
+                # Non-domain failures (a crashed producer thread) must
+                # also terminate the stream with a machine-readable
+                # record, not a bare connection close.
+                self.metrics.counter("serve.stream_errors").inc()
+                await conn.send_stream_line(
+                    {
+                        "event": "error",
+                        "kind": type(exc).__name__,
+                        "error": str(exc),
+                    }
                 )
         except (ConnectionError, OSError):
             # Client dropped mid-stream: stop the search cooperatively.

@@ -10,19 +10,30 @@ only one) becomes the served program, and the HTTP endpoints of
 With ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) the pass store persists,
 so a service restart over an unchanged program serves warm results
 immediately.
+
+Lifecycle: ``SIGTERM`` (and the second ``Ctrl-C``) triggers a graceful
+drain — ``/v1/healthz`` flips to 503 "draining", new work is shed, and
+in-flight requests (including open NDJSON streams) finish within
+``--drain-timeout`` seconds.  Exit codes: 0 for a clean drain,
+:data:`EXIT_DRAIN_TIMEOUT` (4) when stragglers had to be cancelled.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 
 from repro.errors import ReproError
+from repro.resilience import chaos as chaos_mod
 from repro.serve.app import AnalysisServer
 from repro.tool.session import Session
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_DRAIN_TIMEOUT"]
+
+#: Exit code when the drain timed out and in-flight work was cancelled.
+EXIT_DRAIN_TIMEOUT = 4
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,40 +60,113 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist analysis results to this directory (default: "
         "$REPRO_CACHE_DIR if set, else memory-only)",
     )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long SIGTERM waits for in-flight requests before "
+        "cancelling them (default: 10)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the default per-endpoint admission limit "
+        "(applies to endpoints without a specific limit)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault-injection spec (same grammar as "
+        "$REPRO_CHAOS), e.g. 'disk.read:every=2'",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.chaos is not None:
+            chaos_mod.install(args.chaos)
         # Reuse the report generator's loader so program discovery and
         # its error messages are identical across both front ends.
         from repro.tool.cli import _load_program
 
         program = _load_program(args.module, args.function)
         session = Session(program, cache_dir=args.cache_dir)
+        limits = None
+        if args.max_inflight is not None:
+            if args.max_inflight < 1:
+                raise ReproError("--max-inflight must be >= 1")
+            limits = {"*": (args.max_inflight, args.max_inflight)}
         server = AnalysisServer(
-            session, host=args.host, port=args.port, workers=args.workers
+            session,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            admission_limits=limits,
+            drain_timeout=args.drain_timeout,
         )
+        drained_clean = True
 
         async def run() -> None:
+            nonlocal drained_clean
             await server.start()
+            loop = asyncio.get_running_loop()
+            stop = asyncio.Event()
+
+            def request_drain() -> None:
+                # First signal: drain.  Repeated signals are idempotent;
+                # the drain task below enforces the timeout either way.
+                server.begin_drain()
+                stop.set()
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, request_drain)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-Unix event loops fall back to KeyboardInterrupt
             print(
                 f"serving {session.sdfg.name!r} on "
                 f"http://{server.host}:{server.port}/ "
                 f"({server.workers} workers)",
                 flush=True,
             )
-            await server.serve_forever()
+            serve = asyncio.ensure_future(server.serve_forever())
+            await stop.wait()
+            print("draining", file=sys.stderr, flush=True)
+            # In-flight handlers run on this loop; wait_idle would block
+            # it.  Poll the inflight count from the loop instead.
+            drained_clean = await _await_idle(server, args.drain_timeout)
+            server.drain.stop(forced=not drained_clean)
+            serve.cancel()
+            try:
+                await serve
+            except asyncio.CancelledError:
+                pass
 
         try:
             asyncio.run(run())
         except KeyboardInterrupt:
             print("shutting down", file=sys.stderr)
-        return 0
+        return 0 if drained_clean else EXIT_DRAIN_TIMEOUT
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+async def _await_idle(server: AnalysisServer, timeout: float) -> bool:
+    """Wait (on the loop) until no requests are in flight; False on timeout."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while server.drain.inflight > 0:
+        if loop.time() >= deadline:
+            return False
+        await asyncio.sleep(0.05)
+    return True
 
 
 if __name__ == "__main__":  # pragma: no cover

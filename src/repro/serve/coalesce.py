@@ -23,6 +23,7 @@ from typing import Any, Callable, Hashable
 
 from repro.analysis.executor import CancelToken
 from repro.obs.metrics import MetricsRegistry
+from repro.resilience.deadline import Deadline, DeadlineExceeded
 
 __all__ = ["Coalescer"]
 
@@ -52,6 +53,7 @@ class Coalescer:
         self,
         key: Hashable,
         compute: Callable[[CancelToken], Any],
+        deadline: Deadline | None = None,
     ) -> Any:
         """Return ``compute(token)``, sharing work with identical requests.
 
@@ -60,13 +62,19 @@ class Coalescer:
         :class:`CancelToken` and should poll it at natural yield points.
         If this coroutine is cancelled (client disconnect), the waiter
         count drops; the token fires only when no waiters remain.
+
+        A *deadline* bounds only **this caller's wait**: when it expires,
+        :class:`DeadlineExceeded` is raised here, but the shared
+        evaluation keeps running as long as any other waiter remains —
+        one impatient client's deadline must not waste work other
+        clients are still entitled to.
         """
         loop = asyncio.get_running_loop()
         entry = self._inflight.get(key)
         if entry is not None:
             entry.waiters += 1
             self._metrics.counter("serve.coalesce.joined").inc()
-            return await self._await_entry(key, entry)
+            return await self._await_entry(key, entry, deadline)
         token = CancelToken()
         entry = _Entry(loop.create_future(), token)
         self._inflight[key] = entry
@@ -74,7 +82,7 @@ class Coalescer:
         task = loop.run_in_executor(None, compute, token)
         task = asyncio.ensure_future(task)
         task.add_done_callback(lambda t: self._finish(key, entry, t))
-        return await self._await_entry(key, entry)
+        return await self._await_entry(key, entry, deadline)
 
     def _finish(self, key: Hashable, entry: _Entry, task: asyncio.Task) -> None:
         # Runs on the loop when the pool thread hands back its result.
@@ -91,18 +99,34 @@ class Coalescer:
         else:
             entry.future.set_result(task.result())
 
-    async def _await_entry(self, key: Hashable, entry: _Entry) -> Any:
+    async def _await_entry(
+        self, key: Hashable, entry: _Entry, deadline: Deadline | None = None
+    ) -> Any:
         try:
-            # shield(): a disconnecting client must not cancel the shared
-            # future out from under the other waiters.
-            return await asyncio.shield(entry.future)
+            # shield(): a disconnecting (or deadline-expired) client must
+            # not cancel the shared future out from under other waiters.
+            # wait_for cancels only the shield wrapper on timeout.
+            if deadline is None:
+                return await asyncio.shield(entry.future)
+            return await asyncio.wait_for(
+                asyncio.shield(entry.future), timeout=deadline.remaining()
+            )
+        except asyncio.TimeoutError:
+            self._metrics.counter("serve.coalesce.deadline_expired").inc()
+            self._drop_waiter(key, entry)
+            raise DeadlineExceeded(
+                "deadline expired while waiting for coalesced result"
+            ) from None
         except asyncio.CancelledError:
-            entry.waiters -= 1
-            if entry.waiters <= 0 and not entry.future.done():
-                entry.token.cancel("every waiting client disconnected")
-                # Drop the entry so a late identical request starts fresh
-                # instead of joining doomed work.
-                if self._inflight.get(key) is entry:
-                    del self._inflight[key]
-                self._metrics.counter("serve.coalesce.cancelled").inc()
+            self._drop_waiter(key, entry)
             raise
+
+    def _drop_waiter(self, key: Hashable, entry: _Entry) -> None:
+        entry.waiters -= 1
+        if entry.waiters <= 0 and not entry.future.done():
+            entry.token.cancel("every waiting client disconnected or timed out")
+            # Drop the entry so a late identical request starts fresh
+            # instead of joining doomed work.
+            if self._inflight.get(key) is entry:
+                del self._inflight[key]
+            self._metrics.counter("serve.coalesce.cancelled").inc()

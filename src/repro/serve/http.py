@@ -23,6 +23,7 @@ from typing import Any, Mapping
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.errors import ReproError
+from repro.resilience.chaos import inject as _chaos
 
 __all__ = [
     "Connection",
@@ -48,24 +49,34 @@ _REASONS = {
     408: "Request Timeout",
     409: "Conflict",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
     499: "Client Closed Request",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
 class HttpError(ReproError):
-    """A malformed or unserviceable request; carries the response status."""
+    """A malformed or unserviceable request; carries the response status.
 
-    def __init__(self, status: int, message: str):
+    *headers* (e.g. ``Retry-After`` on a 429 shed) are merged into the
+    error response.
+    """
+
+    def __init__(self, status: int, message: str, headers: Mapping[str, str] | None = None):
         super().__init__(message)
         self.status = status
+        self.headers: dict[str, str] = dict(headers or {})
 
 
 class Request:
     """One parsed HTTP request."""
 
-    __slots__ = ("method", "target", "path", "query", "version", "headers", "body")
+    __slots__ = (
+        "method", "target", "path", "query", "version", "headers", "body",
+        "deadline",
+    )
 
     def __init__(
         self,
@@ -80,6 +91,9 @@ class Request:
         self.version = version
         self.headers = headers
         self.body = body
+        #: Optional repro.resilience.deadline.Deadline attached by the
+        #: dispatcher after parsing X-Repro-Deadline-Ms / body fields.
+        self.deadline = None
         split = urlsplit(target)
         self.path = split.path
         self.query: dict[str, str] = dict(parse_qsl(split.query))
@@ -200,6 +214,7 @@ class Connection:
         return self.writer.is_closing()
 
     async def send(self, response: Response, *, keep_alive: bool) -> None:
+        _chaos("http.send")
         self.writer.write(response.serialize(keep_alive=keep_alive))
         await self.writer.drain()
 
@@ -219,6 +234,7 @@ class Connection:
 
     async def send_stream_line(self, payload: Any) -> None:
         """One NDJSON event on an open stream."""
+        _chaos("http.send")
         self.writer.write(
             (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         )

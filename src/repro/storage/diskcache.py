@@ -54,6 +54,8 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import LockTimeout
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.chaos import inject as _chaos
 from repro.storage.locks import FileLock
 
 __all__ = [
@@ -132,6 +134,13 @@ class DiskCache:
         ``storage:*`` spans around reads, writes and evictions.
     lock_timeout:
         Seconds to wait for the writer lock before declaring starvation.
+    breaker:
+        Circuit breaker guarding reads and writes against *transient*
+        I/O faults and corruption bursts.  Unlike :meth:`_degrade`
+        (permanent, for conditions that cannot heal in-process), an
+        open breaker silences the disk tier only for its cooldown and
+        then probes it again.  A default breaker is created when none
+        is passed.
     """
 
     def __init__(
@@ -141,6 +150,7 @@ class DiskCache:
         metrics=None,
         tracer=None,
         lock_timeout: float = 5.0,
+        breaker: CircuitBreaker | None = None,
     ):
         self.root = Path(root)
         self.max_bytes = int(max_bytes)
@@ -148,6 +158,9 @@ class DiskCache:
         self.tracer = tracer
         self.disabled = False
         self._degraded_reason: str | None = None
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            "disk", failure_threshold=3, reset_timeout=30.0, metrics=metrics
+        )
         self._lock = FileLock(self.root / ".lock", timeout=lock_timeout)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -215,18 +228,32 @@ class DiskCache:
         """
         if self.disabled:
             return None
+        if not self.breaker.allow():
+            self._count("disk.breaker_skips")
+            return None
         path = self._entry_path(key)
         with self._span("storage:read", file=path.name):
             try:
+                _chaos("disk.read")
                 blob = path.read_bytes()
+            except FileNotFoundError:
+                # A plain miss is healthy — it must not trip the breaker.
+                self._count("disk.misses")
+                return None
             except OSError:
                 self._count("disk.misses")
+                self._count("disk.io_errors")
+                self.breaker.record_failure()
                 return None
             value = self._decode(blob, key, path)
             if value is None:
+                # Corruption burst (every entry quarantined) also opens
+                # the breaker: stop paying read+quarantine per request.
                 self._count("disk.misses")
+                self.breaker.record_failure()
                 return None
             self._count("disk.hits")
+            self.breaker.record_success()
             try:
                 os.utime(path)  # refresh LRU position
             except OSError:
@@ -271,6 +298,9 @@ class DiskCache:
         """
         if self.disabled:
             return
+        if not self.breaker.allow():
+            self._count("disk.breaker_skips")
+            return
         path = self._entry_path(key)
         if path.exists():
             return
@@ -298,9 +328,22 @@ class DiskCache:
                 self._evict_to_budget(keep=path)
             except OSError as exc:
                 if exc.errno == errno.ENOSPC:
+                    # Disk full cannot heal from here: degrade for good.
                     self._degrade(f"disk full writing {path.name}: {exc}")
+                elif exc.errno in (errno.EACCES, errno.EPERM, errno.EROFS):
+                    # Permission/read-only faults cannot heal in-process
+                    # either: degrade permanently rather than retrying
+                    # a write that will never be allowed.
+                    self._degrade(f"unwritable cache directory: {exc}")
                 else:
-                    self._degrade(f"cannot write {path.name}: {exc}")
+                    # Any other I/O fault is treated as transient: the
+                    # breaker silences the tier for a cooldown, then a
+                    # half-open probe retries — an NFS blip no longer
+                    # costs the whole process its persistent cache.
+                    self._count("disk.io_errors")
+                    self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
             finally:
                 lock.release()
 
@@ -309,6 +352,7 @@ class DiskCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.parent / f"{_TMP_PREFIX}{os.getpid()}-{next(_tmp_counter)}"
         try:
+            _chaos("disk.write")
             with io.open(tmp, "wb") as handle:
                 handle.write(blob)
                 handle.flush()
@@ -395,6 +439,7 @@ class DiskCache:
             "max_bytes": self.max_bytes,
             "disabled": self.disabled,
             "degraded_reason": self._degraded_reason,
+            "breaker": self.breaker.snapshot(),
         }
 
     def __repr__(self) -> str:

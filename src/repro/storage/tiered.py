@@ -35,6 +35,9 @@ class TieredBacking:
         value = self.memory.get(key)
         if value is not None:
             return value
+        if self.disk.disabled:
+            # Degraded to memory-only: skip key hashing and path work.
+            return None
         value = self.disk.get(key)
         if value is None:
             return None
@@ -43,7 +46,8 @@ class TieredBacking:
 
     def put(self, key: tuple, value: Any) -> None:
         self.memory.put(key, value)
-        self.disk.put(key, value)
+        if not self.disk.disabled:
+            self.disk.put(key, value)
 
     def clear(self) -> None:
         """Drop the memory tier only (the disk tier is shared state)."""

@@ -41,6 +41,8 @@ from repro.passes import (
     build_pipeline,
 )
 from repro.passes.store import _LRUBacking
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import Deadline
 from repro.sdfg.nodes import MapEntry
 from repro.sdfg.sdfg import SDFG
 from repro.storage import (
@@ -218,6 +220,12 @@ class Session:
         if cache_bytes is None:
             env_bytes = os.environ.get("REPRO_CACHE_BYTES", "")
             cache_bytes = int(env_bytes) if env_bytes.isdigit() else DEFAULT_MAX_BYTES
+        #: One breaker shared by every sweep/tune of this session: pool
+        #: failures in one request protect the next request from paying
+        #: the same spawn-and-die cost (half-open probes recover).
+        self.pool_breaker = CircuitBreaker(
+            "pool", failure_threshold=2, reset_timeout=30.0, metrics=self.metrics
+        )
         #: The persistent tier (``None`` when the session is memory-only).
         self.disk: DiskCache | None = None
         backing = _LRUBacking(max(cache_size * 8, 256))
@@ -510,6 +518,7 @@ class Session:
                     serial_fn=evaluate_inproc,
                     adaptive=adaptive,
                     batch=batch,
+                    breaker=self.pool_breaker,
                 )
                 forward = None
                 if on_result is not None:
@@ -640,6 +649,7 @@ class Session:
         workers: int | None = None,
         cancel: CancelToken | None = None,
         on_event: Callable[[dict[str, Any]], None] | None = None,
+        deadline: Deadline | None = None,
     ) -> TuningResult:
         """Search transform sequences minimizing modeled data movement.
 
@@ -669,7 +679,7 @@ class Session:
             tracer=self.tracer,
             metrics=self.metrics,
         )
-        return search.run(cancel=cancel, on_event=on_event)
+        return search.run(cancel=cancel, on_event=on_event, deadline=deadline)
 
     def pass_report(self) -> str:
         """Per-pass timings, cache hits/misses, and invalidation reasons."""

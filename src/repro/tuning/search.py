@@ -36,6 +36,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.analysis.executor import CancelToken, SweepExecutor, SweepPointError
 from repro.errors import TransformError, TuningError
+from repro.resilience.deadline import Deadline
 from repro.passes import PassContext, Pipeline, build_pipeline
 from repro.sdfg.sdfg import SDFG
 from repro.sdfg.serialize import sdfg_fingerprint
@@ -114,7 +115,7 @@ class TuningResult:
         self.rounds = rounds
         self.seconds = seconds
         #: Why the search ended: ``"converged"``, ``"depth"``,
-        #: ``"budget"``, ``"timeout"`` or ``"cancelled"``.
+        #: ``"budget"``, ``"timeout"``, ``"deadline"`` or ``"cancelled"``.
         self.stopped = stopped
         #: Pipeline pass-cache hits observed across candidate scoring.
         self.pass_hits = pass_hits
@@ -301,10 +302,19 @@ class TuningSearch:
         self,
         cancel: CancelToken | None = None,
         on_event: Callable[[dict[str, Any]], None] | None = None,
+        deadline: "Deadline | None" = None,
     ) -> TuningResult:
-        """Run the search; returns the scored trajectory and best variant."""
+        """Run the search; returns the scored trajectory and best variant.
+
+        *deadline* (a :class:`~repro.resilience.deadline.Deadline`) is
+        the caller's request deadline; it tightens the search's own
+        ``timeout`` budget and stops the search with reason
+        ``"deadline"`` — distinguishable from ``"timeout"`` (the
+        search's configured budget) in the result and terminal event.
+        """
         start = time.monotonic()
-        deadline = None if self.timeout is None else start + self.timeout
+        budget_at = None if self.timeout is None else start + self.timeout
+        deadline_at = None if deadline is None else deadline.at
         hits_before = self._pass_hits()
 
         def emit(event: dict[str, Any]) -> None:
@@ -338,17 +348,28 @@ class TuningSearch:
                 if cancel is not None and cancel.cancelled:
                     stopped = "cancelled"
                     break
-                if deadline is not None and time.monotonic() >= deadline:
+                now = time.monotonic()
+                if deadline_at is not None and now >= deadline_at:
+                    stopped = "deadline"
+                    break
+                if budget_at is not None and now >= budget_at:
                     stopped = "timeout"
                     break
                 if evaluated >= self.budget:
                     stopped = "budget"
                     break
                 with self._span("tune.round", round=round_index):
+                    stop_at = (
+                        budget_at
+                        if deadline_at is None
+                        else deadline_at
+                        if budget_at is None
+                        else min(budget_at, deadline_at)
+                    )
                     children, skipped = self._expand(
                         frontier, visited, round_index,
                         limit=self.budget - evaluated,
-                        deadline=deadline, cancel=cancel,
+                        deadline=stop_at, cancel=cancel,
                     )
                     deduplicated += skipped
                     if not children:

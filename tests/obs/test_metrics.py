@@ -84,7 +84,9 @@ class TestRegistryExport:
         metrics = MetricsRegistry()
         metrics.counter("c").inc()
         metrics.reset()
-        assert metrics.to_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert metrics.to_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "states": {}
+        }
         assert metrics.counter("c").value == 0  # fresh instrument
 
 

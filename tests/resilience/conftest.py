@@ -1,0 +1,27 @@
+"""Shared fixtures: chaos isolation.
+
+The CI resilience job runs this suite under a ``REPRO_CHAOS`` matrix.
+Most tests here install their *own* spec (or none) and must not be
+perturbed by the ambient one, so an autouse fixture disables the
+environment spec around every test; the opt-in ``env_chaos`` fixture
+hands the ambient spec to the availability tests that want it.
+"""
+
+import os
+
+import pytest
+
+from repro.resilience import chaos as chaos_mod
+
+
+@pytest.fixture(autouse=True)
+def _isolated_chaos():
+    chaos_mod.install(None)
+    yield
+    chaos_mod.uninstall()
+
+
+@pytest.fixture()
+def env_chaos():
+    """The ``REPRO_CHAOS`` spec string from the environment (or None)."""
+    return os.environ.get("REPRO_CHAOS", "").strip() or None

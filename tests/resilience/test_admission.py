@@ -1,0 +1,157 @@
+"""AdmissionController tests: shedding, queuing, and slot handoff."""
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.admission import (
+    AdmissionController,
+    EndpointLimit,
+    Overloaded,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def controller(limit=1, queue=1, metrics=None):
+    return AdmissionController(
+        limits={"/x": (limit, queue)}, metrics=metrics or MetricsRegistry()
+    )
+
+
+class TestAcquire:
+    def test_immediate_grant_under_limit(self):
+        async def scenario():
+            ctl = controller(limit=2)
+            await ctl.acquire("/x", "x")
+            await ctl.acquire("/x", "x")
+            assert ctl.snapshot()["/x"]["active"] == 2
+
+        run(scenario())
+
+    def test_shed_when_saturated_and_queue_full(self):
+        async def scenario():
+            ctl = controller(limit=1, queue=0)
+            await ctl.acquire("/x", "x")
+            with pytest.raises(Overloaded) as info:
+                await ctl.acquire("/x", "x")
+            assert info.value.retry_after >= 1
+
+        run(scenario())
+
+    def test_queued_waiter_granted_on_release_fifo(self):
+        async def scenario():
+            ctl = controller(limit=1, queue=2)
+            await ctl.acquire("/x", "x")
+            order = []
+
+            async def waiter(tag):
+                await ctl.acquire("/x", "x")
+                order.append(tag)
+                ctl.release("/x", "x")
+
+            a = asyncio.ensure_future(waiter("a"))
+            await asyncio.sleep(0)
+            b = asyncio.ensure_future(waiter("b"))
+            await asyncio.sleep(0)
+            ctl.release("/x", "x")
+            await asyncio.gather(a, b)
+            assert order == ["a", "b"]
+
+        run(scenario())
+
+    def test_unknown_path_uses_default_limits(self):
+        async def scenario():
+            ctl = AdmissionController(
+                limits={"*": (1, 0)}, metrics=MetricsRegistry()
+            )
+            await ctl.acquire("/anything", "any")
+            with pytest.raises(Overloaded):
+                await ctl.acquire("/anything", "any")
+
+        run(scenario())
+
+
+class TestCancellation:
+    def test_cancelled_waiter_removed_from_queue(self):
+        async def scenario():
+            ctl = controller(limit=1, queue=2)
+            await ctl.acquire("/x", "x")
+            task = asyncio.ensure_future(ctl.acquire("/x", "x"))
+            await asyncio.sleep(0)
+            assert ctl.snapshot()["/x"]["queued"] == 1
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert ctl.snapshot()["/x"]["queued"] == 0
+            # Slot still held by the first request; release frees it.
+            ctl.release("/x", "x")
+            assert ctl.snapshot()["/x"]["active"] == 0
+
+        run(scenario())
+
+    def test_granted_then_cancelled_hands_slot_onward(self):
+        # A waiter whose future was resolved by release() but which gets
+        # cancelled before resuming must pass the slot to the next
+        # waiter instead of leaking it.
+        async def scenario():
+            ctl = controller(limit=1, queue=2)
+            await ctl.acquire("/x", "x")
+            first = asyncio.ensure_future(ctl.acquire("/x", "x"))
+            await asyncio.sleep(0)
+            second = asyncio.ensure_future(ctl.acquire("/x", "x"))
+            await asyncio.sleep(0)
+            ctl.release("/x", "x")  # grants `first` without resuming it
+            first.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await first
+            await second  # must have inherited the slot
+            assert ctl.snapshot()["/x"]["active"] == 1
+            ctl.release("/x", "x")
+            assert ctl.snapshot()["/x"]["active"] == 0
+
+        run(scenario())
+
+
+class TestRetryAfterAndMetrics:
+    def test_retry_after_scales_with_backlog_and_clamps(self):
+        state = EndpointLimit(1, 10)
+        state.ewma_seconds = 4.0
+        state.active = 1
+        assert state.retry_after() == 4
+        state.ewma_seconds = 500.0
+        assert state.retry_after() == 30  # clamped high
+        state.ewma_seconds = 0.001
+        assert state.retry_after() == 1  # clamped low
+
+    def test_release_updates_ewma(self):
+        async def scenario():
+            ctl = controller(limit=1)
+            await ctl.acquire("/x", "x")
+            ctl.release("/x", "x", seconds=2.0)
+            ewma = ctl.snapshot()["/x"]["ewma_seconds"]
+            assert 0.1 < ewma < 2.0
+
+        run(scenario())
+
+    def test_shed_and_admit_counters(self):
+        async def scenario():
+            metrics = MetricsRegistry()
+            ctl = controller(limit=1, queue=0, metrics=metrics)
+            await ctl.acquire("/x", "x")
+            with pytest.raises(Overloaded):
+                await ctl.acquire("/x", "x")
+            counters = metrics.to_dict()["counters"]
+            assert counters["admission.x.admitted"] == 1
+            assert counters["admission.x.shed"] == 1
+
+        run(scenario())
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            EndpointLimit(0, 1)
+        with pytest.raises(ValueError):
+            EndpointLimit(1, -1)

@@ -1,0 +1,118 @@
+"""CircuitBreaker state-machine tests with an injected clock."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(
+        "dep",
+        failure_threshold=3,
+        reset_timeout=5.0,
+        metrics=MetricsRegistry(),
+        clock=clock,
+    )
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_after_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+
+    def test_half_open_admits_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert not breaker.allow()  # probe verdict pending
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()
+
+    def test_probe_failure_reopens_full_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("bad", failure_threshold=0)
+
+
+class TestObservability:
+    def test_snapshot_transitions(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_success()
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert [t["state"] for t in snap["transitions"]] == [
+            "closed", "open", "half_open", "closed",
+        ]
+
+    def test_metrics_exported(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        doc = breaker.metrics.to_dict()
+        assert doc["states"]["breaker.dep.state"]["value"] == "open"
+        assert doc["counters"]["breaker.dep.opened"] == 1
+        assert doc["counters"]["breaker.dep.failures"] == 3
+        clock.advance(5.0)
+        breaker.allow()
+        assert breaker.metrics.to_dict()["counters"]["breaker.dep.probes"] == 1

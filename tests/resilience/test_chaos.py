@@ -1,0 +1,132 @@
+"""Unit tests of the deterministic chaos harness."""
+
+import errno
+
+import pytest
+
+from repro.resilience import chaos as chaos_mod
+from repro.resilience.chaos import Chaos, ChaosSpecError, inject
+
+
+class TestParsing:
+    def test_bare_site_fires_every_call(self):
+        chaos = Chaos.parse("disk.read")
+        spec = chaos.sites["disk.read"]
+        assert spec.every == 1
+        assert spec.kind == "raise"
+
+    def test_full_grammar(self):
+        chaos = Chaos.parse(
+            "eval.slow:kind=sleep:delay=0.25:every=3;"
+            "pool.spawn:kind=raise:exc=runtime:times=2"
+        )
+        slow = chaos.sites["eval.slow"]
+        assert slow.kind == "sleep" and slow.delay == 0.25 and slow.every == 3
+        spawn = chaos.sites["pool.spawn"]
+        assert spawn.exc == "runtime" and spawn.times == 2
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "site:kind=explode",
+            "site:exc=nope",
+            "site:every=0",
+            "site:rate=2.0",
+            "site:every",
+            "site:unknown=1",
+            "site:every=x",
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ChaosSpecError):
+            Chaos.parse(spec)
+
+
+class TestTriggers:
+    def fired_pattern(self, spec, calls):
+        chaos = Chaos.parse(spec)
+        site = next(iter(chaos.sites.values()))
+        return [site.should_fire() for _ in range(calls)]
+
+    def test_every(self):
+        assert self.fired_pattern("s:every=3", 7) == [
+            False, False, True, False, False, True, False,
+        ]
+
+    def test_times(self):
+        assert self.fired_pattern("s:times=2", 5) == [
+            True, True, False, False, False,
+        ]
+
+    def test_after(self):
+        assert self.fired_pattern("s:after=3", 5) == [
+            False, False, False, True, True,
+        ]
+
+    def test_composed_and(self):
+        # every=2 AND times=4: calls 2 and 4 only.
+        assert self.fired_pattern("s:every=2:times=4", 8) == [
+            False, True, False, True, False, False, False, False,
+        ]
+
+    def test_rate_is_seeded_deterministic(self):
+        a = self.fired_pattern("s:rate=0.5:seed=7", 50)
+        b = self.fired_pattern("s:rate=0.5:seed=7", 50)
+        assert a == b
+        assert any(a) and not all(a)
+
+    def test_counters_in_snapshot(self):
+        chaos = Chaos.parse("s:every=2")
+        chaos.fire("s")
+        with pytest.raises(OSError):
+            chaos.fire("s")
+        assert chaos.snapshot()["s"] == {"kind": "raise", "calls": 2, "fired": 1}
+
+
+class TestExecution:
+    def test_oserror_is_eio(self):
+        chaos = Chaos.parse("s")
+        with pytest.raises(OSError) as info:
+            chaos.fire("s")
+        assert info.value.errno == errno.EIO
+
+    def test_connreset(self):
+        chaos = Chaos.parse("s:exc=connreset")
+        with pytest.raises(ConnectionResetError):
+            chaos.fire("s")
+
+    def test_runtime(self):
+        chaos = Chaos.parse("s:exc=runtime")
+        with pytest.raises(RuntimeError, match="chaos"):
+            chaos.fire("s")
+
+    def test_sleep_stalls(self):
+        import time
+
+        chaos = Chaos.parse("s:kind=sleep:delay=0.05")
+        start = time.perf_counter()
+        chaos.fire("s")
+        assert time.perf_counter() - start >= 0.04
+
+    def test_unlisted_site_is_noop(self):
+        chaos = Chaos.parse("other")
+        chaos.fire("s")  # nothing raised
+
+
+class TestInstallation:
+    def test_inject_noop_without_spec(self):
+        chaos_mod.install(None)
+        inject("disk.read")  # no-op
+
+    def test_install_string_activates(self):
+        chaos_mod.install("disk.read")
+        with pytest.raises(OSError):
+            inject("disk.read")
+
+    def test_uninstall_rereads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "disk.read:times=1")
+        chaos_mod.uninstall()
+        with pytest.raises(OSError):
+            inject("disk.read")
+        inject("disk.read")  # times=1 exhausted

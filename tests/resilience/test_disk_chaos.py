@@ -1,0 +1,108 @@
+"""Chaos-driven disk-cache tests: transient faults open the breaker.
+
+Permanent degradation (ENOSPC, unwritable directory, lock starvation)
+is covered in tests/storage/test_fault_injection.py; here the injected
+faults are *transient* (EIO) and the cache must respond with a breaker
+cooldown and a later recovery probe, never with permanent shutdown.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.passes.store import _LRUBacking
+from repro.resilience import chaos as chaos_mod
+from repro.resilience.breaker import CircuitBreaker
+from repro.storage.diskcache import DiskCache
+from repro.storage.tiered import TieredBacking
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make_cache(tmp_path, clock, metrics=None, threshold=3):
+    metrics = metrics or MetricsRegistry()
+    breaker = CircuitBreaker(
+        "disk", failure_threshold=threshold, reset_timeout=30.0,
+        metrics=metrics, clock=clock,
+    )
+    return DiskCache(tmp_path / "cache", metrics=metrics, breaker=breaker)
+
+
+class TestWriteChaos:
+    def test_transient_write_errors_open_breaker_not_degrade(self, tmp_path, clock):
+        metrics = MetricsRegistry()
+        cache = make_cache(tmp_path, clock, metrics=metrics)
+        chaos_mod.install("disk.write")  # EIO on every write
+        for i in range(3):
+            cache.put(("k", i), {"v": i})
+        assert not cache.disabled  # transient: NOT permanent degradation
+        assert cache.breaker.state == "open"
+        assert metrics.counter("disk.io_errors").value == 3
+
+    def test_open_breaker_skips_disk_until_probe_recovers(self, tmp_path, clock):
+        metrics = MetricsRegistry()
+        cache = make_cache(tmp_path, clock, metrics=metrics)
+        chaos_mod.install("disk.write:times=3")
+        for i in range(3):
+            cache.put(("k", i), {"v": i})
+        assert cache.breaker.state == "open"
+        # While open, puts and gets are skipped without touching disk.
+        cache.put(("k", 9), {"v": 9})
+        assert cache.get(("k", 9)) is None
+        assert metrics.counter("disk.breaker_skips").value == 2
+        assert len(cache) == 0
+        # Cooldown elapses; the half-open probe succeeds (chaos spent).
+        clock.now += 31.0
+        cache.put(("k", 9), {"v": 9})
+        assert cache.breaker.state == "closed"
+        assert cache.get(("k", 9)) == {"v": 9}
+
+    def test_probe_failure_reopens(self, tmp_path, clock):
+        cache = make_cache(tmp_path, clock, threshold=1)
+        chaos_mod.install("disk.write")  # never heals
+        cache.put(("k", 0), {"v": 0})
+        assert cache.breaker.state == "open"
+        clock.now += 31.0
+        cache.put(("k", 1), {"v": 1})  # the probe, which also fails
+        assert cache.breaker.state == "open"
+
+
+class TestReadChaos:
+    def test_read_errors_are_misses_and_feed_breaker(self, tmp_path, clock):
+        metrics = MetricsRegistry()
+        cache = make_cache(tmp_path, clock, metrics=metrics)
+        cache.put(("k",), {"v": 1})
+        chaos_mod.install("disk.read:times=2")
+        assert cache.get(("k",)) is None
+        assert cache.get(("k",)) is None
+        assert metrics.counter("disk.io_errors").value == 2
+        assert not cache.disabled
+        # Chaos exhausted: the entry is intact and readable again.
+        assert cache.get(("k",)) == {"v": 1}
+        assert cache.breaker.state == "closed"
+
+    def test_plain_miss_never_trips_breaker(self, tmp_path, clock):
+        cache = make_cache(tmp_path, clock, threshold=1)
+        for i in range(5):
+            assert cache.get(("absent", i)) is None
+        assert cache.breaker.state == "closed"
+
+
+class TestTieredInteraction:
+    def test_memory_tier_keeps_serving_while_disk_breaker_open(self, tmp_path, clock):
+        disk = make_cache(tmp_path, clock, threshold=1)
+        tiered = TieredBacking(_LRUBacking(maxsize=8), disk)
+        chaos_mod.install("disk.write")
+        tiered.put(("k",), ("v",))  # disk write fails -> breaker opens
+        assert disk.breaker.state == "open"
+        assert tiered.get(("k",)) == ("v",)  # memory tier still answers

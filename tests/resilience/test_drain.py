@@ -1,0 +1,81 @@
+"""DrainState lifecycle tests."""
+
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.drain import DrainState
+
+
+class TestLifecycle:
+    def test_serving_admits(self):
+        drain = DrainState()
+        assert drain.phase == "serving"
+        assert drain.enter()
+        assert drain.inflight == 1
+        drain.exit()
+        assert drain.inflight == 0
+
+    def test_draining_refuses_new_work(self):
+        drain = DrainState()
+        assert drain.enter()
+        assert drain.begin_drain()
+        assert not drain.enter()
+        assert drain.inflight == 1  # the pre-drain request stays counted
+
+    def test_begin_drain_idempotent(self):
+        drain = DrainState()
+        assert drain.begin_drain()
+        assert not drain.begin_drain()
+        assert drain.phase == "draining"
+
+    def test_stop_records_forced(self):
+        metrics = MetricsRegistry()
+        drain = DrainState(metrics=metrics)
+        drain.begin_drain()
+        drain.stop(forced=True)
+        doc = metrics.to_dict()
+        assert drain.phase == "stopped"
+        assert doc["counters"]["serve.drain.forced"] == 1
+        assert doc["states"]["serve.phase"]["value"] == "stopped"
+
+
+class TestWaitIdle:
+    def test_immediate_when_idle(self):
+        drain = DrainState()
+        assert drain.wait_idle(timeout=0.01)
+
+    def test_times_out_with_inflight_work(self):
+        drain = DrainState()
+        drain.enter()
+        start = time.monotonic()
+        assert not drain.wait_idle(timeout=0.05)
+        assert time.monotonic() - start >= 0.04
+
+    def test_wakes_when_last_request_exits(self):
+        drain = DrainState()
+        drain.enter()
+
+        def finish():
+            time.sleep(0.05)
+            drain.exit()
+
+        worker = threading.Thread(target=finish)
+        worker.start()
+        try:
+            assert drain.wait_idle(timeout=2.0)
+        finally:
+            worker.join()
+
+
+class TestMetrics:
+    def test_phase_and_inflight_instruments(self):
+        metrics = MetricsRegistry()
+        drain = DrainState(metrics=metrics)
+        drain.enter()
+        drain.begin_drain()
+        doc = metrics.to_dict()
+        assert doc["states"]["serve.phase"]["value"] == "draining"
+        assert doc["gauges"]["serve.inflight"] == 1
+        assert doc["counters"]["serve.drain.initiated"] == 1
+        assert drain.snapshot() == {"phase": "draining", "inflight": 1}
